@@ -1,0 +1,78 @@
+//! One Criterion target per evaluation table/figure: each bench runs
+//! the *same* code the `cbt-eval` binary uses to regenerate that
+//! artifact (quick presets so the bench suite stays minutes, not
+//! hours). `cargo bench --bench experiments` therefore re-derives every
+//! S93-* and Abl-* result.
+
+use cbt_eval::experiments::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_state_scaling(c: &mut Criterion) {
+    c.bench_function("experiment/S93-T1_state_scaling", |b| {
+        b.iter(|| state::run(&state::Params::quick()))
+    });
+}
+
+fn bench_tree_cost(c: &mut Criterion) {
+    c.bench_function("experiment/S93-T2_tree_cost", |b| {
+        b.iter(|| treecost::run(&treecost::Params::quick()))
+    });
+}
+
+fn bench_delay_ratio(c: &mut Criterion) {
+    c.bench_function("experiment/S93-F1_delay_ratio", |b| {
+        b.iter(|| delay::run(&delay::Params::quick()))
+    });
+}
+
+fn bench_traffic(c: &mut Criterion) {
+    c.bench_function("experiment/S93-F2_traffic_concentration", |b| {
+        b.iter(|| traffic::run(&traffic::Params::quick()))
+    });
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    c.bench_function("experiment/S93-T3_control_overhead", |b| {
+        b.iter(|| overhead::run(&overhead::Params::quick()))
+    });
+}
+
+fn bench_latency(c: &mut Criterion) {
+    c.bench_function("experiment/S93-T4_join_latency", |b| {
+        b.iter(|| latency::run(&latency::Params::quick()))
+    });
+}
+
+fn bench_placement(c: &mut Criterion) {
+    c.bench_function("experiment/Abl-1_core_placement", |b| {
+        b.iter(|| placement::run(&placement::Params::quick()))
+    });
+}
+
+fn bench_multicore(c: &mut Criterion) {
+    c.bench_function("experiment/Abl-2_multi_core_failover", |b| {
+        b.iter(|| multicore::run(&multicore::Params::quick()))
+    });
+}
+
+fn bench_spec_walkthroughs(c: &mut Criterion) {
+    c.bench_function("experiment/Spec-E1..E6_walkthroughs", |b| {
+        b.iter(|| {
+            let _ = spec::e1();
+            let _ = spec::e2();
+            let _ = spec::e3();
+            let _ = spec::e4();
+            let _ = spec::e5();
+            spec::e6()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_state_scaling, bench_tree_cost, bench_delay_ratio, bench_traffic,
+        bench_overhead, bench_latency, bench_placement, bench_multicore,
+        bench_spec_walkthroughs
+}
+criterion_main!(benches);

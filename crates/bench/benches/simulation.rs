@@ -1,0 +1,75 @@
+//! End-to-end simulator benches: the Figure 1 walkthrough (Spec-E1..E4
+//! in one run) and a Waxman join-convergence run — the cost of
+//! regenerating the spec scenarios from scratch.
+
+use cbt::{CbtConfig, CbtWorld};
+use cbt_netsim::{SimDuration, SimTime, WorldConfig};
+use cbt_topology::{figure1, generate, HostId, NetworkSpec, NodeId};
+use cbt_wire::GroupId;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// Full Figure 1 scenario: 12 hosts join, G multicasts, everyone hears.
+fn bench_figure1_walkthrough(c: &mut Criterion) {
+    c.bench_function("sim/figure1_join_and_data", |b| {
+        b.iter(|| {
+            let fig = figure1();
+            let group = GroupId::numbered(1);
+            let cores = vec![
+                fig.net.router_addr(fig.primary_core()),
+                fig.net.router_addr(fig.secondary_core()),
+            ];
+            let mut cw = CbtWorld::build(
+                fig.net.clone(),
+                CbtConfig::fast(),
+                WorldConfig { record_trace: false, ..Default::default() },
+            );
+            for h in [
+                fig.hosts.a, fig.hosts.b, fig.hosts.c, fig.hosts.d, fig.hosts.e, fig.hosts.f,
+                fig.hosts.g, fig.hosts.h, fig.hosts.i, fig.hosts.j, fig.hosts.k, fig.hosts.l,
+            ] {
+                cw.host(h).join_at(SimTime::from_secs(1), group, cores.clone());
+            }
+            cw.host(fig.hosts.g).send_at(SimTime::from_secs(5), group, b"x".to_vec(), 32);
+            cw.world.start();
+            cw.world.run_until(SimTime::from_secs(8));
+            assert_eq!(cw.host(fig.hosts.j).received().len(), 1);
+            cw.world.trace().totals()
+        })
+    });
+}
+
+/// 30-router Waxman network: 10 joins converging + 30 s of keepalives.
+fn bench_waxman_convergence(c: &mut Criterion) {
+    c.bench_function("sim/waxman30_converge", |b| {
+        b.iter(|| {
+            let graph =
+                generate::waxman(generate::WaxmanParams { n: 30, ..Default::default() }, 3);
+            let net = NetworkSpec::from_graph_with_stub_lans(&graph);
+            let core = net.router_addr(cbt_topology::RouterId(0));
+            let group = GroupId::numbered(1);
+            let mut cw = CbtWorld::build(
+                net,
+                CbtConfig::fast(),
+                WorldConfig { record_trace: false, ..Default::default() },
+            );
+            for i in (0..30).step_by(3) {
+                let _ = NodeId(i as u32);
+                cw.host(HostId(i as u32)).join_at(
+                    SimTime::from_secs(1) + SimDuration::from_millis(100 * i as u64),
+                    group,
+                    vec![core],
+                );
+            }
+            cw.world.start();
+            cw.world.run_until(SimTime::from_secs(40));
+            cw.world.trace().totals()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_figure1_walkthrough, bench_waxman_convergence
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Spec-E7 bench: wire-format encode/decode throughput for every CBT
+//! packet format (§8).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use cbt_wire::{
+    Addr, CbtDataHeader, CbtDataPacket, ControlMessage, DataPacket, GroupId, IgmpMessage,
+    JoinSubcode,
+};
+
+fn sample_join() -> ControlMessage {
+    ControlMessage::JoinRequest {
+        subcode: JoinSubcode::ActiveJoin,
+        group: GroupId::numbered(7),
+        origin: Addr::from_octets(10, 1, 0, 1),
+        target_core: Addr::from_octets(10, 255, 0, 4),
+        cores: vec![Addr::from_octets(10, 255, 0, 4), Addr::from_octets(10, 255, 0, 9)],
+    }
+}
+
+fn bench_control(c: &mut Criterion) {
+    let msg = sample_join();
+    let bytes = msg.encode();
+    let mut g = c.benchmark_group("control");
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("encode_join", |b| b.iter(|| black_box(&msg).encode()));
+    g.bench_function("decode_join", |b| {
+        b.iter(|| ControlMessage::decode(black_box(&bytes)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_data_header(c: &mut Criterion) {
+    let h = CbtDataHeader::new(
+        GroupId::numbered(7),
+        Addr::from_octets(10, 255, 0, 4),
+        Addr::from_octets(10, 1, 0, 100),
+        64,
+    );
+    let bytes = h.encode();
+    let mut g = c.benchmark_group("cbt_header");
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("encode", |b| b.iter(|| black_box(&h).encode()));
+    g.bench_function("decode", |b| b.iter(|| CbtDataHeader::decode(black_box(&bytes)).unwrap()));
+    g.finish();
+}
+
+fn bench_igmp(c: &mut Criterion) {
+    let msg = IgmpMessage::Report { version: 3, group: GroupId::numbered(7) };
+    let bytes = msg.encode();
+    c.bench_function("igmp/report_roundtrip", |b| {
+        b.iter(|| {
+            let enc = black_box(&msg).encode();
+            IgmpMessage::decode(&enc).unwrap()
+        })
+    });
+    c.bench_function("igmp/decode", |b| b.iter(|| IgmpMessage::decode(black_box(&bytes)).unwrap()));
+}
+
+fn bench_full_datagram(c: &mut Criterion) {
+    for size in [64usize, 512, 1400] {
+        let native = DataPacket::new(
+            Addr::from_octets(10, 1, 0, 100),
+            GroupId::numbered(7),
+            32,
+            vec![0xab; size],
+        );
+        let enc = CbtDataPacket::encapsulate(&native, Addr::from_octets(10, 255, 0, 4));
+        let wire =
+            enc.wrap_unicast(Addr::from_octets(172, 31, 0, 1), Addr::from_octets(172, 31, 0, 2), None);
+        let mut g = c.benchmark_group(format!("datagram_{size}B"));
+        g.throughput(Throughput::Bytes(wire.len() as u64));
+        g.bench_function("unwrap_outer", |b| {
+            b.iter(|| CbtDataPacket::unwrap_outer(black_box(&wire)).unwrap())
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_control, bench_data_header, bench_igmp, bench_full_datagram);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Helper-free crate: the benchmarks live in `benches/`. One Criterion
+//! target per experiment table/figure (see DESIGN.md's index) plus
+//! microbenches for the wire codec, the forwarding fast path, the
+//! engine's control-plane operations and the graph substrate.

@@ -1,0 +1,616 @@
+//! The CBT router engine: one sans-I/O state machine per router.
+//!
+//! Inputs arrive through `handle_control`, `handle_igmp`,
+//! `handle_native_data`, `handle_cbt_data` and `on_timer`; every call
+//! returns the [`RouterAction`]s to perform. The heavier protocol paths
+//! live in sibling modules (`join`, `teardown`, `keepalive`,
+//! `forward`) as further `impl CbtRouter` blocks.
+
+use crate::config::CbtConfig;
+use crate::events::{RouterAction, RouterStats};
+use crate::fib::Fib;
+use crate::pending::PendingJoins;
+use cbt_igmp::{GroupPresence, IgmpOut, PresenceEvent, QuerierElection};
+use cbt_netsim::SimTime;
+use cbt_routing::{FailureSet, Hop, Rib};
+use cbt_topology::{Attachment, IfIndex, LanId, NetworkSpec, RouterId};
+use cbt_wire::{Addr, ControlMessage, GroupId, IgmpMessage};
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// The engine's window onto unicast routing: "best next hop toward this
+/// address" (§2.5) — the only question CBT ever asks its IGP.
+pub trait RouteLookup: Send {
+    /// Resolve the next hop toward `dst`, or `None` if unreachable.
+    fn hop_toward(&self, dst: Addr) -> Option<Hop>;
+}
+
+/// A [`RouteLookup`] over a shared, swappable [`Rib`] — the harness
+/// recomputes the RIB on topology changes and every engine sees the
+/// update immediately, like a converged IGP.
+#[derive(Clone)]
+pub struct SharedRib {
+    net: Arc<NetworkSpec>,
+    rib: Arc<RwLock<Rib>>,
+    me: RouterId,
+}
+
+impl SharedRib {
+    /// Builds the shared table set for a whole network.
+    pub fn build(net: Arc<NetworkSpec>) -> (Arc<RwLock<Rib>>, impl Fn(RouterId) -> SharedRib) {
+        let rib = Arc::new(RwLock::new(Rib::converged(&net)));
+        let rib2 = rib.clone();
+        let maker = move |me: RouterId| SharedRib { net: net.clone(), rib: rib2.clone(), me };
+        (rib, maker)
+    }
+
+    /// Recomputes the shared RIB for a new failure state.
+    pub fn recompute(net: &NetworkSpec, rib: &Arc<RwLock<Rib>>, failures: &FailureSet) {
+        *rib.write() = Rib::compute(net, failures);
+    }
+}
+
+impl RouteLookup for SharedRib {
+    fn hop_toward(&self, dst: Addr) -> Option<Hop> {
+        self.rib.read().route(&self.net, self.me, dst)
+    }
+}
+
+/// One interface as the engine sees it.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct IfaceInfo {
+    /// My address on this interface.
+    pub addr: Addr,
+    /// Subnet number.
+    pub subnet: Addr,
+    /// Subnet mask.
+    pub mask: Addr,
+    /// `Some(lan)` for multi-access segments, `None` for p2p links.
+    pub lan: Option<LanId>,
+}
+
+impl IfaceInfo {
+    /// Is `a` an address on this interface's subnet?
+    pub fn contains(&self, a: Addr) -> bool {
+        a.same_subnet(self.subnet, self.mask)
+    }
+}
+
+/// Per-LAN protocol state: querier election + membership presence.
+pub(crate) struct LanState {
+    pub election: QuerierElection,
+    pub presence: GroupPresence,
+}
+
+/// A quit in flight (§2.7/§6.3: retried a small number of times, then
+/// parent state is dropped unilaterally).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PendingQuit {
+    pub parent_addr: Addr,
+    pub parent_iface: IfIndex,
+    pub retries_left: u32,
+    pub next_send: SimTime,
+}
+
+/// The CBT protocol engine for one router.
+pub struct CbtRouter {
+    pub(crate) me: RouterId,
+    pub(crate) id_addr: Addr,
+    pub(crate) my_addrs: BTreeSet<Addr>,
+    pub(crate) ifaces: Vec<IfaceInfo>,
+    pub(crate) cfg: CbtConfig,
+    pub(crate) routes: Box<dyn RouteLookup>,
+    pub(crate) lans: BTreeMap<IfIndex, LanState>,
+    pub(crate) fib: Fib,
+    pub(crate) pending: PendingJoins,
+    pub(crate) pending_quits: BTreeMap<GroupId, PendingQuit>,
+    /// LAN interfaces where this router is the group-specific DR —
+    /// i.e. the tree's attachment point for that LAN (§2.6).
+    pub(crate) gdr: BTreeSet<(IfIndex, GroupId)>,
+    /// Groups on a LAN served by *another* router's branch (we were
+    /// proxy-acked, §2.6): group → the G-DR's address.
+    pub(crate) proxy_handled: BTreeMap<(IfIndex, GroupId), Addr>,
+    /// Core lists learned from joins/acks/IGMP (§2.1 advertisements).
+    pub(crate) core_knowledge: BTreeMap<GroupId, Vec<Addr>>,
+    /// Re-attachments deferred after a broken loop (§6.3 "it then
+    /// attempts to re-join again" — after a short backoff so stale
+    /// routing gets a chance to converge): group → (when, core index).
+    pub(crate) deferred_reattach: BTreeMap<GroupId, (SimTime, usize)>,
+    /// When each group's re-attachment campaign began, for the §6.1
+    /// RECONNECT-TIMEOUT budget: once exceeded, the subtree is flushed.
+    pub(crate) reattach_started: BTreeMap<GroupId, SimTime>,
+    pub(crate) next_child_sweep: SimTime,
+    pub(crate) next_iff_scan: SimTime,
+    pub(crate) stats: RouterStats,
+}
+
+impl CbtRouter {
+    /// Builds the engine for router `me` of `net`, booting at `now`.
+    pub fn new(
+        net: &NetworkSpec,
+        me: RouterId,
+        cfg: CbtConfig,
+        routes: Box<dyn RouteLookup>,
+        now: SimTime,
+    ) -> Self {
+        let spec = &net.routers[me.0 as usize];
+        let ifaces: Vec<IfaceInfo> = spec
+            .ifaces
+            .iter()
+            .map(|i| IfaceInfo {
+                addr: i.addr,
+                subnet: i.subnet,
+                mask: i.mask,
+                lan: match i.attachment {
+                    Attachment::Lan(l) => Some(l),
+                    Attachment::Link { .. } => None,
+                },
+            })
+            .collect();
+        let mut my_addrs: BTreeSet<Addr> = ifaces.iter().map(|i| i.addr).collect();
+        my_addrs.insert(spec.addr);
+        let mut lans = BTreeMap::new();
+        for (n, info) in ifaces.iter().enumerate() {
+            if info.lan.is_some() {
+                lans.insert(
+                    IfIndex(n as u32),
+                    LanState {
+                        election: QuerierElection::new(info.addr, cfg.igmp, now),
+                        presence: GroupPresence::new(cfg.igmp),
+                    },
+                );
+            }
+        }
+        CbtRouter {
+            me,
+            id_addr: spec.addr,
+            my_addrs,
+            ifaces,
+            next_child_sweep: now + cfg.child_assert_interval,
+            next_iff_scan: now + cfg.iff_scan_interval,
+            cfg,
+            routes,
+            lans,
+            fib: Fib::new(),
+            pending: PendingJoins::new(),
+            pending_quits: BTreeMap::new(),
+            gdr: BTreeSet::new(),
+            proxy_handled: BTreeMap::new(),
+            core_knowledge: BTreeMap::new(),
+            deferred_reattach: BTreeMap::new(),
+            reattach_started: BTreeMap::new(),
+            stats: RouterStats::default(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Identity / lookup helpers used across the protocol modules.
+    // ------------------------------------------------------------------
+
+    /// This router's id in the network spec.
+    pub fn router_id(&self) -> RouterId {
+        self.me
+    }
+
+    /// Stable identity address.
+    pub fn id_addr(&self) -> Addr {
+        self.id_addr
+    }
+
+    /// Is `a` one of my addresses (identity or interface)?
+    pub fn is_my_addr(&self, a: Addr) -> bool {
+        self.my_addrs.contains(&a)
+    }
+
+    pub(crate) fn iface(&self, i: IfIndex) -> Option<&IfaceInfo> {
+        self.ifaces.get(i.0 as usize)
+    }
+
+    /// Am I the D-DR on LAN interface `i` right now?
+    pub fn i_am_dr(&self, i: IfIndex, now: SimTime) -> bool {
+        self.lans.get(&i).is_some_and(|l| l.election.i_am_dr(now))
+    }
+
+    /// Am I the group-specific DR for `group` on LAN interface `i`?
+    pub fn is_gdr(&self, i: IfIndex, group: GroupId) -> bool {
+        self.gdr.contains(&(i, group))
+    }
+
+    /// The FIB (read access for tests/metrics).
+    pub fn fib(&self) -> &Fib {
+        &self.fib
+    }
+
+    /// Is this router on-tree for `group`?
+    pub fn is_on_tree(&self, group: GroupId) -> bool {
+        self.fib.on_tree(group)
+    }
+
+    /// Parent address for `group`, if any.
+    pub fn parent_of(&self, group: GroupId) -> Option<Addr> {
+        self.fib.get(group)?.parent.map(|p| p.addr)
+    }
+
+    /// Child addresses for `group`.
+    pub fn children_of(&self, group: GroupId) -> Vec<Addr> {
+        self.fib.get(group).map(|e| e.children.iter().map(|c| c.addr).collect()).unwrap_or_default()
+    }
+
+    /// Is a join pending for `group`?
+    pub fn has_pending_join(&self, group: GroupId) -> bool {
+        self.pending.contains(group)
+    }
+
+    /// Behaviour counters.
+    pub fn stats(&self) -> RouterStats {
+        self.stats
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &CbtConfig {
+        &self.cfg
+    }
+
+    /// Cores known for `group`: learned knowledge first, then managed
+    /// mappings (§2.4).
+    pub fn cores_for(&self, group: GroupId) -> Option<Vec<Addr>> {
+        self.core_knowledge
+            .get(&group)
+            .cloned()
+            .or_else(|| self.cfg.managed_mappings.get(&group).cloned())
+            .filter(|c| !c.is_empty())
+    }
+
+    /// Records a core list for a group, as the engine does when any
+    /// message carrying one arrives. Public because harnesses use it to
+    /// model out-of-band `<core, group>` advertisement (§2.1).
+    pub fn learn_cores(&mut self, group: GroupId, cores: &[Addr]) {
+        if !cores.is_empty() {
+            self.core_knowledge.insert(group, cores.to_vec());
+        }
+    }
+
+    /// Am I the primary core for this core list?
+    pub(crate) fn i_am_primary(&self, cores: &[Addr]) -> bool {
+        cores.first().is_some_and(|c| self.is_my_addr(*c))
+    }
+
+    /// Am I any core in this list?
+    pub(crate) fn i_am_listed_core(&self, cores: &[Addr]) -> bool {
+        cores.iter().any(|c| self.is_my_addr(*c))
+    }
+
+    /// LAN interfaces (with presence tables).
+    pub(crate) fn lan_ifaces(&self) -> Vec<IfIndex> {
+        self.lans.keys().copied().collect()
+    }
+
+    /// Does any directly connected LAN have members of `group` that
+    /// *this* router is responsible for (G-DR)?
+    pub(crate) fn serves_members(&self, group: GroupId) -> bool {
+        self.lans.iter().any(|(i, l)| l.presence.has_members(group) && self.is_gdr(*i, group))
+    }
+
+    // ------------------------------------------------------------------
+    // Input dispatch.
+    // ------------------------------------------------------------------
+
+    /// Handles a received CBT control message.
+    pub fn handle_control(
+        &mut self,
+        now: SimTime,
+        iface: IfIndex,
+        src: Addr,
+        msg: ControlMessage,
+    ) -> Vec<RouterAction> {
+        let mut act = Vec::new();
+        // A frame claiming to come from one of our own addresses is
+        // spoofed or looped — no legitimate neighbour ever is us.
+        if self.is_my_addr(src) {
+            return act;
+        }
+        match msg {
+            ControlMessage::JoinRequest { subcode, group, origin, target_core, cores } => {
+                self.on_join_request(
+                    now, iface, src, subcode, group, origin, target_core, &cores, &mut act,
+                );
+            }
+            ControlMessage::JoinAck { subcode, group, origin, target_core, cores } => {
+                self.on_join_ack(now, iface, src, subcode, group, origin, target_core, &cores, &mut act);
+            }
+            ControlMessage::JoinNack { group, .. } => {
+                self.on_join_nack(now, iface, src, group, &mut act);
+            }
+            ControlMessage::QuitRequest { group, .. } => {
+                self.on_quit_request(now, iface, src, group, &mut act);
+            }
+            ControlMessage::QuitAck { group, .. } => {
+                self.on_quit_ack(group);
+            }
+            ControlMessage::FlushTree { group, .. } => {
+                self.on_flush_tree(now, iface, src, group, &mut act);
+            }
+            ControlMessage::EchoRequest { group, group_mask, .. } => {
+                self.on_echo_request(now, iface, src, group, group_mask, &mut act);
+            }
+            ControlMessage::EchoReply { group, group_mask, .. } => {
+                self.on_echo_reply(now, iface, src, group, group_mask);
+            }
+        }
+        act
+    }
+
+    /// Handles a received IGMP message on a LAN interface.
+    pub fn handle_igmp(
+        &mut self,
+        now: SimTime,
+        iface: IfIndex,
+        src: Addr,
+        msg: IgmpMessage,
+    ) -> Vec<RouterAction> {
+        let mut act = Vec::new();
+        // Core lists ride in RP/Core-Reports (§2.2); learn them even
+        // when the matching membership report was lost in flight — the
+        // IFF-scan retry path depends on this knowledge.
+        if let IgmpMessage::RpCore(r) = &msg {
+            self.learn_cores(r.group, &r.cores);
+        }
+        let Some(lan) = self.lans.get_mut(&iface) else { return act };
+        if let IgmpMessage::Query { group: None, .. } = msg {
+            lan.election.on_query_heard(src, now);
+        }
+        let i_am_querier = lan.election.is_querier(now);
+        let (events, sends) = lan.presence.on_igmp(&msg, now, i_am_querier);
+        for s in sends {
+            act.push(RouterAction::SendIgmp { iface, dst: s.dst, msg: s.msg });
+        }
+        for ev in events {
+            self.on_presence_event(now, iface, ev, &mut act);
+        }
+        // A late-arriving core list for a group whose membership is
+        // already live (the earlier RP/Core-Report was lost): join now
+        // instead of waiting for the IFF-scan safety net.
+        if let IgmpMessage::RpCore(r) = &msg {
+            let live = self
+                .lans
+                .get(&iface)
+                .is_some_and(|l| l.presence.has_members(r.group));
+            let handled = self.fib.on_tree(r.group)
+                || self.pending.contains(r.group)
+                || self.proxy_handled.contains_key(&(iface, r.group));
+            if live && !handled && self.i_am_dr(iface, now) {
+                self.trigger_join(now, iface, r.group, r.target_core_index as usize, &mut act);
+            }
+        }
+        act
+    }
+
+    /// Reacts to membership appearing/disappearing on a LAN.
+    pub(crate) fn on_presence_event(
+        &mut self,
+        now: SimTime,
+        iface: IfIndex,
+        ev: PresenceEvent,
+        act: &mut Vec<RouterAction>,
+    ) {
+        match ev {
+            PresenceEvent::NewGroup { group, cores, target_core_index } => {
+                self.learn_cores(group, &cores);
+                // §2.5: the D-DR establishes the subnet on the tree.
+                if self.i_am_dr(iface, now) {
+                    self.trigger_join(now, iface, group, target_core_index, act);
+                } else if self.fib.on_tree(group) {
+                    // A non-DR router that already has a branch serving
+                    // other subnets still becomes this LAN's forwarder
+                    // if nobody else is (rare; keeps delivery total).
+                    if !self.proxy_handled.contains_key(&(iface, group)) {
+                        self.gdr.insert((iface, group));
+                    }
+                }
+            }
+            PresenceEvent::GroupExpired { group } => {
+                self.gdr.remove(&(iface, group));
+                self.proxy_handled.remove(&(iface, group));
+                // §2.7: no members anywhere and no children ⇒ quit.
+                self.maybe_quit(now, group, act);
+            }
+        }
+    }
+
+    /// Advances every timer that has come due.
+    pub fn on_timer(&mut self, now: SimTime) -> Vec<RouterAction> {
+        let mut act = Vec::new();
+        // IGMP querier duty + presence expiry per LAN.
+        let lan_ids: Vec<IfIndex> = self.lans.keys().copied().collect();
+        for iface in lan_ids {
+            let (sends, events) = {
+                let lan = self.lans.get_mut(&iface).expect("listed");
+                let sends: Vec<IgmpOut> = lan.election.poll(now);
+                let events = lan.presence.poll(now);
+                (sends, events)
+            };
+            for s in sends {
+                act.push(RouterAction::SendIgmp { iface, dst: s.dst, msg: s.msg });
+            }
+            for ev in events {
+                self.on_presence_event(now, iface, ev, &mut act);
+            }
+        }
+        self.service_deferred_reattach(now, &mut act);
+        self.service_pending_joins(now, &mut act);
+        self.service_keepalives(now, &mut act);
+        self.service_pending_quits(now, &mut act);
+        if now >= self.next_child_sweep {
+            self.sweep_children(now, &mut act);
+            self.next_child_sweep = now + self.cfg.child_assert_interval;
+        }
+        if now >= self.next_iff_scan {
+            self.iff_scan(now, &mut act);
+            self.next_iff_scan = now + self.cfg.iff_scan_interval;
+        }
+        act
+    }
+
+    /// Earliest instant any internal timer wants service.
+    pub fn next_wakeup(&self) -> Option<SimTime> {
+        let mut earliest: Option<SimTime> = None;
+        let mut consider = |t: Option<SimTime>| {
+            if let Some(t) = t {
+                earliest = Some(earliest.map_or(t, |e: SimTime| e.min(t)));
+            }
+        };
+        for lan in self.lans.values() {
+            consider(Some(lan.election.next_wakeup()));
+            consider(lan.presence.next_wakeup());
+        }
+        consider(self.pending.next_wakeup());
+        consider(self.deferred_reattach.values().map(|(t, _)| *t).min());
+        consider(self.next_echo_deadline());
+        consider(self.pending_quits.values().map(|q| q.next_send).min());
+        consider(Some(self.next_child_sweep));
+        consider(Some(self.next_iff_scan));
+        earliest
+    }
+
+    // ------------------------------------------------------------------
+    // Small shared emit helpers.
+    // ------------------------------------------------------------------
+
+    pub(crate) fn send_control(
+        &mut self,
+        act: &mut Vec<RouterAction>,
+        iface: IfIndex,
+        dst: Addr,
+        msg: ControlMessage,
+    ) {
+        match msg.control_type() {
+            cbt_wire::ControlType::JoinRequest => {}
+            cbt_wire::ControlType::JoinAck => self.stats.acks_sent += 1,
+            cbt_wire::ControlType::JoinNack => self.stats.nacks_sent += 1,
+            cbt_wire::ControlType::QuitRequest => self.stats.quits_sent += 1,
+            cbt_wire::ControlType::FlushTree => self.stats.flushes_sent += 1,
+            cbt_wire::ControlType::EchoRequest => self.stats.echo_requests_sent += 1,
+            cbt_wire::ControlType::EchoReply => self.stats.echo_replies_sent += 1,
+            cbt_wire::ControlType::QuitAck => {}
+        }
+        act.push(RouterAction::SendControl { iface, dst, msg });
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Direct-drive harness: a single engine fed synthetic inputs, with
+    //! a scripted route table — no simulator, no other routers.
+
+    use super::*;
+    use cbt_topology::NetworkBuilder;
+
+    /// Scripted routes: dst addr → hop.
+    pub struct ScriptRoutes(pub BTreeMap<Addr, Hop>);
+
+    impl RouteLookup for ScriptRoutes {
+        fn hop_toward(&self, dst: Addr) -> Option<Hop> {
+            self.0.get(&dst).copied()
+        }
+    }
+
+    /// A 3-interface router: if0 = LAN (10.1.0.x/24, my addr .1),
+    /// if1 = p2p link "up" (172.31.0.0/30, my addr .1, peer .2),
+    /// if2 = p2p link "down" (172.31.0.4/30, my addr .5, peer .6).
+    pub fn engine(cfg: CbtConfig) -> CbtRouter {
+        let mut b = NetworkBuilder::new();
+        let me = b.router("ME");
+        let up = b.router("UP");
+        let down = b.router("DOWN");
+        let lan = b.lan("S0");
+        b.attach(lan, me);
+        b.host("H", lan);
+        b.link(me, up, 1);
+        b.link(me, down, 1);
+        let net = b.build();
+        // Default script: everything unknown.
+        CbtRouter::new(&net, me, cfg, Box::new(ScriptRoutes(BTreeMap::new())), SimTime::ZERO)
+    }
+
+    /// Replaces the whole scripted table.
+    pub fn set_routes(r: &mut CbtRouter, map: BTreeMap<Addr, Hop>) {
+        r.routes = Box::new(ScriptRoutes(map));
+    }
+
+    /// Upstream hop helper (out of if1 toward 172.31.0.2).
+    pub fn up_hop() -> Hop {
+        Hop {
+            iface: IfIndex(1),
+            router: RouterId(1),
+            addr: Addr::from_octets(172, 31, 0, 2),
+            dist: 1,
+        }
+    }
+
+    /// Downstream neighbour address (on if2).
+    pub fn down_addr() -> Addr {
+        Addr::from_octets(172, 31, 0, 6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::*;
+    use super::*;
+
+    #[test]
+    fn boot_state_is_clean() {
+        let e = engine(CbtConfig::default());
+        assert!(e.fib().is_empty());
+        assert!(!e.has_pending_join(GroupId::numbered(1)));
+        assert_eq!(e.stats(), RouterStats::default());
+        assert!(e.is_my_addr(e.id_addr()));
+        assert!(e.is_my_addr(Addr::from_octets(10, 1, 0, 1)), "LAN iface addr");
+        assert!(e.is_my_addr(Addr::from_octets(172, 31, 0, 1)), "link iface addr");
+        assert!(!e.is_my_addr(Addr::from_octets(9, 9, 9, 9)));
+    }
+
+    #[test]
+    fn boot_sends_startup_igmp_queries() {
+        let mut e = engine(CbtConfig::default());
+        let act = e.on_timer(SimTime::ZERO);
+        let queries: Vec<_> = act
+            .iter()
+            .filter(|a| {
+                matches!(
+                    a,
+                    RouterAction::SendIgmp { msg: IgmpMessage::Query { group: None, .. }, .. }
+                )
+            })
+            .collect();
+        assert_eq!(queries.len(), 1, "first start-up query fires at boot (§2.3)");
+    }
+
+    #[test]
+    fn next_wakeup_exists_at_boot() {
+        let e = engine(CbtConfig::default());
+        assert!(e.next_wakeup().is_some(), "start-up queries are scheduled");
+    }
+
+    #[test]
+    fn core_knowledge_prefers_learned_over_managed() {
+        let g = GroupId::numbered(1);
+        let managed = vec![Addr::from_octets(10, 255, 0, 9)];
+        let learned = vec![Addr::from_octets(10, 255, 0, 3)];
+        let mut e = engine(CbtConfig::default().with_mapping(g, managed.clone()));
+        assert_eq!(e.cores_for(g), Some(managed));
+        e.learn_cores(g, &learned);
+        assert_eq!(e.cores_for(g), Some(learned));
+        e.learn_cores(g, &[]);
+        assert!(e.cores_for(g).is_some(), "empty list does not erase knowledge");
+        assert_eq!(e.cores_for(GroupId::numbered(99)), None);
+    }
+
+    #[test]
+    fn i_am_dr_on_sole_lan() {
+        let e = engine(CbtConfig::default());
+        assert!(e.i_am_dr(IfIndex(0), SimTime::ZERO), "only router on the LAN");
+        assert!(!e.i_am_dr(IfIndex(1), SimTime::ZERO), "p2p links have no DR");
+    }
+}

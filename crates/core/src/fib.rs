@@ -1,0 +1,274 @@
+//! The Forwarding Information Base (spec §5, Fig. 4): per-group
+//! parent/child state, one entry per group this router is on-tree for.
+//!
+//! "CBT routers create FIB entries whenever they send or receive a
+//! JOIN_ACK (with the exception of a proxy-ack). The FIB describes the
+//! parent-child relationships on a per-group basis" — plus, here, the
+//! keepalive bookkeeping (last echo times) that §6.1/§9 hang off those
+//! relationships.
+
+use cbt_netsim::SimTime;
+use cbt_topology::IfIndex;
+use cbt_wire::{Addr, GroupId};
+use std::collections::BTreeMap;
+
+/// Maximum children per group entry. Fig. 4's field widths "assume a
+/// maximum of 16 directly connected neighbouring routers".
+pub const MAX_CHILDREN: usize = 16;
+
+/// The parent half of a FIB entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parent {
+    /// Parent router's address (next tree hop toward the core).
+    pub addr: Addr,
+    /// Interface ("parent vif") the parent is reached through.
+    pub iface: IfIndex,
+    /// Last time an ECHO_REPLY (or any liveness proof) arrived.
+    pub last_reply: SimTime,
+    /// When the next ECHO_REQUEST is due.
+    pub next_echo: SimTime,
+}
+
+/// One child in a FIB entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Child {
+    /// Child router's address.
+    pub addr: Addr,
+    /// Interface ("child vif") the child is reached through.
+    pub iface: IfIndex,
+    /// Last time an ECHO_REQUEST arrived from this child.
+    pub last_heard: SimTime,
+}
+
+/// A per-group FIB entry.
+#[derive(Debug, Clone, Default)]
+pub struct FibEntry {
+    /// Upstream attachment; `None` exactly when this router is the
+    /// group's primary core ("R4 does not have a parent since it is the
+    /// primary core", §5) — or a core whose own rejoin is in flight.
+    pub parent: Option<Parent>,
+    /// Downstream attachments.
+    pub children: Vec<Child>,
+    /// Ordered core list for the group, primary first, as learned from
+    /// joins/acks ("the full list of core addresses is carried in a
+    /// JOIN-ACK", §8.3).
+    pub cores: Vec<Addr>,
+    /// True if this router is one of the group's cores.
+    pub i_am_core: bool,
+}
+
+impl FibEntry {
+    /// The primary core (first of the core list).
+    pub fn primary_core(&self) -> Option<Addr> {
+        self.cores.first().copied()
+    }
+
+    /// Adds (or refreshes) a child. Returns `false` when the entry is
+    /// full ([`MAX_CHILDREN`]) and the child is new.
+    pub fn add_child(&mut self, addr: Addr, iface: IfIndex, now: SimTime) -> bool {
+        if let Some(c) = self.children.iter_mut().find(|c| c.addr == addr) {
+            c.iface = iface;
+            c.last_heard = now;
+            return true;
+        }
+        if self.children.len() >= MAX_CHILDREN {
+            return false;
+        }
+        self.children.push(Child { addr, iface, last_heard: now });
+        true
+    }
+
+    /// Removes a child by address; returns whether it existed.
+    pub fn remove_child(&mut self, addr: Addr) -> bool {
+        let before = self.children.len();
+        self.children.retain(|c| c.addr != addr);
+        self.children.len() != before
+    }
+
+    /// Is `addr` one of this entry's children?
+    pub fn has_child(&self, addr: Addr) -> bool {
+        self.children.iter().any(|c| c.addr == addr)
+    }
+
+    /// The distinct interfaces children are reached through, with the
+    /// number of children behind each — CBT-mode forwarding picks
+    /// unicast vs multicast per interface from this (§5).
+    pub fn child_ifaces(&self) -> BTreeMap<IfIndex, usize> {
+        let mut m = BTreeMap::new();
+        for c in &self.children {
+            *m.entry(c.iface).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Is `iface` a valid on-tree interface for this entry (§7)?
+    pub fn is_tree_iface(&self, iface: IfIndex) -> bool {
+        self.parent.is_some_and(|p| p.iface == iface)
+            || self.children.iter().any(|c| c.iface == iface)
+    }
+
+    /// Is `addr` this entry's parent?
+    pub fn is_parent(&self, addr: Addr) -> bool {
+        self.parent.is_some_and(|p| p.addr == addr)
+    }
+}
+
+/// The full FIB: group → entry.
+#[derive(Debug, Clone, Default)]
+pub struct Fib {
+    entries: BTreeMap<GroupId, FibEntry>,
+}
+
+impl Fib {
+    /// Empty FIB.
+    pub fn new() -> Self {
+        Fib::default()
+    }
+
+    /// Entry for `group`, if on-tree.
+    pub fn get(&self, group: GroupId) -> Option<&FibEntry> {
+        self.entries.get(&group)
+    }
+
+    /// Mutable entry for `group`.
+    pub fn get_mut(&mut self, group: GroupId) -> Option<&mut FibEntry> {
+        self.entries.get_mut(&group)
+    }
+
+    /// Creates (or returns) the entry for `group`.
+    pub fn entry(&mut self, group: GroupId) -> &mut FibEntry {
+        self.entries.entry(group).or_default()
+    }
+
+    /// Deletes the entry for `group`; returns it if it existed.
+    pub fn remove(&mut self, group: GroupId) -> Option<FibEntry> {
+        self.entries.remove(&group)
+    }
+
+    /// Is this router on-tree for `group`?
+    pub fn on_tree(&self, group: GroupId) -> bool {
+        self.entries.contains_key(&group)
+    }
+
+    /// All on-tree groups.
+    pub fn groups(&self) -> impl Iterator<Item = GroupId> + '_ {
+        self.entries.keys().copied()
+    }
+
+    /// All (group, entry) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (GroupId, &FibEntry)> {
+        self.entries.iter().map(|(g, e)| (*g, e))
+    }
+
+    /// Mutable iteration.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (GroupId, &mut FibEntry)> {
+        self.entries.iter_mut().map(|(g, e)| (*g, e))
+    }
+
+    /// Number of entries — the "state per router" metric of experiment
+    /// S93-T1.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no groups are on-tree.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g() -> GroupId {
+        GroupId::numbered(1)
+    }
+
+    fn a(n: u8) -> Addr {
+        Addr::from_octets(10, 0, 0, n)
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn entry_lifecycle() {
+        let mut fib = Fib::new();
+        assert!(!fib.on_tree(g()));
+        assert!(fib.is_empty());
+        let e = fib.entry(g());
+        e.cores = vec![a(4), a(9)];
+        assert!(fib.on_tree(g()));
+        assert_eq!(fib.len(), 1);
+        assert_eq!(fib.get(g()).unwrap().primary_core(), Some(a(4)));
+        assert!(fib.remove(g()).is_some());
+        assert!(fib.is_empty());
+    }
+
+    #[test]
+    fn children_add_refresh_remove() {
+        let mut e = FibEntry::default();
+        assert!(e.add_child(a(1), IfIndex(0), t(0)));
+        assert!(e.add_child(a(2), IfIndex(1), t(0)));
+        assert!(e.has_child(a(1)));
+        // Re-adding refreshes instead of duplicating.
+        assert!(e.add_child(a(1), IfIndex(0), t(5)));
+        assert_eq!(e.children.len(), 2);
+        assert_eq!(e.children[0].last_heard, t(5));
+        assert!(e.remove_child(a(1)));
+        assert!(!e.remove_child(a(1)));
+        assert_eq!(e.children.len(), 1);
+    }
+
+    #[test]
+    fn child_capacity_is_sixteen() {
+        let mut e = FibEntry::default();
+        for i in 0..MAX_CHILDREN {
+            assert!(e.add_child(a(i as u8 + 1), IfIndex(0), t(0)), "child {i}");
+        }
+        assert!(!e.add_child(a(200), IfIndex(0), t(0)), "17th child rejected");
+        // But refreshing an existing one still works at capacity.
+        assert!(e.add_child(a(1), IfIndex(0), t(9)));
+    }
+
+    #[test]
+    fn child_ifaces_counts_per_interface() {
+        let mut e = FibEntry::default();
+        e.add_child(a(1), IfIndex(0), t(0));
+        e.add_child(a(2), IfIndex(0), t(0));
+        e.add_child(a(3), IfIndex(2), t(0));
+        let m = e.child_ifaces();
+        assert_eq!(m[&IfIndex(0)], 2, "two children share iface 0 ⇒ CBT multicast there");
+        assert_eq!(m[&IfIndex(2)], 1, "one child on iface 2 ⇒ CBT unicast");
+    }
+
+    #[test]
+    fn tree_iface_and_parent_tests() {
+        let mut e = FibEntry {
+            parent: Some(Parent { addr: a(9), iface: IfIndex(3), last_reply: t(0), next_echo: t(30) }),
+            ..Default::default()
+        };
+        e.add_child(a(1), IfIndex(0), t(0));
+        assert!(e.is_tree_iface(IfIndex(3)), "parent vif");
+        assert!(e.is_tree_iface(IfIndex(0)), "child vif");
+        assert!(!e.is_tree_iface(IfIndex(7)));
+        assert!(e.is_parent(a(9)));
+        assert!(!e.is_parent(a(1)));
+    }
+
+    #[test]
+    fn groups_iteration_is_sorted() {
+        let mut fib = Fib::new();
+        fib.entry(GroupId::numbered(5));
+        fib.entry(GroupId::numbered(1));
+        fib.entry(GroupId::numbered(3));
+        let gs: Vec<_> = fib.groups().collect();
+        assert_eq!(
+            gs,
+            vec![GroupId::numbered(1), GroupId::numbered(3), GroupId::numbered(5)],
+            "BTreeMap keeps deterministic order"
+        );
+    }
+}

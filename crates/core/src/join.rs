@@ -1,0 +1,1688 @@
+//! Tree joining: origination, hop-by-hop forwarding, acknowledgement,
+//! proxy-acks, rejoins and loop detection (§2.5, §2.6, §6.1–6.3, §8.3).
+
+use crate::engine::CbtRouter;
+use crate::events::RouterAction;
+use crate::fib::Parent;
+use crate::pending::{CachedJoin, JoinReason, PendingJoin};
+use cbt_netsim::SimTime;
+use cbt_topology::IfIndex;
+use cbt_wire::{AckSubcode, Addr, ControlMessage, GroupId, IgmpMessage, JoinSubcode};
+
+impl CbtRouter {
+    /// D-DR join origination (§2.5): local membership appeared on LAN
+    /// `iface` and this router must establish the subnet on the tree.
+    pub(crate) fn trigger_join(
+        &mut self,
+        now: SimTime,
+        iface: IfIndex,
+        group: GroupId,
+        target_core_index: usize,
+        act: &mut Vec<RouterAction>,
+    ) {
+        // Already on-tree: this LAN just needs to be served.
+        if self.fib.on_tree(group) {
+            self.gdr.insert((iface, group));
+            return;
+        }
+        // §2.6: "If an IGMP RP/Core-Report is received by a D-DR with a
+        // join for the same group already pending, it takes no action"
+        // — but the LAN is remembered so the eventual ack serves it.
+        if self.pending.contains(group) {
+            if let Some(p) = self.pending.get_mut(group) {
+                if let JoinReason::LocalMembership { trigger_lans } = &mut p.reason {
+                    if !trigger_lans.contains(&iface) {
+                        trigger_lans.push(iface);
+                    }
+                }
+            }
+            return;
+        }
+        let Some(cores) = self.cores_for(group) else {
+            // No core knowledge at all (§2.4 v1/v2 hosts without managed
+            // mappings): nothing can be done; the IFF-scan will retry.
+            return;
+        };
+        self.learn_cores(group, &cores);
+
+        // Am I one of the group's cores myself?
+        if self.i_am_listed_core(&cores) {
+            self.become_core(now, group, &cores, act);
+            self.gdr.insert((iface, group));
+            return;
+        }
+
+        let origin =
+            self.iface(iface).map(|i| i.addr).unwrap_or(self.id_addr());
+        let target_core_index = target_core_index.min(cores.len() - 1);
+        self.launch_join(
+            now,
+            group,
+            origin,
+            cores,
+            target_core_index,
+            JoinSubcode::ActiveJoin,
+            JoinReason::LocalMembership { trigger_lans: vec![iface] },
+            act,
+        );
+    }
+
+    /// Instates this router as an on-tree core for `group`. A
+    /// non-primary core additionally joins the primary (the on-demand
+    /// core tree, §1/§2.5/§6.2).
+    pub(crate) fn become_core(
+        &mut self,
+        now: SimTime,
+        group: GroupId,
+        cores: &[Addr],
+        act: &mut Vec<RouterAction>,
+    ) {
+        let entry = self.fib.entry(group);
+        entry.cores = cores.to_vec();
+        entry.i_am_core = true;
+        // A join may (maliciously or due to damage) carry no core list
+        // at all; we can still serve as a root, but there is no primary
+        // to join toward.
+        if cores.is_empty() {
+            return;
+        }
+        if !self.i_am_primary(cores) && self.fib.get(group).unwrap().parent.is_none() {
+            let primary = cores[0];
+            if !self.pending.contains(group) {
+                let cores = cores.to_vec();
+                let origin = self.id_addr();
+                // §2.5: the non-primary core joins the primary with
+                // subcode REJOIN-ACTIVE.
+                self.launch_join_to(
+                    now,
+                    group,
+                    origin,
+                    cores,
+                    0,
+                    primary,
+                    JoinSubcode::RejoinActive,
+                    JoinReason::Reattach,
+                    act,
+                );
+            }
+        }
+    }
+
+    /// Sends a join toward `cores[core_index]` and records the pending
+    /// state. Does nothing if the core is unreachable and no later core
+    /// is reachable either.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn launch_join(
+        &mut self,
+        now: SimTime,
+        group: GroupId,
+        origin: Addr,
+        cores: Vec<Addr>,
+        core_index: usize,
+        subcode: JoinSubcode,
+        reason: JoinReason,
+        act: &mut Vec<RouterAction>,
+    ) {
+        // Find the first reachable core starting from core_index.
+        for probe in 0..cores.len() {
+            let idx = (core_index + probe) % cores.len();
+            let target = cores[idx];
+            if self.is_my_addr(target) {
+                continue;
+            }
+            if self.routes.hop_toward(target).is_some() {
+                self.launch_join_to(now, group, origin, cores, idx, target, subcode, reason, act);
+                return;
+            }
+        }
+        // Every core unreachable: give up silently; IFF-scan retries.
+    }
+
+    /// Lower-level variant with an explicit target.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn launch_join_to(
+        &mut self,
+        now: SimTime,
+        group: GroupId,
+        origin: Addr,
+        cores: Vec<Addr>,
+        core_index: usize,
+        target: Addr,
+        subcode: JoinSubcode,
+        reason: JoinReason,
+        act: &mut Vec<RouterAction>,
+    ) {
+        let Some(hop) = self.routes.hop_toward(target) else { return };
+        // §2.7: if the best next hop is one of our current children, the
+        // downstream branch must be flushed before re-joining through it.
+        if let Some(entry) = self.fib.get(group) {
+            if entry.has_child(hop.addr) {
+                self.flush_child(now, group, hop.addr, act);
+            }
+        }
+        let msg = ControlMessage::JoinRequest {
+            subcode,
+            group,
+            origin,
+            target_core: target,
+            cores: cores.clone(),
+        };
+        self.stats.joins_originated += 1;
+        self.send_control(act, hop.iface, hop.addr, msg);
+        self.pending.insert(
+            group,
+            PendingJoin {
+                reason,
+                origin,
+                target_core: target,
+                cores,
+                upstream: (hop.iface, hop.addr),
+                sent_subcode: subcode,
+                cached: Vec::new(),
+                started: now,
+                attempt_started: now,
+                next_retransmit: now + self.cfg.pend_join_interval,
+                core_index,
+            },
+        );
+    }
+
+    /// Receipt of a JOIN_REQUEST (§2.5, §6.2, §6.3).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn on_join_request(
+        &mut self,
+        now: SimTime,
+        iface: IfIndex,
+        src: Addr,
+        subcode: JoinSubcode,
+        group: GroupId,
+        origin: Addr,
+        target_core: Addr,
+        cores: &[Addr],
+        act: &mut Vec<RouterAction>,
+    ) {
+        self.learn_cores(group, cores);
+        if subcode == JoinSubcode::RejoinNactive {
+            self.on_nactive_rejoin(now, group, origin, target_core, cores, act);
+            return;
+        }
+
+        // On-tree and able to acknowledge? (§2.5: a pending-join router
+        // must cache instead.)
+        if self.fib.on_tree(group) && !self.pending.contains(group) {
+            let entry = self.fib.get(group).expect("on tree");
+            let i_am_core_here = entry.i_am_core;
+            if subcode == JoinSubcode::RejoinActive && !i_am_core_here {
+                // §6.3: first on-tree non-core router converts the
+                // active rejoin into the NACTIVE loop-detection walk...
+                let fwd = ControlMessage::JoinRequest {
+                    subcode: JoinSubcode::RejoinNactive,
+                    group,
+                    origin, // unchanged, so the originator can recognise it
+                    // §8.3.1: converting router puts its own address in
+                    // the core-address field so the primary can ack it
+                    // directly.
+                    target_core: self.id_addr(),
+                    cores: cores.to_vec(),
+                };
+                if let Some(parent) = self.fib.get(group).and_then(|e| e.parent) {
+                    self.stats.joins_forwarded += 1;
+                    self.send_control(act, parent.iface, parent.addr, fwd);
+                }
+                // ...and acknowledges the received join downstream.
+                self.ack_downstream(
+                    now,
+                    group,
+                    &CachedJoin { from_iface: iface, from_addr: src, origin, subcode },
+                    act,
+                );
+            } else {
+                // Plain termination: core or on-tree router acks (§2.5).
+                self.ack_downstream(
+                    now,
+                    group,
+                    &CachedJoin { from_iface: iface, from_addr: src, origin, subcode },
+                    act,
+                );
+            }
+            return;
+        }
+
+        // §6.2 core restart discovery: "a core only becomes aware that
+        // it is such by receiving a JOIN-REQUEST".
+        if self.is_my_addr(target_core) || self.i_am_listed_core(cores) {
+            self.become_core(now, group, cores, act);
+            self.ack_downstream(
+                now,
+                group,
+                &CachedJoin { from_iface: iface, from_addr: src, origin, subcode },
+                act,
+            );
+            return;
+        }
+
+        // Waiting for our own ack: cache (§2.5).
+        if self.pending.contains(group) {
+            let p = self.pending.get_mut(group).expect("pending");
+            let dup = p
+                .cached
+                .iter()
+                .any(|c| c.from_addr == src && c.origin == origin)
+                || (p.upstream.1 == src);
+            if !dup {
+                p.cached.push(CachedJoin { from_iface: iface, from_addr: src, origin, subcode });
+                self.stats.joins_cached += 1;
+            }
+            return;
+        }
+
+        // Forward hop-by-hop toward the target core (§2.5).
+        match self.routes.hop_toward(target_core) {
+            Some(hop) if hop.addr != src => {
+                let fwd = ControlMessage::JoinRequest {
+                    subcode,
+                    group,
+                    origin,
+                    target_core,
+                    cores: cores.to_vec(),
+                };
+                self.stats.joins_forwarded += 1;
+                self.send_control(act, hop.iface, hop.addr, fwd);
+                self.pending.insert(
+                    group,
+                    PendingJoin {
+                        reason: JoinReason::Forwarded {
+                            from_iface: iface,
+                            from_addr: src,
+                            subcode,
+                        },
+                        origin,
+                        target_core,
+                        cores: cores.to_vec(),
+                        upstream: (hop.iface, hop.addr),
+                        sent_subcode: subcode,
+                        cached: Vec::new(),
+                        started: now,
+                        attempt_started: now,
+                        next_retransmit: now + self.cfg.pend_join_interval,
+                        core_index: cores.iter().position(|c| *c == target_core).unwrap_or(0),
+                    },
+                );
+            }
+            _ => {
+                // Unreachable core, or routing points straight back:
+                // negative acknowledgement (§8.3).
+                let nack = ControlMessage::JoinNack { group, origin, target_core };
+                self.send_control(act, iface, src, nack);
+            }
+        }
+    }
+
+    /// §6.3: a NACTIVE rejoin walking parent-ward.
+    fn on_nactive_rejoin(
+        &mut self,
+        now: SimTime,
+        group: GroupId,
+        origin: Addr,
+        converter: Addr,
+        cores: &[Addr],
+        act: &mut Vec<RouterAction>,
+    ) {
+        if self.is_my_addr(origin) {
+            // Our own rejoin came back: the new parent path loops.
+            // "It immediately sends a QUIT_REQUEST to its newly-
+            // established parent and the loop is broken."
+            self.stats.loops_broken += 1;
+            let parent = self.fib.get(group).and_then(|e| e.parent);
+            if let Some(p) = parent {
+                let quit = ControlMessage::QuitRequest { group, origin: self.id_addr() };
+                self.send_control(act, p.iface, p.addr, quit);
+                if let Some(e) = self.fib.get_mut(group) {
+                    e.parent = None;
+                }
+            }
+            // A broken loop is a failed attempt of the ongoing §6.1
+            // RECONNECT campaign — make sure the campaign clock is
+            // running so repeated loop-break cycles cannot retry
+            // forever (the instating ack may have been taken for a
+            // success elsewhere).
+            self.reattach_started.entry(group).or_insert(now);
+            // The loop may be detected before our rejoin's ack retraces
+            // it (the NACTIVE walk and the ack race hop for hop): cancel
+            // the pending rejoin so a late ack cannot instate the
+            // looping parent.
+            self.pending.remove(group);
+            // "It then attempts to re-join again" — after a short
+            // backoff via the next core, giving routing time to settle.
+            let next_attempt = now + self.cfg.pend_join_interval;
+            self.deferred_reattach.entry(group).or_insert((next_attempt, 1));
+            return;
+        }
+        let i_primary = self.i_am_primary(cores)
+            || self.fib.get(group).is_some_and(|e| e.i_am_core && e.parent.is_none());
+        if i_primary {
+            // Terminate the walk: ack the converting router directly
+            // (§8.3.1 JOIN-ACK subcode REJOIN-NACTIVE).
+            let Some(hop) = self.routes.hop_toward(converter) else { return };
+            let ack = ControlMessage::JoinAck {
+                subcode: AckSubcode::RejoinNactive,
+                group,
+                origin,
+                target_core: converter,
+                cores: cores.to_vec(),
+            };
+            self.send_control(act, hop.iface, hop.addr, ack);
+            return;
+        }
+        // Keep walking parent-ward.
+        let parent = self.fib.get(group).and_then(|e| e.parent);
+        if let Some(p) = parent {
+            let fwd = ControlMessage::JoinRequest {
+                subcode: JoinSubcode::RejoinNactive,
+                group,
+                origin,
+                target_core: converter,
+                cores: cores.to_vec(),
+            };
+            self.stats.joins_forwarded += 1;
+            self.send_control(act, p.iface, p.addr, fwd);
+        }
+    }
+
+    /// Acknowledges a join received from downstream, applying the §2.6
+    /// proxy-ack rule. Adds the sender as a child unless proxied.
+    pub(crate) fn ack_downstream(
+        &mut self,
+        now: SimTime,
+        group: GroupId,
+        join: &CachedJoin,
+        act: &mut Vec<RouterAction>,
+    ) {
+        let affiliation =
+            self.fib.get(group).and_then(|e| e.primary_core()).unwrap_or(self.id_addr());
+        let cores =
+            self.fib.get(group).map(|e| e.cores.clone()).unwrap_or_default();
+
+        // §2.6 proxy test: the previous hop *is* the join's origin and
+        // sits on the subnet we are about to ack over — the origin is a
+        // D-DR whose first hop stayed on its own LAN.
+        let proxy = join.subcode == JoinSubcode::ActiveJoin
+            && join.from_addr == join.origin
+            && self
+                .iface(join.from_iface)
+                .is_some_and(|i| i.lan.is_some() && i.contains(join.origin));
+
+        if proxy {
+            let ack = ControlMessage::JoinAck {
+                subcode: AckSubcode::ProxyAck,
+                group,
+                origin: join.origin,
+                target_core: affiliation,
+                cores,
+            };
+            self.stats.proxy_acks_sent += 1;
+            self.send_control(act, join.from_iface, join.from_addr, ack);
+            // We are now the group's attachment on that LAN (§2.6).
+            self.gdr.insert((join.from_iface, group));
+            return;
+        }
+
+        // Normal ack: the previous hop becomes a child (§8.3: "it is
+        // the receipt of a JOIN-ACK that actually creates a branch" —
+        // state on our side is created when we *send* one).
+        let full = {
+            let entry = self.fib.entry(group);
+            !entry.add_child(join.from_addr, join.from_iface, now)
+        };
+        if full {
+            let nack = ControlMessage::JoinNack {
+                group,
+                origin: join.origin,
+                target_core: affiliation,
+            };
+            self.send_control(act, join.from_iface, join.from_addr, nack);
+            return;
+        }
+        let ack = ControlMessage::JoinAck {
+            subcode: AckSubcode::Normal,
+            group,
+            origin: join.origin,
+            target_core: affiliation,
+            cores,
+        };
+        self.send_control(act, join.from_iface, join.from_addr, ack);
+    }
+
+    /// Receipt of a JOIN_ACK (§2.5/§2.6/§8.3).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn on_join_ack(
+        &mut self,
+        now: SimTime,
+        iface: IfIndex,
+        src: Addr,
+        subcode: AckSubcode,
+        group: GroupId,
+        _origin: Addr,
+        _target_core: Addr,
+        cores: &[Addr],
+        act: &mut Vec<RouterAction>,
+    ) {
+        self.learn_cores(group, cores);
+        if subcode == AckSubcode::RejoinNactive {
+            // Direct confirmation from the primary that the NACTIVE
+            // walk we started terminated loop-free. Nothing to change.
+            return;
+        }
+        let Some(p) = self.pending.remove(group) else {
+            return; // stale/duplicate ack
+        };
+        // The ack must come from the hop we actually joined through.
+        if p.upstream.1 != src {
+            self.pending.insert(group, p);
+            return;
+        }
+
+        match (&p.reason, subcode) {
+            (JoinReason::LocalMembership { trigger_lans }, AckSubcode::ProxyAck) => {
+                // §2.6: cancel transient state, keep **no** FIB entry;
+                // the proxy sender is the G-DR.
+                for lan in trigger_lans.clone() {
+                    let origin_lan = self.iface(lan).is_some_and(|i| i.contains(p.origin));
+                    if origin_lan {
+                        self.proxy_handled.insert((lan, group), src);
+                    } else {
+                        // Additional member LANs that the G-DR cannot
+                        // serve (it is not attached to them): join again
+                        // with that LAN's address as origin.
+                        self.trigger_join(now, lan, group, 0, act);
+                    }
+                }
+            }
+            (JoinReason::LocalMembership { trigger_lans }, _) => {
+                let cores_final = if cores.is_empty() { p.cores.clone() } else { cores.to_vec() };
+                let entry = self.fib.entry(group);
+                entry.parent = Some(Parent {
+                    addr: src,
+                    iface,
+                    last_reply: now,
+                    next_echo: now + self.cfg.echo_interval,
+                });
+                entry.i_am_core = false;
+                entry.cores = cores_final;
+                for lan in trigger_lans.clone() {
+                    self.gdr.insert((lan, group));
+                    // §2.5 proposal: notify member hosts on the subnet
+                    // that the tree has been joined.
+                    act.push(RouterAction::SendIgmp {
+                        iface: lan,
+                        dst: group.addr(),
+                        msg: IgmpMessage::TreeJoined { group, core: p.target_core },
+                    });
+                }
+            }
+            (JoinReason::Forwarded { from_iface, from_addr, subcode: down_sub }, _) => {
+                let cores_final = if cores.is_empty() { p.cores.clone() } else { cores.to_vec() };
+                let entry = self.fib.entry(group);
+                entry.parent = Some(Parent {
+                    addr: src,
+                    iface,
+                    last_reply: now,
+                    next_echo: now + self.cfg.echo_interval,
+                });
+                entry.cores = cores_final;
+                self.ack_downstream(
+                    now,
+                    group,
+                    &CachedJoin {
+                        from_iface: *from_iface,
+                        from_addr: *from_addr,
+                        origin: p.origin,
+                        subcode: *down_sub,
+                    },
+                    act,
+                );
+            }
+            (JoinReason::Reattach, _) => {
+                let cores_final = if cores.is_empty() { p.cores.clone() } else { cores.to_vec() };
+                let entry = self.fib.entry(group);
+                entry.parent = Some(Parent {
+                    addr: src,
+                    iface,
+                    last_reply: now,
+                    next_echo: now + self.cfg.echo_interval,
+                });
+                entry.cores = cores_final;
+                // The RECONNECT campaign budget is NOT retired here: an
+                // ack whose path runs through our own subtree instates
+                // a parent that the §6.3 NACTIVE walk tears right back
+                // down, and treating that as success would reset the
+                // budget every oscillation. The budget is retired when
+                // the new parent proves real by answering an echo
+                // (`on_echo_reply`).
+            }
+        }
+
+        // §2.5: "only then can it acknowledge any cached joins."
+        for cached in p.cached {
+            if self.fib.on_tree(group) {
+                // §6.3: a cached ACTIVE_REJOIN gets the same loop-
+                // detection treatment as one received while on-tree:
+                // convert to a NACTIVE walk up our (new) parent path
+                // before acknowledging. Skipping this lets a rejoin
+                // that was cached while we were pending — and whose ack
+                // path runs THROUGH its own originator — instate a
+                // stable parent/child cycle that nothing ever breaks.
+                let i_am_core_here = self.fib.get(group).is_some_and(|e| e.i_am_core);
+                if cached.subcode == JoinSubcode::RejoinActive && !i_am_core_here {
+                    let fwd = ControlMessage::JoinRequest {
+                        subcode: JoinSubcode::RejoinNactive,
+                        group,
+                        origin: cached.origin,
+                        target_core: self.id_addr(),
+                        cores: self.fib.get(group).map(|e| e.cores.clone()).unwrap_or_default(),
+                    };
+                    if let Some(parent) = self.fib.get(group).and_then(|e| e.parent) {
+                        self.stats.joins_forwarded += 1;
+                        self.send_control(act, parent.iface, parent.addr, fwd);
+                    }
+                }
+                self.ack_downstream(now, group, &cached, act);
+            } else {
+                // Proxy-acked ourselves: we hold no entry, so re-process
+                // the cached join as a fresh arrival (it will be
+                // forwarded upstream independently).
+                let target = p.target_core;
+                let cores = p.cores.clone();
+                self.on_join_request(
+                    now,
+                    cached.from_iface,
+                    cached.from_addr,
+                    cached.subcode,
+                    group,
+                    cached.origin,
+                    target,
+                    &cores,
+                    act,
+                );
+            }
+        }
+    }
+
+    /// Receipt of a JOIN_NACK: the upstream attempt failed.
+    pub(crate) fn on_join_nack(
+        &mut self,
+        now: SimTime,
+        _iface: IfIndex,
+        src: Addr,
+        group: GroupId,
+        act: &mut Vec<RouterAction>,
+    ) {
+        let Some(p) = self.pending.remove(group) else { return };
+        if p.upstream.1 != src {
+            self.pending.insert(group, p);
+            return;
+        }
+        self.fail_pending(now, group, p, act);
+    }
+
+    /// A pending join failed (nack or timeout): try the next core or
+    /// propagate the failure downstream. `p` must already be removed
+    /// from the pending set.
+    pub(crate) fn fail_pending(
+        &mut self,
+        now: SimTime,
+        group: GroupId,
+        p: PendingJoin,
+        act: &mut Vec<RouterAction>,
+    ) {
+        let overall_deadline = p.started + self.cfg.expire_pending_join;
+        let more_cores = p.cores.len() > 1;
+        if now < overall_deadline && more_cores {
+            // §6.1: "an alternate core is arbitrarily elected from the
+            // core list. The process is repeated until a JOIN-ACK is
+            // received, for a maximum of RECONNECT-TIMEOUT seconds."
+            let next_index = (p.core_index + 1) % p.cores.len();
+            self.launch_join(
+                now,
+                group,
+                p.origin,
+                p.cores.clone(),
+                next_index,
+                p.sent_subcode,
+                p.reason.clone(),
+                act,
+            );
+            if let Some(npj) = self.pending.get_mut(group) {
+                // Carry over the original start time and any cached
+                // joins so the overall budget and downstream
+                // obligations survive the retry.
+                npj.started = p.started;
+                npj.cached = p.cached;
+            } else {
+                // Relaunch found no reachable core at all: give up.
+                self.give_up_pending(now, group, p, act);
+            }
+            return;
+        }
+        self.give_up_pending(now, group, p, act);
+    }
+
+    /// Abandons a pending join entirely.
+    fn give_up_pending(
+        &mut self,
+        now: SimTime,
+        group: GroupId,
+        p: PendingJoin,
+        act: &mut Vec<RouterAction>,
+    ) {
+        // Downstream waiters get nacks.
+        if let JoinReason::Forwarded { from_iface, from_addr, .. } = p.reason {
+            let nack = ControlMessage::JoinNack {
+                group,
+                origin: p.origin,
+                target_core: p.target_core,
+            };
+            self.send_control(act, from_iface, from_addr, nack);
+        }
+        for c in &p.cached {
+            let nack = ControlMessage::JoinNack {
+                group,
+                origin: c.origin,
+                target_core: p.target_core,
+            };
+            self.send_control(act, c.from_iface, c.from_addr, nack);
+        }
+        if matches!(p.reason, JoinReason::Reattach) {
+            // §6.1 re-attachment failed for RECONNECT-TIMEOUT: tear the
+            // subtree down; downstream routers will re-join on their own
+            // (they serve their own member subnets).
+            self.flush_all_children(now, group, act);
+            self.fib.remove(group);
+            for lan in self.lan_ifaces() {
+                self.gdr.remove(&(lan, group));
+            }
+        }
+    }
+
+    /// Retransmission / core-switch / expiry service for pending joins.
+    pub(crate) fn service_pending_joins(&mut self, now: SimTime, act: &mut Vec<RouterAction>) {
+        for group in self.pending.due(now) {
+            let p = self.pending.get(group).expect("due implies present").clone();
+            if now.since(p.started) >= self.cfg.expire_pending_join {
+                let p = self.pending.remove(group).expect("present");
+                self.give_up_pending(now, group, p, act);
+            } else if now.since(p.attempt_started) >= self.cfg.pend_join_timeout {
+                // §9 PEND-JOIN-TIMEOUT: "time to try joining a
+                // different core".
+                let p = self.pending.remove(group).expect("present");
+                self.fail_pending(now, group, p, act);
+            } else {
+                // §9 PEND-JOIN-INTERVAL: retransmit the same join.
+                let msg = ControlMessage::JoinRequest {
+                    subcode: p.sent_subcode,
+                    group,
+                    origin: p.origin,
+                    target_core: p.target_core,
+                    cores: p.cores.clone(),
+                };
+                let (up_iface, up_addr) = p.upstream;
+                self.send_control(act, up_iface, up_addr, msg);
+                let interval = self.cfg.pend_join_interval;
+                if let Some(pm) = self.pending.get_mut(group) {
+                    pm.next_retransmit = now + interval;
+                }
+            }
+        }
+    }
+
+    /// Fires re-attachments whose post-loop backoff has elapsed.
+    pub(crate) fn service_deferred_reattach(&mut self, now: SimTime, act: &mut Vec<RouterAction>) {
+        let due: Vec<(GroupId, usize)> = self
+            .deferred_reattach
+            .iter()
+            .filter(|(_, (t, _))| *t <= now)
+            .map(|(g, (_, idx))| (*g, *idx))
+            .collect();
+        for (group, idx) in due {
+            self.deferred_reattach.remove(&group);
+            self.start_reattach(now, group, idx, act);
+        }
+    }
+
+    /// §6.1: the parent (or the path to it) failed — re-attach, serving
+    /// the whole subtree below us. `start_index` picks where in the
+    /// core list to start trying.
+    pub(crate) fn start_reattach(
+        &mut self,
+        now: SimTime,
+        group: GroupId,
+        start_index: usize,
+        act: &mut Vec<RouterAction>,
+    ) {
+        if self.pending.contains(group) {
+            return;
+        }
+        let Some(entry) = self.fib.get_mut(group) else { return };
+        entry.parent = None;
+        let cores =
+            if entry.cores.is_empty() { self.cores_for(group) } else { Some(entry.cores.clone()) };
+        let Some(cores) = cores else { return };
+        if self.i_am_primary(&cores) {
+            self.reattach_started.remove(&group);
+            return; // the primary waits to be joined (§6.2)
+        }
+        // §6.1 RECONNECT-TIMEOUT: the whole campaign (including periods
+        // where no core is even reachable) is bounded; past the budget
+        // the subtree is flushed so downstream routers fend for
+        // themselves.
+        let started = *self.reattach_started.entry(group).or_insert(now);
+        if now.since(started) >= self.cfg.expire_pending_join {
+            self.reattach_started.remove(&group);
+            self.deferred_reattach.remove(&group);
+            if self.fib.get(group).is_some_and(|e| e.i_am_core) {
+                // A core with an intact subtree is a legitimate root
+                // (§6.1 fallback; §6.2: the primary waits to be
+                // joined). Give up the campaign toward the primary
+                // quietly and keep serving — flushing paying members
+                // because the core *backbone* link cannot form would
+                // punish the wrong party. The IFF-scan safety net
+                // retries the link later.
+                return;
+            }
+            self.flush_all_children(now, group, act);
+            self.drop_group_state(group);
+            return;
+        }
+        let has_children = !self.fib.get(group).expect("checked").children.is_empty();
+        // §6.1: ACTIVE_JOIN if no children attached, ACTIVE_REJOIN if at
+        // least one child is.
+        let subcode =
+            if has_children { JoinSubcode::RejoinActive } else { JoinSubcode::ActiveJoin };
+        let origin = self.id_addr();
+        let start = start_index.min(cores.len().saturating_sub(1));
+        self.launch_join(now, group, origin, cores, start, subcode, JoinReason::Reattach, act);
+        if !self.pending.contains(group) {
+            // No core currently reachable: retry after a backoff (the
+            // IGP may still be converging), inside the same budget.
+            let retry = now + self.cfg.pend_join_interval;
+            self.deferred_reattach.entry(group).or_insert((retry, start_index));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::testutil::*;
+    use crate::CbtConfig;
+    use cbt_routing::Hop;
+    use cbt_topology::RouterId;
+    use std::collections::BTreeMap;
+
+    fn g() -> GroupId {
+        GroupId::numbered(1)
+    }
+
+    fn core_a() -> Addr {
+        Addr::from_octets(10, 255, 0, 77)
+    }
+
+    fn core_b() -> Addr {
+        Addr::from_octets(10, 255, 0, 88)
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    /// Engine with a route to both cores via the "up" link (if1).
+    fn routed_engine() -> CbtRouter {
+        let mut e = engine(CbtConfig::default());
+        let mut map = BTreeMap::new();
+        map.insert(core_a(), up_hop());
+        map.insert(core_b(), up_hop());
+        set_routes(&mut e, map);
+        e
+    }
+
+    fn trigger(e: &mut CbtRouter, now: SimTime) -> Vec<RouterAction> {
+        let mut act = Vec::new();
+        e.learn_cores(g(), &[core_a(), core_b()]);
+        e.trigger_join(now, IfIndex(0), g(), 0, &mut act);
+        act
+    }
+
+    #[test]
+    fn trigger_sends_active_join_toward_core() {
+        let mut e = routed_engine();
+        let act = trigger(&mut e, t(0));
+        assert_eq!(act.len(), 1);
+        match &act[0] {
+            RouterAction::SendControl { iface, dst, msg } => {
+                assert_eq!(*iface, IfIndex(1));
+                assert_eq!(*dst, up_hop().addr);
+                match msg {
+                    ControlMessage::JoinRequest { subcode, group, origin, target_core, cores } => {
+                        assert_eq!(*subcode, JoinSubcode::ActiveJoin);
+                        assert_eq!(*group, g());
+                        assert_eq!(*origin, Addr::from_octets(10, 1, 0, 1), "LAN iface addr");
+                        assert_eq!(*target_core, core_a());
+                        assert_eq!(cores, &vec![core_a(), core_b()]);
+                    }
+                    other => panic!("expected join, got {other:?}"),
+                }
+            }
+            other => panic!("expected control send, got {other:?}"),
+        }
+        assert!(e.has_pending_join(g()));
+        assert!(!e.is_on_tree(g()), "no FIB entry until the ack (§8.3)");
+    }
+
+    #[test]
+    fn second_trigger_while_pending_is_coalesced() {
+        let mut e = routed_engine();
+        let first = trigger(&mut e, t(0));
+        assert_eq!(first.len(), 1);
+        let mut act = Vec::new();
+        e.trigger_join(t(1), IfIndex(0), g(), 0, &mut act);
+        assert!(act.is_empty(), "§2.6: join already pending ⇒ no action");
+    }
+
+    #[test]
+    fn ack_creates_fib_entry_and_notifies_hosts() {
+        let mut e = routed_engine();
+        trigger(&mut e, t(0));
+        let act = e.handle_control(
+            t(1),
+            IfIndex(1),
+            up_hop().addr,
+            ControlMessage::JoinAck {
+                subcode: AckSubcode::Normal,
+                group: g(),
+                origin: Addr::from_octets(10, 1, 0, 1),
+                target_core: core_a(),
+                cores: vec![core_a(), core_b()],
+            },
+        );
+        assert!(e.is_on_tree(g()));
+        assert_eq!(e.parent_of(g()), Some(up_hop().addr));
+        assert!(e.is_gdr(IfIndex(0), g()));
+        assert!(!e.has_pending_join(g()));
+        // The §2.5 tree-joined notification went onto the member LAN.
+        assert!(act.iter().any(|a| matches!(
+            a,
+            RouterAction::SendIgmp { iface: IfIndex(0), msg: IgmpMessage::TreeJoined { .. }, .. }
+        )));
+    }
+
+    #[test]
+    fn ack_from_wrong_hop_is_ignored() {
+        let mut e = routed_engine();
+        trigger(&mut e, t(0));
+        e.handle_control(
+            t(1),
+            IfIndex(2),
+            down_addr(),
+            ControlMessage::JoinAck {
+                subcode: AckSubcode::Normal,
+                group: g(),
+                origin: Addr::NULL,
+                target_core: core_a(),
+                cores: vec![],
+            },
+        );
+        assert!(!e.is_on_tree(g()));
+        assert!(e.has_pending_join(g()), "still waiting for the real ack");
+    }
+
+    #[test]
+    fn join_forwarding_creates_transient_state() {
+        let mut e = routed_engine();
+        let act = e.handle_control(
+            t(0),
+            IfIndex(2),
+            down_addr(),
+            ControlMessage::JoinRequest {
+                subcode: JoinSubcode::ActiveJoin,
+                group: g(),
+                origin: Addr::from_octets(10, 9, 0, 1),
+                target_core: core_a(),
+                cores: vec![core_a()],
+            },
+        );
+        // Forwarded upstream unchanged.
+        assert!(matches!(
+            &act[0],
+            RouterAction::SendControl {
+                iface: IfIndex(1),
+                msg: ControlMessage::JoinRequest {
+                    subcode: JoinSubcode::ActiveJoin,
+                    origin,
+                    ..
+                },
+                ..
+            } if *origin == Addr::from_octets(10, 9, 0, 1)
+        ));
+        assert!(e.has_pending_join(g()));
+        assert_eq!(e.stats().joins_forwarded, 1);
+
+        // Ack comes back: entry created, downstream acked as a child.
+        let act = e.handle_control(
+            t(1),
+            IfIndex(1),
+            up_hop().addr,
+            ControlMessage::JoinAck {
+                subcode: AckSubcode::Normal,
+                group: g(),
+                origin: Addr::from_octets(10, 9, 0, 1),
+                target_core: core_a(),
+                cores: vec![core_a()],
+            },
+        );
+        assert!(e.is_on_tree(g()));
+        assert_eq!(e.children_of(g()), vec![down_addr()]);
+        assert!(act.iter().any(|a| matches!(
+            a,
+            RouterAction::SendControl {
+                iface: IfIndex(2),
+                msg: ControlMessage::JoinAck { subcode: AckSubcode::Normal, .. },
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn concurrent_joins_are_cached_until_own_ack() {
+        let mut e = routed_engine();
+        trigger(&mut e, t(0)); // our own pending join
+        let act = e.handle_control(
+            t(1),
+            IfIndex(2),
+            down_addr(),
+            ControlMessage::JoinRequest {
+                subcode: JoinSubcode::ActiveJoin,
+                group: g(),
+                origin: Addr::from_octets(10, 9, 0, 1),
+                target_core: core_a(),
+                cores: vec![core_a(), core_b()],
+            },
+        );
+        assert!(act.is_empty(), "§2.5: cached, not acked, not forwarded");
+        assert_eq!(e.stats().joins_cached, 1);
+        // Our ack arrives: the cached join is acked too.
+        let act = e.handle_control(
+            t(2),
+            IfIndex(1),
+            up_hop().addr,
+            ControlMessage::JoinAck {
+                subcode: AckSubcode::Normal,
+                group: g(),
+                origin: Addr::from_octets(10, 1, 0, 1),
+                target_core: core_a(),
+                cores: vec![core_a(), core_b()],
+            },
+        );
+        assert!(act.iter().any(|a| matches!(
+            a,
+            RouterAction::SendControl {
+                iface: IfIndex(2),
+                msg: ControlMessage::JoinAck { subcode: AckSubcode::Normal, .. },
+                ..
+            }
+        )));
+        assert_eq!(e.children_of(g()), vec![down_addr()]);
+    }
+
+    #[test]
+    fn on_tree_router_terminates_joins() {
+        let mut e = routed_engine();
+        trigger(&mut e, t(0));
+        e.handle_control(
+            t(1),
+            IfIndex(1),
+            up_hop().addr,
+            ControlMessage::JoinAck {
+                subcode: AckSubcode::Normal,
+                group: g(),
+                origin: Addr::from_octets(10, 1, 0, 1),
+                target_core: core_a(),
+                cores: vec![core_a(), core_b()],
+            },
+        );
+        // Now on-tree. A join from downstream terminates here.
+        let act = e.handle_control(
+            t(2),
+            IfIndex(2),
+            down_addr(),
+            ControlMessage::JoinRequest {
+                subcode: JoinSubcode::ActiveJoin,
+                group: g(),
+                origin: Addr::from_octets(10, 9, 0, 1),
+                target_core: core_a(),
+                cores: vec![core_a(), core_b()],
+            },
+        );
+        assert_eq!(act.len(), 1, "ack only — join not propagated (§2.5)");
+        assert!(matches!(
+            &act[0],
+            RouterAction::SendControl {
+                msg: ControlMessage::JoinAck { subcode: AckSubcode::Normal, .. },
+                ..
+            }
+        ));
+        assert_eq!(e.children_of(g()), vec![down_addr()]);
+    }
+
+    #[test]
+    fn proxy_ack_when_origin_is_previous_hop_on_shared_lan() {
+        // A join arrives on our LAN iface directly from its origin (a
+        // D-DR on our subnet); we are on-tree. §2.6 says: proxy-ack, no
+        // child, we become G-DR.
+        let mut e = routed_engine();
+        trigger(&mut e, t(0));
+        e.handle_control(
+            t(1),
+            IfIndex(1),
+            up_hop().addr,
+            ControlMessage::JoinAck {
+                subcode: AckSubcode::Normal,
+                group: g(),
+                origin: Addr::from_octets(10, 1, 0, 1),
+                target_core: core_a(),
+                cores: vec![core_a()],
+            },
+        );
+        let ddr = Addr::from_octets(10, 1, 0, 2); // another router on our LAN
+        let act = e.handle_control(
+            t(2),
+            IfIndex(0),
+            ddr,
+            ControlMessage::JoinRequest {
+                subcode: JoinSubcode::ActiveJoin,
+                group: g(),
+                origin: ddr,
+                target_core: core_a(),
+                cores: vec![core_a()],
+            },
+        );
+        assert!(matches!(
+            &act[0],
+            RouterAction::SendControl {
+                iface: IfIndex(0),
+                dst,
+                msg: ControlMessage::JoinAck { subcode: AckSubcode::ProxyAck, .. },
+            } if *dst == ddr
+        ));
+        assert!(e.children_of(g()).is_empty(), "proxy-ack adds no child");
+        assert!(e.is_gdr(IfIndex(0), g()), "proxy sender becomes G-DR");
+        assert_eq!(e.stats().proxy_acks_sent, 1);
+    }
+
+    #[test]
+    fn receiving_proxy_ack_cancels_without_fib_entry() {
+        let mut e = engine(CbtConfig::default());
+        // Route to the core goes via a router on our own LAN (if0).
+        let lan_peer = Addr::from_octets(10, 1, 0, 2);
+        let mut map = BTreeMap::new();
+        map.insert(
+            core_a(),
+            Hop { iface: IfIndex(0), router: RouterId(1), addr: lan_peer, dist: 2 },
+        );
+        set_routes(&mut e, map);
+        e.learn_cores(g(), &[core_a()]);
+        let mut act = Vec::new();
+        e.trigger_join(t(0), IfIndex(0), g(), 0, &mut act);
+        assert!(e.has_pending_join(g()));
+        // The LAN peer proxy-acks us.
+        e.handle_control(
+            t(1),
+            IfIndex(0),
+            lan_peer,
+            ControlMessage::JoinAck {
+                subcode: AckSubcode::ProxyAck,
+                group: g(),
+                origin: Addr::from_octets(10, 1, 0, 1),
+                target_core: core_a(),
+                cores: vec![core_a()],
+            },
+        );
+        assert!(!e.is_on_tree(g()), "§2.6: D-DR keeps no FIB entry");
+        assert!(!e.has_pending_join(g()));
+        assert!(!e.is_gdr(IfIndex(0), g()));
+        // And membership reports for the group do not retrigger joins.
+        let mut act = Vec::new();
+        e.trigger_join(t(2), IfIndex(0), g(), 0, &mut act);
+        // (trigger_join is only called on NewGroup events; with the
+        // group proxy-handled, presence still exists, so no NewGroup
+        // fires. Direct call here shows it would join again — which is
+        // correct after a genuine expiry.)
+        assert_eq!(act.len(), 1);
+    }
+
+    #[test]
+    fn join_toward_unreachable_core_gets_nack() {
+        let mut e = engine(CbtConfig::default()); // no routes at all
+        let act = e.handle_control(
+            t(0),
+            IfIndex(2),
+            down_addr(),
+            ControlMessage::JoinRequest {
+                subcode: JoinSubcode::ActiveJoin,
+                group: g(),
+                origin: Addr::from_octets(10, 9, 0, 1),
+                target_core: core_a(),
+                cores: vec![core_a()],
+            },
+        );
+        assert!(matches!(
+            &act[0],
+            RouterAction::SendControl {
+                iface: IfIndex(2),
+                msg: ControlMessage::JoinNack { .. },
+                ..
+            }
+        ));
+        assert!(!e.has_pending_join(g()));
+    }
+
+    #[test]
+    fn nack_switches_to_alternate_core() {
+        let mut e = routed_engine();
+        trigger(&mut e, t(0));
+        let act = e.handle_control(
+            t(1),
+            IfIndex(1),
+            up_hop().addr,
+            ControlMessage::JoinNack {
+                group: g(),
+                origin: Addr::from_octets(10, 1, 0, 1),
+                target_core: core_a(),
+            },
+        );
+        // A fresh join toward core B went out.
+        assert!(act.iter().any(|a| matches!(
+            a,
+            RouterAction::SendControl {
+                msg: ControlMessage::JoinRequest { target_core, .. },
+                ..
+            } if *target_core == core_b()
+        )));
+        assert!(e.has_pending_join(g()));
+    }
+
+    #[test]
+    fn retransmission_then_core_switch_then_expiry() {
+        let mut e = routed_engine();
+        trigger(&mut e, t(0));
+        // t=10: PEND-JOIN-INTERVAL retransmission of the same join.
+        let act = e.on_timer(t(10));
+        assert!(act.iter().any(|a| matches!(
+            a,
+            RouterAction::SendControl {
+                msg: ControlMessage::JoinRequest { target_core, .. },
+                ..
+            } if *target_core == core_a()
+        )));
+        // t=30: PEND-JOIN-TIMEOUT switches to core B.
+        let act = e.on_timer(t(30));
+        assert!(act.iter().any(|a| matches!(
+            a,
+            RouterAction::SendControl {
+                msg: ControlMessage::JoinRequest { target_core, .. },
+                ..
+            } if *target_core == core_b()
+        )));
+        // t=90+: EXPIRE-PENDING-JOIN gives up entirely.
+        e.on_timer(t(60));
+        e.on_timer(t(91));
+        assert!(!e.has_pending_join(g()), "overall budget exhausted");
+    }
+
+    #[test]
+    fn core_discovers_itself_from_join_and_acks() {
+        // §6.2: a (re-started) core learns its role from the join's
+        // core list.
+        let mut e = routed_engine();
+        let my_id = e.id_addr();
+        let act = e.handle_control(
+            t(0),
+            IfIndex(2),
+            down_addr(),
+            ControlMessage::JoinRequest {
+                subcode: JoinSubcode::ActiveJoin,
+                group: g(),
+                origin: Addr::from_octets(10, 9, 0, 1),
+                target_core: my_id,
+                cores: vec![my_id, core_b()],
+            },
+        );
+        assert!(e.is_on_tree(g()));
+        assert!(e.fib().get(g()).unwrap().i_am_core);
+        assert!(e.fib().get(g()).unwrap().parent.is_none(), "primary core has no parent");
+        assert!(matches!(
+            &act[0],
+            RouterAction::SendControl {
+                msg: ControlMessage::JoinAck { subcode: AckSubcode::Normal, .. },
+                ..
+            }
+        ));
+        assert_eq!(e.children_of(g()), vec![down_addr()]);
+    }
+
+    #[test]
+    fn secondary_core_acks_then_rejoins_primary() {
+        // §2.5: a non-primary core receiving a join first acks it, then
+        // sends REJOIN-ACTIVE to the primary.
+        let mut e = routed_engine();
+        let my_id = e.id_addr();
+        let act = e.handle_control(
+            t(0),
+            IfIndex(2),
+            down_addr(),
+            ControlMessage::JoinRequest {
+                subcode: JoinSubcode::ActiveJoin,
+                group: g(),
+                origin: Addr::from_octets(10, 9, 0, 1),
+                target_core: my_id,
+                cores: vec![core_a(), my_id], // primary is core_a
+            },
+        );
+        let acks: Vec<_> = act
+            .iter()
+            .filter(|a| matches!(a, RouterAction::SendControl { msg: ControlMessage::JoinAck { .. }, .. }))
+            .collect();
+        assert_eq!(acks.len(), 1);
+        let rejoins: Vec<_> = act
+            .iter()
+            .filter(|a| matches!(
+                a,
+                RouterAction::SendControl {
+                    msg: ControlMessage::JoinRequest {
+                        subcode: JoinSubcode::RejoinActive,
+                        target_core,
+                        ..
+                    },
+                    ..
+                } if *target_core == core_a()
+            ))
+            .collect();
+        assert_eq!(rejoins.len(), 1, "core tree built on demand (§1)");
+        assert!(e.has_pending_join(g()));
+    }
+
+    #[test]
+    fn nactive_rejoin_walks_parentward() {
+        let mut e = routed_engine();
+        trigger(&mut e, t(0));
+        e.handle_control(
+            t(1),
+            IfIndex(1),
+            up_hop().addr,
+            ControlMessage::JoinAck {
+                subcode: AckSubcode::Normal,
+                group: g(),
+                origin: Addr::from_octets(10, 1, 0, 1),
+                target_core: core_a(),
+                cores: vec![core_a()],
+            },
+        );
+        let converter = Addr::from_octets(10, 255, 0, 50);
+        let act = e.handle_control(
+            t(2),
+            IfIndex(2),
+            down_addr(),
+            ControlMessage::JoinRequest {
+                subcode: JoinSubcode::RejoinNactive,
+                group: g(),
+                origin: Addr::from_octets(10, 255, 0, 60), // someone else's rejoin
+                target_core: converter,
+                cores: vec![core_a()],
+            },
+        );
+        // Forwarded out our parent interface, fields unchanged.
+        assert!(matches!(
+            &act[0],
+            RouterAction::SendControl {
+                iface: IfIndex(1),
+                msg: ControlMessage::JoinRequest {
+                    subcode: JoinSubcode::RejoinNactive,
+                    origin,
+                    target_core,
+                    ..
+                },
+                ..
+            } if *origin == Addr::from_octets(10, 255, 0, 60) && *target_core == converter
+        ));
+    }
+
+    #[test]
+    fn own_nactive_rejoin_breaks_loop_with_quit() {
+        let mut e = routed_engine();
+        trigger(&mut e, t(0));
+        e.handle_control(
+            t(1),
+            IfIndex(1),
+            up_hop().addr,
+            ControlMessage::JoinAck {
+                subcode: AckSubcode::Normal,
+                group: g(),
+                origin: Addr::from_octets(10, 1, 0, 1),
+                target_core: core_a(),
+                cores: vec![core_a(), core_b()],
+            },
+        );
+        let my_id = e.id_addr();
+        let act = e.handle_control(
+            t(2),
+            IfIndex(2),
+            down_addr(),
+            ControlMessage::JoinRequest {
+                subcode: JoinSubcode::RejoinNactive,
+                group: g(),
+                origin: my_id, // our own rejoin came back!
+                target_core: Addr::from_octets(10, 255, 0, 50),
+                cores: vec![core_a(), core_b()],
+            },
+        );
+        assert!(act.iter().any(|a| matches!(
+            a,
+            RouterAction::SendControl {
+                iface: IfIndex(1),
+                msg: ControlMessage::QuitRequest { .. },
+                ..
+            }
+        )), "§6.3: quit to the newly-established parent");
+        assert_eq!(e.stats().loops_broken, 1);
+        assert_eq!(e.parent_of(g()), None);
+    }
+
+    #[test]
+    fn primary_core_acks_nactive_rejoin_directly_to_converter() {
+        let mut e = routed_engine();
+        let my_id = e.id_addr();
+        // Become primary core by receiving a join listing us first.
+        e.handle_control(
+            t(0),
+            IfIndex(2),
+            down_addr(),
+            ControlMessage::JoinRequest {
+                subcode: JoinSubcode::ActiveJoin,
+                group: g(),
+                origin: Addr::from_octets(10, 9, 0, 1),
+                target_core: my_id,
+                cores: vec![my_id],
+            },
+        );
+        // Route to the converter for the direct ack.
+        let converter = Addr::from_octets(10, 255, 0, 50);
+        let mut map = BTreeMap::new();
+        map.insert(converter, up_hop());
+        set_routes(&mut e, map);
+        let act = e.handle_control(
+            t(1),
+            IfIndex(2),
+            down_addr(),
+            ControlMessage::JoinRequest {
+                subcode: JoinSubcode::RejoinNactive,
+                group: g(),
+                origin: Addr::from_octets(10, 255, 0, 60),
+                target_core: converter,
+                cores: vec![my_id],
+            },
+        );
+        assert!(matches!(
+            &act[0],
+            RouterAction::SendControl {
+                iface: IfIndex(1),
+                dst,
+                msg: ControlMessage::JoinAck { subcode: AckSubcode::RejoinNactive, .. },
+            } if *dst == up_hop().addr
+        ), "unicast directly toward the converting router (§8.3.1)");
+    }
+
+    #[test]
+    fn reattach_uses_rejoin_active_iff_children_exist() {
+        let mut e = routed_engine();
+        // On-tree with a child.
+        trigger(&mut e, t(0));
+        e.handle_control(
+            t(1),
+            IfIndex(1),
+            up_hop().addr,
+            ControlMessage::JoinAck {
+                subcode: AckSubcode::Normal,
+                group: g(),
+                origin: Addr::from_octets(10, 1, 0, 1),
+                target_core: core_a(),
+                cores: vec![core_a(), core_b()],
+            },
+        );
+        e.handle_control(
+            t(2),
+            IfIndex(2),
+            down_addr(),
+            ControlMessage::JoinRequest {
+                subcode: JoinSubcode::ActiveJoin,
+                group: g(),
+                origin: Addr::from_octets(10, 9, 0, 1),
+                target_core: core_a(),
+                cores: vec![core_a(), core_b()],
+            },
+        );
+        assert_eq!(e.children_of(g()).len(), 1);
+        let mut act = Vec::new();
+        e.start_reattach(t(3), g(), 0, &mut act);
+        assert!(act.iter().any(|a| matches!(
+            a,
+            RouterAction::SendControl {
+                msg: ControlMessage::JoinRequest { subcode: JoinSubcode::RejoinActive, .. },
+                ..
+            }
+        )), "§6.1: subcode ACTIVE_REJOIN when a child is attached");
+    }
+
+    #[test]
+    fn child_limit_produces_nack() {
+        let mut e = routed_engine();
+        let my_id = e.id_addr();
+        // Become primary core.
+        e.handle_control(
+            t(0),
+            IfIndex(2),
+            down_addr(),
+            ControlMessage::JoinRequest {
+                subcode: JoinSubcode::ActiveJoin,
+                group: g(),
+                origin: Addr::from_octets(10, 9, 0, 1),
+                target_core: my_id,
+                cores: vec![my_id],
+            },
+        );
+        // Fill to 16 children.
+        for i in 1..crate::fib::MAX_CHILDREN {
+            let child = Addr::from_octets(172, 31, 10, i as u8);
+            e.handle_control(
+                t(1),
+                IfIndex(2),
+                child,
+                ControlMessage::JoinRequest {
+                    subcode: JoinSubcode::ActiveJoin,
+                    group: g(),
+                    origin: Addr::from_octets(10, 9, 0, i as u8),
+                    target_core: my_id,
+                    cores: vec![my_id],
+                },
+            );
+        }
+        assert_eq!(e.children_of(g()).len(), crate::fib::MAX_CHILDREN);
+        let act = e.handle_control(
+            t(2),
+            IfIndex(2),
+            Addr::from_octets(172, 31, 11, 1),
+            ControlMessage::JoinRequest {
+                subcode: JoinSubcode::ActiveJoin,
+                group: g(),
+                origin: Addr::from_octets(10, 9, 1, 1),
+                target_core: my_id,
+                cores: vec![my_id],
+            },
+        );
+        assert!(matches!(
+            &act[0],
+            RouterAction::SendControl { msg: ControlMessage::JoinNack { .. }, .. }
+        ));
+    }
+
+    /// Deviation 7 regression: an ACTIVE_REJOIN cached while we were
+    /// pending (§2.5) must get the §6.3 NACTIVE conversion when it is
+    /// finally served, exactly as if it had arrived while we were
+    /// on-tree — otherwise an ack path running through the rejoin's own
+    /// originator instates an undetectable parent/child cycle.
+    #[test]
+    fn cached_rejoin_active_is_nactive_converted_at_service_time() {
+        let mut e = routed_engine();
+        trigger(&mut e, t(0)); // our own pending join
+        let rejoin_origin = Addr::from_octets(10, 255, 0, 60);
+        let act = e.handle_control(
+            t(1),
+            IfIndex(2),
+            down_addr(),
+            ControlMessage::JoinRequest {
+                subcode: JoinSubcode::RejoinActive,
+                group: g(),
+                origin: rejoin_origin,
+                target_core: core_a(),
+                cores: vec![core_a(), core_b()],
+            },
+        );
+        assert!(act.is_empty(), "§2.5: cached while pending");
+        assert_eq!(e.stats().joins_cached, 1);
+        // Our ack arrives; serving the cached rejoin must launch the
+        // loop-detection walk up our new parent path AND ack downstream.
+        let act = e.handle_control(
+            t(2),
+            IfIndex(1),
+            up_hop().addr,
+            ControlMessage::JoinAck {
+                subcode: AckSubcode::Normal,
+                group: g(),
+                origin: Addr::from_octets(10, 1, 0, 1),
+                target_core: core_a(),
+                cores: vec![core_a(), core_b()],
+            },
+        );
+        let my_id = e.id_addr();
+        assert!(
+            act.iter().any(|a| matches!(
+                a,
+                RouterAction::SendControl {
+                    iface: IfIndex(1),
+                    dst,
+                    msg: ControlMessage::JoinRequest {
+                        subcode: JoinSubcode::RejoinNactive,
+                        origin,
+                        target_core,
+                        ..
+                    },
+                } if *dst == up_hop().addr && *origin == rejoin_origin && *target_core == my_id
+            )),
+            "§6.3 walk parent-ward, origin preserved, converter in the core field: {act:?}"
+        );
+        assert!(
+            act.iter().any(|a| matches!(
+                a,
+                RouterAction::SendControl {
+                    iface: IfIndex(2),
+                    msg: ControlMessage::JoinAck { subcode: AckSubcode::Normal, .. },
+                    ..
+                }
+            )),
+            "the cached rejoin is still acknowledged downstream"
+        );
+    }
+
+    /// Deviation 7 regression: a core whose RECONNECT campaign toward
+    /// the primary expires gives up *quietly* — it keeps its subtree
+    /// and stays a serving root — instead of flushing its members.
+    #[test]
+    fn core_past_reconnect_budget_keeps_serving_as_root() {
+        let mut e = routed_engine();
+        let my_id = e.id_addr();
+        // Become a non-primary core (primary listed first) with a child.
+        e.handle_control(
+            t(0),
+            IfIndex(2),
+            down_addr(),
+            ControlMessage::JoinRequest {
+                subcode: JoinSubcode::ActiveJoin,
+                group: g(),
+                origin: Addr::from_octets(10, 9, 0, 1),
+                target_core: my_id,
+                cores: vec![core_a(), my_id],
+            },
+        );
+        assert_eq!(e.children_of(g()).len(), 1);
+        // A campaign has been failing since t=0...
+        e.pending.remove(g()); // become_core's rejoin attempt, cleared
+        e.reattach_started.insert(g(), t(0));
+        // ...and the next retry lands past the budget.
+        let past = t(0) + e.cfg.expire_pending_join;
+        let mut act = Vec::new();
+        e.start_reattach(past, g(), 0, &mut act);
+        assert!(
+            !act.iter().any(|a| matches!(
+                a,
+                RouterAction::SendControl { msg: ControlMessage::FlushTree { .. }, .. }
+            )),
+            "no flush: the members are not punished for a dead backbone link"
+        );
+        assert!(e.is_on_tree(g()), "still a serving root");
+        assert_eq!(e.children_of(g()).len(), 1, "subtree intact");
+        assert!(!e.reattach_started.contains_key(&g()), "campaign retired");
+    }
+
+    /// Contrast case: a NON-core router past the same budget flushes
+    /// downstream and drops its state (§6.1's RECONNECT-TIMEOUT).
+    #[test]
+    fn non_core_past_reconnect_budget_flushes_downstream() {
+        let mut e = routed_engine();
+        trigger(&mut e, t(0));
+        e.handle_control(
+            t(1),
+            IfIndex(1),
+            up_hop().addr,
+            ControlMessage::JoinAck {
+                subcode: AckSubcode::Normal,
+                group: g(),
+                origin: Addr::from_octets(10, 1, 0, 1),
+                target_core: core_a(),
+                cores: vec![core_a()],
+            },
+        );
+        e.handle_control(
+            t(2),
+            IfIndex(2),
+            down_addr(),
+            ControlMessage::JoinRequest {
+                subcode: JoinSubcode::ActiveJoin,
+                group: g(),
+                origin: Addr::from_octets(10, 9, 0, 1),
+                target_core: core_a(),
+                cores: vec![core_a()],
+            },
+        );
+        assert_eq!(e.children_of(g()).len(), 1);
+        e.reattach_started.insert(g(), t(2));
+        let past = t(2) + e.cfg.expire_pending_join;
+        let mut act = Vec::new();
+        e.start_reattach(past, g(), 0, &mut act);
+        assert!(
+            act.iter().any(|a| matches!(
+                a,
+                RouterAction::SendControl { msg: ControlMessage::FlushTree { .. }, .. }
+            )),
+            "§6.1: downstream flushed to fend for itself: {act:?}"
+        );
+        assert!(!e.is_on_tree(g()), "state dropped");
+    }
+}

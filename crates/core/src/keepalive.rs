@@ -1,0 +1,510 @@
+//! Keepalives and failure handling (§6.1, §8.4, §9): CBT-ECHO
+//! request/reply between child and parent, optional aggregation, echo
+//! timeout → re-attachment, child-assert sweeps.
+
+use crate::engine::CbtRouter;
+use crate::events::RouterAction;
+use cbt_netsim::SimTime;
+use cbt_topology::IfIndex;
+use cbt_wire::{Addr, ControlMessage, GroupId};
+use std::collections::BTreeMap;
+
+impl CbtRouter {
+    /// Earliest echo-related deadline (for `next_wakeup`).
+    pub(crate) fn next_echo_deadline(&self) -> Option<SimTime> {
+        self.fib
+            .iter()
+            .filter_map(|(_, e)| e.parent)
+            .map(|p| p.next_echo.min(p.last_reply + self.cfg.echo_timeout))
+            .min()
+    }
+
+    /// Sends due echo requests and detects parent failures.
+    pub(crate) fn service_keepalives(&mut self, now: SimTime, act: &mut Vec<RouterAction>) {
+        // Pass 1: which groups need an echo, which parents have timed out.
+        let mut echo_due: Vec<(GroupId, IfIndex, Addr)> = Vec::new();
+        let mut failed: Vec<GroupId> = Vec::new();
+        for (g, e) in self.fib.iter() {
+            let Some(p) = e.parent else { continue };
+            if now.since(p.last_reply) >= self.cfg.echo_timeout {
+                failed.push(g);
+            } else if now >= p.next_echo {
+                echo_due.push((g, p.iface, p.addr));
+            }
+        }
+
+        if self.cfg.aggregate_echoes {
+            // §8.4: one echo per parent covering a masked group range.
+            let mut by_parent: BTreeMap<(IfIndex, Addr), Vec<GroupId>> = BTreeMap::new();
+            for (g, iface, addr) in &echo_due {
+                by_parent.entry((*iface, *addr)).or_default().push(*g);
+            }
+            for ((iface, addr), groups) in by_parent {
+                let (low, mask) = mask_covering(&groups);
+                let msg = ControlMessage::EchoRequest {
+                    group: low,
+                    origin: self.id_addr(),
+                    group_mask: Some(mask),
+                };
+                self.send_control(act, iface, addr, msg);
+                // Every group this parent covers advances its echo clock
+                // (not just the due ones — the aggregate refreshed all).
+                for (_, e) in self.fib.iter_mut() {
+                    if let Some(p) = &mut e.parent {
+                        if p.addr == addr {
+                            p.next_echo = now + self.cfg.echo_interval;
+                        }
+                    }
+                }
+            }
+        } else {
+            for (g, iface, addr) in echo_due {
+                let msg = ControlMessage::EchoRequest {
+                    group: g,
+                    origin: self.id_addr(),
+                    group_mask: None,
+                };
+                self.send_control(act, iface, addr, msg);
+                let interval = self.cfg.echo_interval;
+                if let Some(p) = self.fib.get_mut(g).and_then(|e| e.parent.as_mut()) {
+                    p.next_echo = now + interval;
+                }
+            }
+        }
+
+        for g in failed {
+            // §6.1: "the child realises that its parent has become
+            // unreachable and must therefore try and re-connect."
+            self.stats.parent_failures += 1;
+            self.start_reattach(now, g, 0, act);
+        }
+    }
+
+    /// Receipt of CBT-ECHO-REQUEST: refresh child liveness and reply
+    /// (§8.4). Replies mirror the request's aggregation.
+    pub(crate) fn on_echo_request(
+        &mut self,
+        now: SimTime,
+        iface: IfIndex,
+        src: Addr,
+        group: GroupId,
+        group_mask: Option<Addr>,
+        act: &mut Vec<RouterAction>,
+    ) {
+        let mut refreshed_any = false;
+        let matching: Vec<GroupId> = self
+            .fib
+            .iter()
+            .filter(|(g, e)| group_matches(*g, group, group_mask) && e.has_child(src))
+            .map(|(g, _)| g)
+            .collect();
+        for g in matching {
+            if let Some(e) = self.fib.get_mut(g) {
+                if let Some(c) = e.children.iter_mut().find(|c| c.addr == src) {
+                    c.last_heard = now;
+                    refreshed_any = true;
+                }
+            }
+        }
+        if refreshed_any {
+            let reply =
+                ControlMessage::EchoReply { group, origin: self.id_addr(), group_mask };
+            self.send_control(act, iface, src, reply);
+        }
+        // An echo from a router we do not consider a child gets no
+        // reply: its echo timeout will make it re-join, which is the
+        // §6.2 recovery for a parent that lost state.
+    }
+
+    /// Receipt of CBT-ECHO-REPLY: refresh parent liveness.
+    pub(crate) fn on_echo_reply(
+        &mut self,
+        now: SimTime,
+        _iface: IfIndex,
+        src: Addr,
+        group: GroupId,
+        group_mask: Option<Addr>,
+    ) {
+        let mut settled: Vec<GroupId> = Vec::new();
+        for (g, e) in self.fib.iter_mut() {
+            if !group_matches(g, group, group_mask) {
+                continue;
+            }
+            if let Some(p) = &mut e.parent {
+                if p.addr == src {
+                    p.last_reply = now;
+                    settled.push(g);
+                }
+            }
+        }
+        // A parent that answers echoes is real — not the transient
+        // instatement of a §6.3 loop-in-progress — so the §6.1
+        // RECONNECT-TIMEOUT campaign for these groups has genuinely
+        // succeeded and its budget can be retired.
+        for g in settled {
+            self.reattach_started.remove(&g);
+        }
+    }
+
+    /// §9 CHILD-ASSERT: drop children that have stopped sending echoes.
+    pub(crate) fn sweep_children(&mut self, now: SimTime, act: &mut Vec<RouterAction>) {
+        let expire = self.cfg.child_assert_expire;
+        let mut affected: Vec<GroupId> = Vec::new();
+        for (g, e) in self.fib.iter_mut() {
+            let before = e.children.len();
+            e.children.retain(|c| now.since(c.last_heard) < expire);
+            if e.children.len() != before {
+                affected.push(g);
+            }
+        }
+        for g in affected {
+            // Losing the last child may make us quittable (§2.7).
+            self.maybe_quit(now, g, act);
+        }
+    }
+}
+
+/// Does `g` fall inside the echo's group/mask cover (Fig. 9 semantics)?
+fn group_matches(g: GroupId, low: GroupId, mask: Option<Addr>) -> bool {
+    match mask {
+        None => g == low,
+        Some(m) => g.addr().masked(m) == low.addr().masked(m),
+    }
+}
+
+/// Smallest common-prefix mask covering all `groups`, with the low end
+/// of the range. Used to build aggregated echoes (§8.4).
+fn mask_covering(groups: &[GroupId]) -> (GroupId, Addr) {
+    debug_assert!(!groups.is_empty());
+    let first = groups[0].addr().0;
+    let mut same = !0u32; // bits where all group addresses agree
+    for g in groups {
+        same &= !(first ^ g.addr().0);
+    }
+    // Take the longest prefix of agreeing bits.
+    let mut mask = 0u32;
+    for bit in (0..32).rev() {
+        if same & (1 << bit) != 0 {
+            mask |= 1 << bit;
+        } else {
+            break;
+        }
+    }
+    let low = Addr(first & mask);
+    // The low end must itself be a valid class-D address for the wire
+    // format; groups all share the 1110 prefix so this always holds.
+    (GroupId::new(low).unwrap_or(groups[0]), Addr(mask))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::testutil::*;
+    use crate::CbtConfig;
+    use cbt_wire::{AckSubcode, JoinSubcode};
+    use std::collections::BTreeMap;
+
+    fn g(n: u16) -> GroupId {
+        GroupId::numbered(n)
+    }
+
+    fn core_a() -> Addr {
+        Addr::from_octets(10, 255, 0, 77)
+    }
+
+    fn core_b() -> Addr {
+        Addr::from_octets(10, 255, 0, 88)
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn join_group(e: &mut CbtRouter, n: u16, at: SimTime) {
+        e.learn_cores(g(n), &[core_a(), core_b()]);
+        let mut act = Vec::new();
+        e.trigger_join(at, IfIndex(0), g(n), 0, &mut act);
+        e.handle_control(
+            at,
+            IfIndex(1),
+            up_hop().addr,
+            ControlMessage::JoinAck {
+                subcode: AckSubcode::Normal,
+                group: g(n),
+                origin: Addr::from_octets(10, 1, 0, 1),
+                target_core: core_a(),
+                cores: vec![core_a(), core_b()],
+            },
+        );
+        assert!(e.is_on_tree(g(n)));
+    }
+
+    fn routed_engine(cfg: CbtConfig) -> CbtRouter {
+        let mut e = engine(cfg);
+        let mut map = BTreeMap::new();
+        map.insert(core_a(), up_hop());
+        map.insert(core_b(), up_hop());
+        set_routes(&mut e, map);
+        e
+    }
+
+    #[test]
+    fn echo_requests_flow_on_the_interval() {
+        let mut e = routed_engine(CbtConfig::default());
+        join_group(&mut e, 1, t(0));
+        // Due at t=30 (CBT-ECHO-INTERVAL).
+        assert!(e.on_timer(t(29)).iter().all(|a| !matches!(
+            a,
+            RouterAction::SendControl { msg: ControlMessage::EchoRequest { .. }, .. }
+        )));
+        let act = e.on_timer(t(30));
+        assert!(act.iter().any(|a| matches!(
+            a,
+            RouterAction::SendControl {
+                iface: IfIndex(1),
+                msg: ControlMessage::EchoRequest { group_mask: None, .. },
+                ..
+            }
+        )));
+        assert_eq!(e.stats().echo_requests_sent, 1);
+    }
+
+    #[test]
+    fn parent_replies_to_child_echo() {
+        let mut e = routed_engine(CbtConfig::default());
+        join_group(&mut e, 1, t(0));
+        // Adopt a child.
+        e.handle_control(
+            t(1),
+            IfIndex(2),
+            down_addr(),
+            ControlMessage::JoinRequest {
+                subcode: JoinSubcode::ActiveJoin,
+                group: g(1),
+                origin: Addr::from_octets(10, 9, 0, 1),
+                target_core: core_a(),
+                cores: vec![core_a()],
+            },
+        );
+        let act = e.handle_control(
+            t(5),
+            IfIndex(2),
+            down_addr(),
+            ControlMessage::EchoRequest { group: g(1), origin: down_addr(), group_mask: None },
+        );
+        assert!(matches!(
+            &act[0],
+            RouterAction::SendControl {
+                iface: IfIndex(2),
+                msg: ControlMessage::EchoReply { .. },
+                ..
+            }
+        ));
+        assert_eq!(e.stats().echo_replies_sent, 1);
+    }
+
+    #[test]
+    fn echo_from_stranger_gets_no_reply() {
+        let mut e = routed_engine(CbtConfig::default());
+        join_group(&mut e, 1, t(0));
+        let act = e.handle_control(
+            t(5),
+            IfIndex(2),
+            down_addr(), // not a child — we never acked it
+            ControlMessage::EchoRequest { group: g(1), origin: down_addr(), group_mask: None },
+        );
+        assert!(act.is_empty(), "silence makes the stranger re-join (§6.2)");
+    }
+
+    #[test]
+    fn echo_timeout_triggers_reattach_to_alternate_core() {
+        let mut e = routed_engine(CbtConfig::default());
+        join_group(&mut e, 1, t(0));
+        // Echoes go unanswered; at +90 s the parent is declared dead.
+        e.on_timer(t(30));
+        e.on_timer(t(60));
+        let act = e.on_timer(t(90));
+        assert_eq!(e.stats().parent_failures, 1);
+        assert!(act.iter().any(|a| matches!(
+            a,
+            RouterAction::SendControl {
+                msg: ControlMessage::JoinRequest { subcode: JoinSubcode::ActiveJoin, .. },
+                ..
+            }
+        )), "no children ⇒ plain ACTIVE_JOIN (§6.1)");
+        assert!(e.has_pending_join(g(1)));
+        assert_eq!(e.parent_of(g(1)), None);
+    }
+
+    #[test]
+    fn replies_keep_parent_alive() {
+        let mut e = routed_engine(CbtConfig::default());
+        join_group(&mut e, 1, t(0));
+        for s in [30u64, 60, 90, 120] {
+            e.on_timer(t(s));
+            e.handle_control(
+                t(s),
+                IfIndex(1),
+                up_hop().addr,
+                ControlMessage::EchoReply {
+                    group: g(1),
+                    origin: up_hop().addr,
+                    group_mask: None,
+                },
+            );
+        }
+        assert_eq!(e.stats().parent_failures, 0);
+        assert_eq!(e.parent_of(g(1)), Some(up_hop().addr));
+    }
+
+    #[test]
+    fn child_sweep_expires_silent_children() {
+        let mut e = routed_engine(CbtConfig::default());
+        join_group(&mut e, 1, t(0));
+        e.handle_control(
+            t(1),
+            IfIndex(2),
+            down_addr(),
+            ControlMessage::JoinRequest {
+                subcode: JoinSubcode::ActiveJoin,
+                group: g(1),
+                origin: Addr::from_octets(10, 9, 0, 1),
+                target_core: core_a(),
+                cores: vec![core_a()],
+            },
+        );
+        assert_eq!(e.children_of(g(1)).len(), 1);
+        // Child stays silent: CHILD-ASSERT-EXPIRE-TIME is 180 s; sweeps
+        // run every 90 s.
+        e.on_timer(t(90));
+        assert_eq!(e.children_of(g(1)).len(), 1, "only 89 s silent");
+        e.on_timer(t(185));
+        assert!(e.children_of(g(1)).is_empty(), "expired at the next sweep");
+    }
+
+    #[test]
+    fn child_echo_refreshes_against_sweep() {
+        let mut e = routed_engine(CbtConfig::default());
+        join_group(&mut e, 1, t(0));
+        e.handle_control(
+            t(1),
+            IfIndex(2),
+            down_addr(),
+            ControlMessage::JoinRequest {
+                subcode: JoinSubcode::ActiveJoin,
+                group: g(1),
+                origin: Addr::from_octets(10, 9, 0, 1),
+                target_core: core_a(),
+                cores: vec![core_a()],
+            },
+        );
+        for s in [60u64, 120, 180, 240] {
+            e.handle_control(
+                t(s),
+                IfIndex(2),
+                down_addr(),
+                ControlMessage::EchoRequest { group: g(1), origin: down_addr(), group_mask: None },
+            );
+            // Keep our own parent alive too, so the child-assert sweep
+            // is the only mechanism under test.
+            e.handle_control(
+                t(s),
+                IfIndex(1),
+                up_hop().addr,
+                ControlMessage::EchoReply { group: g(1), origin: up_hop().addr, group_mask: None },
+            );
+            e.on_timer(t(s + 1));
+        }
+        assert_eq!(e.children_of(g(1)).len(), 1, "regular echoes keep the child");
+    }
+
+    #[test]
+    fn aggregated_echo_covers_multiple_groups() {
+        let cfg = CbtConfig { aggregate_echoes: true, ..Default::default() };
+        let mut e = routed_engine(cfg);
+        join_group(&mut e, 0, t(0));
+        join_group(&mut e, 1, t(0));
+        join_group(&mut e, 2, t(0));
+        let act = e.on_timer(t(30));
+        let echoes: Vec<_> = act
+            .iter()
+            .filter_map(|a| match a {
+                RouterAction::SendControl {
+                    msg: ControlMessage::EchoRequest { group, group_mask, .. },
+                    ..
+                } => Some((*group, *group_mask)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(echoes.len(), 1, "one aggregate instead of three (§8.4)");
+        let (low, mask) = echoes[0];
+        let mask = mask.expect("aggregated");
+        for n in [0u16, 1, 2] {
+            assert!(group_matches(g(n), low, Some(mask)), "group {n} covered");
+        }
+    }
+
+    #[test]
+    fn aggregated_reply_refreshes_all_covered_parents() {
+        let cfg = CbtConfig { aggregate_echoes: true, ..Default::default() };
+        let mut e = routed_engine(cfg);
+        join_group(&mut e, 1, t(0));
+        join_group(&mut e, 2, t(0));
+        e.on_timer(t(30));
+        // One aggregated reply.
+        let (low, mask) = mask_covering(&[g(1), g(2)]);
+        e.handle_control(
+            t(31),
+            IfIndex(1),
+            up_hop().addr,
+            ControlMessage::EchoReply {
+                group: low,
+                origin: up_hop().addr,
+                group_mask: Some(mask),
+            },
+        );
+        // Neither parent may time out at t=90 (last_reply was t=31).
+        e.on_timer(t(60));
+        e.on_timer(t(90));
+        assert_eq!(e.stats().parent_failures, 0);
+    }
+
+    #[test]
+    fn mask_covering_properties() {
+        let (low, mask) = mask_covering(&[g(0)]);
+        assert_eq!(low, g(0));
+        assert_eq!(mask, Addr(!0), "single group ⇒ host mask");
+        let groups = [g(0), g(1), g(2), g(3)];
+        let (low, mask) = mask_covering(&groups);
+        for grp in groups {
+            assert!(group_matches(grp, low, Some(mask)));
+        }
+        assert!(low.addr().is_multicast());
+    }
+
+    /// Deviation 7: the §6.1 RECONNECT campaign budget is retired by a
+    /// parent that proves real (answers an echo) — not by the ack that
+    /// instated it, which may be a §6.3 loop about to be torn down.
+    #[test]
+    fn parent_echo_reply_retires_the_reconnect_budget() {
+        let mut e = routed_engine(CbtConfig::default());
+        join_group(&mut e, 1, t(0));
+        e.reattach_started.insert(g(1), t(0));
+        // A reply from someone who is NOT the parent changes nothing.
+        e.handle_control(
+            t(5),
+            IfIndex(2),
+            down_addr(),
+            ControlMessage::EchoReply { group: g(1), origin: down_addr(), group_mask: None },
+        );
+        assert!(e.reattach_started.contains_key(&g(1)), "stranger's reply ignored");
+        // The parent's reply retires the campaign.
+        e.handle_control(
+            t(6),
+            IfIndex(1),
+            up_hop().addr,
+            ControlMessage::EchoReply { group: g(1), origin: up_hop().addr, group_mask: None },
+        );
+        assert!(!e.reattach_started.contains_key(&g(1)), "parent answered: settled");
+    }
+}

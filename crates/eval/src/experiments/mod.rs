@@ -1,0 +1,13 @@
+//! Experiment implementations. Each module exposes `run(...) -> Report`
+//! with a `Params::default()` matching DESIGN.md's index, plus a
+//! `quick()` preset that the integration tests and benches use.
+
+pub mod delay;
+pub mod latency;
+pub mod multicore;
+pub mod overhead;
+pub mod placement;
+pub mod spec;
+pub mod state;
+pub mod traffic;
+pub mod treecost;

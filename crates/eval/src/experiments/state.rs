@@ -1,0 +1,177 @@
+//! S93-T1 — router state: CBT O(G) vs source-based O(S·G).
+//!
+//! The headline scaling claim: a CBT router keeps one FIB entry per
+//! group it is on-tree for, independent of the number of senders, and
+//! off-tree routers keep nothing. A DVMRP-style router keeps one
+//! (source, group) entry per active sender — and routers *off* the
+//! delivery tree still pay prune state because the flood touched them.
+
+use crate::report::Report;
+use crate::workload::Workload;
+use cbt_baselines::{cbt_shared_tree, flood_and_prune};
+use cbt_metrics::{table::f, Table};
+use cbt_topology::{generate, AllPairs, NodeId};
+use serde_json::json;
+
+/// Sweep parameters.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Topology size.
+    pub n: usize,
+    /// Group size (member routers) held fixed across the sender sweep.
+    pub group_size: usize,
+    /// Sender counts to sweep.
+    pub senders: Vec<usize>,
+    /// Seeds to average over.
+    pub seeds: Vec<u64>,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            n: 100,
+            group_size: 16,
+            senders: vec![1, 2, 4, 8, 16, 32],
+            seeds: (0..10).collect(),
+        }
+    }
+}
+
+impl Params {
+    /// Small preset for tests/benches.
+    pub fn quick() -> Self {
+        Params { n: 40, group_size: 8, senders: vec![1, 4, 8], seeds: vec![0, 1] }
+    }
+}
+
+/// Runs the experiment.
+pub fn run(p: &Params) -> Report {
+    let mut report = Report::new("S93-T1", "router state: CBT vs DVMRP-style source trees");
+    let mut table = Table::new([
+        "senders",
+        "cbt total entries",
+        "cbt max/router",
+        "dvmrp total entries",
+        "dvmrp max/router",
+        "dvmrp/cbt",
+    ]);
+    let mut rows_json = Vec::new();
+
+    for &s in &p.senders {
+        let mut cbt_total = 0.0;
+        let mut cbt_max = 0.0;
+        let mut dv_total = 0.0;
+        let mut dv_max = 0.0;
+        for &seed in &p.seeds {
+            let g = generate::waxman(
+                generate::WaxmanParams { n: p.n, ..Default::default() },
+                seed,
+            );
+            let ap = AllPairs::compute(&g);
+            let mut wl = Workload::new(&g, seed.wrapping_add(1000));
+            let members = wl.members(p.group_size);
+            let senders = wl.senders_from(&members, s);
+            let core = ap.medoid(&members).expect("connected");
+
+            // CBT: one entry per on-tree router, senders irrelevant.
+            let tree = cbt_shared_tree(&g, core, &members);
+            let mut on_tree: std::collections::BTreeSet<NodeId> = members.iter().copied().collect();
+            on_tree.insert(core);
+            for (a, b, _) in tree.edges() {
+                on_tree.insert(a);
+                on_tree.insert(b);
+            }
+            cbt_total += on_tree.len() as f64;
+            cbt_max += 1.0; // one group ⇒ at most one entry per router
+
+            // DVMRP: per *distinct* sender, forwarding + prune state.
+            let mut per_router = vec![0u64; p.n];
+            let distinct: std::collections::BTreeSet<NodeId> = senders.iter().copied().collect();
+            for src in distinct {
+                let out = flood_and_prune(&g, src, &members);
+                for r in out.forwarding_state.iter().chain(out.prune_state.iter()) {
+                    per_router[r.idx()] += 1;
+                }
+            }
+            dv_total += per_router.iter().sum::<u64>() as f64;
+            dv_max += *per_router.iter().max().unwrap_or(&0) as f64;
+        }
+        let k = p.seeds.len() as f64;
+        let (cbt_total, cbt_max, dv_total, dv_max) =
+            (cbt_total / k, cbt_max / k, dv_total / k, dv_max / k);
+        table.row([
+            s.to_string(),
+            f(cbt_total),
+            f(cbt_max),
+            f(dv_total),
+            f(dv_max),
+            f(dv_total / cbt_total),
+        ]);
+        rows_json.push(json!({
+            "senders": s,
+            "cbt_total": cbt_total,
+            "cbt_max_per_router": cbt_max,
+            "dvmrp_total": dv_total,
+            "dvmrp_max_per_router": dv_max,
+        }));
+    }
+
+    report.table(
+        format!("FIB/state entries, n={}, group size {}, {} seeds", p.n, p.group_size, p.seeds.len()),
+        table,
+    );
+    let mut fig = cbt_metrics::BarChart::new(format!(
+        "Figure S93-T1: total state entries vs senders (Waxman n={}, |G|={})",
+        p.n, p.group_size
+    ))
+    .unit(" entries");
+    for row in &rows_json {
+        fig.bar(format!("cbt    S={}", row["senders"]), row["cbt_total"].as_f64().unwrap_or(0.0));
+        fig.bar(format!("dvmrp  S={}", row["senders"]), row["dvmrp_total"].as_f64().unwrap_or(0.0));
+    }
+    report.chart(fig);
+    report.json = json!({
+        "params": {"n": p.n, "group_size": p.group_size, "senders": p.senders, "seeds": p.seeds},
+        "rows": rows_json,
+    });
+    report.finding(
+        "CBT state is flat in the number of senders (shared tree, one entry per on-tree router); \
+         the source-based scheme grows linearly with senders and charges even off-tree routers \
+         (prune state).",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cbt_state_flat_dvmrp_linear() {
+        let r = run(&Params::quick());
+        let rows = r.json["rows"].as_array().unwrap();
+        let first = &rows[0];
+        let last = &rows[rows.len() - 1];
+        // CBT total identical across sender counts.
+        assert_eq!(first["cbt_total"], last["cbt_total"]);
+        // DVMRP grows with senders.
+        assert!(
+            last["dvmrp_total"].as_f64().unwrap() > first["dvmrp_total"].as_f64().unwrap() * 2.0,
+            "{:?} vs {:?}",
+            first,
+            last
+        );
+    }
+
+    #[test]
+    fn dvmrp_exceeds_cbt_even_with_one_sender() {
+        let r = run(&Params::quick());
+        let rows = r.json["rows"].as_array().unwrap();
+        // Prune state makes even S=1 more expensive than CBT's tree.
+        assert!(
+            rows[0]["dvmrp_total"].as_f64().unwrap()
+                > rows[0]["cbt_total"].as_f64().unwrap(),
+            "flood touches everything"
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! S93-T2 — tree cost: edges a CBT shared tree uses vs per-source
+//! shortest-path trees.
+//!
+//! The '93 result: one shared tree's cost is close to a single SPT's,
+//! and far below the *union* of per-source trees once several senders
+//! are active — the network carries one tree instead of S of them.
+
+use crate::report::Report;
+use crate::workload::Workload;
+use cbt_baselines::{cbt_shared_tree, source_tree};
+use cbt_metrics::{table::f, tree_cost, Table};
+use cbt_topology::{generate, AllPairs, Graph};
+use serde_json::json;
+
+/// Sweep parameters.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Topology sizes to sweep.
+    pub sizes: Vec<usize>,
+    /// Group sizes to sweep.
+    pub group_sizes: Vec<usize>,
+    /// Number of senders for the union-of-SPT column.
+    pub senders: usize,
+    /// Seeds to average over.
+    pub seeds: Vec<u64>,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            sizes: vec![50, 100, 200],
+            group_sizes: vec![2, 4, 8, 16, 32, 64],
+            senders: 8,
+            seeds: (0..10).collect(),
+        }
+    }
+}
+
+impl Params {
+    /// Small preset for tests/benches.
+    pub fn quick() -> Self {
+        Params { sizes: vec![40], group_sizes: vec![4, 16], senders: 4, seeds: vec![0, 1] }
+    }
+}
+
+/// Runs the experiment.
+pub fn run(p: &Params) -> Report {
+    let mut report = Report::new("S93-T2", "tree cost: shared tree vs per-source trees");
+    let mut rows_json = Vec::new();
+
+    for &n in &p.sizes {
+        let mut table = Table::new([
+            "group size",
+            "cbt shared",
+            "spt (1 source)",
+            "spt union (all senders)",
+            "cbt/spt",
+            "union/cbt",
+        ]);
+        for &m in &p.group_sizes {
+            if m > n {
+                continue;
+            }
+            let mut cbt_c = 0.0;
+            let mut spt_c = 0.0;
+            let mut union_c = 0.0;
+            for &seed in &p.seeds {
+                let g = generate::waxman(
+                    generate::WaxmanParams { n, ..Default::default() },
+                    seed,
+                );
+                let ap = AllPairs::compute(&g);
+                let mut wl = Workload::new(&g, seed.wrapping_add(2000));
+                let members = wl.members(m);
+                let senders = wl.senders_from(&members, p.senders);
+                let core = ap.medoid(&members).expect("connected");
+
+                let shared = cbt_shared_tree(&g, core, &members);
+                cbt_c += tree_cost(&shared) as f64;
+
+                // Single-source SPT from the first sender.
+                let t0 = source_tree(&g, senders[0], &members);
+                spt_c += tree_cost(&t0) as f64;
+
+                // Union of all senders' trees (distinct edges).
+                let mut union = Graph::with_nodes(g.node_count());
+                let distinct: std::collections::BTreeSet<_> = senders.iter().copied().collect();
+                for s in distinct {
+                    for (a, b, w) in source_tree(&g, s, &members).edges() {
+                        union.add_edge(a, b, w);
+                    }
+                }
+                union_c += tree_cost(&union) as f64;
+            }
+            let k = p.seeds.len() as f64;
+            let (cbt_c, spt_c, union_c) = (cbt_c / k, spt_c / k, union_c / k);
+            table.row([
+                m.to_string(),
+                f(cbt_c),
+                f(spt_c),
+                f(union_c),
+                f(cbt_c / spt_c),
+                f(union_c / cbt_c),
+            ]);
+            rows_json.push(json!({
+                "n": n, "group_size": m,
+                "cbt": cbt_c, "spt": spt_c, "union": union_c,
+            }));
+        }
+        report.table(format!("tree cost, Waxman n={n}, {} senders", p.senders), table);
+    }
+
+    report.json = json!({
+        "params": {"sizes": p.sizes, "group_sizes": p.group_sizes, "senders": p.senders},
+        "rows": rows_json,
+    });
+    report.finding(
+        "The shared tree costs within a small factor of a single source tree, while the union \
+         of per-source trees (what source-based schemes collectively install) grows well beyond \
+         it as senders multiply.",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_tree_cheaper_than_union() {
+        let r = run(&Params::quick());
+        for row in r.json["rows"].as_array().unwrap() {
+            let cbt = row["cbt"].as_f64().unwrap();
+            let union = row["union"].as_f64().unwrap();
+            assert!(union >= cbt, "union {union} < cbt {cbt}?");
+        }
+    }
+
+    #[test]
+    fn shared_tree_within_factor_of_spt() {
+        let r = run(&Params::quick());
+        for row in r.json["rows"].as_array().unwrap() {
+            let cbt = row["cbt"].as_f64().unwrap();
+            let spt = row["spt"].as_f64().unwrap();
+            assert!(cbt <= spt * 2.0, "shared tree unreasonably expensive: {cbt} vs {spt}");
+        }
+    }
+}

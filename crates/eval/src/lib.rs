@@ -1,0 +1,28 @@
+//! # cbt-eval — the experiment harness
+//!
+//! One module per experiment in DESIGN.md's index. Every experiment is
+//! a pure function from parameters to a [`Report`] (tables + JSON), so
+//! the CLI, the integration tests and the Criterion benches all drive
+//! the same code.
+//!
+//! | id | module |
+//! |---|---|
+//! | Spec-E1..E6 | [`experiments::spec`] |
+//! | S93-T1 state scaling | [`experiments::state`] |
+//! | S93-T2 tree cost | [`experiments::treecost`] |
+//! | S93-F1 delay ratio | [`experiments::delay`] |
+//! | S93-F2 traffic concentration | [`experiments::traffic`] |
+//! | S93-T3 control overhead | [`experiments::overhead`] |
+//! | S93-T4 join latency | [`experiments::latency`] |
+//! | Abl-1 core placement | [`experiments::placement`] |
+//! | Abl-2 multi-core failover | [`experiments::multicore`] |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod simrun;
+pub mod workload;
+
+pub use report::Report;

@@ -1,0 +1,133 @@
+//! `cbt-eval` — regenerate any table/figure of the reproduction.
+//!
+//! ```text
+//! cbt-eval <experiment> [--quick]
+//! cbt-eval all [--quick]
+//! cbt-eval list
+//! ```
+//!
+//! Results are printed and also written as JSON under
+//! `target/eval-results/`.
+
+use cbt_eval::experiments::*;
+use cbt_eval::Report;
+use std::path::PathBuf;
+
+/// A named experiment runner (`quick` flag → smaller presets).
+type Runner = (&'static str, Box<dyn Fn(bool) -> Report>);
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let which = args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_default();
+
+    let runners: Vec<Runner> = vec![
+        ("spec-e1", Box::new(|_| spec::e1())),
+        ("spec-e2", Box::new(|_| spec::e2())),
+        ("spec-e3", Box::new(|_| spec::e3())),
+        ("spec-e4", Box::new(|_| spec::e4())),
+        ("spec-e5", Box::new(|_| spec::e5())),
+        ("spec-e6", Box::new(|_| spec::e6())),
+        (
+            "state-scaling",
+            Box::new(|q| state::run(&if q { state::Params::quick() } else { Default::default() })),
+        ),
+        (
+            "tree-cost",
+            Box::new(|q| {
+                treecost::run(&if q { treecost::Params::quick() } else { Default::default() })
+            }),
+        ),
+        (
+            "delay-ratio",
+            Box::new(|q| delay::run(&if q { delay::Params::quick() } else { Default::default() })),
+        ),
+        (
+            "traffic-concentration",
+            Box::new(|q| {
+                traffic::run(&if q { traffic::Params::quick() } else { Default::default() })
+            }),
+        ),
+        (
+            "control-overhead",
+            Box::new(|q| {
+                overhead::run(&if q { overhead::Params::quick() } else { Default::default() })
+            }),
+        ),
+        (
+            "join-latency",
+            Box::new(|q| {
+                latency::run(&if q { latency::Params::quick() } else { Default::default() })
+            }),
+        ),
+        (
+            "core-placement",
+            Box::new(|q| {
+                placement::run(&if q { placement::Params::quick() } else { Default::default() })
+            }),
+        ),
+        (
+            "multi-core",
+            Box::new(|q| {
+                multicore::run(&if q { multicore::Params::quick() } else { Default::default() })
+            }),
+        ),
+    ];
+
+    match which.as_str() {
+        "" | "help" | "--help" => {
+            eprintln!("usage: cbt-eval <experiment|all|list> [--quick]");
+            eprintln!("experiments:");
+            for (name, _) in &runners {
+                eprintln!("  {name}");
+            }
+            std::process::exit(if which.is_empty() { 2 } else { 0 });
+        }
+        "list" => {
+            for (name, _) in &runners {
+                println!("{name}");
+            }
+        }
+        "all" => {
+            for (name, run) in &runners {
+                let report = run(quick);
+                println!("{}", report.render());
+                write_json(name, &report);
+            }
+        }
+        name => match runners.iter().find(|(n, _)| *n == name) {
+            Some((_, run)) => {
+                let report = run(quick);
+                println!("{}", report.render());
+                write_json(name, &report);
+            }
+            None => {
+                eprintln!("unknown experiment '{name}'; try `cbt-eval list`");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+fn write_json(name: &str, report: &Report) {
+    let dir = PathBuf::from("target/eval-results");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    let payload = serde_json::json!({
+        "id": report.id,
+        "title": report.title,
+        "findings": report.findings,
+        "data": report.json,
+        "tables": report
+            .tables
+            .iter()
+            .map(|(n, t)| serde_json::json!({"name": n, "csv": t.to_csv()}))
+            .collect::<Vec<_>>(),
+    });
+    if let Ok(s) = serde_json::to_string_pretty(&payload) {
+        let _ = std::fs::write(&path, s);
+        eprintln!("[written {}]", path.display());
+    }
+}

@@ -1,0 +1,133 @@
+//! Workload generation: seeded draws of member sets, sender sets and
+//! core candidates over a topology.
+
+use cbt_topology::{AllPairs, Graph, NodeId};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A seeded workload generator bound to one graph.
+pub struct Workload {
+    rng: ChaCha8Rng,
+    nodes: Vec<NodeId>,
+}
+
+impl Workload {
+    /// Binds to `g` with a seed.
+    pub fn new(g: &Graph, seed: u64) -> Self {
+        Workload { rng: ChaCha8Rng::seed_from_u64(seed), nodes: g.nodes().collect() }
+    }
+
+    /// Draws `k` distinct member routers.
+    pub fn members(&mut self, k: usize) -> Vec<NodeId> {
+        let mut pool = self.nodes.clone();
+        pool.shuffle(&mut self.rng);
+        pool.truncate(k.min(self.nodes.len()));
+        pool.sort(); // deterministic order downstream
+        pool
+    }
+
+    /// Draws `k` senders from `members` (cycling if k > members).
+    pub fn senders_from(&mut self, members: &[NodeId], k: usize) -> Vec<NodeId> {
+        assert!(!members.is_empty());
+        let mut pool: Vec<NodeId> = members.to_vec();
+        pool.shuffle(&mut self.rng);
+        (0..k).map(|i| pool[i % pool.len()]).collect()
+    }
+
+    /// A random core choice.
+    pub fn random_core(&mut self) -> NodeId {
+        *self
+            .nodes
+            .choose(&mut self.rng)
+            .expect("graph has nodes")
+    }
+}
+
+/// Core placement strategies (ablation Abl-1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorePlacement {
+    /// Uniformly random router.
+    Random,
+    /// The graph center (minimum eccentricity).
+    Center,
+    /// The member-set medoid (minimum total distance to members).
+    Medoid,
+}
+
+impl CorePlacement {
+    /// Resolves the strategy to a concrete router.
+    pub fn place(
+        self,
+        ap: &AllPairs,
+        members: &[NodeId],
+        wl: &mut Workload,
+    ) -> NodeId {
+        match self {
+            CorePlacement::Random => wl.random_core(),
+            CorePlacement::Center => ap.center().expect("connected graph"),
+            CorePlacement::Medoid => ap.medoid(members).expect("non-empty members"),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CorePlacement::Random => "random",
+            CorePlacement::Center => "center",
+            CorePlacement::Medoid => "medoid",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbt_topology::generate;
+
+    #[test]
+    fn members_are_distinct_sorted_and_seeded() {
+        let g = generate::grid(5, 5);
+        let a = Workload::new(&g, 7).members(10);
+        let b = Workload::new(&g, 7).members(10);
+        assert_eq!(a, b, "same seed, same draw");
+        assert_eq!(a.len(), 10);
+        let mut dedup = a.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10, "distinct");
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "sorted");
+        let c = Workload::new(&g, 8).members(10);
+        assert_ne!(a, c, "different seed, different draw");
+    }
+
+    #[test]
+    fn members_clamped_to_graph_size() {
+        let g = generate::line(3);
+        assert_eq!(Workload::new(&g, 0).members(99).len(), 3);
+    }
+
+    #[test]
+    fn senders_cycle_when_more_than_members() {
+        let g = generate::line(5);
+        let mut wl = Workload::new(&g, 1);
+        let members = wl.members(2);
+        let senders = wl.senders_from(&members, 5);
+        assert_eq!(senders.len(), 5);
+        for s in &senders {
+            assert!(members.contains(s));
+        }
+    }
+
+    #[test]
+    fn placements_resolve() {
+        let g = generate::grid(3, 3);
+        let ap = AllPairs::compute(&g);
+        let mut wl = Workload::new(&g, 2);
+        let members = wl.members(4);
+        assert_eq!(CorePlacement::Center.place(&ap, &members, &mut wl), NodeId(4));
+        let medoid = CorePlacement::Medoid.place(&ap, &members, &mut wl);
+        assert!(g.nodes().any(|n| n == medoid));
+        let rand1 = CorePlacement::Random.place(&ap, &members, &mut wl);
+        assert!(g.nodes().any(|n| n == rand1));
+    }
+}

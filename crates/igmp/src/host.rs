@@ -1,0 +1,318 @@
+//! Host-side IGMP: what an end-system's IP stack does for the
+//! multicast applications running on it.
+//!
+//! §2.2: invoking a multicast application makes the host emit an IGMP
+//! RP/Core-Report and a group membership report, both multicast to the
+//! group. §2.4: v1/v2 hosts cannot send RP/Core-Reports (their DR needs
+//! managed `<core, group>` mappings); v1 hosts cannot even send leaves.
+
+use crate::{IgmpOut, IgmpTimers};
+use cbt_netsim::{SimDuration, SimTime};
+use cbt_wire::{igmp::RP_CORE_CODE_CBT, Addr, GroupId, IgmpMessage, RpCoreReport, ALL_ROUTERS};
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+struct Membership {
+    cores: Vec<Addr>,
+    target_core_index: u8,
+    /// A query obliges us to report by this deadline (unless another
+    /// host's report suppresses ours first).
+    report_due: Option<SimTime>,
+}
+
+/// IGMP state of one host on one LAN.
+#[derive(Debug, Clone)]
+pub struct HostMembership {
+    my_addr: Addr,
+    /// Which IGMP generation this host speaks (1, 2 or 3).
+    version: u8,
+    timers: IgmpTimers,
+    groups: BTreeMap<GroupId, Membership>,
+}
+
+impl HostMembership {
+    /// A host at `my_addr` speaking IGMP `version` (1..=3).
+    pub fn new(my_addr: Addr, version: u8, timers: IgmpTimers) -> Self {
+        assert!((1..=3).contains(&version), "IGMP version must be 1..=3");
+        HostMembership { my_addr, version, timers, groups: BTreeMap::new() }
+    }
+
+    /// The host's address.
+    pub fn my_addr(&self) -> Addr {
+        self.my_addr
+    }
+
+    /// Groups currently joined.
+    pub fn joined(&self) -> impl Iterator<Item = GroupId> + '_ {
+        self.groups.keys().copied()
+    }
+
+    /// Is the host a member of `group`?
+    pub fn is_member(&self, group: GroupId) -> bool {
+        self.groups.contains_key(&group)
+    }
+
+    /// Joins a group: returns the unsolicited report(s) to send — a
+    /// membership report, preceded (for v3 hosts with known cores) by
+    /// the RP/Core-Report carrying the ordered core list (§2.2).
+    pub fn join(
+        &mut self,
+        group: GroupId,
+        cores: Vec<Addr>,
+        target_core_index: u8,
+    ) -> Vec<IgmpOut> {
+        let mut out = Vec::new();
+        if self.version >= 3 && !cores.is_empty() {
+            out.push(IgmpOut {
+                dst: group.addr(),
+                msg: IgmpMessage::RpCore(RpCoreReport {
+                    group,
+                    code: RP_CORE_CODE_CBT,
+                    target_core_index,
+                    cores: cores.clone(),
+                }),
+            });
+        }
+        out.push(IgmpOut {
+            dst: group.addr(),
+            msg: IgmpMessage::Report { version: self.version, group },
+        });
+        self.groups.insert(group, Membership { cores, target_core_index, report_due: None });
+        out
+    }
+
+    /// Leaves a group: v2+ hosts send a leave to all-routers (§2.7);
+    /// v1 hosts go silent and let membership time out (§2.4).
+    pub fn leave(&mut self, group: GroupId) -> Vec<IgmpOut> {
+        if self.groups.remove(&group).is_none() {
+            return Vec::new();
+        }
+        if self.version >= 2 {
+            vec![IgmpOut { dst: ALL_ROUTERS, msg: IgmpMessage::Leave { group } }]
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Handles a heard IGMP message (queries oblige future reports;
+    /// another member's report suppresses ours).
+    pub fn on_igmp(&mut self, msg: &IgmpMessage, now: SimTime) {
+        match msg {
+            IgmpMessage::Query { group, max_resp_tenths } => {
+                let horizon = SimDuration::from_millis(u64::from(*max_resp_tenths) * 100);
+                match group {
+                    Some(queried) => {
+                        let due = now + self.response_delay(*queried, horizon);
+                        if let Some(m) = self.groups.get_mut(queried) {
+                            m.report_due = Some(m.report_due.map_or(due, |d| d.min(due)));
+                        }
+                    }
+                    None => {
+                        // General query: every joined group owes a report.
+                        let keys: Vec<GroupId> = self.groups.keys().copied().collect();
+                        for g in keys {
+                            let due = now + self.response_delay(g, horizon);
+                            let m = self.groups.get_mut(&g).expect("key just listed");
+                            m.report_due = Some(m.report_due.map_or(due, |d| d.min(due)));
+                        }
+                    }
+                }
+            }
+            IgmpMessage::Report { group, .. } => {
+                // Suppression: someone else reported this group on the
+                // LAN, so the routers already know. (v3 proper does not
+                // suppress, but per-LAN presence is all CBT needs, and
+                // suppression keeps simulated LANs quiet.)
+                if let Some(m) = self.groups.get_mut(group) {
+                    m.report_due = None;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Emits any reports that have come due.
+    pub fn poll(&mut self, now: SimTime) -> Vec<IgmpOut> {
+        let mut out = Vec::new();
+        for (g, m) in self.groups.iter_mut() {
+            if m.report_due.is_some_and(|d| d <= now) {
+                m.report_due = None;
+                if self.version >= 3 && !m.cores.is_empty() {
+                    out.push(IgmpOut {
+                        dst: g.addr(),
+                        msg: IgmpMessage::RpCore(RpCoreReport {
+                            group: *g,
+                            code: RP_CORE_CODE_CBT,
+                            target_core_index: m.target_core_index,
+                            cores: m.cores.clone(),
+                        }),
+                    });
+                }
+                out.push(IgmpOut {
+                    dst: g.addr(),
+                    msg: IgmpMessage::Report { version: self.version, group: *g },
+                });
+            }
+        }
+        out
+    }
+
+    /// Earliest pending report deadline.
+    pub fn next_wakeup(&self) -> Option<SimTime> {
+        self.groups.values().filter_map(|m| m.report_due).min()
+    }
+
+    /// Deterministic stand-in for the random response delay: a hash of
+    /// (host address, group) folded into the advertised window, so runs
+    /// replay identically while different hosts still spread out.
+    fn response_delay(&self, group: GroupId, horizon: SimDuration) -> SimDuration {
+        let h = self
+            .my_addr
+            .0
+            .wrapping_mul(2654435761)
+            .wrapping_add(group.addr().0.wrapping_mul(40503));
+        let window = horizon.micros().max(1);
+        SimDuration::from_micros(u64::from(h) % window)
+    }
+
+    /// Timers in force (exposed for harnesses).
+    pub fn timers(&self) -> IgmpTimers {
+        self.timers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(n: u16) -> GroupId {
+        GroupId::numbered(n)
+    }
+
+    fn cores() -> Vec<Addr> {
+        vec![Addr::from_octets(10, 255, 0, 3), Addr::from_octets(10, 255, 0, 8)]
+    }
+
+    fn host(version: u8) -> HostMembership {
+        HostMembership::new(Addr::from_octets(10, 1, 0, 100), version, IgmpTimers::default())
+    }
+
+    #[test]
+    fn v3_join_emits_rp_core_then_report_to_the_group() {
+        let mut h = host(3);
+        let out = h.join(g(1), cores(), 1);
+        assert_eq!(out.len(), 2);
+        assert!(matches!(&out[0].msg, IgmpMessage::RpCore(r)
+            if r.cores == cores() && r.target_core_index == 1 && r.code == RP_CORE_CODE_CBT));
+        assert!(matches!(&out[1].msg, IgmpMessage::Report { version: 3, group } if *group == g(1)));
+        assert_eq!(out[0].dst, g(1).addr(), "both multicast to the group (§2.2)");
+        assert_eq!(out[1].dst, g(1).addr());
+        assert!(h.is_member(g(1)));
+    }
+
+    #[test]
+    fn v2_join_has_no_rp_core_report() {
+        let mut h = host(2);
+        let out = h.join(g(1), cores(), 0);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(&out[0].msg, IgmpMessage::Report { version: 2, .. }));
+    }
+
+    #[test]
+    fn v3_join_without_cores_skips_rp_core() {
+        let mut h = host(3);
+        let out = h.join(g(1), vec![], 0);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn leave_behaviour_by_version() {
+        for (version, expect_leave) in [(1u8, false), (2, true), (3, true)] {
+            let mut h = host(version);
+            h.join(g(1), if version >= 3 { cores() } else { vec![] }, 0);
+            let out = h.leave(g(1));
+            assert_eq!(!out.is_empty(), expect_leave, "v{version}");
+            if expect_leave {
+                assert_eq!(out[0].dst, ALL_ROUTERS);
+                assert!(matches!(out[0].msg, IgmpMessage::Leave { group } if group == g(1)));
+            }
+            assert!(!h.is_member(g(1)));
+        }
+    }
+
+    #[test]
+    fn leave_of_unjoined_group_is_silent() {
+        let mut h = host(2);
+        assert!(h.leave(g(7)).is_empty());
+    }
+
+    #[test]
+    fn general_query_schedules_reports_within_window() {
+        let mut h = host(3);
+        h.join(g(1), cores(), 0);
+        h.join(g(2), cores(), 0);
+        let now = SimTime::from_secs(100);
+        h.on_igmp(&IgmpMessage::Query { group: None, max_resp_tenths: 100 }, now);
+        let due = h.next_wakeup().unwrap();
+        assert!(due >= now && due <= now + SimDuration::from_secs(10));
+        // Nothing fires before the deadline...
+        assert!(h.poll(now).is_empty() || due == now);
+        // ...and everything fires by the end of the window.
+        let out = h.poll(now + SimDuration::from_secs(10));
+        let reports =
+            out.iter().filter(|o| matches!(o.msg, IgmpMessage::Report { .. })).count();
+        assert_eq!(reports, 2);
+    }
+
+    #[test]
+    fn group_specific_query_touches_only_that_group() {
+        let mut h = host(3);
+        h.join(g(1), cores(), 0);
+        h.join(g(2), cores(), 0);
+        let now = SimTime::from_secs(5);
+        h.on_igmp(&IgmpMessage::Query { group: Some(g(2)), max_resp_tenths: 10 }, now);
+        let out = h.poll(now + SimDuration::from_secs(1));
+        assert!(out
+            .iter()
+            .all(|o| matches!(o.msg, IgmpMessage::Report { group, .. } if group == g(2))
+                || matches!(&o.msg, IgmpMessage::RpCore(r) if r.group == g(2))));
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn anothers_report_suppresses_ours() {
+        let mut h = host(2);
+        h.join(g(1), vec![], 0);
+        let now = SimTime::from_secs(5);
+        h.on_igmp(&IgmpMessage::Query { group: None, max_resp_tenths: 100 }, now);
+        assert!(h.next_wakeup().is_some());
+        h.on_igmp(&IgmpMessage::Report { version: 2, group: g(1) }, now);
+        assert_eq!(h.next_wakeup(), None, "suppressed");
+        assert!(h.poll(now + SimDuration::from_secs(10)).is_empty());
+    }
+
+    #[test]
+    fn response_delays_differ_across_hosts() {
+        let mk = |last: u8| {
+            HostMembership::new(Addr::from_octets(10, 1, 0, last), 2, IgmpTimers::default())
+        };
+        let d1 = mk(100).response_delay(g(1), SimDuration::from_secs(10));
+        let d2 = mk(101).response_delay(g(1), SimDuration::from_secs(10));
+        assert_ne!(d1, d2, "hosts spread their responses");
+        // And the delay is deterministic per host.
+        assert_eq!(d1, mk(100).response_delay(g(1), SimDuration::from_secs(10)));
+    }
+
+    #[test]
+    fn query_for_unjoined_group_is_ignored() {
+        let mut h = host(3);
+        h.on_igmp(&IgmpMessage::Query { group: Some(g(9)), max_resp_tenths: 10 }, SimTime::ZERO);
+        assert_eq!(h.next_wakeup(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "version")]
+    fn bad_version_rejected() {
+        HostMembership::new(Addr::NULL, 4, IgmpTimers::default());
+    }
+}

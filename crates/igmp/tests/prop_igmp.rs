@@ -1,0 +1,156 @@
+//! Property tests on the IGMP state machines: arbitrary message
+//! sequences never panic, and the protocol invariants survive.
+
+use cbt_igmp::{GroupPresence, HostMembership, IgmpTimers, QuerierElection};
+use cbt_netsim::{SimDuration, SimTime};
+use cbt_wire::{igmp::RpCoreReport, Addr, GroupId, IgmpMessage};
+use proptest::prelude::*;
+
+fn arb_group() -> impl Strategy<Value = GroupId> {
+    (0u16..6).prop_map(GroupId::numbered)
+}
+
+fn arb_msg() -> impl Strategy<Value = IgmpMessage> {
+    (0u8..6, arb_group(), any::<u8>()).prop_map(|(which, group, x)| match which {
+        0 => IgmpMessage::Query { group: None, max_resp_tenths: x },
+        1 => IgmpMessage::Query { group: Some(group), max_resp_tenths: x },
+        2 => IgmpMessage::Report { version: 1 + (x % 3), group },
+        3 => IgmpMessage::Leave { group },
+        4 => IgmpMessage::RpCore(RpCoreReport {
+            group,
+            code: 1,
+            target_core_index: 0,
+            cores: vec![Addr::from_octets(10, 255, 0, 1)],
+        }),
+        _ => IgmpMessage::TreeJoined { group, core: Addr::from_octets(10, 255, 0, 1) },
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// The router-side presence table survives any input stream, and
+    /// `next_wakeup` never lies (polling at the advertised instant
+    /// never panics and clears every due deadline).
+    #[test]
+    fn presence_survives_arbitrary_streams(
+        steps in proptest::collection::vec((arb_msg(), 0u64..40, any::<bool>()), 0..80),
+    ) {
+        let mut p = GroupPresence::new(IgmpTimers::fast());
+        let mut now = SimTime::ZERO;
+        for (msg, advance, querier) in steps {
+            now += SimDuration::from_secs(advance);
+            let (_events, _sends) = p.on_igmp(&msg, now, querier);
+            let _ = p.poll(now);
+            // After polling at `now`, every due deadline is cleared:
+            // the advertised next wakeup lies strictly in the future.
+            if let Some(w) = p.next_wakeup() {
+                assert!(w > now, "stale deadline survived poll: {w:?} <= {now:?}");
+            }
+            // Group listing is consistent with has_members.
+            for g in p.groups().collect::<Vec<_>>() {
+                assert!(p.has_members(g));
+            }
+        }
+    }
+
+    /// Presence NewGroup/GroupExpired events alternate per group: never
+    /// two NewGroups without an expiry between them.
+    #[test]
+    fn presence_events_alternate(
+        steps in proptest::collection::vec((arb_msg(), 0u64..40), 0..80),
+    ) {
+        use cbt_igmp::PresenceEvent;
+        let mut p = GroupPresence::new(IgmpTimers::fast());
+        let mut now = SimTime::ZERO;
+        let mut live = std::collections::BTreeSet::new();
+        let handle = |evs: Vec<PresenceEvent>, live: &mut std::collections::BTreeSet<GroupId>| {
+            for ev in evs {
+                match ev {
+                    PresenceEvent::NewGroup { group, .. } => {
+                        assert!(live.insert(group), "double NewGroup for {group}");
+                    }
+                    PresenceEvent::GroupExpired { group } => {
+                        assert!(live.remove(&group), "expiry without presence for {group}");
+                    }
+                }
+            }
+        };
+        for (msg, advance) in steps {
+            now += SimDuration::from_secs(advance);
+            let (evs, _) = p.on_igmp(&msg, now, true);
+            handle(evs, &mut live);
+            handle(p.poll(now), &mut live);
+        }
+    }
+
+    /// Querier elections among any set of routers on one LAN settle on
+    /// the lowest address once everyone has heard everyone.
+    #[test]
+    fn election_settles_on_lowest(
+        count in 2usize..6,
+        order in proptest::collection::vec(any::<u8>(), 1..30),
+    ) {
+        let addrs: Vec<Addr> =
+            (0..count).map(|i| Addr::from_octets(10, 1, 0, 1 + i as u8)).collect();
+        let mut elections: Vec<QuerierElection> = addrs
+            .iter()
+            .map(|a| QuerierElection::new(*a, IgmpTimers::fast(), SimTime::ZERO))
+            .collect();
+        let mut now = SimTime::ZERO;
+        // Routers emit queries in an arbitrary interleaving; every
+        // query is heard by everyone else.
+        for pick in order {
+            now += SimDuration::from_millis(100);
+            let i = pick as usize % count;
+            for out in elections[i].poll(now) {
+                let _ = out;
+                let from = addrs[i];
+                for (j, e) in elections.iter_mut().enumerate() {
+                    if j != i {
+                        e.on_query_heard(from, now);
+                    }
+                }
+            }
+        }
+        // Force the lowest to speak once so stragglers have heard it.
+        now += SimDuration::from_millis(100);
+        let lows = elections[0].poll(now);
+        if !lows.is_empty() {
+            for e in elections.iter_mut().skip(1) {
+                e.on_query_heard(addrs[0], now);
+            }
+        }
+        // Now: exactly the lowest-addressed router believes it is DR.
+        assert!(elections[0].i_am_dr(now), "lowest must hold the role");
+        for (j, e) in elections.iter().enumerate().skip(1) {
+            // Others defer iff they have heard the lowest at least once;
+            // after the forced announcement they all have.
+            assert!(!e.i_am_dr(now) || j == 0, "router {j} wrongly claims DR");
+        }
+    }
+
+    /// Host membership: join/leave in any order never panics and ends
+    /// consistent (member iff more joins than leaves... exactly: last
+    /// operation wins per group).
+    #[test]
+    fn host_membership_consistent(
+        ops in proptest::collection::vec((arb_group(), any::<bool>()), 0..60),
+        version in 1u8..=3,
+    ) {
+        let mut h = HostMembership::new(Addr::from_octets(10, 1, 0, 100), version, IgmpTimers::fast());
+        let mut expect = std::collections::BTreeMap::new();
+        for (g, join) in ops {
+            if join {
+                let msgs = h.join(g, vec![Addr::from_octets(10, 255, 0, 1)], 0);
+                assert!(!msgs.is_empty(), "every join reports");
+            } else {
+                let _ = h.leave(g);
+            }
+            expect.insert(g, join);
+        }
+        for (g, member) in expect {
+            assert_eq!(h.is_member(g), member, "{g}");
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Terminal bar charts, so figure-type experiments (S93-F1, S93-F2)
+//! render as figures and not just tables.
+
+use std::fmt::Write as _;
+
+/// A horizontal bar chart: labelled series of non-negative values.
+#[derive(Debug, Clone, Default)]
+pub struct BarChart {
+    title: String,
+    rows: Vec<(String, f64)>,
+    /// Unit suffix printed after each value.
+    unit: String,
+}
+
+impl BarChart {
+    /// Starts a chart.
+    pub fn new(title: impl Into<String>) -> Self {
+        BarChart { title: title.into(), rows: Vec::new(), unit: String::new() }
+    }
+
+    /// Sets the unit suffix (e.g. `"x"`, `" pkts"`).
+    pub fn unit(mut self, unit: impl Into<String>) -> Self {
+        self.unit = unit.into();
+        self
+    }
+
+    /// Adds one labelled bar.
+    pub fn bar(&mut self, label: impl Into<String>, value: f64) -> &mut Self {
+        assert!(value.is_finite() && value >= 0.0, "bars must be finite and non-negative");
+        self.rows.push((label.into(), value));
+        self
+    }
+
+    /// Number of bars.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no bars were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with bars scaled to `width` characters.
+    pub fn render(&self, width: usize) -> String {
+        let width = width.max(8);
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        if self.rows.is_empty() {
+            out.push_str("  (no data)\n");
+            return out;
+        }
+        let max = self.rows.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
+        let label_w = self.rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        for (label, value) in &self.rows {
+            let filled = if max > 0.0 {
+                ((value / max) * width as f64).round() as usize
+            } else {
+                0
+            };
+            let _ = writeln!(
+                out,
+                "  {label:>label_w$}  {}{}  {value:.2}{}",
+                "█".repeat(filled),
+                " ".repeat(width - filled.min(width)),
+                self.unit,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scaled_bars() {
+        let mut c = BarChart::new("delay ratio vs group size").unit("x");
+        c.bar("2", 1.0).bar("16", 1.5).bar("64", 2.0);
+        let s = c.render(20);
+        assert!(s.contains("delay ratio"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // The max bar fills the width; the min is half of it.
+        let count = |line: &str| line.matches('█').count();
+        assert_eq!(count(lines[3]), 20, "max scales to full width");
+        assert_eq!(count(lines[1]), 10, "half of max fills half");
+        assert!(lines[3].contains("2.00x"));
+    }
+
+    #[test]
+    fn zero_values_render_empty_bars() {
+        let mut c = BarChart::new("t");
+        c.bar("a", 0.0).bar("b", 0.0);
+        let s = c.render(10);
+        assert!(!s.contains('█'));
+    }
+
+    #[test]
+    fn empty_chart_says_so() {
+        assert!(BarChart::new("x").render(10).contains("no data"));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        BarChart::new("x").bar("a", f64::NAN);
+    }
+
+    #[test]
+    fn labels_align() {
+        let mut c = BarChart::new("t");
+        c.bar("long label", 1.0).bar("s", 2.0);
+        let s = c.render(10);
+        let lines: Vec<&str> = s.lines().collect();
+        // Both value columns start at the same offset.
+        let pos = |l: &str| l.find('█').unwrap();
+        assert_eq!(pos(lines[1]), pos(lines[2]));
+    }
+}

@@ -1,0 +1,93 @@
+//! Summary statistics over f64 samples.
+
+use serde::Serialize;
+
+/// Mean / percentiles / extremes of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (p50).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarises samples. Returns a zeroed summary for empty input.
+    pub fn of(samples: &[f64]) -> Summary {
+        if samples.is_empty() {
+            return Summary { n: 0, mean: 0.0, min: 0.0, p50: 0.0, p95: 0.0, max: 0.0 };
+        }
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        let n = sorted.len();
+        let pct = |p: f64| -> f64 {
+            let idx = ((n as f64 - 1.0) * p).round() as usize;
+            sorted[idx.min(n - 1)]
+        };
+        Summary {
+            n,
+            mean: sorted.iter().sum::<f64>() / n as f64,
+            min: sorted[0],
+            p50: pct(0.50),
+            p95: pct(0.95),
+            max: sorted[n - 1],
+        }
+    }
+
+    /// Summarises integer samples.
+    pub fn of_ints<I: IntoIterator<Item = u64>>(samples: I) -> Summary {
+        let v: Vec<f64> = samples.into_iter().map(|x| x as f64).collect();
+        Summary::of(&v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_stats() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.n, 5);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.p50, 3.0);
+        assert_eq!(s.max, 5.0);
+    }
+
+    #[test]
+    fn empty_is_zeroed() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn percentiles_are_order_free() {
+        let a = Summary::of(&[5.0, 1.0, 3.0, 2.0, 4.0]);
+        let b = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn p95_of_hundred() {
+        let samples: Vec<f64> = (1..=100).map(|x| x as f64).collect();
+        let s = Summary::of(&samples);
+        assert_eq!(s.p95, 95.0);
+        assert_eq!(s.max, 100.0);
+    }
+
+    #[test]
+    fn int_helper() {
+        let s = Summary::of_ints([2u64, 4, 6]);
+        assert!((s.mean - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,142 @@
+//! A small fixed-width table renderer so the eval harness prints
+//! paper-style rows that line up in a terminal.
+
+use std::fmt::Write as _;
+
+/// A text table: header + rows, auto-sized columns.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row. Shorter rows are padded with empty cells;
+    /// longer ones panic (caller bug).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let mut r: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert!(r.len() <= self.header.len(), "row wider than header");
+        r.resize(self.header.len(), String::new());
+        self.rows.push(r);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with column alignment and a separator rule.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let _ = write!(line, "{:>w$}", cells[i], w = widths[i]);
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let rule_len = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(rule_len));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as CSV (for EXPERIMENTS.md appendices / plotting).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &String| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.clone()
+            }
+        };
+        out.push_str(&self.header.iter().map(esc).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(esc).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with sensible evaluation precision.
+pub fn f(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(["group size", "cbt", "dvmrp"]);
+        t.row(["2", "10", "100"]);
+        t.row(["64", "10", "6400"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("group size"));
+        assert!(lines[1].starts_with('-'));
+        // Columns right-aligned: the "2" sits under the "e" of size.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = Table::new(["a", "b", "c"]);
+        t.row(["1"]);
+        assert_eq!(t.len(), 1);
+        assert!(t.render().contains('1'));
+    }
+
+    #[test]
+    #[should_panic(expected = "wider")]
+    fn rejects_wide_rows() {
+        let mut t = Table::new(["a"]);
+        t.row(["1", "2"]);
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = Table::new(["x", "note"]);
+        t.row(["1", "hello, \"world\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"hello, \"\"world\"\"\""));
+    }
+
+    #[test]
+    fn float_format() {
+        assert_eq!(f(1.005), "1.00");
+        assert_eq!(f(2.5), "2.50");
+    }
+}

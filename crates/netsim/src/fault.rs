@@ -1,0 +1,148 @@
+//! Seeded fault injection, smoltcp-style: probabilistic packet drop and
+//! single-byte corruption applied to transmissions in flight.
+//!
+//! Corruption flips exactly one random bit of one random byte — the
+//! adversary the Internet checksum is designed for; the wire crate's
+//! property tests guarantee such packets never parse, so the protocol
+//! sees corruption as loss (exactly what a real router does).
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use rand_chacha::rand_core::SeedableRng;
+
+/// Probabilities for the fault injector, in [0, 1].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultPlan {
+    /// Probability that any transmission is silently dropped.
+    pub drop_chance: f64,
+    /// Probability that a surviving transmission has one bit flipped.
+    pub corrupt_chance: f64,
+}
+
+impl FaultPlan {
+    /// No faults at all.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Uniform drop probability, no corruption.
+    pub fn drops(p: f64) -> Self {
+        FaultPlan { drop_chance: p, corrupt_chance: 0.0 }
+    }
+
+    /// Uniform corruption probability, no drops.
+    pub fn corruption(p: f64) -> Self {
+        FaultPlan { drop_chance: 0.0, corrupt_chance: p }
+    }
+}
+
+/// Stateful injector: owns its RNG so a fixed seed reproduces the same
+/// fault pattern run after run.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: ChaCha8Rng,
+    dropped: u64,
+    corrupted: u64,
+    passed: u64,
+}
+
+impl FaultInjector {
+    /// New injector with the given plan and seed.
+    pub fn new(plan: FaultPlan, seed: u64) -> Self {
+        FaultInjector { plan, rng: ChaCha8Rng::seed_from_u64(seed), dropped: 0, corrupted: 0, passed: 0 }
+    }
+
+    /// Applies the plan to a frame in flight. Returns `None` if the
+    /// frame is dropped, otherwise the (possibly corrupted) frame.
+    pub fn apply(&mut self, mut frame: Vec<u8>) -> Option<Vec<u8>> {
+        if self.plan.drop_chance > 0.0 && self.rng.gen::<f64>() < self.plan.drop_chance {
+            self.dropped += 1;
+            return None;
+        }
+        if self.plan.corrupt_chance > 0.0
+            && !frame.is_empty()
+            && self.rng.gen::<f64>() < self.plan.corrupt_chance
+        {
+            let byte = self.rng.gen_range(0..frame.len());
+            let bit = self.rng.gen_range(0..8u8);
+            frame[byte] ^= 1 << bit;
+            self.corrupted += 1;
+        } else {
+            self.passed += 1;
+        }
+        Some(frame)
+    }
+
+    /// (passed clean, corrupted, dropped) counters.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.passed, self.corrupted, self.dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_passes_everything_untouched() {
+        let mut inj = FaultInjector::new(FaultPlan::none(), 1);
+        for i in 0..100u8 {
+            let frame = vec![i; 16];
+            assert_eq!(inj.apply(frame.clone()), Some(frame));
+        }
+        assert_eq!(inj.stats(), (100, 0, 0));
+    }
+
+    #[test]
+    fn full_drop_drops_everything() {
+        let mut inj = FaultInjector::new(FaultPlan::drops(1.0), 1);
+        for _ in 0..50 {
+            assert_eq!(inj.apply(vec![0; 8]), None);
+        }
+        assert_eq!(inj.stats(), (0, 0, 50));
+    }
+
+    #[test]
+    fn full_corruption_flips_exactly_one_bit() {
+        let mut inj = FaultInjector::new(FaultPlan::corruption(1.0), 7);
+        for _ in 0..50 {
+            let original = vec![0u8; 32];
+            let out = inj.apply(original.clone()).unwrap();
+            let flipped: u32 =
+                out.iter().zip(&original).map(|(a, b)| (a ^ b).count_ones()).sum();
+            assert_eq!(flipped, 1);
+        }
+    }
+
+    #[test]
+    fn drop_rate_is_roughly_honoured() {
+        let mut inj = FaultInjector::new(FaultPlan::drops(0.3), 42);
+        let n = 10_000;
+        let mut dropped = 0;
+        for _ in 0..n {
+            if inj.apply(vec![0; 4]).is_none() {
+                dropped += 1;
+            }
+        }
+        let rate = dropped as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.03, "observed {rate}");
+    }
+
+    #[test]
+    fn same_seed_same_fate() {
+        let run = |seed| {
+            let mut inj =
+                FaultInjector::new(FaultPlan { drop_chance: 0.2, corrupt_chance: 0.2 }, seed);
+            (0..200).map(|i| inj.apply(vec![i as u8; 12])).collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn empty_frame_never_corrupted() {
+        let mut inj = FaultInjector::new(FaultPlan::corruption(1.0), 1);
+        assert_eq!(inj.apply(Vec::new()), Some(Vec::new()));
+    }
+}

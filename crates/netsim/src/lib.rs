@@ -1,0 +1,42 @@
+//! # cbt-netsim — deterministic discrete-event network simulator
+//!
+//! The substrate every experiment runs on. It owns:
+//!
+//! * **virtual time** ([`time`]) — microsecond-resolution [`SimTime`],
+//!   no wall clock anywhere;
+//! * a **stable event queue** ([`queue`]) — ties broken by insertion
+//!   sequence so identical seeds replay identically;
+//! * the **world** ([`world`]) — instantiates a
+//!   [`cbt_topology::NetworkSpec`], hosts one [`node::SimNode`]
+//!   behaviour per router/host, moves whole IP datagrams between them
+//!   over LANs and point-to-point links with per-hop latency, and
+//!   honours the shared [`cbt_routing::FailureSet`];
+//! * **fault injection** ([`fault`]) — seeded probabilistic drop and
+//!   byte corruption, smoltcp-style;
+//! * a **trace** ([`trace`]) — every transmission classified by
+//!   protocol (CBT control type, IGMP type, native/CBT-mode data) with
+//!   counters; this is the raw material for the control-overhead and
+//!   traffic-concentration experiments.
+//!
+//! The simulator knows nothing about the CBT protocol itself: protocol
+//! engines are plugged in as [`node::SimNode`] trait objects. The same
+//! engine code also runs under tokio in `cbt-node`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fault;
+pub mod node;
+pub mod pcap;
+pub mod queue;
+pub mod time;
+pub mod trace;
+pub mod world;
+
+pub use fault::FaultPlan;
+pub use node::{Entity, Outbox, SimNode, Transmit};
+pub use pcap::Capture;
+pub use queue::EventQueue;
+pub use time::{SimDuration, SimTime};
+pub use trace::{Medium, PacketKind, Trace, TraceEntry};
+pub use world::{World, WorldConfig};

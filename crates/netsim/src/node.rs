@@ -1,0 +1,145 @@
+//! The plug-in interface between the simulator and protocol behaviours.
+
+use crate::time::SimTime;
+use cbt_topology::{HostId, IfIndex, RouterId};
+
+/// An addressable entity in the world: a router or a host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Entity {
+    /// A router (indexes `NetworkSpec::routers`).
+    Router(RouterId),
+    /// A host (indexes `NetworkSpec::hosts`); hosts have a single
+    /// implicit interface 0 on their LAN.
+    Host(HostId),
+}
+
+impl std::fmt::Display for Entity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Entity::Router(r) => write!(f, "{r}"),
+            Entity::Host(h) => write!(f, "host{}", h.0),
+        }
+    }
+}
+
+/// One outbound transmission requested by a node: a complete IP
+/// datagram handed to an interface.
+///
+/// `link_dst` is the link-layer destination, standing in for the MAC
+/// address real Ethernet would carry: on a LAN, `Some(addr)` delivers
+/// only to the attachment owning that IP address (the resolved next
+/// hop), while `None` broadcasts to every other attachment (multicast
+/// and true broadcasts). Point-to-point links ignore it — the peer
+/// gets everything.
+#[derive(Debug, Clone)]
+pub struct Transmit {
+    /// Which of the node's interfaces to send on (always 0 for hosts).
+    pub iface: IfIndex,
+    /// Link-layer destination on multi-access media.
+    pub link_dst: Option<cbt_wire::Addr>,
+    /// The full datagram.
+    pub frame: Vec<u8>,
+}
+
+/// Collects a node's outbound transmissions during one callback.
+#[derive(Debug, Default)]
+pub struct Outbox {
+    sends: Vec<Transmit>,
+}
+
+impl Outbox {
+    /// New empty outbox.
+    pub fn new() -> Self {
+        Outbox::default()
+    }
+
+    /// Queues a frame on an interface, link-layer broadcast.
+    pub fn send(&mut self, iface: IfIndex, frame: Vec<u8>) {
+        self.sends.push(Transmit { iface, link_dst: None, frame });
+    }
+
+    /// Queues a frame for one specific link-layer neighbour (the
+    /// next-hop resolution an ARP lookup would have done).
+    pub fn send_to(&mut self, iface: IfIndex, link_dst: cbt_wire::Addr, frame: Vec<u8>) {
+        self.sends.push(Transmit { iface, link_dst: Some(link_dst), frame });
+    }
+
+    /// Drains everything queued.
+    pub fn drain(&mut self) -> Vec<Transmit> {
+        std::mem::take(&mut self.sends)
+    }
+
+    /// Number of queued transmissions.
+    pub fn len(&self) -> usize {
+        self.sends.len()
+    }
+
+    /// True if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.sends.is_empty()
+    }
+}
+
+/// A protocol behaviour living on one entity.
+///
+/// The contract is sans-I/O: the node never blocks, never sleeps, and
+/// owns no clock — it reacts to packets and timer pokes, emits frames
+/// into the [`Outbox`], and advertises its next wakeup. The same
+/// implementations run under tokio in `cbt-node` by translating the
+/// callbacks.
+pub trait SimNode {
+    /// A frame arrived on `iface` at `now`. `link_src` is the
+    /// link-layer sender — the neighbour's interface address on the
+    /// shared medium (what the source MAC address tells a real router).
+    /// Protocols use it to accept branch traffic only from actual tree
+    /// neighbours.
+    fn on_packet(
+        &mut self,
+        now: SimTime,
+        iface: IfIndex,
+        link_src: cbt_wire::Addr,
+        frame: &[u8],
+        out: &mut Outbox,
+    );
+
+    /// The node's requested wakeup time arrived (or the harness pokes
+    /// it at start-of-world with `now == SimTime::ZERO`).
+    fn on_timer(&mut self, now: SimTime, out: &mut Outbox);
+
+    /// The earliest future instant this node wants `on_timer` called,
+    /// if any. Re-queried after every callback.
+    fn next_wakeup(&self) -> Option<SimTime>;
+
+    /// Downcast hook so harnesses can reach their concrete node types
+    /// through the trait object (e.g. to tell a host app "join group G
+    /// now"). Implementations are always the one-liner `self`.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outbox_collects_and_drains() {
+        let mut out = Outbox::new();
+        assert!(out.is_empty());
+        out.send(IfIndex(0), vec![1, 2, 3]);
+        out.send(IfIndex(2), vec![4]);
+        assert_eq!(out.len(), 2);
+        let drained = out.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].iface, IfIndex(0));
+        assert_eq!(drained[1].frame, vec![4]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn entity_ordering_and_display() {
+        let a = Entity::Router(RouterId(1));
+        let b = Entity::Host(HostId(0));
+        assert_ne!(a, b);
+        assert_eq!(a.to_string(), "R1");
+        assert_eq!(b.to_string(), "host0");
+    }
+}

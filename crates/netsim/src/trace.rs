@@ -1,0 +1,300 @@
+//! Transmission trace: every frame the world carries, classified by
+//! protocol, with aggregate counters.
+//!
+//! This is the measurement tap for two whole experiment families:
+//! control-overhead (count messages by [`PacketKind`]) and
+//! traffic-concentration (count data bytes per link/LAN).
+
+use crate::node::Entity;
+use crate::time::SimTime;
+use cbt_topology::{IfIndex, LanId, LinkId};
+use cbt_wire::{ControlMessage, ControlType, IgmpMessage, IgmpType, IpProto, Ipv4Header, UdpHeader};
+use std::collections::HashMap;
+
+/// Protocol classification of one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketKind {
+    /// A CBT control message of the given type (in UDP, §3).
+    Control(ControlType),
+    /// An IGMP message of the given type.
+    Igmp(IgmpType),
+    /// Native-mode multicast data (§4).
+    DataNative,
+    /// CBT-mode encapsulated data (§5).
+    DataCbt,
+    /// Anything that did not parse (corrupted in flight, or not ours).
+    Other,
+}
+
+impl PacketKind {
+    /// Classifies a raw frame by parsing just enough headers.
+    pub fn classify(frame: &[u8]) -> PacketKind {
+        let Ok(ip) = Ipv4Header::decode(frame) else { return PacketKind::Other };
+        let body = &frame[20..];
+        match ip.proto {
+            IpProto::Cbt => PacketKind::DataCbt,
+            IpProto::Igmp => match IgmpMessage::decode(body) {
+                Ok(m) => PacketKind::Igmp(m.igmp_type()),
+                Err(_) => PacketKind::Other,
+            },
+            IpProto::Udp => match UdpHeader::unwrap(body) {
+                Ok((udp, payload))
+                    if udp.dst_port == cbt_wire::CBT_PRIMARY_PORT
+                        || udp.dst_port == cbt_wire::CBT_AUX_PORT =>
+                {
+                    match ControlMessage::decode(payload) {
+                        Ok(m) => PacketKind::Control(m.control_type()),
+                        Err(_) => PacketKind::Other,
+                    }
+                }
+                Ok(_) if ip.dst.is_multicast() => PacketKind::DataNative,
+                _ => PacketKind::Other,
+            },
+            IpProto::IpIp => PacketKind::DataCbt,
+        }
+    }
+
+    /// True for either data kind.
+    pub fn is_data(self) -> bool {
+        matches!(self, PacketKind::DataNative | PacketKind::DataCbt)
+    }
+
+    /// True for CBT control or CBT-relevant IGMP — the "protocol
+    /// overhead" bucket of experiment S93-T3.
+    pub fn is_control(self) -> bool {
+        matches!(self, PacketKind::Control(_) | PacketKind::Igmp(_))
+    }
+}
+
+/// The medium a frame crossed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Medium {
+    /// A multi-access LAN.
+    Lan(LanId),
+    /// A point-to-point link.
+    Link(LinkId),
+}
+
+/// One recorded transmission.
+#[derive(Debug, Clone)]
+pub struct TraceEntry {
+    /// When it was sent.
+    pub at: SimTime,
+    /// Who sent it.
+    pub from: Entity,
+    /// Out of which interface.
+    pub iface: IfIndex,
+    /// Over which medium.
+    pub medium: Medium,
+    /// Classification.
+    pub kind: PacketKind,
+    /// Frame size in bytes.
+    pub bytes: usize,
+}
+
+/// The trace: optional full log plus always-on counters.
+#[derive(Debug)]
+pub struct Trace {
+    keep_entries: bool,
+    entries: Vec<TraceEntry>,
+    by_kind: HashMap<PacketKind, u64>,
+    data_bytes_by_medium: HashMap<Medium, u64>,
+    frames_by_medium: HashMap<Medium, u64>,
+    total_frames: u64,
+    total_bytes: u64,
+}
+
+impl Trace {
+    /// A trace that records full entries (tests, walkthroughs).
+    pub fn recording() -> Self {
+        Self::new(true)
+    }
+
+    /// A counters-only trace (large sweeps).
+    pub fn counters_only() -> Self {
+        Self::new(false)
+    }
+
+    fn new(keep_entries: bool) -> Self {
+        Trace {
+            keep_entries,
+            entries: Vec::new(),
+            by_kind: HashMap::new(),
+            data_bytes_by_medium: HashMap::new(),
+            frames_by_medium: HashMap::new(),
+            total_frames: 0,
+            total_bytes: 0,
+        }
+    }
+
+    /// Records one transmission.
+    pub fn record(&mut self, entry: TraceEntry) {
+        *self.by_kind.entry(entry.kind).or_default() += 1;
+        *self.frames_by_medium.entry(entry.medium).or_default() += 1;
+        if entry.kind.is_data() {
+            *self.data_bytes_by_medium.entry(entry.medium).or_default() += entry.bytes as u64;
+        }
+        self.total_frames += 1;
+        self.total_bytes += entry.bytes as u64;
+        if self.keep_entries {
+            self.entries.push(entry);
+        }
+    }
+
+    /// Full entries (empty if counters-only).
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Count of frames of a given kind.
+    pub fn count(&self, kind: PacketKind) -> u64 {
+        self.by_kind.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Total control-plane frames (CBT control + IGMP).
+    pub fn control_frames(&self) -> u64 {
+        self.by_kind.iter().filter(|(k, _)| k.is_control()).map(|(_, v)| v).sum()
+    }
+
+    /// CBT control frames only (no IGMP) — the protocol-overhead metric
+    /// comparable across multicast schemes, which all need IGMP anyway.
+    pub fn cbt_control_frames(&self) -> u64 {
+        self.by_kind
+            .iter()
+            .filter(|(k, _)| matches!(k, PacketKind::Control(_)))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Total data frames (both modes).
+    pub fn data_frames(&self) -> u64 {
+        self.by_kind.iter().filter(|(k, _)| k.is_data()).map(|(_, v)| v).sum()
+    }
+
+    /// Data bytes carried per medium — the traffic-concentration input.
+    pub fn data_bytes_by_medium(&self) -> &HashMap<Medium, u64> {
+        &self.data_bytes_by_medium
+    }
+
+    /// Frames carried per medium.
+    pub fn frames_by_medium(&self) -> &HashMap<Medium, u64> {
+        &self.frames_by_medium
+    }
+
+    /// (total frames, total bytes).
+    pub fn totals(&self) -> (u64, u64) {
+        (self.total_frames, self.total_bytes)
+    }
+
+    /// All per-kind counters, sorted for stable display.
+    pub fn kind_counts(&self) -> Vec<(PacketKind, u64)> {
+        let mut v: Vec<_> = self.by_kind.iter().map(|(k, c)| (*k, *c)).collect();
+        v.sort_by_key(|(k, _)| format!("{k:?}"));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbt_wire::{Addr, DataPacket, GroupId, JoinSubcode};
+
+    fn control_frame() -> Vec<u8> {
+        let msg = ControlMessage::JoinRequest {
+            subcode: JoinSubcode::ActiveJoin,
+            group: GroupId::numbered(1),
+            origin: Addr::from_octets(10, 1, 0, 1),
+            target_core: Addr::from_octets(10, 255, 0, 3),
+            cores: vec![Addr::from_octets(10, 255, 0, 3)],
+        };
+        let udp = UdpHeader::wrap(cbt_wire::CBT_PRIMARY_PORT, cbt_wire::CBT_PRIMARY_PORT, &msg.encode());
+        cbt_wire::ipv4::build_datagram(
+            Addr::from_octets(10, 1, 0, 1),
+            Addr::from_octets(172, 31, 0, 2),
+            IpProto::Udp,
+            64,
+            &udp,
+        )
+    }
+
+    #[test]
+    fn classify_control() {
+        assert_eq!(
+            PacketKind::classify(&control_frame()),
+            PacketKind::Control(ControlType::JoinRequest)
+        );
+    }
+
+    #[test]
+    fn classify_igmp() {
+        let igmp = IgmpMessage::Leave { group: GroupId::numbered(2) }.encode();
+        let frame = cbt_wire::ipv4::build_datagram(
+            Addr::from_octets(10, 1, 0, 100),
+            cbt_wire::ALL_ROUTERS,
+            IpProto::Igmp,
+            1,
+            &igmp,
+        );
+        assert_eq!(PacketKind::classify(&frame), PacketKind::Igmp(IgmpType::LeaveGroup));
+    }
+
+    #[test]
+    fn classify_native_data() {
+        let p = DataPacket::new(Addr::from_octets(10, 1, 0, 100), GroupId::numbered(2), 16, b"x".to_vec());
+        assert_eq!(PacketKind::classify(&p.encode()), PacketKind::DataNative);
+    }
+
+    #[test]
+    fn classify_cbt_data() {
+        let p = DataPacket::new(Addr::from_octets(10, 1, 0, 100), GroupId::numbered(2), 16, b"x".to_vec());
+        let enc = cbt_wire::CbtDataPacket::encapsulate(&p, Addr::from_octets(10, 255, 0, 3));
+        let frame = enc.wrap_unicast(Addr::from_octets(1, 1, 1, 1), Addr::from_octets(2, 2, 2, 2), None);
+        assert_eq!(PacketKind::classify(&frame), PacketKind::DataCbt);
+    }
+
+    #[test]
+    fn classify_garbage_as_other() {
+        assert_eq!(PacketKind::classify(&[0xde, 0xad]), PacketKind::Other);
+        let mut frame = control_frame();
+        frame[25] ^= 0x01; // corrupt inside the UDP region
+        assert_eq!(PacketKind::classify(&frame), PacketKind::Other);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut t = Trace::recording();
+        let e = TraceEntry {
+            at: SimTime::ZERO,
+            from: Entity::Router(cbt_topology::RouterId(0)),
+            iface: IfIndex(0),
+            medium: Medium::Link(LinkId(0)),
+            kind: PacketKind::classify(&control_frame()),
+            bytes: control_frame().len(),
+        };
+        t.record(e.clone());
+        t.record(TraceEntry { kind: PacketKind::DataNative, bytes: 50, ..e.clone() });
+        t.record(TraceEntry { kind: PacketKind::DataCbt, bytes: 90, medium: Medium::Lan(LanId(1)), ..e });
+        assert_eq!(t.control_frames(), 1);
+        assert_eq!(t.data_frames(), 2);
+        assert_eq!(t.count(PacketKind::Control(ControlType::JoinRequest)), 1);
+        assert_eq!(t.data_bytes_by_medium()[&Medium::Link(LinkId(0))], 50);
+        assert_eq!(t.data_bytes_by_medium()[&Medium::Lan(LanId(1))], 90);
+        assert_eq!(t.entries().len(), 3);
+        assert_eq!(t.totals().0, 3);
+    }
+
+    #[test]
+    fn counters_only_drops_entries() {
+        let mut t = Trace::counters_only();
+        t.record(TraceEntry {
+            at: SimTime::ZERO,
+            from: Entity::Router(cbt_topology::RouterId(0)),
+            iface: IfIndex(0),
+            medium: Medium::Link(LinkId(0)),
+            kind: PacketKind::DataNative,
+            bytes: 10,
+        });
+        assert!(t.entries().is_empty());
+        assert_eq!(t.totals(), (1, 10));
+    }
+}

@@ -1,0 +1,590 @@
+//! The world: a [`NetworkSpec`] instantiated with live node behaviours,
+//! an event queue, latencies, failures and fault injection.
+
+use crate::fault::{FaultInjector, FaultPlan};
+use crate::node::{Entity, Outbox, SimNode};
+use crate::queue::EventQueue;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{Medium, PacketKind, Trace, TraceEntry};
+use cbt_routing::FailureSet;
+use cbt_topology::{Attachment, IfIndex, LanId, NetworkSpec};
+use std::collections::HashMap;
+
+/// World construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct WorldConfig {
+    /// Propagation + processing delay across a point-to-point link.
+    pub link_latency: SimDuration,
+    /// Delay across a LAN segment.
+    pub lan_latency: SimDuration,
+    /// Fault injection plan.
+    pub fault: FaultPlan,
+    /// Seed for the fault injector (the only randomness in the world).
+    pub seed: u64,
+    /// Record full trace entries (`true`) or counters only (`false`).
+    pub record_trace: bool,
+    /// Also capture every transmitted frame for pcap export
+    /// ([`World::capture`]). Off by default — captures grow quickly.
+    pub capture_pcap: bool,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            link_latency: SimDuration::from_millis(1),
+            lan_latency: SimDuration::from_micros(200),
+            fault: FaultPlan::none(),
+            seed: 0,
+            record_trace: true,
+            capture_pcap: false,
+        }
+    }
+}
+
+enum Event {
+    Arrive { to: Entity, iface: IfIndex, link_src: cbt_wire::Addr, frame: Vec<u8> },
+    Wake { who: Entity, generation: u64 },
+}
+
+/// The discrete-event world.
+///
+/// Construct with a network, plug in one [`SimNode`] per router/host
+/// (entities without a node simply ignore traffic), call
+/// [`World::start`], then drive time with [`World::run_until`] /
+/// [`World::run_until_idle`].
+pub struct World {
+    spec: NetworkSpec,
+    failures: FailureSet,
+    cfg: WorldConfig,
+    now: SimTime,
+    queue: EventQueue<Event>,
+    nodes: HashMap<Entity, Box<dyn SimNode>>,
+    wake_generation: HashMap<Entity, u64>,
+    injector: FaultInjector,
+    trace: Trace,
+    capture: Option<crate::pcap::Capture>,
+}
+
+impl World {
+    /// Creates a world over `spec` with the given config.
+    pub fn new(spec: NetworkSpec, cfg: WorldConfig) -> Self {
+        World {
+            spec,
+            failures: FailureSet::none(),
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            nodes: HashMap::new(),
+            wake_generation: HashMap::new(),
+            injector: FaultInjector::new(cfg.fault, cfg.seed),
+            trace: if cfg.record_trace { Trace::recording() } else { Trace::counters_only() },
+            capture: cfg.capture_pcap.then(crate::pcap::Capture::new),
+            cfg,
+        }
+    }
+
+    /// The network this world instantiates.
+    pub fn spec(&self) -> &NetworkSpec {
+        &self.spec
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The transmission trace so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The pcap frame capture, when `capture_pcap` was enabled.
+    pub fn capture(&self) -> Option<&crate::pcap::Capture> {
+        self.capture.as_ref()
+    }
+
+    /// Fault-injector counters: (passed clean, corrupted, dropped).
+    pub fn fault_stats(&self) -> (u64, u64, u64) {
+        self.injector.stats()
+    }
+
+    /// Replaces the fault plan mid-run (e.g. to end a chaos phase and
+    /// observe recovery). The injector is re-seeded deterministically
+    /// from the original seed.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.injector = FaultInjector::new(plan, self.cfg.seed.wrapping_add(0x9e3779b9));
+    }
+
+    /// Current failure state (shared with routing recomputation done by
+    /// the harness).
+    pub fn failures(&self) -> &FailureSet {
+        &self.failures
+    }
+
+    /// Mutates the failure state. The harness is responsible for also
+    /// recomputing whatever routing tables its nodes share.
+    pub fn failures_mut(&mut self) -> &mut FailureSet {
+        &mut self.failures
+    }
+
+    /// Installs the behaviour for an entity, replacing any previous one
+    /// (that is how router *restarts* are modelled: a fresh engine with
+    /// empty state, per §6.2).
+    pub fn set_node(&mut self, entity: Entity, node: Box<dyn SimNode>) {
+        self.nodes.insert(entity, node);
+        self.reschedule_wake(entity);
+    }
+
+    /// Typed access to a node for harness-level commands (e.g. telling
+    /// a host application to join a group). Follow mutations that need
+    /// to send packets with [`World::poke`].
+    pub fn node_mut<N: SimNode + 'static>(&mut self, entity: Entity) -> Option<&mut N> {
+        self.nodes.get_mut(&entity)?.as_any_mut().downcast_mut::<N>()
+    }
+
+    /// Immutable typed access to a node.
+    pub fn node<N: SimNode + 'static>(&mut self, entity: Entity) -> Option<&N> {
+        self.nodes.get_mut(&entity)?.as_any_mut().downcast_mut::<N>().map(|n| &*n)
+    }
+
+    /// Invokes `on_timer` on an entity *now* — used right after a
+    /// harness-level mutation so the node can act on it.
+    pub fn poke(&mut self, entity: Entity) {
+        if self.entity_down(entity) {
+            return;
+        }
+        let mut out = Outbox::new();
+        let now = self.now;
+        if let Some(node) = self.nodes.get_mut(&entity) {
+            node.on_timer(now, &mut out);
+        }
+        self.emit(entity, out);
+        self.reschedule_wake(entity);
+    }
+
+    /// Schedules the initial wakeups of every installed node. Call once
+    /// after all nodes are installed.
+    pub fn start(&mut self) {
+        let mut entities: Vec<Entity> = self.nodes.keys().copied().collect();
+        entities.sort(); // deterministic iteration
+        for e in entities {
+            self.poke(e);
+        }
+    }
+
+    /// Processes a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some((at, event)) = self.queue.pop() else { return false };
+        debug_assert!(at >= self.now, "time went backwards");
+        self.now = at;
+        match event {
+            Event::Arrive { to, iface, link_src, frame } => {
+                if self.entity_down(to) {
+                    return true;
+                }
+                let mut out = Outbox::new();
+                if let Some(node) = self.nodes.get_mut(&to) {
+                    node.on_packet(at, iface, link_src, &frame, &mut out);
+                }
+                self.emit(to, out);
+                self.reschedule_wake(to);
+            }
+            Event::Wake { who, generation } => {
+                if self.wake_generation.get(&who).copied().unwrap_or(0) != generation {
+                    return true; // stale wake
+                }
+                if self.entity_down(who) {
+                    return true;
+                }
+                let mut out = Outbox::new();
+                if let Some(node) = self.nodes.get_mut(&who) {
+                    node.on_timer(at, &mut out);
+                }
+                self.emit(who, out);
+                self.reschedule_wake(who);
+            }
+        }
+        true
+    }
+
+    /// Runs until simulated time reaches `deadline` (events after it
+    /// stay queued; `now` advances to the deadline).
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs for `d` of simulated time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let deadline = self.now + d;
+        self.run_until(deadline);
+    }
+
+    /// Runs until no events remain or `deadline` passes, whichever is
+    /// first. Returns `true` if the world went idle.
+    pub fn run_until_idle(&mut self, deadline: SimTime) -> bool {
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                self.now = deadline;
+                return false;
+            }
+            self.step();
+        }
+        true
+    }
+
+    fn entity_down(&self, e: Entity) -> bool {
+        match e {
+            Entity::Router(r) => self.failures.router_down(r),
+            Entity::Host(_) => false,
+        }
+    }
+
+    /// Dispatches everything a node queued.
+    fn emit(&mut self, from: Entity, mut out: Outbox) {
+        for t in out.drain() {
+            match self.medium_of(from, t.iface) {
+                Some(Medium::Lan(lan)) => self.emit_lan(from, t.iface, lan, t.link_dst, t.frame),
+                Some(Medium::Link(_link)) => self.emit_link(from, t.iface, t.frame),
+                None => {} // unknown interface: silently dropped
+            }
+        }
+    }
+
+    fn medium_of(&self, from: Entity, iface: IfIndex) -> Option<Medium> {
+        match from {
+            Entity::Router(r) => {
+                let spec = self.spec.routers.get(r.0 as usize)?;
+                match spec.iface(iface)?.attachment {
+                    Attachment::Lan(l) => Some(Medium::Lan(l)),
+                    Attachment::Link { link, .. } => Some(Medium::Link(link)),
+                }
+            }
+            Entity::Host(h) => {
+                let spec = self.spec.hosts.get(h.0 as usize)?;
+                (iface == IfIndex(0)).then_some(Medium::Lan(spec.lan))
+            }
+        }
+    }
+
+    fn emit_lan(
+        &mut self,
+        from: Entity,
+        iface: IfIndex,
+        lan: LanId,
+        link_dst: Option<cbt_wire::Addr>,
+        frame: Vec<u8>,
+    ) {
+        if self.failures.lan_down(lan) {
+            return;
+        }
+        self.trace.record(TraceEntry {
+            at: self.now,
+            from,
+            iface,
+            medium: Medium::Lan(lan),
+            kind: PacketKind::classify(&frame),
+            bytes: frame.len(),
+        });
+        if let Some(cap) = &mut self.capture {
+            cap.record(self.now, &frame);
+        }
+        let Some(frame) = self.injector.apply(frame) else { return };
+        let arrive_at = self.now + self.cfg.lan_latency;
+        // The link-layer source: the sender's address on this LAN.
+        let link_src = match from {
+            Entity::Router(r) => self
+                .spec
+                .routers
+                .get(r.0 as usize)
+                .and_then(|s| s.iface_on_lan(lan))
+                .map(|(_, i)| i.addr)
+                .unwrap_or(cbt_wire::Addr::NULL),
+            Entity::Host(h) => {
+                self.spec.hosts.get(h.0 as usize).map(|s| s.addr).unwrap_or(cbt_wire::Addr::NULL)
+            }
+        };
+        let lan_spec = self.spec.lans[lan.0 as usize].clone();
+        for r in lan_spec.routers {
+            if Entity::Router(r) == from || self.failures.router_down(r) {
+                continue;
+            }
+            let Some((rx_iface, rx_spec)) = self.spec.routers[r.0 as usize].iface_on_lan(lan)
+            else {
+                continue;
+            };
+            // Link-layer filter: a framed unicast only reaches its
+            // addressee.
+            if link_dst.is_some_and(|d| d != rx_spec.addr) {
+                continue;
+            }
+            self.queue.push(
+                arrive_at,
+                Event::Arrive {
+                    to: Entity::Router(r),
+                    iface: rx_iface,
+                    link_src,
+                    frame: frame.clone(),
+                },
+            );
+        }
+        for h in lan_spec.hosts {
+            if Entity::Host(h) == from {
+                continue;
+            }
+            if link_dst.is_some_and(|d| d != self.spec.hosts[h.0 as usize].addr) {
+                continue;
+            }
+            self.queue.push(
+                arrive_at,
+                Event::Arrive {
+                    to: Entity::Host(h),
+                    iface: IfIndex(0),
+                    link_src,
+                    frame: frame.clone(),
+                },
+            );
+        }
+    }
+
+    fn emit_link(&mut self, from: Entity, iface: IfIndex, frame: Vec<u8>) {
+        let Entity::Router(r) = from else { return };
+        let Some(spec) = self.spec.routers.get(r.0 as usize) else { return };
+        let Some(ifspec) = spec.iface(iface) else { return };
+        let Attachment::Link { link, peer } = ifspec.attachment else { return };
+        if self.failures.link_down(link) || self.failures.router_down(peer) {
+            // Record the attempt (bytes hit the wire) but nothing arrives.
+            self.trace.record(TraceEntry {
+                at: self.now,
+                from,
+                iface,
+                medium: Medium::Link(link),
+                kind: PacketKind::classify(&frame),
+                bytes: frame.len(),
+            });
+            return;
+        }
+        self.trace.record(TraceEntry {
+            at: self.now,
+            from,
+            iface,
+            medium: Medium::Link(link),
+            kind: PacketKind::classify(&frame),
+            bytes: frame.len(),
+        });
+        if let Some(cap) = &mut self.capture {
+            cap.record(self.now, &frame);
+        }
+        let Some(frame) = self.injector.apply(frame) else { return };
+        // Find the peer's interface on this link.
+        let peer_iface = self.spec.routers[peer.0 as usize]
+            .ifaces
+            .iter()
+            .position(|pi| matches!(pi.attachment, Attachment::Link { link: l, .. } if l == link));
+        let Some(peer_iface) = peer_iface else { return };
+        self.queue.push(
+            self.now + self.cfg.link_latency,
+            Event::Arrive {
+                to: Entity::Router(peer),
+                iface: IfIndex(peer_iface as u32),
+                link_src: ifspec.addr,
+                frame,
+            },
+        );
+    }
+
+    fn reschedule_wake(&mut self, entity: Entity) {
+        let generation = self.wake_generation.entry(entity).or_insert(0);
+        *generation += 1;
+        let generation = *generation;
+        if let Some(node) = self.nodes.get(&entity) {
+            if let Some(at) = node.next_wakeup() {
+                let at = at.max(self.now);
+                self.queue.push(at, Event::Wake { who: entity, generation });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbt_topology::{HostId, NetworkBuilder, RouterId};
+    use cbt_wire::{Addr, DataPacket, GroupId};
+    use std::any::Any;
+
+    /// A node that floods one data packet at t=1s and counts arrivals.
+    struct Chatter {
+        src: Addr,
+        fire_at: Option<SimTime>,
+        received: Vec<(SimTime, IfIndex)>,
+    }
+
+    impl Chatter {
+        fn new(src: Addr) -> Self {
+            Chatter { src, fire_at: Some(SimTime::from_secs(1)), received: Vec::new() }
+        }
+    }
+
+    impl SimNode for Chatter {
+        fn on_packet(
+            &mut self,
+            now: SimTime,
+            iface: IfIndex,
+            _link_src: cbt_wire::Addr,
+            _frame: &[u8],
+            _out: &mut Outbox,
+        ) {
+            self.received.push((now, iface));
+        }
+        fn on_timer(&mut self, now: SimTime, out: &mut Outbox) {
+            if self.fire_at.is_some_and(|t| t <= now) {
+                self.fire_at = None;
+                let pkt = DataPacket::new(self.src, GroupId::numbered(1), 4, b"x".to_vec());
+                out.send(IfIndex(0), pkt.encode());
+            }
+        }
+        fn next_wakeup(&self) -> Option<SimTime> {
+            self.fire_at
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn two_routers_one_lan() -> (NetworkSpec, RouterId, RouterId, HostId) {
+        let mut b = NetworkBuilder::new();
+        let r0 = b.router("R0");
+        let r1 = b.router("R1");
+        let lan = b.lan("S0");
+        b.attach(lan, r0);
+        b.attach(lan, r1);
+        let h = b.host("H", lan);
+        (b.build(), r0, r1, h)
+    }
+
+    #[test]
+    fn lan_broadcast_reaches_everyone_but_sender() {
+        let (spec, r0, r1, h) = two_routers_one_lan();
+        let src = spec.routers[r0.0 as usize].ifaces[0].addr;
+        let mut w = World::new(spec, WorldConfig::default());
+        w.set_node(Entity::Router(r0), Box::new(Chatter::new(src)));
+        w.set_node(Entity::Router(r1), Box::new(Chatter::new(src)));
+        w.set_node(Entity::Host(h), Box::new(Chatter::new(src)));
+        w.start();
+        assert!(w.run_until_idle(SimTime::from_secs(10)));
+        // All three fired once at t=1s; each hears the other two.
+        for e in [Entity::Router(r0), Entity::Router(r1), Entity::Host(h)] {
+            let n = w.node_mut::<Chatter>(e).unwrap();
+            assert_eq!(n.received.len(), 2, "{e}");
+            for (at, _) in &n.received {
+                assert_eq!(*at, SimTime::from_secs(1) + WorldConfig::default().lan_latency);
+            }
+        }
+        assert_eq!(w.trace().data_frames(), 3);
+    }
+
+    #[test]
+    fn link_delivery_has_latency_and_correct_iface() {
+        let mut b = NetworkBuilder::new();
+        let r0 = b.router("R0");
+        let r1 = b.router("R1");
+        b.link(r0, r1, 1);
+        let spec = b.build();
+        let src = spec.routers[0].ifaces[0].addr;
+        let mut w = World::new(spec, WorldConfig::default());
+        w.set_node(Entity::Router(r0), Box::new(Chatter::new(src)));
+        w.set_node(Entity::Router(r1), Box::new(Chatter::new(src)));
+        w.start();
+        assert!(w.run_until_idle(SimTime::from_secs(10)));
+        let n1 = w.node_mut::<Chatter>(Entity::Router(r1)).unwrap();
+        assert_eq!(n1.received.len(), 1);
+        let (at, iface) = n1.received[0];
+        assert_eq!(at, SimTime::from_secs(1) + SimDuration::from_millis(1));
+        assert_eq!(iface, IfIndex(0));
+    }
+
+    #[test]
+    fn failed_lan_carries_nothing() {
+        let (spec, r0, r1, _h) = two_routers_one_lan();
+        let lan = spec.lan_by_name("S0").unwrap();
+        let src = spec.routers[r0.0 as usize].ifaces[0].addr;
+        let mut w = World::new(spec, WorldConfig::default());
+        w.set_node(Entity::Router(r0), Box::new(Chatter::new(src)));
+        w.set_node(Entity::Router(r1), Box::new(Chatter::new(src)));
+        w.failures_mut().fail_lan(lan);
+        w.start();
+        w.run_until_idle(SimTime::from_secs(10));
+        assert!(w.node_mut::<Chatter>(Entity::Router(r1)).unwrap().received.is_empty());
+    }
+
+    #[test]
+    fn failed_router_neither_sends_nor_receives() {
+        let (spec, r0, r1, _h) = two_routers_one_lan();
+        let src = spec.routers[r0.0 as usize].ifaces[0].addr;
+        let mut w = World::new(spec, WorldConfig::default());
+        w.set_node(Entity::Router(r0), Box::new(Chatter::new(src)));
+        w.set_node(Entity::Router(r1), Box::new(Chatter::new(src)));
+        w.failures_mut().fail_router(r0);
+        w.start();
+        w.run_until_idle(SimTime::from_secs(10));
+        // r0 is down: it never fires, and never hears r1's packet.
+        assert!(w.node_mut::<Chatter>(Entity::Router(r0)).unwrap().received.is_empty());
+        assert!(w.node_mut::<Chatter>(Entity::Router(r0)).unwrap().fire_at.is_some());
+        // r1 fired but nobody was there to hear it.
+        assert!(w.node_mut::<Chatter>(Entity::Router(r1)).unwrap().fire_at.is_none());
+    }
+
+    #[test]
+    fn full_drop_plan_blocks_delivery_but_counts_send() {
+        let (spec, r0, r1, _h) = two_routers_one_lan();
+        let src = spec.routers[r0.0 as usize].ifaces[0].addr;
+        let cfg = WorldConfig { fault: FaultPlan::drops(1.0), ..Default::default() };
+        let mut w = World::new(spec, cfg);
+        w.set_node(Entity::Router(r0), Box::new(Chatter::new(src)));
+        w.set_node(Entity::Router(r1), Box::new(Chatter::new(src)));
+        w.start();
+        w.run_until_idle(SimTime::from_secs(10));
+        assert!(w.node_mut::<Chatter>(Entity::Router(r1)).unwrap().received.is_empty());
+        assert_eq!(w.trace().data_frames(), 2, "sends are traced even when dropped");
+    }
+
+    #[test]
+    fn run_until_advances_clock_without_events() {
+        let (spec, ..) = two_routers_one_lan();
+        let mut w = World::new(spec, WorldConfig::default());
+        w.run_until(SimTime::from_secs(42));
+        assert_eq!(w.now(), SimTime::from_secs(42));
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let (spec, r0, r1, h) = two_routers_one_lan();
+            let src = spec.routers[r0.0 as usize].ifaces[0].addr;
+            let cfg = WorldConfig {
+                fault: FaultPlan { drop_chance: 0.5, corrupt_chance: 0.2 },
+                seed: 99,
+                ..Default::default()
+            };
+            let mut w = World::new(spec, cfg);
+            w.set_node(Entity::Router(r0), Box::new(Chatter::new(src)));
+            w.set_node(Entity::Router(r1), Box::new(Chatter::new(src)));
+            w.set_node(Entity::Host(h), Box::new(Chatter::new(src)));
+            w.start();
+            w.run_until_idle(SimTime::from_secs(10));
+            let mut log = Vec::new();
+            for e in [Entity::Router(r0), Entity::Router(r1), Entity::Host(h)] {
+                log.push(w.node_mut::<Chatter>(e).unwrap().received.clone());
+            }
+            (log, w.trace().totals())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,46 @@
+//! Property test: the event queue is a stable priority queue — events
+//! pop in time order, FIFO within equal times, regardless of insertion
+//! interleaving. Whole-simulation determinism rests on this.
+
+use cbt_netsim::{EventQueue, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn stable_time_ordering(times in proptest::collection::vec(0u64..50, 0..200)) {
+        let mut q = EventQueue::new();
+        for (seq, t) in times.iter().enumerate() {
+            q.push(SimTime::from_micros(*t), seq);
+        }
+        let mut popped: Vec<(SimTime, usize)> = Vec::new();
+        while let Some(item) = q.pop() {
+            popped.push(item);
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO within equal times");
+            }
+        }
+    }
+
+    /// Interleaved push/pop keeps the invariant: anything popped is
+    /// ≤ everything still queued at pop time.
+    #[test]
+    fn interleaved_operations(ops in proptest::collection::vec((any::<bool>(), 0u64..40), 0..300)) {
+        let mut q = EventQueue::new();
+        let mut seq = 0usize;
+        for (push, t) in ops {
+            if push || q.is_empty() {
+                q.push(SimTime::from_micros(t), seq);
+                seq += 1;
+            } else {
+                let popped_at = q.pop().unwrap().0;
+                if let Some(next) = q.peek_time() {
+                    prop_assert!(popped_at <= next);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! JSON deployment descriptions for the `cbtd` binary: a topology, a
+//! core list, and a script of host actions — enough to stand up a live
+//! CBT network from a file.
+//!
+//! ```json
+//! {
+//!   "routers": ["R0", "R1", "R2"],
+//!   "lans": [
+//!     {"name": "S0", "routers": ["R0"], "hosts": ["alice"]},
+//!     {"name": "S1", "routers": ["R2"], "hosts": ["bob"]}
+//!   ],
+//!   "links": [["R0", "R1"], ["R1", "R2"]],
+//!   "group": 1,
+//!   "cores": ["R1"],
+//!   "script": [
+//!     {"at_ms": 100,  "host": "alice", "do": "join"},
+//!     {"at_ms": 100,  "host": "bob",   "do": "join"},
+//!     {"at_ms": 2000, "host": "bob",   "do": "send", "payload": "hello"}
+//!   ]
+//! }
+//! ```
+
+use cbt_topology::{HostId, NetworkBuilder, NetworkSpec, RouterId};
+use serde::Deserialize;
+use std::collections::HashMap;
+
+/// One LAN in the description.
+#[derive(Debug, Clone, Deserialize)]
+pub struct LanConfig {
+    /// LAN name.
+    pub name: String,
+    /// Attached router names (attach order = address order = election
+    /// order).
+    #[serde(default)]
+    pub routers: Vec<String>,
+    /// Host names living on the LAN.
+    #[serde(default)]
+    pub hosts: Vec<String>,
+}
+
+/// One scripted host action.
+#[derive(Debug, Clone, Deserialize)]
+pub struct ScriptStep {
+    /// When, in milliseconds from start.
+    pub at_ms: u64,
+    /// Which host acts.
+    pub host: String,
+    /// `"join"`, `"leave"` or `"send"`.
+    #[serde(rename = "do")]
+    pub action: String,
+    /// Payload for `"send"`.
+    #[serde(default)]
+    pub payload: String,
+}
+
+/// A whole deployment description.
+#[derive(Debug, Clone, Deserialize)]
+pub struct Deployment {
+    /// Router names.
+    pub routers: Vec<String>,
+    /// LAN segments.
+    pub lans: Vec<LanConfig>,
+    /// Point-to-point links as name pairs (cost 1).
+    #[serde(default)]
+    pub links: Vec<(String, String)>,
+    /// Group number (maps to `239.1.x.y`).
+    pub group: u16,
+    /// Core router names, primary first.
+    pub cores: Vec<String>,
+    /// Host actions.
+    #[serde(default)]
+    pub script: Vec<ScriptStep>,
+}
+
+/// A parsed deployment bound to its built network.
+pub struct BuiltDeployment {
+    /// The network.
+    pub net: NetworkSpec,
+    /// Router name → id.
+    pub routers: HashMap<String, RouterId>,
+    /// Host name → id.
+    pub hosts: HashMap<String, HostId>,
+    /// The original description (script, group, cores).
+    pub config: Deployment,
+}
+
+/// Errors from parsing/validating a deployment.
+#[derive(Debug)]
+pub enum ConfigError {
+    /// Invalid JSON.
+    Json(serde_json::Error),
+    /// A name was referenced but never declared, or declared twice.
+    BadReference(String),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::Json(e) => write!(f, "invalid deployment JSON: {e}"),
+            ConfigError::BadReference(m) => write!(f, "bad reference: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl Deployment {
+    /// Parses a deployment from JSON text.
+    pub fn from_json(text: &str) -> Result<Deployment, ConfigError> {
+        serde_json::from_str(text).map_err(ConfigError::Json)
+    }
+
+    /// Builds the network and name maps, validating every reference.
+    pub fn build(self) -> Result<BuiltDeployment, ConfigError> {
+        let mut b = NetworkBuilder::new();
+        let mut routers = HashMap::new();
+        for name in &self.routers {
+            if routers.insert(name.clone(), b.router(name.clone())).is_some() {
+                return Err(ConfigError::BadReference(format!("duplicate router '{name}'")));
+            }
+        }
+        let mut hosts = HashMap::new();
+        for lan in &self.lans {
+            let id = b.lan(lan.name.clone());
+            for r in &lan.routers {
+                let Some(rid) = routers.get(r) else {
+                    return Err(ConfigError::BadReference(format!(
+                        "LAN '{}' references unknown router '{r}'",
+                        lan.name
+                    )));
+                };
+                b.attach(id, *rid);
+            }
+            for h in &lan.hosts {
+                if hosts.insert(h.clone(), b.host(h.clone(), id)).is_some() {
+                    return Err(ConfigError::BadReference(format!("duplicate host '{h}'")));
+                }
+            }
+        }
+        for (x, y) in &self.links {
+            let (Some(a), Some(bb)) = (routers.get(x), routers.get(y)) else {
+                return Err(ConfigError::BadReference(format!(
+                    "link references unknown router '{x}' or '{y}'"
+                )));
+            };
+            b.link(*a, *bb, 1);
+        }
+        for c in &self.cores {
+            if !routers.contains_key(c) {
+                return Err(ConfigError::BadReference(format!("unknown core router '{c}'")));
+            }
+        }
+        for s in &self.script {
+            if !hosts.contains_key(&s.host) {
+                return Err(ConfigError::BadReference(format!(
+                    "script references unknown host '{}'",
+                    s.host
+                )));
+            }
+            if !matches!(s.action.as_str(), "join" | "leave" | "send") {
+                return Err(ConfigError::BadReference(format!(
+                    "unknown action '{}' (join|leave|send)",
+                    s.action
+                )));
+            }
+        }
+        let net = b.build();
+        Ok(BuiltDeployment { net, routers, hosts, config: self })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DEMO: &str = r#"{
+        "routers": ["R0", "R1", "R2"],
+        "lans": [
+            {"name": "S0", "routers": ["R0"], "hosts": ["alice"]},
+            {"name": "S1", "routers": ["R2"], "hosts": ["bob"]}
+        ],
+        "links": [["R0", "R1"], ["R1", "R2"]],
+        "group": 1,
+        "cores": ["R1"],
+        "script": [
+            {"at_ms": 100, "host": "alice", "do": "join"},
+            {"at_ms": 2000, "host": "bob", "do": "send", "payload": "hi"}
+        ]
+    }"#;
+
+    #[test]
+    fn demo_parses_and_builds() {
+        let d = Deployment::from_json(DEMO).unwrap();
+        let built = d.build().unwrap();
+        assert_eq!(built.net.routers.len(), 3);
+        assert_eq!(built.net.hosts.len(), 2);
+        assert_eq!(built.net.links.len(), 2);
+        assert!(built.routers.contains_key("R1"));
+        assert!(built.hosts.contains_key("bob"));
+        assert_eq!(built.config.script.len(), 2);
+        assert!(built.net.router_graph().is_connected());
+    }
+
+    #[test]
+    fn unknown_router_in_lan_rejected() {
+        let bad = DEMO.replace("\"routers\": [\"R0\"],", "\"routers\": [\"R9\"],");
+        match Deployment::from_json(&bad).unwrap().build() {
+            Err(e) => assert!(e.to_string().contains("R9")),
+            Ok(_) => panic!("unknown router accepted"),
+        }
+    }
+
+    #[test]
+    fn unknown_core_rejected() {
+        let bad = DEMO.replace("\"cores\": [\"R1\"]", "\"cores\": [\"R7\"]");
+        assert!(Deployment::from_json(&bad).unwrap().build().is_err());
+    }
+
+    #[test]
+    fn unknown_action_rejected() {
+        let bad = DEMO.replace("\"do\": \"join\"", "\"do\": \"dance\"");
+        assert!(Deployment::from_json(&bad).unwrap().build().is_err());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let bad = DEMO.replace("[\"R0\", \"R1\", \"R2\"]", "[\"R0\", \"R0\", \"R2\"]");
+        assert!(Deployment::from_json(&bad).unwrap().build().is_err());
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(matches!(Deployment::from_json("{"), Err(ConfigError::Json(_))));
+    }
+}

@@ -1,0 +1,201 @@
+//! The in-process frame fabric: who receives what a node transmits.
+//!
+//! Mirrors the delivery semantics of `cbt_netsim::World` (LAN broadcast
+//! with link-layer unicast filtering, p2p peer delivery) but pushes
+//! frames into per-entity tokio mpsc channels instead of an event
+//! queue.
+
+use cbt_netsim::{Entity, Transmit};
+use cbt_topology::{Attachment, HostId, IfIndex, NetworkSpec, RouterId};
+use std::collections::HashMap;
+use std::sync::Arc;
+use tokio::sync::mpsc;
+
+/// A frame as delivered to a node: which interface it arrived on and
+/// who (at the link layer) sent it.
+#[derive(Debug, Clone)]
+pub struct RxFrame {
+    /// Arrival interface (0 for hosts).
+    pub iface: IfIndex,
+    /// Link-layer sender (their address on the shared medium).
+    pub link_src: cbt_wire::Addr,
+    /// The datagram.
+    pub frame: Vec<u8>,
+}
+
+/// Shared dispatch fabric.
+pub struct Fabric {
+    net: Arc<NetworkSpec>,
+    inboxes: HashMap<Entity, mpsc::UnboundedSender<RxFrame>>,
+}
+
+impl Fabric {
+    /// Builds the fabric and one inbox per entity. Returns the fabric
+    /// plus the receive ends, to hand to each node's task.
+    pub fn new(net: Arc<NetworkSpec>) -> (Arc<Self>, HashMap<Entity, mpsc::UnboundedReceiver<RxFrame>>) {
+        let mut inboxes = HashMap::new();
+        let mut rxs = HashMap::new();
+        for i in 0..net.routers.len() {
+            let (tx, rx) = mpsc::unbounded_channel();
+            inboxes.insert(Entity::Router(RouterId(i as u32)), tx);
+            rxs.insert(Entity::Router(RouterId(i as u32)), rx);
+        }
+        for i in 0..net.hosts.len() {
+            let (tx, rx) = mpsc::unbounded_channel();
+            inboxes.insert(Entity::Host(HostId(i as u32)), tx);
+            rxs.insert(Entity::Host(HostId(i as u32)), rx);
+        }
+        (Arc::new(Fabric { net, inboxes }), rxs)
+    }
+
+    /// Dispatches one transmission from `from` to everyone it reaches.
+    pub fn dispatch(&self, from: Entity, t: &Transmit) {
+        match self.medium_of(from, t.iface) {
+            Some(Attachment::Lan(lan)) => {
+                let link_src = match from {
+                    Entity::Router(r) => self
+                        .net
+                        .routers
+                        .get(r.0 as usize)
+                        .and_then(|s| s.iface_on_lan(lan))
+                        .map(|(_, i)| i.addr)
+                        .unwrap_or(cbt_wire::Addr::NULL),
+                    Entity::Host(h) => self
+                        .net
+                        .hosts
+                        .get(h.0 as usize)
+                        .map(|s| s.addr)
+                        .unwrap_or(cbt_wire::Addr::NULL),
+                };
+                let lan_spec = &self.net.lans[lan.0 as usize];
+                for &r in &lan_spec.routers {
+                    if Entity::Router(r) == from {
+                        continue;
+                    }
+                    let Some((rx_iface, rx_spec)) =
+                        self.net.routers[r.0 as usize].iface_on_lan(lan)
+                    else {
+                        continue;
+                    };
+                    if t.link_dst.is_some_and(|d| d != rx_spec.addr) {
+                        continue;
+                    }
+                    self.deliver(Entity::Router(r), rx_iface, link_src, &t.frame);
+                }
+                for &h in &lan_spec.hosts {
+                    if Entity::Host(h) == from {
+                        continue;
+                    }
+                    if t.link_dst.is_some_and(|d| d != self.net.hosts[h.0 as usize].addr) {
+                        continue;
+                    }
+                    self.deliver(Entity::Host(h), IfIndex(0), link_src, &t.frame);
+                }
+            }
+            Some(Attachment::Link { link, peer }) => {
+                let Entity::Router(r) = from else { return };
+                let link_src = self
+                    .net
+                    .routers
+                    .get(r.0 as usize)
+                    .and_then(|s| s.iface(t.iface))
+                    .map(|i| i.addr)
+                    .unwrap_or(cbt_wire::Addr::NULL);
+                let peer_iface = self.net.routers[peer.0 as usize]
+                    .ifaces
+                    .iter()
+                    .position(|pi| matches!(pi.attachment, Attachment::Link { link: l, .. } if l == link));
+                if let Some(idx) = peer_iface {
+                    self.deliver(Entity::Router(peer), IfIndex(idx as u32), link_src, &t.frame);
+                }
+            }
+            None => {}
+        }
+    }
+
+    fn medium_of(&self, from: Entity, iface: IfIndex) -> Option<Attachment> {
+        match from {
+            Entity::Router(r) => {
+                Some(self.net.routers.get(r.0 as usize)?.iface(iface)?.attachment)
+            }
+            Entity::Host(h) => {
+                let spec = self.net.hosts.get(h.0 as usize)?;
+                (iface == IfIndex(0)).then_some(Attachment::Lan(spec.lan))
+            }
+        }
+    }
+
+    fn deliver(&self, to: Entity, iface: IfIndex, link_src: cbt_wire::Addr, frame: &[u8]) {
+        if let Some(tx) = self.inboxes.get(&to) {
+            // A closed inbox means that node shut down; fine.
+            let _ = tx.send(RxFrame { iface, link_src, frame: frame.to_vec() });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbt_topology::NetworkBuilder;
+    use cbt_wire::Addr;
+
+    fn lan_pair() -> (Arc<NetworkSpec>, RouterId, RouterId, HostId) {
+        let mut b = NetworkBuilder::new();
+        let r0 = b.router("R0");
+        let r1 = b.router("R1");
+        let lan = b.lan("S0");
+        b.attach(lan, r0);
+        b.attach(lan, r1);
+        let h = b.host("H", lan);
+        (Arc::new(b.build()), r0, r1, h)
+    }
+
+    #[tokio::test]
+    async fn lan_broadcast_reaches_everyone() {
+        let (net, r0, r1, h) = lan_pair();
+        let (fabric, mut rxs) = Fabric::new(net);
+        let t = Transmit { iface: IfIndex(0), link_dst: None, frame: vec![1, 2, 3] };
+        fabric.dispatch(Entity::Router(r0), &t);
+        assert!(rxs.get_mut(&Entity::Router(r1)).unwrap().try_recv().is_ok());
+        assert!(rxs.get_mut(&Entity::Host(h)).unwrap().try_recv().is_ok());
+        assert!(
+            rxs.get_mut(&Entity::Router(r0)).unwrap().try_recv().is_err(),
+            "no self-delivery"
+        );
+    }
+
+    #[tokio::test]
+    async fn link_dst_filters_lan_unicast() {
+        let (net, r0, r1, h) = lan_pair();
+        let r1_addr = net.routers[r1.0 as usize].ifaces[0].addr;
+        let (fabric, mut rxs) = Fabric::new(net);
+        let t = Transmit { iface: IfIndex(0), link_dst: Some(r1_addr), frame: vec![9] };
+        fabric.dispatch(Entity::Router(r0), &t);
+        assert!(rxs.get_mut(&Entity::Router(r1)).unwrap().try_recv().is_ok());
+        assert!(rxs.get_mut(&Entity::Host(h)).unwrap().try_recv().is_err(), "filtered");
+    }
+
+    #[tokio::test]
+    async fn p2p_reaches_the_peer_iface() {
+        let mut b = NetworkBuilder::new();
+        let r0 = b.router("R0");
+        let r1 = b.router("R1");
+        b.link(r0, r1, 1);
+        let net = Arc::new(b.build());
+        let (fabric, mut rxs) = Fabric::new(net);
+        let t = Transmit { iface: IfIndex(0), link_dst: None, frame: vec![7] };
+        fabric.dispatch(Entity::Router(r0), &t);
+        let got = rxs.get_mut(&Entity::Router(r1)).unwrap().try_recv().unwrap();
+        assert_eq!(got.iface, IfIndex(0));
+        assert_eq!(got.frame, vec![7]);
+    }
+
+    #[tokio::test]
+    async fn unknown_iface_is_silently_dropped() {
+        let (net, r0, ..) = lan_pair();
+        let (fabric, _rxs) = Fabric::new(net);
+        let t = Transmit { iface: IfIndex(42), link_dst: None, frame: vec![0] };
+        fabric.dispatch(Entity::Router(r0), &t); // must not panic
+        let _ = Addr::NULL;
+    }
+}

@@ -1,0 +1,326 @@
+//! The live deployment: one tokio task per router/host, wall-clock
+//! timers, command/query channels for the application layer.
+
+use crate::fabric::{Fabric, RxFrame};
+use cbt::{CbtConfig, HostApp, RouterNode, SharedRib};
+use cbt_netsim::{Entity, Outbox, SimNode, SimTime};
+use cbt_topology::{HostId, NetworkSpec, RouterId};
+use cbt_wire::{Addr, GroupId};
+use std::collections::HashMap;
+use std::sync::Arc;
+use tokio::sync::{mpsc, oneshot};
+use tokio::task::JoinHandle;
+use tokio::time::{Duration, Instant};
+
+/// Commands the application layer sends to a host task.
+enum HostCmd {
+    Join { group: GroupId, cores: Vec<Addr> },
+    Leave { group: GroupId },
+    Send { group: GroupId, payload: Vec<u8>, ttl: u8 },
+    Received { resp: oneshot::Sender<Vec<cbt::Delivery>> },
+}
+
+/// Queries for a router task.
+enum RouterCmd {
+    Snapshot { group: GroupId, resp: oneshot::Sender<RouterSnapshot> },
+}
+
+/// A point-in-time view of one router's state for a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouterSnapshot {
+    /// Is the router on-tree for the group?
+    pub on_tree: bool,
+    /// Parent address, if any.
+    pub parent: Option<Addr>,
+    /// Child addresses.
+    pub children: Vec<Addr>,
+    /// Behaviour counters.
+    pub stats: cbt::RouterStats,
+}
+
+/// A running multi-node CBT deployment.
+pub struct LiveNet {
+    /// The network being run.
+    pub net: Arc<NetworkSpec>,
+    epoch: Instant,
+    host_cmds: HashMap<HostId, mpsc::UnboundedSender<HostCmd>>,
+    router_cmds: HashMap<RouterId, mpsc::UnboundedSender<RouterCmd>>,
+    tasks: Vec<JoinHandle<()>>,
+}
+
+impl LiveNet {
+    /// Spawns every router and host of `net` as tokio tasks.
+    pub fn spawn(net: NetworkSpec, cfg: CbtConfig) -> LiveNet {
+        let net = Arc::new(net);
+        let epoch = Instant::now();
+        let (_rib, make_rib) = SharedRib::build(net.clone());
+        let (fabric, mut rxs) = Fabric::new(net.clone());
+
+        let mut tasks = Vec::new();
+        let mut router_cmds = HashMap::new();
+        for i in 0..net.routers.len() {
+            let me = RouterId(i as u32);
+            let node = RouterNode::new(&net, me, cfg.clone(), make_rib(me), SimTime::ZERO);
+            let rx = rxs.remove(&Entity::Router(me)).expect("inbox");
+            let (cmd_tx, cmd_rx) = mpsc::unbounded_channel();
+            router_cmds.insert(me, cmd_tx);
+            tasks.push(tokio::spawn(router_task(
+                node,
+                Entity::Router(me),
+                fabric.clone(),
+                rx,
+                cmd_rx,
+                epoch,
+            )));
+        }
+        let mut host_cmds = HashMap::new();
+        for (i, h) in net.hosts.iter().enumerate() {
+            let hid = HostId(i as u32);
+            let app = HostApp::new(h.addr, 3, cfg.igmp);
+            let rx = rxs.remove(&Entity::Host(hid)).expect("inbox");
+            let (cmd_tx, cmd_rx) = mpsc::unbounded_channel();
+            host_cmds.insert(hid, cmd_tx);
+            tasks.push(tokio::spawn(host_task(
+                app,
+                Entity::Host(hid),
+                fabric.clone(),
+                rx,
+                cmd_rx,
+                epoch,
+            )));
+        }
+        LiveNet { net, epoch, host_cmds, router_cmds, tasks }
+    }
+
+    /// Tells a host application to join a group.
+    pub fn host_join(&self, h: HostId, group: GroupId, cores: Vec<Addr>) {
+        let _ = self.host_cmds[&h].send(HostCmd::Join { group, cores });
+    }
+
+    /// Tells a host application to leave a group.
+    pub fn host_leave(&self, h: HostId, group: GroupId) {
+        let _ = self.host_cmds[&h].send(HostCmd::Leave { group });
+    }
+
+    /// Tells a host to transmit a multicast payload.
+    pub fn host_send(&self, h: HostId, group: GroupId, payload: impl Into<Vec<u8>>, ttl: u8) {
+        let _ = self.host_cmds[&h].send(HostCmd::Send { group, payload: payload.into(), ttl });
+    }
+
+    /// Fetches everything a host has received so far.
+    pub async fn host_received(&self, h: HostId) -> Vec<cbt::Delivery> {
+        let (tx, rx) = oneshot::channel();
+        let _ = self.host_cmds[&h].send(HostCmd::Received { resp: tx });
+        rx.await.unwrap_or_default()
+    }
+
+    /// Snapshots a router's per-group protocol state.
+    pub async fn router_snapshot(&self, r: RouterId, group: GroupId) -> Option<RouterSnapshot> {
+        let (tx, rx) = oneshot::channel();
+        self.router_cmds.get(&r)?.send(RouterCmd::Snapshot { group, resp: tx }).ok()?;
+        rx.await.ok()
+    }
+
+    /// Time since the deployment started, as the nodes' virtual clock.
+    pub fn now(&self) -> SimTime {
+        instant_to_sim(self.epoch, Instant::now())
+    }
+
+    /// Stops every task.
+    pub fn shutdown(self) {
+        for t in &self.tasks {
+            t.abort();
+        }
+    }
+}
+
+fn instant_to_sim(epoch: Instant, at: Instant) -> SimTime {
+    SimTime::from_micros(at.duration_since(epoch).as_micros() as u64)
+}
+
+fn sim_to_instant(epoch: Instant, at: SimTime) -> Instant {
+    epoch + Duration::from_micros(at.micros())
+}
+
+async fn router_task(
+    mut node: RouterNode,
+    me: Entity,
+    fabric: Arc<Fabric>,
+    mut rx: mpsc::UnboundedReceiver<RxFrame>,
+    mut cmds: mpsc::UnboundedReceiver<RouterCmd>,
+    epoch: Instant,
+) {
+    let mut out = Outbox::new();
+    loop {
+        let wake = node.next_wakeup().map(|t| sim_to_instant(epoch, t));
+        tokio::select! {
+            biased;
+            cmd = cmds.recv() => {
+                let Some(cmd) = cmd else { break };
+                match cmd {
+                    RouterCmd::Snapshot { group, resp } => {
+                        let e = node.engine();
+                        let _ = resp.send(RouterSnapshot {
+                            on_tree: e.is_on_tree(group),
+                            parent: e.parent_of(group),
+                            children: e.children_of(group),
+                            stats: e.stats(),
+                        });
+                    }
+                }
+            }
+            frame = rx.recv() => {
+                let Some(f) = frame else { break };
+                let now = instant_to_sim(epoch, Instant::now());
+                node.on_packet(now, f.iface, f.link_src, &f.frame, &mut out);
+            }
+            _ = sleep_maybe(wake) => {
+                let now = instant_to_sim(epoch, Instant::now());
+                node.on_timer(now, &mut out);
+            }
+        }
+        for t in out.drain() {
+            fabric.dispatch(me, &t);
+        }
+    }
+}
+
+async fn host_task(
+    mut app: HostApp,
+    me: Entity,
+    fabric: Arc<Fabric>,
+    mut rx: mpsc::UnboundedReceiver<RxFrame>,
+    mut cmds: mpsc::UnboundedReceiver<HostCmd>,
+    epoch: Instant,
+) {
+    let mut out = Outbox::new();
+    loop {
+        let wake = app.next_wakeup().map(|t| sim_to_instant(epoch, t));
+        tokio::select! {
+            biased;
+            cmd = cmds.recv() => {
+                let Some(cmd) = cmd else { break };
+                let now = instant_to_sim(epoch, Instant::now());
+                match cmd {
+                    HostCmd::Join { group, cores } => {
+                        app.join_at(now, group, cores);
+                        app.on_timer(now, &mut out);
+                    }
+                    HostCmd::Leave { group } => {
+                        app.leave_at(now, group);
+                        app.on_timer(now, &mut out);
+                    }
+                    HostCmd::Send { group, payload, ttl } => {
+                        app.send_at(now, group, payload, ttl);
+                        app.on_timer(now, &mut out);
+                    }
+                    HostCmd::Received { resp } => {
+                        let _ = resp.send(app.received().to_vec());
+                    }
+                }
+            }
+            frame = rx.recv() => {
+                let Some(f) = frame else { break };
+                let now = instant_to_sim(epoch, Instant::now());
+                app.on_packet(now, f.iface, f.link_src, &f.frame, &mut out);
+            }
+            _ = sleep_maybe(wake) => {
+                let now = instant_to_sim(epoch, Instant::now());
+                app.on_timer(now, &mut out);
+            }
+        }
+        for t in out.drain() {
+            fabric.dispatch(me, &t);
+        }
+    }
+}
+
+/// Sleeps until `deadline` — or forever when the node has no timer.
+async fn sleep_maybe(deadline: Option<Instant>) {
+    match deadline {
+        Some(d) => tokio::time::sleep_until(d).await,
+        None => std::future::pending().await,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbt_topology::NetworkBuilder;
+
+    fn chain() -> (NetworkSpec, RouterId, RouterId, RouterId, HostId, HostId) {
+        let mut b = NetworkBuilder::new();
+        let r0 = b.router("R0");
+        let r1 = b.router("R1");
+        let r2 = b.router("R2");
+        let s0 = b.lan("S0");
+        b.attach(s0, r0);
+        let a = b.host("A", s0);
+        b.link(r0, r1, 1);
+        b.link(r1, r2, 1);
+        let s1 = b.lan("S1");
+        b.attach(s1, r2);
+        let bb = b.host("B", s1);
+        (b.build(), r0, r1, r2, a, bb)
+    }
+
+    /// The live runtime reaches the same protocol fixpoint as the
+    /// deterministic simulator on the same topology.
+    #[tokio::test(start_paused = true)]
+    async fn live_join_and_delivery() {
+        let (net, r0, r1, _r2, a, bb) = chain();
+        let core = net.router_addr(r1);
+        let group = GroupId::numbered(5);
+        let live = LiveNet::spawn(net, CbtConfig::fast());
+
+        live.host_join(a, group, vec![core]);
+        live.host_join(bb, group, vec![core]);
+        tokio::time::sleep(Duration::from_secs(3)).await;
+
+        let snap = live.router_snapshot(r0, group).await.expect("snapshot");
+        assert!(snap.on_tree, "R0 joined under wall-clock timers: {snap:?}");
+        assert!(snap.parent.is_some());
+
+        live.host_send(bb, group, b"live!".to_vec(), 16);
+        tokio::time::sleep(Duration::from_secs(1)).await;
+        let got = live.host_received(a).await;
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].payload, b"live!");
+        live.shutdown();
+    }
+
+    /// Keepalives flow and teardown works in wall-clock time.
+    #[tokio::test(start_paused = true)]
+    async fn live_leave_triggers_teardown() {
+        let (net, r0, r1, _r2, a, _bb) = chain();
+        let core = net.router_addr(r1);
+        let group = GroupId::numbered(6);
+        let live = LiveNet::spawn(net, CbtConfig::fast());
+        live.host_join(a, group, vec![core]);
+        tokio::time::sleep(Duration::from_secs(3)).await;
+        assert!(live.router_snapshot(r0, group).await.unwrap().on_tree);
+
+        live.host_leave(a, group);
+        tokio::time::sleep(Duration::from_secs(10)).await;
+        let snap = live.router_snapshot(r0, group).await.unwrap();
+        assert!(!snap.on_tree, "quit after leave: {snap:?}");
+        assert!(snap.stats.quits_sent >= 1);
+        live.shutdown();
+    }
+
+    /// Echo keepalives are actually exchanged over the live fabric.
+    #[tokio::test(start_paused = true)]
+    async fn live_echoes_flow() {
+        let (net, r0, r1, _r2, a, _bb) = chain();
+        let core = net.router_addr(r1);
+        let group = GroupId::numbered(7);
+        let live = LiveNet::spawn(net, CbtConfig::fast());
+        live.host_join(a, group, vec![core]);
+        // fast echo interval = 3 s; run 12 s.
+        tokio::time::sleep(Duration::from_secs(12)).await;
+        let snap = live.router_snapshot(r0, group).await.unwrap();
+        assert!(snap.stats.echo_requests_sent >= 2, "{snap:?}");
+        assert_eq!(snap.stats.parent_failures, 0, "parent stayed alive");
+        live.shutdown();
+    }
+}

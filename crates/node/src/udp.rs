@@ -1,0 +1,253 @@
+//! Real-socket transport: the same fabric semantics carried over UDP
+//! sockets on loopback.
+//!
+//! Every entity binds one `tokio::net::UdpSocket`; a transmission is
+//! resolved to its recipients exactly like the channel fabric, then
+//! sent as a real datagram `[iface_be32 | link_src_be32 | frame]` to
+//! each recipient's socket, where a pump task feeds it into the node's
+//! inbox (the link_src word plays the role of the Ethernet source MAC). The CBT
+//! control messages inside are the byte-exact §8 formats riding in the
+//! §3 UDP shells — so a packet capture of loopback during a test shows
+//! genuine CBT traffic.
+
+use crate::fabric::RxFrame;
+use cbt_netsim::{Entity, Transmit};
+use cbt_topology::{Attachment, HostId, IfIndex, NetworkSpec, RouterId};
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use tokio::net::UdpSocket;
+use tokio::sync::mpsc;
+use tokio::task::JoinHandle;
+
+/// The UDP-backed fabric.
+pub struct UdpFabric {
+    net: Arc<NetworkSpec>,
+    /// Each entity's bound socket (send side).
+    sockets: HashMap<Entity, Arc<UdpSocket>>,
+    /// Each entity's socket address (receive side).
+    peers: HashMap<Entity, SocketAddr>,
+    pumps: Vec<JoinHandle<()>>,
+}
+
+impl UdpFabric {
+    /// Binds one loopback socket per entity and starts pump tasks that
+    /// forward received datagrams into the returned inboxes.
+    pub async fn bind(
+        net: Arc<NetworkSpec>,
+    ) -> std::io::Result<(Arc<Self>, HashMap<Entity, mpsc::UnboundedReceiver<RxFrame>>)> {
+        let mut sockets = HashMap::new();
+        let mut peers = HashMap::new();
+        let mut rxs = HashMap::new();
+        let mut pumps = Vec::new();
+        let entities: Vec<Entity> = (0..net.routers.len())
+            .map(|i| Entity::Router(RouterId(i as u32)))
+            .chain((0..net.hosts.len()).map(|i| Entity::Host(HostId(i as u32))))
+            .collect();
+        for e in entities {
+            let socket = Arc::new(UdpSocket::bind("127.0.0.1:0").await?);
+            peers.insert(e, socket.local_addr()?);
+            let (tx, rx) = mpsc::unbounded_channel();
+            rxs.insert(e, rx);
+            let pump_socket = socket.clone();
+            pumps.push(tokio::spawn(async move {
+                let mut buf = vec![0u8; 65536];
+                loop {
+                    let Ok((len, _)) = pump_socket.recv_from(&mut buf).await else { break };
+                    if len < 8 {
+                        continue;
+                    }
+                    let iface =
+                        IfIndex(u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]));
+                    let link_src = cbt_wire::Addr(u32::from_be_bytes([
+                        buf[4], buf[5], buf[6], buf[7],
+                    ]));
+                    if tx.send(RxFrame { iface, link_src, frame: buf[8..len].to_vec() }).is_err()
+                    {
+                        break;
+                    }
+                }
+            }));
+            sockets.insert(e, socket);
+        }
+        Ok((Arc::new(UdpFabric { net, sockets, peers, pumps }), rxs))
+    }
+
+    /// Dispatches one transmission — fabric resolution, UDP delivery.
+    pub async fn dispatch(&self, from: Entity, t: &Transmit) {
+        let Some(sock) = self.sockets.get(&from) else { return };
+        let link_src = self.link_src_of(from, t.iface);
+        for (to, iface) in self.recipients(from, t) {
+            let Some(peer) = self.peers.get(&to) else { continue };
+            let mut dgram = Vec::with_capacity(8 + t.frame.len());
+            dgram.extend_from_slice(&iface.0.to_be_bytes());
+            dgram.extend_from_slice(&link_src.0.to_be_bytes());
+            dgram.extend_from_slice(&t.frame);
+            let _ = sock.send_to(&dgram, peer).await;
+        }
+    }
+
+    /// The sender's address on the transmitting medium.
+    fn link_src_of(&self, from: Entity, iface: IfIndex) -> cbt_wire::Addr {
+        match from {
+            Entity::Router(r) => self
+                .net
+                .routers
+                .get(r.0 as usize)
+                .and_then(|s| s.iface(iface))
+                .map(|i| i.addr)
+                .unwrap_or(cbt_wire::Addr::NULL),
+            Entity::Host(h) => self
+                .net
+                .hosts
+                .get(h.0 as usize)
+                .map(|s| s.addr)
+                .unwrap_or(cbt_wire::Addr::NULL),
+        }
+    }
+
+    /// Who receives this transmission, and on which of their ifaces.
+    fn recipients(&self, from: Entity, t: &Transmit) -> Vec<(Entity, IfIndex)> {
+        let mut out = Vec::new();
+        let medium = match from {
+            Entity::Router(r) => {
+                self.net.routers.get(r.0 as usize).and_then(|s| s.iface(t.iface)).map(|i| i.attachment)
+            }
+            Entity::Host(h) => self
+                .net
+                .hosts
+                .get(h.0 as usize)
+                .filter(|_| t.iface == IfIndex(0))
+                .map(|s| Attachment::Lan(s.lan)),
+        };
+        match medium {
+            Some(Attachment::Lan(lan)) => {
+                let lan_spec = &self.net.lans[lan.0 as usize];
+                for &r in &lan_spec.routers {
+                    if Entity::Router(r) == from {
+                        continue;
+                    }
+                    if let Some((rx_iface, rx_spec)) =
+                        self.net.routers[r.0 as usize].iface_on_lan(lan)
+                    {
+                        if t.link_dst.is_some_and(|d| d != rx_spec.addr) {
+                            continue;
+                        }
+                        out.push((Entity::Router(r), rx_iface));
+                    }
+                }
+                for &h in &lan_spec.hosts {
+                    if Entity::Host(h) == from {
+                        continue;
+                    }
+                    if t.link_dst.is_some_and(|d| d != self.net.hosts[h.0 as usize].addr) {
+                        continue;
+                    }
+                    out.push((Entity::Host(h), IfIndex(0)));
+                }
+            }
+            Some(Attachment::Link { link, peer }) => {
+                let peer_iface = self.net.routers[peer.0 as usize]
+                    .ifaces
+                    .iter()
+                    .position(|pi| matches!(pi.attachment, Attachment::Link { link: l, .. } if l == link));
+                if let Some(idx) = peer_iface {
+                    out.push((Entity::Router(peer), IfIndex(idx as u32)));
+                }
+            }
+            None => {}
+        }
+        out
+    }
+
+    /// Stops the pump tasks.
+    pub fn shutdown(&self) {
+        for p in &self.pumps {
+            p.abort();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbt_topology::NetworkBuilder;
+    use cbt_wire::{Addr, ControlMessage, GroupId, JoinSubcode, UdpHeader, CBT_PRIMARY_PORT};
+
+    fn pair() -> Arc<NetworkSpec> {
+        let mut b = NetworkBuilder::new();
+        let r0 = b.router("R0");
+        let r1 = b.router("R1");
+        b.link(r0, r1, 1);
+        Arc::new(b.build())
+    }
+
+    /// A genuine CBT JOIN_REQUEST crosses a real UDP socket pair and
+    /// decodes byte-exactly on the other side.
+    #[tokio::test]
+    async fn join_request_over_real_sockets() {
+        let net = pair();
+        let (fabric, mut rxs) = UdpFabric::bind(net.clone()).await.unwrap();
+
+        let join = ControlMessage::JoinRequest {
+            subcode: JoinSubcode::ActiveJoin,
+            group: GroupId::numbered(3),
+            origin: Addr::from_octets(10, 1, 0, 1),
+            target_core: Addr::from_octets(10, 255, 0, 1),
+            cores: vec![Addr::from_octets(10, 255, 0, 1)],
+        };
+        // Wrap exactly as the router adapter does: §3 UDP shell inside
+        // an IP datagram.
+        let udp = UdpHeader::wrap(CBT_PRIMARY_PORT, CBT_PRIMARY_PORT, &join.encode());
+        let frame = cbt_wire::ipv4::build_datagram(
+            Addr::from_octets(172, 31, 0, 1),
+            Addr::from_octets(172, 31, 0, 2),
+            cbt_wire::IpProto::Udp,
+            64,
+            &udp,
+        );
+        let t = Transmit { iface: IfIndex(0), link_dst: None, frame };
+        fabric.dispatch(Entity::Router(RouterId(0)), &t).await;
+
+        let rx = rxs.get_mut(&Entity::Router(RouterId(1))).unwrap();
+        let got = tokio::time::timeout(std::time::Duration::from_secs(5), rx.recv())
+            .await
+            .expect("datagram within 5s")
+            .expect("channel open");
+        assert_eq!(got.iface, IfIndex(0));
+        let (hdr, body) = cbt_wire::ipv4::split_datagram(&got.frame).unwrap();
+        assert_eq!(hdr.proto, cbt_wire::IpProto::Udp);
+        let (udp_hdr, payload) = UdpHeader::unwrap(body).unwrap();
+        assert_eq!(udp_hdr.dst_port, CBT_PRIMARY_PORT);
+        assert_eq!(ControlMessage::decode(payload).unwrap(), join);
+        fabric.shutdown();
+    }
+
+    #[tokio::test]
+    async fn lan_unicast_filtering_over_udp() {
+        let mut b = NetworkBuilder::new();
+        let r0 = b.router("R0");
+        let r1 = b.router("R1");
+        let r2 = b.router("R2");
+        let lan = b.lan("S0");
+        b.attach(lan, r0);
+        b.attach(lan, r1);
+        b.attach(lan, r2);
+        let net = Arc::new(b.build());
+        let r1_addr = net.routers[1].ifaces[0].addr;
+        let (fabric, mut rxs) = UdpFabric::bind(net.clone()).await.unwrap();
+        let t = Transmit { iface: IfIndex(0), link_dst: Some(r1_addr), frame: vec![0, 1, 2, 3, 4] };
+        fabric.dispatch(Entity::Router(r0), &t).await;
+        // R1 receives...
+        let rx1 = rxs.get_mut(&Entity::Router(r1)).unwrap();
+        let got = tokio::time::timeout(std::time::Duration::from_secs(5), rx1.recv())
+            .await
+            .expect("delivered")
+            .expect("open");
+        assert_eq!(got.frame, vec![0, 1, 2, 3, 4]);
+        // ...R2 does not (give the network a moment, then check empty).
+        tokio::time::sleep(std::time::Duration::from_millis(100)).await;
+        assert!(rxs.get_mut(&Entity::Router(r2)).unwrap().try_recv().is_err());
+        fabric.shutdown();
+    }
+}

@@ -1,0 +1,129 @@
+//! Tunnel ranking (spec §5.2): running CBT in a virtual (tunnel)
+//! topology *without* a multicast topology-discovery protocol.
+//!
+//! "Routing is replaced by 'ranking' each such tunnel interface
+//! associated with a particular core address; if the highest-ranked
+//! route is unavailable (tunnel end-points are required to run an
+//! Hello-like protocol between themselves) then the next-highest ranked
+//! available route is selected, and so on."
+//!
+//! The spec's worked example configures, per core, an ordered
+//! backup-interface list; this module is that table plus the liveness
+//! bookkeeping a Hello protocol would feed.
+
+use cbt_topology::IfIndex;
+use cbt_wire::Addr;
+use std::collections::HashMap;
+
+/// Liveness of one tunnel interface, as learned from Hellos.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TunnelState {
+    /// Hellos flowing; usable.
+    Up,
+    /// Hello timeout; skip to the next-ranked interface.
+    Down,
+}
+
+/// Per-core ranked tunnel interfaces with liveness, mirroring the §5.2
+/// example tables (`core → backup-intfs`).
+#[derive(Debug, Clone, Default)]
+pub struct RankedTunnels {
+    /// core address → interfaces in rank order (best first).
+    ranks: HashMap<Addr, Vec<IfIndex>>,
+    /// Current liveness; interfaces default to `Up` until a Hello
+    /// timeout marks them down.
+    state: HashMap<IfIndex, TunnelState>,
+}
+
+impl RankedTunnels {
+    /// Empty table.
+    pub fn new() -> Self {
+        RankedTunnels::default()
+    }
+
+    /// Sets the full rank order for a core (best interface first),
+    /// replacing any previous order.
+    pub fn set_ranking(&mut self, core: Addr, ifaces: Vec<IfIndex>) {
+        self.ranks.insert(core, ifaces);
+    }
+
+    /// Records a Hello result for an interface.
+    pub fn set_state(&mut self, iface: IfIndex, state: TunnelState) {
+        self.state.insert(iface, state);
+    }
+
+    /// Current liveness of an interface (default `Up`).
+    pub fn state(&self, iface: IfIndex) -> TunnelState {
+        self.state.get(&iface).copied().unwrap_or(TunnelState::Up)
+    }
+
+    /// The interface to use toward `core` right now: the highest-ranked
+    /// interface whose tunnel is up. `None` if the core has no ranking
+    /// or every ranked tunnel is down.
+    pub fn select(&self, core: Addr) -> Option<IfIndex> {
+        self.ranks
+            .get(&core)?
+            .iter()
+            .copied()
+            .find(|i| self.state(*i) == TunnelState::Up)
+    }
+
+    /// All configured interfaces for `core` in rank order.
+    pub fn ranking(&self, core: Addr) -> Option<&[IfIndex]> {
+        self.ranks.get(&core).map(|v| v.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core_a() -> Addr {
+        Addr::from_octets(10, 255, 0, 4)
+    }
+
+    fn core_b() -> Addr {
+        Addr::from_octets(10, 255, 0, 9)
+    }
+
+    /// Reproduces the spec's §5.2 worked example: core A ranks
+    /// interfaces #5 then #2; with #5 down, #2 is chosen; with both
+    /// down, nothing.
+    #[test]
+    fn spec_worked_example() {
+        let mut t = RankedTunnels::new();
+        t.set_ranking(core_a(), vec![IfIndex(5), IfIndex(2)]);
+        t.set_ranking(core_b(), vec![IfIndex(3), IfIndex(5)]);
+
+        assert_eq!(t.select(core_a()), Some(IfIndex(5)));
+        t.set_state(IfIndex(5), TunnelState::Down);
+        assert_eq!(t.select(core_a()), Some(IfIndex(2)), "falls back to #2");
+        assert_eq!(t.select(core_b()), Some(IfIndex(3)), "core B unaffected");
+        t.set_state(IfIndex(2), TunnelState::Down);
+        assert_eq!(t.select(core_a()), None, "all tunnels to A down");
+        t.set_state(IfIndex(5), TunnelState::Up);
+        assert_eq!(t.select(core_a()), Some(IfIndex(5)), "recovery restores rank order");
+    }
+
+    #[test]
+    fn unknown_core_selects_nothing() {
+        let t = RankedTunnels::new();
+        assert_eq!(t.select(core_a()), None);
+        assert_eq!(t.ranking(core_a()), None);
+    }
+
+    #[test]
+    fn interfaces_default_up() {
+        let t = RankedTunnels::new();
+        assert_eq!(t.state(IfIndex(9)), TunnelState::Up);
+    }
+
+    #[test]
+    fn reranking_replaces_order() {
+        let mut t = RankedTunnels::new();
+        t.set_ranking(core_a(), vec![IfIndex(1), IfIndex(2)]);
+        t.set_ranking(core_a(), vec![IfIndex(2), IfIndex(1)]);
+        assert_eq!(t.select(core_a()), Some(IfIndex(2)));
+        assert_eq!(t.ranking(core_a()).unwrap(), &[IfIndex(2), IfIndex(1)]);
+    }
+}

@@ -1,0 +1,293 @@
+//! Per-router next-hop tables (the Routing Information Base).
+
+use crate::failure::FailureSet;
+use cbt_topology::{
+    Attachment, Graph, IfIndex, LanId, NetworkSpec, NodeId, RouterId, ShortestPaths,
+};
+use cbt_wire::Addr;
+use std::collections::HashMap;
+
+/// One resolved forwarding decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hop {
+    /// Interface to send out of.
+    pub iface: IfIndex,
+    /// The next-hop router.
+    pub router: RouterId,
+    /// The next-hop router's address on the shared medium — this is the
+    /// unicast destination for one hop of a hop-by-hop join.
+    pub addr: Addr,
+    /// Remaining distance to the destination, next hop inclusive.
+    pub dist: u64,
+}
+
+/// A converged routing table for every router in a network.
+///
+/// `Rib::compute` runs SPF per destination over the failure-filtered
+/// router graph. Per-router overrides can then be layered on to model
+/// the transiently inconsistent tables of the §6.3 loop scenario.
+#[derive(Debug, Clone)]
+pub struct Rib {
+    /// `trees[d]` = shortest-path structure rooted at router `d`.
+    trees: Vec<ShortestPaths>,
+    /// Manual next-hop overrides: (from, dst_router) → forced next router.
+    overrides: HashMap<(RouterId, RouterId), RouterId>,
+    /// Cached filtered graph (used to resolve hop distances).
+    graph: Graph,
+}
+
+impl Rib {
+    /// Computes converged tables for `net` with `failures` applied.
+    pub fn compute(net: &NetworkSpec, failures: &FailureSet) -> Self {
+        let graph = filtered_graph(net, failures);
+        let trees = graph.nodes().map(|n| ShortestPaths::dijkstra(&graph, n)).collect();
+        Rib { trees, overrides: HashMap::new(), graph }
+    }
+
+    /// Convenience: converged tables with nothing failed.
+    pub fn converged(net: &NetworkSpec) -> Self {
+        Self::compute(net, &FailureSet::none())
+    }
+
+    /// Forces `from`'s next hop toward `dst` to be `via`, regardless of
+    /// SPF. `via` must be a physical neighbour for the result to be
+    /// resolvable. This models stale/inconsistent tables (§6.3).
+    pub fn set_override(&mut self, from: RouterId, dst: RouterId, via: RouterId) {
+        self.overrides.insert((from, dst), via);
+    }
+
+    /// Clears one override.
+    pub fn clear_override(&mut self, from: RouterId, dst: RouterId) {
+        self.overrides.remove(&(from, dst));
+    }
+
+    /// The next router on `from`'s path toward router `dst`.
+    ///
+    /// Returns `None` when `dst` is unreachable or `from == dst`.
+    pub fn next_router(&self, from: RouterId, dst: RouterId) -> Option<RouterId> {
+        if from == dst {
+            return None;
+        }
+        if let Some(&via) = self.overrides.get(&(from, dst)) {
+            return Some(via);
+        }
+        self.trees
+            .get(dst.0 as usize)?
+            .toward_root(NodeId(from.0))
+            .map(|n| RouterId(n.0))
+    }
+
+    /// Distance (in routing metric) from `from` to router `dst`.
+    pub fn dist(&self, from: RouterId, dst: RouterId) -> Option<u64> {
+        self.trees.get(dst.0 as usize)?.dist(NodeId(from.0))
+    }
+
+    /// Resolves `from`'s route toward `dst_addr` to a concrete [`Hop`]:
+    /// which interface, which next-hop address.
+    ///
+    /// `dst_addr` may be any address owned by a router (identity or
+    /// interface) or by a host (the route then leads to the host's LAN).
+    pub fn route(&self, net: &NetworkSpec, from: RouterId, dst_addr: Addr) -> Option<Hop> {
+        let dst_router = match net.owner_of(dst_addr)? {
+            cbt_topology::network::Owner::Router(r) => r,
+            cbt_topology::network::Owner::Host(h) => {
+                // Route to the first attached (lowest-addressed) live
+                // router of the host's LAN.
+                let lan = net.hosts[h.0 as usize].lan;
+                *net.lans[lan.0 as usize].routers.first()?
+            }
+        };
+        if dst_router == from {
+            return None;
+        }
+        let next = self.next_router(from, dst_router)?;
+        let dist = self.dist(from, dst_router)?;
+        let (iface, addr) = resolve_adjacency(net, from, next)?;
+        Some(Hop { iface, router: next, addr, dist })
+    }
+
+    /// The filtered router graph the tables were computed from.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+}
+
+/// Finds the interface and next-hop address `from` uses to reach its
+/// physical neighbour `next` (shared LAN or p2p link; lowest interface
+/// index wins if several qualify).
+fn resolve_adjacency(net: &NetworkSpec, from: RouterId, next: RouterId) -> Option<(IfIndex, Addr)> {
+    let from_spec = &net.routers[from.0 as usize];
+    for (idx, iface) in from_spec.ifaces.iter().enumerate() {
+        match iface.attachment {
+            Attachment::Link { peer, .. } if peer == next => {
+                let peer_spec = &net.routers[next.0 as usize];
+                let peer_iface = peer_spec.ifaces.iter().find(|pi| {
+                    matches!(pi.attachment, Attachment::Link { peer: p, .. } if p == from)
+                        && pi.subnet == iface.subnet
+                })?;
+                return Some((IfIndex(idx as u32), peer_iface.addr));
+            }
+            Attachment::Lan(lan) => {
+                if let Some((_, peer_iface)) = lan_iface(net, next, lan) {
+                    return Some((IfIndex(idx as u32), peer_iface));
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn lan_iface(net: &NetworkSpec, router: RouterId, lan: LanId) -> Option<(IfIndex, Addr)> {
+    net.routers[router.0 as usize].iface_on_lan(lan).map(|(i, s)| (i, s.addr))
+}
+
+/// Builds the router graph with failed routers/links/LANs removed.
+fn filtered_graph(net: &NetworkSpec, failures: &FailureSet) -> Graph {
+    let mut g = Graph::with_nodes(net.routers.len());
+    let up = |r: RouterId| !failures.router_down(r);
+    for (j, l) in net.links.iter().enumerate() {
+        if failures.link_down(cbt_topology::LinkId(j as u32)) || !up(l.a) || !up(l.b) {
+            continue;
+        }
+        g.add_edge(NodeId(l.a.0), NodeId(l.b.0), l.cost);
+    }
+    for (k, lan) in net.lans.iter().enumerate() {
+        if failures.lan_down(LanId(k as u32)) {
+            continue;
+        }
+        for (i, &a) in lan.routers.iter().enumerate() {
+            if !up(a) {
+                continue;
+            }
+            for &b in &lan.routers[i + 1..] {
+                if up(b) {
+                    g.add_edge(NodeId(a.0), NodeId(b.0), 1);
+                }
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbt_topology::{figure1, NetworkBuilder};
+
+    #[test]
+    fn figure1_join_paths() {
+        let f = figure1();
+        let rib = Rib::converged(&f.net);
+        let r = |n: usize| f.router(n);
+        // §2.5: R1 → R4 goes via R3.
+        assert_eq!(rib.next_router(r(1), r(4)), Some(r(3)));
+        assert_eq!(rib.next_router(r(3), r(4)), Some(r(4)));
+        // §2.6: R6 → R4 goes via R2 (same-subnet next hop).
+        assert_eq!(rib.next_router(r(6), r(4)), Some(r(2)));
+        assert_eq!(rib.next_router(r(2), r(4)), Some(r(3)));
+    }
+
+    #[test]
+    fn route_resolves_iface_and_addr() {
+        let f = figure1();
+        let rib = Rib::converged(&f.net);
+        let core_addr = f.net.router_addr(f.router(4));
+        let hop = rib.route(&f.net, f.router(1), core_addr).unwrap();
+        assert_eq!(hop.router, f.router(3));
+        // The hop address is R3's address on the R1–R3 /30.
+        let r3 = &f.net.routers[f.router(3).0 as usize];
+        assert!(r3.ifaces.iter().any(|i| i.addr == hop.addr));
+        assert_eq!(hop.dist, 2);
+    }
+
+    #[test]
+    fn route_over_shared_lan_targets_peer_lan_address() {
+        let f = figure1();
+        let rib = Rib::converged(&f.net);
+        let hop = rib.route(&f.net, f.router(6), f.net.router_addr(f.router(4))).unwrap();
+        assert_eq!(hop.router, f.router(2));
+        let s4 = f.subnet(4);
+        let (_, r2_on_s4) =
+            f.net.routers[f.router(2).0 as usize].iface_on_lan(s4).unwrap();
+        assert_eq!(hop.addr, r2_on_s4.addr, "next hop address is on the shared LAN");
+    }
+
+    #[test]
+    fn self_route_is_none() {
+        let f = figure1();
+        let rib = Rib::converged(&f.net);
+        assert_eq!(rib.next_router(f.router(4), f.router(4)), None);
+        assert!(rib.route(&f.net, f.router(4), f.net.router_addr(f.router(4))).is_none());
+    }
+
+    #[test]
+    fn link_failure_reroutes_or_disconnects() {
+        // R0 —l0— R1 —l1— R2, plus spare path R0 —l2— R3 —l3— R2.
+        let mut b = NetworkBuilder::new();
+        let r0 = b.router("R0");
+        let r1 = b.router("R1");
+        let r2 = b.router("R2");
+        let r3 = b.router("R3");
+        let l0 = b.link(r0, r1, 1);
+        b.link(r1, r2, 1);
+        b.link(r0, r3, 1);
+        b.link(r3, r2, 1);
+        let net = b.build();
+
+        let rib = Rib::converged(&net);
+        assert_eq!(rib.next_router(r0, r2), Some(r1), "prefer via R1 (tie-break id)");
+
+        let mut failures = FailureSet::none();
+        failures.fail_link(l0);
+        let rib = Rib::compute(&net, &failures);
+        assert_eq!(rib.next_router(r0, r2), Some(r3), "reroute after failure");
+        assert_eq!(rib.next_router(r0, r1), Some(r3), "R1 now two hops away");
+
+        failures.fail_router(r3);
+        let rib = Rib::compute(&net, &failures);
+        assert_eq!(rib.next_router(r0, r2), None, "fully cut off");
+    }
+
+    #[test]
+    fn lan_failure_disconnects_lan_only_paths() {
+        let mut b = NetworkBuilder::new();
+        let r0 = b.router("R0");
+        let r1 = b.router("R1");
+        let lan = b.lan("S0");
+        b.attach(lan, r0);
+        b.attach(lan, r1);
+        let net = b.build();
+        assert_eq!(Rib::converged(&net).next_router(r0, r1), Some(r1));
+        let mut failures = FailureSet::none();
+        failures.fail_lan(lan);
+        assert_eq!(Rib::compute(&net, &failures).next_router(r0, r1), None);
+    }
+
+    #[test]
+    fn overrides_shadow_spf() {
+        let f = figure1();
+        let mut rib = Rib::converged(&f.net);
+        // Force R3 to (wrongly) believe R4 is reached via R1.
+        rib.set_override(f.router(3), f.router(4), f.router(1));
+        assert_eq!(rib.next_router(f.router(3), f.router(4)), Some(f.router(1)));
+        rib.clear_override(f.router(3), f.router(4));
+        assert_eq!(rib.next_router(f.router(3), f.router(4)), Some(f.router(4)));
+    }
+
+    #[test]
+    fn route_to_host_address_reaches_its_lan() {
+        let f = figure1();
+        let rib = Rib::converged(&f.net);
+        let host_g = f.net.host_addr(f.hosts.g); // on S10 behind R8
+        let hop = rib.route(&f.net, f.router(4), host_g).unwrap();
+        assert_eq!(hop.router, f.router(8));
+    }
+
+    #[test]
+    fn unknown_address_routes_nowhere() {
+        let f = figure1();
+        let rib = Rib::converged(&f.net);
+        assert!(rib.route(&f.net, f.router(1), Addr::from_octets(203, 0, 113, 1)).is_none());
+    }
+}

@@ -1,0 +1,253 @@
+//! Topology generators.
+//!
+//! The SIGCOMM-'93-era multicast evaluations ran on random graphs in
+//! the Waxman / Doar–Leslie tradition: nodes scattered on a unit
+//! square, edge probability decaying with Euclidean distance. We
+//! reproduce that, plus the regular shapes unit tests want. All
+//! generators take an explicit seed and are deterministic.
+
+use crate::graph::{Graph, NodeId};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// Parameters for [`waxman`].
+#[derive(Debug, Clone, Copy)]
+pub struct WaxmanParams {
+    /// Number of nodes.
+    pub n: usize,
+    /// Edge-density parameter α (higher ⇒ more edges). Typical 0.15–0.3.
+    pub alpha: f64,
+    /// Locality parameter β (higher ⇒ longer edges likelier). Typical 0.1–0.3.
+    pub beta: f64,
+}
+
+impl Default for WaxmanParams {
+    fn default() -> Self {
+        WaxmanParams { n: 100, alpha: 0.25, beta: 0.2 }
+    }
+}
+
+/// Generates a connected Waxman random graph.
+///
+/// Nodes are placed uniformly on the unit square; each pair `(u,v)` gets
+/// an edge with probability `α · exp(−d(u,v) / (β · L))` where `L` is
+/// the maximum possible distance (√2). If the draw leaves the graph
+/// disconnected, each stranded component is stitched to its Euclidean
+/// nearest neighbour in the main component — the standard repair that
+/// keeps degree distributions Waxman-like while guaranteeing the
+/// connectivity every multicast experiment needs.
+///
+/// Edge weights are 1 (hop-count metric), matching how the '93
+/// evaluation measured tree cost and delay in hops.
+pub fn waxman(params: WaxmanParams, seed: u64) -> Graph {
+    let WaxmanParams { n, alpha, beta } = params;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let pos: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let l = 2f64.sqrt();
+    let mut g = Graph::with_nodes(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = dist(pos[i], pos[j]);
+            let p = alpha * (-d / (beta * l)).exp();
+            if rng.gen::<f64>() < p {
+                g.add_edge(NodeId(i as u32), NodeId(j as u32), 1);
+            }
+        }
+    }
+    stitch_components(&mut g, &pos);
+    g
+}
+
+fn dist(a: (f64, f64), b: (f64, f64)) -> f64 {
+    ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
+}
+
+/// Connects a possibly-disconnected graph by joining each secondary
+/// component to the component of node 0 via the geometrically closest
+/// pair of nodes.
+fn stitch_components(g: &mut Graph, pos: &[(f64, f64)]) {
+    let n = g.node_count();
+    if n == 0 {
+        return;
+    }
+    loop {
+        // Mark the component containing node 0.
+        let mut in_main = vec![false; n];
+        let mut stack = vec![NodeId(0)];
+        in_main[0] = true;
+        while let Some(v) = stack.pop() {
+            for (u, _) in g.neighbors(v) {
+                if !in_main[u.idx()] {
+                    in_main[u.idx()] = true;
+                    stack.push(u);
+                }
+            }
+        }
+        let Some(stranded) = (0..n).find(|&i| !in_main[i]) else { break };
+        // Flood the stranded node's component.
+        let mut comp = vec![false; n];
+        let mut stack = vec![NodeId(stranded as u32)];
+        comp[stranded] = true;
+        while let Some(v) = stack.pop() {
+            for (u, _) in g.neighbors(v) {
+                if !comp[u.idx()] {
+                    comp[u.idx()] = true;
+                    stack.push(u);
+                }
+            }
+        }
+        // Closest (main, comp) pair gets the stitch edge.
+        let mut best: Option<(f64, usize, usize)> = None;
+        for a in 0..n {
+            if !in_main[a] {
+                continue;
+            }
+            for b in 0..n {
+                if !comp[b] {
+                    continue;
+                }
+                let d = dist(pos[a], pos[b]);
+                if best.is_none_or(|(bd, _, _)| d < bd) {
+                    best = Some((d, a, b));
+                }
+            }
+        }
+        let (_, a, b) = best.expect("both components are non-empty");
+        g.add_edge(NodeId(a as u32), NodeId(b as u32), 1);
+    }
+}
+
+/// A uniformly random spanning tree over `n` nodes (random attachment:
+/// node `i` links to a uniform earlier node), weight-1 edges.
+pub fn random_tree(n: usize, seed: u64) -> Graph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut g = Graph::with_nodes(n);
+    for i in 1..n {
+        let parent = rng.gen_range(0..i);
+        g.add_edge(NodeId(i as u32), NodeId(parent as u32), 1);
+    }
+    g
+}
+
+/// A line (path) of `n` nodes.
+pub fn line(n: usize) -> Graph {
+    let mut g = Graph::with_nodes(n);
+    for i in 1..n {
+        g.add_edge(NodeId(i as u32 - 1), NodeId(i as u32), 1);
+    }
+    g
+}
+
+/// A ring of `n` nodes.
+pub fn ring(n: usize) -> Graph {
+    let mut g = line(n);
+    if n > 2 {
+        g.add_edge(NodeId(0), NodeId(n as u32 - 1), 1);
+    }
+    g
+}
+
+/// A `rows × cols` grid.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let mut g = Graph::with_nodes(rows * cols);
+    let id = |r: usize, c: usize| NodeId((r * cols + c) as u32);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(id(r, c), id(r, c + 1), 1);
+            }
+            if r + 1 < rows {
+                g.add_edge(id(r, c), id(r + 1, c), 1);
+            }
+        }
+    }
+    g
+}
+
+/// A star: node 0 is the hub, nodes `1..n` are spokes.
+pub fn star(n: usize) -> Graph {
+    let mut g = Graph::with_nodes(n);
+    for i in 1..n {
+        g.add_edge(NodeId(0), NodeId(i as u32), 1);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waxman_is_connected_and_deterministic() {
+        for seed in 0..10 {
+            let g1 = waxman(WaxmanParams { n: 60, ..Default::default() }, seed);
+            let g2 = waxman(WaxmanParams { n: 60, ..Default::default() }, seed);
+            assert!(g1.is_connected(), "seed {seed}");
+            assert_eq!(g1.node_count(), 60);
+            let e1: Vec<_> = g1.edges().collect();
+            let e2: Vec<_> = g2.edges().collect();
+            assert_eq!(e1, e2, "same seed must give identical graphs");
+        }
+    }
+
+    #[test]
+    fn waxman_seeds_differ() {
+        let g1 = waxman(WaxmanParams::default(), 1);
+        let g2 = waxman(WaxmanParams::default(), 2);
+        let e1: Vec<_> = g1.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_ne!(e1, e2);
+    }
+
+    #[test]
+    fn waxman_density_tracks_alpha() {
+        let sparse = waxman(WaxmanParams { n: 80, alpha: 0.05, beta: 0.2 }, 7);
+        let dense = waxman(WaxmanParams { n: 80, alpha: 0.6, beta: 0.2 }, 7);
+        assert!(
+            dense.edge_count() > sparse.edge_count(),
+            "dense {} vs sparse {}",
+            dense.edge_count(),
+            sparse.edge_count()
+        );
+    }
+
+    #[test]
+    fn waxman_survives_pathological_params() {
+        // α = 0 draws no edges at all: the stitcher must still deliver a
+        // connected graph (a geometric tree).
+        let g = waxman(WaxmanParams { n: 20, alpha: 0.0, beta: 0.2 }, 3);
+        assert!(g.is_connected());
+        assert_eq!(g.edge_count(), 19);
+    }
+
+    #[test]
+    fn random_tree_is_spanning_tree() {
+        for seed in 0..5 {
+            let g = random_tree(50, seed);
+            assert!(g.is_connected());
+            assert!(g.is_forest());
+            assert_eq!(g.edge_count(), 49);
+        }
+    }
+
+    #[test]
+    fn regular_shapes() {
+        assert_eq!(line(5).edge_count(), 4);
+        assert_eq!(ring(5).edge_count(), 5);
+        assert_eq!(grid(3, 4).edge_count(), 17);
+        assert_eq!(star(6).edge_count(), 5);
+        assert!(grid(3, 4).is_connected());
+        assert!(ring(3).is_connected());
+    }
+
+    #[test]
+    fn tiny_sizes_do_not_panic() {
+        for n in 0..3 {
+            let _ = line(n);
+            let _ = ring(n);
+            let _ = star(n.max(1));
+            let _ = random_tree(n, 0);
+            let _ = waxman(WaxmanParams { n, ..Default::default() }, 0);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # cbt-topology — network topologies for the CBT reproduction
+//!
+//! Provides the three things every experiment needs before a single CBT
+//! message is exchanged:
+//!
+//! 1. a **router-level weighted graph** ([`graph::Graph`]) with shortest-
+//!    path machinery ([`shortest`]) — this is what the unicast routing
+//!    substrate (`cbt-routing`) and all tree-quality metrics run on;
+//! 2. **generators** ([`generate`]) for the random topologies the
+//!    SIGCOMM-'93-style evaluation sweeps over (Waxman graphs in the
+//!    Doar–Leslie tradition, plus regular shapes for unit tests);
+//! 3. a **network description** ([`network::NetworkSpec`]) rich enough
+//!    for the protocol itself: multi-access LAN segments with attached
+//!    hosts (where IGMP and DR election happen), point-to-point links,
+//!    and an IPv4 addressing plan — including byte-exact reconstructions
+//!    of the spec's Figure 1 and Figure 5 topologies ([`figures`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod generate;
+pub mod graph;
+pub mod network;
+pub mod shortest;
+
+pub use figures::{figure1, figure5_loop, Figure1};
+pub use graph::{EdgeWeight, Graph, NodeId};
+pub use network::{
+    Attachment, HostId, HostSpec, IfIndex, LanId, LanSpec, LinkId, LinkSpec, NetworkBuilder,
+    NetworkSpec, RouterId, RouterSpec,
+};
+pub use shortest::{AllPairs, ShortestPaths};

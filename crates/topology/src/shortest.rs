@@ -1,0 +1,291 @@
+//! Shortest-path machinery: Dijkstra single-source trees, all-pairs
+//! tables, and the centrality helpers used for core placement.
+//!
+//! Determinism note: ties are broken by smaller predecessor node id so
+//! the same graph always yields the same trees — essential for the
+//! reproducibility of every experiment.
+
+use crate::graph::{Graph, NodeId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Distance type; `u64` so summed path weights cannot overflow.
+pub type Dist = u64;
+
+/// Single-source shortest paths from one root.
+#[derive(Debug, Clone)]
+pub struct ShortestPaths {
+    root: NodeId,
+    dist: Vec<Option<Dist>>,
+    /// Predecessor towards the root, for every reached node but the root.
+    pred: Vec<Option<NodeId>>,
+}
+
+impl ShortestPaths {
+    /// Runs Dijkstra from `root`.
+    ///
+    /// Ties between equal-length paths resolve to the smallest-id
+    /// predecessor, independent of heap pop order: every node relaxes
+    /// its neighbours exactly once (when popped with its final
+    /// distance), so the final predecessor is the minimum over all
+    /// equal-distance candidates.
+    pub fn dijkstra(g: &Graph, root: NodeId) -> Self {
+        let n = g.node_count();
+        let mut dist: Vec<Option<Dist>> = vec![None; n];
+        let mut pred: Vec<Option<NodeId>> = vec![None; n];
+        let mut heap: BinaryHeap<Reverse<(Dist, u32)>> = BinaryHeap::new();
+        dist[root.idx()] = Some(0);
+        heap.push(Reverse((0, root.0)));
+        while let Some(Reverse((d, node))) = heap.pop() {
+            let node_id = NodeId(node);
+            if dist[node_id.idx()] != Some(d) {
+                continue; // stale heap entry
+            }
+            for (next, w) in g.neighbors(node_id) {
+                let nd = d + Dist::from(w);
+                match dist[next.idx()] {
+                    Some(old) if nd > old => {}
+                    Some(old) if nd == old => {
+                        if pred[next.idx()].is_some_and(|p| node < p.0) {
+                            pred[next.idx()] = Some(node_id);
+                        }
+                    }
+                    _ => {
+                        dist[next.idx()] = Some(nd);
+                        pred[next.idx()] = Some(node_id);
+                        heap.push(Reverse((nd, next.0)));
+                    }
+                }
+            }
+        }
+        ShortestPaths { root, dist, pred }
+    }
+
+    /// The tree root.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Distance from the root to `n`, if reachable.
+    pub fn dist(&self, n: NodeId) -> Option<Dist> {
+        self.dist.get(n.idx()).copied().flatten()
+    }
+
+    /// Next hop *from `n` toward the root* (its shortest-path
+    /// predecessor). `None` for the root itself or unreachable nodes.
+    pub fn toward_root(&self, n: NodeId) -> Option<NodeId> {
+        self.pred.get(n.idx()).copied().flatten()
+    }
+
+    /// Full path from `n` to the root, inclusive of both endpoints.
+    pub fn path_to_root(&self, n: NodeId) -> Option<Vec<NodeId>> {
+        self.dist(n)?;
+        let mut path = vec![n];
+        let mut cur = n;
+        while let Some(p) = self.toward_root(cur) {
+            path.push(p);
+            cur = p;
+        }
+        debug_assert_eq!(cur, self.root);
+        Some(path)
+    }
+
+    /// The union of shortest paths from all `members` to the root — a
+    /// shortest-path tree (the per-source tree of the baselines, and the
+    /// "joins follow unicast routing" shape of a CBT tree).
+    ///
+    /// Returned as a subgraph of `g` (same node ids, only tree edges).
+    pub fn tree_spanning(&self, g: &Graph, members: &[NodeId]) -> Graph {
+        let mut tree = Graph::with_nodes(g.node_count());
+        for &m in members {
+            let Some(path) = self.path_to_root(m) else { continue };
+            for hop in path.windows(2) {
+                let w = g.edge_weight(hop[0], hop[1]).expect("path edge exists");
+                tree.add_edge(hop[0], hop[1], w);
+            }
+        }
+        tree
+    }
+}
+
+/// All-pairs shortest-path distances, with per-root trees on demand.
+#[derive(Debug, Clone)]
+pub struct AllPairs {
+    trees: Vec<ShortestPaths>,
+}
+
+impl AllPairs {
+    /// Runs Dijkstra from every node.
+    pub fn compute(g: &Graph) -> Self {
+        AllPairs { trees: g.nodes().map(|r| ShortestPaths::dijkstra(g, r)).collect() }
+    }
+
+    /// Distance between two nodes, if connected.
+    pub fn dist(&self, a: NodeId, b: NodeId) -> Option<Dist> {
+        self.trees.get(a.idx())?.dist(b)
+    }
+
+    /// The single-source structure rooted at `root`.
+    pub fn from_root(&self, root: NodeId) -> &ShortestPaths {
+        &self.trees[root.idx()]
+    }
+
+    /// Eccentricity of `n`: its largest distance to any node.
+    pub fn eccentricity(&self, n: NodeId) -> Option<Dist> {
+        let t = &self.trees[n.idx()];
+        (0..self.trees.len()).map(|i| t.dist(NodeId(i as u32))).collect::<Option<Vec<_>>>()?
+            .into_iter()
+            .max()
+    }
+
+    /// Graph center: the node with minimum eccentricity (smallest id on
+    /// ties). `None` if the graph is disconnected or empty.
+    pub fn center(&self) -> Option<NodeId> {
+        (0..self.trees.len() as u32)
+            .map(NodeId)
+            .map(|n| Some((self.eccentricity(n)?, n.0)))
+            .collect::<Option<Vec<_>>>()?
+            .into_iter()
+            .min()
+            .map(|(_, n)| NodeId(n))
+    }
+
+    /// Medoid of a member set: the node minimising the *sum* of
+    /// distances to all members (smallest id on ties). Used by the
+    /// group-centric core-placement ablation (Abl-1).
+    pub fn medoid(&self, members: &[NodeId]) -> Option<NodeId> {
+        if members.is_empty() {
+            return None;
+        }
+        (0..self.trees.len() as u32)
+            .map(NodeId)
+            .map(|n| {
+                let sum: Option<Dist> =
+                    members.iter().map(|&m| self.dist(n, m)).try_fold(0, |acc, d| Some(acc + d?));
+                Some((sum?, n.0))
+            })
+            .collect::<Option<Vec<_>>>()?
+            .into_iter()
+            .min()
+            .map(|(_, n)| NodeId(n))
+    }
+
+    /// Graph diameter, if connected.
+    pub fn diameter(&self) -> Option<Dist> {
+        (0..self.trees.len() as u32).map(|n| self.eccentricity(NodeId(n))).try_fold(0, |acc, e| {
+            Some(acc.max(e?))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 0 —1— 1 —1— 2 —1— 3 and a heavy chord 0 —5— 3.
+    fn path_with_chord() -> Graph {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1), 1);
+        g.add_edge(NodeId(1), NodeId(2), 1);
+        g.add_edge(NodeId(2), NodeId(3), 1);
+        g.add_edge(NodeId(0), NodeId(3), 5);
+        g
+    }
+
+    #[test]
+    fn dijkstra_distances() {
+        let g = path_with_chord();
+        let sp = ShortestPaths::dijkstra(&g, NodeId(0));
+        assert_eq!(sp.dist(NodeId(0)), Some(0));
+        assert_eq!(sp.dist(NodeId(1)), Some(1));
+        assert_eq!(sp.dist(NodeId(2)), Some(2));
+        assert_eq!(sp.dist(NodeId(3)), Some(3), "path beats the weight-5 chord");
+    }
+
+    #[test]
+    fn dijkstra_path_reconstruction() {
+        let g = path_with_chord();
+        let sp = ShortestPaths::dijkstra(&g, NodeId(0));
+        assert_eq!(
+            sp.path_to_root(NodeId(3)).unwrap(),
+            vec![NodeId(3), NodeId(2), NodeId(1), NodeId(0)]
+        );
+        assert_eq!(sp.path_to_root(NodeId(0)).unwrap(), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn unreachable_nodes_report_none() {
+        let mut g = path_with_chord();
+        let iso = g.add_node();
+        let sp = ShortestPaths::dijkstra(&g, NodeId(0));
+        assert_eq!(sp.dist(iso), None);
+        assert_eq!(sp.path_to_root(iso), None);
+    }
+
+    #[test]
+    fn tie_break_is_smallest_predecessor() {
+        // 0 connects to 3 via 1 and via 2, both cost 2.
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1), 1);
+        g.add_edge(NodeId(0), NodeId(2), 1);
+        g.add_edge(NodeId(1), NodeId(3), 1);
+        g.add_edge(NodeId(2), NodeId(3), 1);
+        let sp = ShortestPaths::dijkstra(&g, NodeId(0));
+        assert_eq!(sp.toward_root(NodeId(3)), Some(NodeId(1)), "deterministic tie-break");
+    }
+
+    #[test]
+    fn spanning_tree_is_a_tree_touching_members() {
+        let g = path_with_chord();
+        let sp = ShortestPaths::dijkstra(&g, NodeId(0));
+        let tree = sp.tree_spanning(&g, &[NodeId(2), NodeId(3)]);
+        assert!(tree.is_forest());
+        assert_eq!(tree.edge_count(), 3);
+        assert_eq!(tree.total_weight(), 3);
+    }
+
+    #[test]
+    fn all_pairs_symmetry() {
+        let g = path_with_chord();
+        let ap = AllPairs::compute(&g);
+        for a in g.nodes() {
+            for b in g.nodes() {
+                assert_eq!(ap.dist(a, b), ap.dist(b, a), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn center_of_a_path_is_middle() {
+        let mut g = Graph::with_nodes(5);
+        for i in 0..4u32 {
+            g.add_edge(NodeId(i), NodeId(i + 1), 1);
+        }
+        let ap = AllPairs::compute(&g);
+        assert_eq!(ap.center(), Some(NodeId(2)));
+        assert_eq!(ap.diameter(), Some(4));
+        assert_eq!(ap.eccentricity(NodeId(2)), Some(2));
+    }
+
+    #[test]
+    fn medoid_tracks_the_member_set() {
+        let mut g = Graph::with_nodes(5);
+        for i in 0..4u32 {
+            g.add_edge(NodeId(i), NodeId(i + 1), 1);
+        }
+        let ap = AllPairs::compute(&g);
+        assert_eq!(ap.medoid(&[NodeId(3), NodeId(4)]), Some(NodeId(3)));
+        // {0,4}: every node on the path sums to 4, so the smallest id wins.
+        assert_eq!(ap.medoid(&[NodeId(0), NodeId(4)]), Some(NodeId(0)));
+        assert_eq!(ap.medoid(&[]), None);
+    }
+
+    #[test]
+    fn disconnected_graph_has_no_center_or_diameter() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1), 1);
+        let ap = AllPairs::compute(&g);
+        assert_eq!(ap.center(), None);
+        assert_eq!(ap.diameter(), None);
+    }
+}

@@ -1,0 +1,216 @@
+//! Addresses and group identifiers.
+//!
+//! CBT was specified for IPv4; the spec's tie-breakers ("lowest-addressed
+//! router wins") and the subnet-mask arithmetic used by proxy-ack
+//! detection (§2.6) both operate on 32-bit addresses, so [`Addr`] wraps a
+//! `u32` in network order and keeps ordinary integer ordering.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+/// A 32-bit IPv4-style unicast or multicast address.
+///
+/// Ordering is numeric, which is exactly the ordering the spec's
+/// "lowest-addressed" election rules require.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u32);
+
+/// The `224.0.0.1` *all-systems* group: every multicast-capable host and
+/// router listens here. Used for `DR_ADVERTISEMENT`-style notifications
+/// in the -02 draft and host-visible announcements.
+pub const ALL_SYSTEMS: Addr = Addr::from_octets(224, 0, 0, 1);
+
+/// The `224.0.0.2` *all-routers* group (IGMP leave messages go here).
+pub const ALL_ROUTERS: Addr = Addr::from_octets(224, 0, 0, 2);
+
+/// The `224.0.0.7` *all-CBT-routers* group used by the CBT drafts for
+/// router-to-router LAN announcements.
+pub const ALL_CBT_ROUTERS: Addr = Addr::from_octets(224, 0, 0, 7);
+
+impl Addr {
+    /// The all-zero address, used as a NULL field value on the wire.
+    pub const NULL: Addr = Addr(0);
+
+    /// Builds an address from dotted-quad octets at compile time.
+    pub const fn from_octets(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Addr(((a as u32) << 24) | ((b as u32) << 16) | ((c as u32) << 8) | d as u32)
+    }
+
+    /// Returns the four dotted-quad octets, most significant first.
+    pub const fn octets(self) -> [u8; 4] {
+        self.0.to_be_bytes()
+    }
+
+    /// True for class-D (multicast) addresses, `224.0.0.0/4`.
+    pub const fn is_multicast(self) -> bool {
+        (self.0 >> 28) == 0b1110
+    }
+
+    /// True for the all-zero NULL value.
+    pub const fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Applies a subnet mask, yielding the subnet number.
+    ///
+    /// Section 2.6 uses exactly this operation to detect that a join-ack
+    /// is one hop away from the join's originating subnet.
+    pub const fn masked(self, mask: Addr) -> Addr {
+        Addr(self.0 & mask.0)
+    }
+
+    /// True if `self` and `other` fall in the same subnet under `mask`.
+    pub const fn same_subnet(self, other: Addr, mask: Addr) -> bool {
+        self.0 & mask.0 == other.0 & mask.0
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [a, b, c, d] = self.octets();
+        write!(f, "{a}.{b}.{c}.{d}")
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl From<Ipv4Addr> for Addr {
+    fn from(ip: Ipv4Addr) -> Self {
+        Addr(u32::from(ip))
+    }
+}
+
+impl From<Addr> for Ipv4Addr {
+    fn from(a: Addr) -> Self {
+        Ipv4Addr::from(a.0)
+    }
+}
+
+impl FromStr for Addr {
+    type Err = std::net::AddrParseError;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        Ipv4Addr::from_str(s).map(Addr::from)
+    }
+}
+
+/// A multicast group identity — a class-D [`Addr`] with the invariant
+/// enforced at construction.
+///
+/// The spec's FIB (Fig. 4) and every control message key state by
+/// "group identifier"; using a distinct type keeps unicast addresses and
+/// group addresses from being confused anywhere in the engine.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroupId(Addr);
+
+impl GroupId {
+    /// Wraps a class-D address. Returns `None` for non-multicast input.
+    pub fn new(addr: Addr) -> Option<Self> {
+        addr.is_multicast().then_some(GroupId(addr))
+    }
+
+    /// Convenience constructor for tests and examples: `239.1.x.y`
+    /// administratively-scoped groups numbered from 0.
+    pub const fn numbered(n: u16) -> Self {
+        GroupId(Addr::from_octets(239, 1, (n >> 8) as u8, n as u8))
+    }
+
+    /// The underlying class-D address.
+    pub const fn addr(self) -> Addr {
+        self.0
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "G:{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn octet_round_trip() {
+        let a = Addr::from_octets(10, 1, 2, 3);
+        assert_eq!(a.octets(), [10, 1, 2, 3]);
+        assert_eq!(a.to_string(), "10.1.2.3");
+    }
+
+    #[test]
+    fn ordering_is_numeric_lowest_address_wins() {
+        // §2.3: "yield querier duty to the new router iff the new router
+        // is lower-addressed" — ordering must be plain numeric.
+        let low = Addr::from_octets(10, 0, 0, 1);
+        let high = Addr::from_octets(10, 0, 0, 2);
+        assert!(low < high);
+        assert_eq!(low.min(high), low);
+    }
+
+    #[test]
+    fn multicast_detection() {
+        assert!(ALL_SYSTEMS.is_multicast());
+        assert!(ALL_ROUTERS.is_multicast());
+        assert!(ALL_CBT_ROUTERS.is_multicast());
+        assert!(Addr::from_octets(239, 255, 255, 255).is_multicast());
+        assert!(!Addr::from_octets(223, 255, 255, 255).is_multicast());
+        assert!(!Addr::from_octets(240, 0, 0, 0).is_multicast());
+        assert!(!Addr::from_octets(10, 0, 0, 1).is_multicast());
+    }
+
+    #[test]
+    fn subnet_mask_arithmetic() {
+        // §5: "arrival interface subnetmask bitwise ANDed with the
+        // packet's source IP address equals the arrival interface's
+        // subnet number" — the local-origin check.
+        let mask = Addr::from_octets(255, 255, 255, 0);
+        let src = Addr::from_octets(192, 168, 4, 77);
+        let subnet = Addr::from_octets(192, 168, 4, 0);
+        assert_eq!(src.masked(mask), subnet);
+        assert!(src.same_subnet(Addr::from_octets(192, 168, 4, 1), mask));
+        assert!(!src.same_subnet(Addr::from_octets(192, 168, 5, 1), mask));
+    }
+
+    #[test]
+    fn group_id_rejects_unicast() {
+        assert!(GroupId::new(Addr::from_octets(10, 0, 0, 1)).is_none());
+        assert!(GroupId::new(Addr::from_octets(224, 1, 1, 1)).is_some());
+    }
+
+    #[test]
+    fn numbered_groups_are_distinct_and_multicast() {
+        for n in [0u16, 1, 255, 256, 65535] {
+            let g = GroupId::numbered(n);
+            assert!(g.addr().is_multicast(), "{g}");
+        }
+        assert_ne!(GroupId::numbered(1), GroupId::numbered(2));
+        assert_ne!(GroupId::numbered(255), GroupId::numbered(256));
+    }
+
+    #[test]
+    fn ipv4addr_conversions() {
+        let std_ip: Ipv4Addr = "172.16.254.9".parse().unwrap();
+        let a = Addr::from(std_ip);
+        assert_eq!(Ipv4Addr::from(a), std_ip);
+        let parsed: Addr = "172.16.254.9".parse().unwrap();
+        assert_eq!(parsed, a);
+    }
+
+    #[test]
+    fn null_addr() {
+        assert!(Addr::NULL.is_null());
+        assert!(!Addr::from_octets(0, 0, 0, 1).is_null());
+    }
+}

@@ -1,0 +1,96 @@
+//! The Internet checksum (RFC 1071): 16-bit one's-complement of the
+//! one's-complement sum.
+//!
+//! The CBT data and control headers, the IPv4 header and the IGMP
+//! messages all use this same algorithm ("the 16-bit one's complement of
+//! the one's complement ... calculated across all fields", spec §8.1).
+
+/// Computes the Internet checksum over `data`.
+///
+/// Odd-length input is virtually padded with one zero byte, per RFC 1071.
+/// The returned value is ready to be stored in a header whose checksum
+/// field was zero while summing.
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    !ones_complement_sum(data)
+}
+
+/// Verifies data whose checksum field is *included* in `data`.
+///
+/// A correctly checksummed buffer sums (with its embedded checksum) to
+/// `0xffff`; equivalently the folded sum's complement is zero.
+pub fn verify_checksum(data: &[u8]) -> bool {
+    ones_complement_sum(data) == 0xffff
+}
+
+/// One's-complement 16-bit sum with end-around carry folding.
+fn ones_complement_sum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for pair in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([pair[0], pair[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum > 0xffff {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    sum as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The worked example from RFC 1071 §3.
+    #[test]
+    fn rfc1071_worked_example() {
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        // Sum = 0001 + f203 + f4f5 + f6f7 = 2ddf0 -> fold -> ddf2
+        assert_eq!(internet_checksum(&data), !0xddf2u16);
+    }
+
+    #[test]
+    fn zero_buffer_checksums_to_ffff() {
+        assert_eq!(internet_checksum(&[0u8; 20]), 0xffff);
+    }
+
+    #[test]
+    fn verify_accepts_own_output() {
+        let mut data = vec![0x45u8, 0x00, 0x00, 0x54, 0xde, 0xad, 0x40, 0x00, 0x40, 0x01, 0, 0];
+        let ck = internet_checksum(&data);
+        data[10] = (ck >> 8) as u8;
+        data[11] = ck as u8;
+        assert!(verify_checksum(&data));
+    }
+
+    #[test]
+    fn verify_rejects_single_bit_flip() {
+        let mut data = vec![0x45u8, 0x00, 0x00, 0x54, 0xde, 0xad, 0x40, 0x00, 0x40, 0x01, 0, 0];
+        let ck = internet_checksum(&data);
+        data[10] = (ck >> 8) as u8;
+        data[11] = ck as u8;
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut corrupted = data.clone();
+                corrupted[byte] ^= 1 << bit;
+                assert!(!verify_checksum(&corrupted), "flip at byte {byte} bit {bit} undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn odd_length_padding() {
+        // Trailing odd byte is treated as the high octet of a zero-padded
+        // word.
+        assert_eq!(internet_checksum(&[0xab]), internet_checksum(&[0xab, 0x00]));
+    }
+
+    #[test]
+    fn empty_input() {
+        // An empty buffer sums to zero, so its checksum is !0 = 0xffff —
+        // and a buffer containing no checksum field never verifies.
+        assert_eq!(internet_checksum(&[]), 0xffff);
+        assert!(!verify_checksum(&[]));
+    }
+}

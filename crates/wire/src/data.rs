@@ -1,0 +1,273 @@
+//! Data packets in both forwarding modes.
+//!
+//! * **Native mode** (§4): ordinary IP multicast datagrams; no extra
+//!   headers. Used inside pure-CBT clouds.
+//! * **CBT mode** (§5, Fig. 6): `encaps IP hdr | CBT hdr | original IP
+//!   hdr | data`, used across tunnels and mixed clouds. The inner IP
+//!   header is untouched until final native delivery, when its TTL is
+//!   set to one (§5).
+
+use crate::addr::{Addr, GroupId};
+use crate::error::WireError;
+use crate::header::{CbtDataHeader, CBT_DATA_HEADER_LEN};
+use crate::ipv4::{build_datagram, split_datagram, IpProto, Ipv4Header, MAX_TTL};
+use crate::Result;
+
+/// UDP port multicast application payloads ride on in examples, tests
+/// and the simulator (any non-CBT port would do).
+pub const APP_PORT: u16 = 9999;
+
+/// Which encapsulation a data packet currently wears.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EncapMode {
+    /// Plain IP multicast (native mode, §4).
+    Native,
+    /// CBT-header encapsulated (CBT mode, §5).
+    CbtMode,
+}
+
+/// A native-mode multicast data packet: the original IP datagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataPacket {
+    /// Originating end-system.
+    pub src: Addr,
+    /// Destination group.
+    pub group: GroupId,
+    /// Remaining time-to-live.
+    pub ttl: u8,
+    /// Application payload.
+    pub payload: Vec<u8>,
+}
+
+impl DataPacket {
+    /// Builds a fresh multicast datagram as an end-system would.
+    pub fn new(src: Addr, group: GroupId, ttl: u8, payload: impl Into<Vec<u8>>) -> Self {
+        DataPacket { src, group, ttl, payload: payload.into() }
+    }
+
+    /// Serializes to a complete IP datagram. The application payload
+    /// rides in a real UDP shell on [`APP_PORT`] — CBT does not care
+    /// what applications send, but carrying honest headers end-to-end
+    /// lets the trace classify every frame unambiguously.
+    pub fn encode(&self) -> Vec<u8> {
+        let udp = crate::udp::UdpHeader::wrap(APP_PORT, APP_PORT, &self.payload);
+        build_datagram(self.src, self.group.addr(), IpProto::Udp, self.ttl, &udp)
+    }
+
+    /// Parses a native multicast datagram.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let (hdr, body) = split_datagram(bytes)?;
+        let group = GroupId::new(hdr.dst).ok_or(WireError::BadField {
+            what: "native data packet",
+            why: "destination is not a multicast group",
+        })?;
+        let (_, payload) = crate::udp::UdpHeader::unwrap(body)?;
+        Ok(DataPacket { src: hdr.src, group, ttl: hdr.ttl, payload: payload.to_vec() })
+    }
+}
+
+/// A CBT-mode packet: the CBT header plus the original datagram, ready
+/// to be wrapped in an outer IP header per hop/tunnel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CbtDataPacket {
+    /// The CBT header (Fig. 7) — carries group, origin, core and the
+    /// on-tree flag.
+    pub cbt: CbtDataHeader,
+    /// The untouched original datagram (inner IP header + data).
+    pub inner: Vec<u8>,
+}
+
+impl CbtDataPacket {
+    /// Encapsulates a native packet as the DR adjacent to the origin
+    /// does (§5): the CBT header TTL is gleaned from the original IP
+    /// header; the packet starts off-tree.
+    pub fn encapsulate(native: &DataPacket, core: Addr) -> Self {
+        let cbt = CbtDataHeader::new(native.group, core, native.src, native.ttl);
+        CbtDataPacket { cbt, inner: native.encode() }
+    }
+
+    /// Recovers the original native packet for final delivery, setting
+    /// the inner TTL to one as §5 requires ("the TTL value of the
+    /// original IP header is set to one before forwarding" onto member
+    /// subnets).
+    pub fn decapsulate_for_delivery(&self) -> Result<DataPacket> {
+        let mut native = DataPacket::decode(&self.inner)?;
+        native.ttl = 1;
+        Ok(native)
+    }
+
+    /// Serializes as the payload of an outer IP datagram: CBT header
+    /// followed by the inner datagram.
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(CBT_DATA_HEADER_LEN + self.inner.len());
+        out.extend_from_slice(&self.cbt.encode());
+        out.extend_from_slice(&self.inner);
+        out
+    }
+
+    /// Parses a CBT-mode payload (CBT header + inner datagram).
+    pub fn decode_payload(bytes: &[u8]) -> Result<Self> {
+        let cbt = CbtDataHeader::decode(bytes)?;
+        let inner = bytes[CBT_DATA_HEADER_LEN..].to_vec();
+        // Validate the inner datagram eagerly so corruption is caught at
+        // the first CBT router, not at delivery time.
+        let (inner_hdr, _) = split_datagram(&inner)?;
+        if GroupId::new(inner_hdr.dst) != Some(cbt.group) {
+            return Err(WireError::BadField {
+                what: "cbt data packet",
+                why: "inner destination group disagrees with CBT header",
+            });
+        }
+        Ok(CbtDataPacket { cbt, inner })
+    }
+
+    /// Wraps in the outer IP header for one unicast hop or tunnel
+    /// (CBT unicasting, §5). `tunnel_ttl` is the configured tunnel
+    /// length, or `MAX_TTL` when unknown.
+    pub fn wrap_unicast(&self, src: Addr, dst: Addr, tunnel_ttl: Option<u8>) -> Vec<u8> {
+        build_datagram(
+            src,
+            dst,
+            IpProto::Cbt,
+            tunnel_ttl.unwrap_or(MAX_TTL),
+            &self.encode_payload(),
+        )
+    }
+
+    /// Wraps in an outer IP header addressed to the *group* (CBT
+    /// multicasting, §5): used when a parent or several children share
+    /// one multi-access interface. Hosts discard these because the outer
+    /// protocol is CBT, not UDP.
+    pub fn wrap_multicast(&self, src: Addr) -> Vec<u8> {
+        build_datagram(src, self.cbt.group.addr(), IpProto::Cbt, 1, &self.encode_payload())
+    }
+
+    /// Unwraps an outer datagram produced by [`Self::wrap_unicast`] or
+    /// [`Self::wrap_multicast`].
+    pub fn unwrap_outer(bytes: &[u8]) -> Result<(Ipv4Header, Self)> {
+        let (outer, payload) = split_datagram(bytes)?;
+        if outer.proto != IpProto::Cbt {
+            return Err(WireError::BadField {
+                what: "cbt outer header",
+                why: "outer protocol is not CBT",
+            });
+        }
+        Ok((outer, Self::decode_payload(payload)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::{OFF_TREE, ON_TREE};
+
+    fn native() -> DataPacket {
+        DataPacket::new(Addr::from_octets(192, 168, 10, 7), GroupId::numbered(3), 64, b"hi".to_vec())
+    }
+
+    #[test]
+    fn native_round_trip() {
+        let p = native();
+        assert_eq!(DataPacket::decode(&p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn native_rejects_unicast_destination() {
+        let dg = build_datagram(
+            Addr::from_octets(10, 0, 0, 1),
+            Addr::from_octets(10, 0, 0, 2),
+            IpProto::Udp,
+            4,
+            b"x",
+        );
+        assert!(DataPacket::decode(&dg).is_err());
+    }
+
+    #[test]
+    fn encapsulation_preserves_inner_and_gleans_ttl() {
+        let p = native();
+        let core = Addr::from_octets(10, 0, 0, 4);
+        let enc = CbtDataPacket::encapsulate(&p, core);
+        assert_eq!(enc.cbt.ip_ttl, 64, "CBT TTL gleaned from original IP header (§8.1)");
+        assert_eq!(enc.cbt.group, p.group);
+        assert_eq!(enc.cbt.origin, p.src);
+        assert_eq!(enc.cbt.core, core);
+        assert_eq!(enc.cbt.on_tree, OFF_TREE);
+        assert_eq!(DataPacket::decode(&enc.inner).unwrap(), p);
+    }
+
+    #[test]
+    fn payload_round_trip() {
+        let enc = CbtDataPacket::encapsulate(&native(), Addr::from_octets(10, 0, 0, 4));
+        let back = CbtDataPacket::decode_payload(&enc.encode_payload()).unwrap();
+        assert_eq!(back, enc);
+    }
+
+    #[test]
+    fn unicast_wrap_round_trip_uses_cbt_protocol() {
+        let enc = CbtDataPacket::encapsulate(&native(), Addr::from_octets(10, 0, 0, 4));
+        let wire =
+            enc.wrap_unicast(Addr::from_octets(10, 1, 0, 1), Addr::from_octets(10, 2, 0, 1), Some(3));
+        let (outer, back) = CbtDataPacket::unwrap_outer(&wire).unwrap();
+        assert_eq!(outer.proto, IpProto::Cbt);
+        assert_eq!(outer.ttl, 3, "outer TTL is the configured tunnel length (§5)");
+        assert_eq!(back, enc);
+    }
+
+    #[test]
+    fn unicast_wrap_defaults_to_max_ttl() {
+        let enc = CbtDataPacket::encapsulate(&native(), Addr::from_octets(10, 0, 0, 4));
+        let wire =
+            enc.wrap_unicast(Addr::from_octets(10, 1, 0, 1), Addr::from_octets(10, 2, 0, 1), None);
+        let (outer, _) = CbtDataPacket::unwrap_outer(&wire).unwrap();
+        assert_eq!(outer.ttl, MAX_TTL);
+    }
+
+    #[test]
+    fn multicast_wrap_targets_group() {
+        let enc = CbtDataPacket::encapsulate(&native(), Addr::from_octets(10, 0, 0, 4));
+        let wire = enc.wrap_multicast(Addr::from_octets(10, 1, 0, 1));
+        let (outer, _) = CbtDataPacket::unwrap_outer(&wire).unwrap();
+        assert_eq!(outer.dst, GroupId::numbered(3).addr());
+        assert!(outer.dst.is_multicast());
+    }
+
+    #[test]
+    fn delivery_sets_inner_ttl_to_one() {
+        let enc = CbtDataPacket::encapsulate(&native(), Addr::from_octets(10, 0, 0, 4));
+        let delivered = enc.decapsulate_for_delivery().unwrap();
+        assert_eq!(delivered.ttl, 1);
+        assert_eq!(delivered.payload, b"hi");
+    }
+
+    #[test]
+    fn on_tree_flag_survives_the_wire() {
+        let mut enc = CbtDataPacket::encapsulate(&native(), Addr::from_octets(10, 0, 0, 4));
+        enc.cbt.on_tree = ON_TREE;
+        let wire = enc.wrap_unicast(Addr::from_octets(1, 1, 1, 1), Addr::from_octets(2, 2, 2, 2), None);
+        let (_, back) = CbtDataPacket::unwrap_outer(&wire).unwrap();
+        assert!(back.cbt.is_on_tree());
+    }
+
+    #[test]
+    fn group_mismatch_between_headers_rejected() {
+        let enc = CbtDataPacket::encapsulate(&native(), Addr::from_octets(10, 0, 0, 4));
+        let mut cbt = enc.cbt;
+        cbt.group = GroupId::numbered(99); // disagree with inner datagram
+        let bad = CbtDataPacket { cbt, inner: enc.inner };
+        assert!(CbtDataPacket::decode_payload(&bad.encode_payload()).is_err());
+    }
+
+    #[test]
+    fn non_cbt_outer_protocol_rejected() {
+        let enc = CbtDataPacket::encapsulate(&native(), Addr::from_octets(10, 0, 0, 4));
+        let wire = build_datagram(
+            Addr::from_octets(1, 1, 1, 1),
+            Addr::from_octets(2, 2, 2, 2),
+            IpProto::Udp,
+            9,
+            &enc.encode_payload(),
+        );
+        assert!(CbtDataPacket::unwrap_outer(&wire).is_err());
+    }
+}

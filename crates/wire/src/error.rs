@@ -1,0 +1,97 @@
+//! Decode-side error type.
+
+use std::fmt;
+
+/// Everything that can go wrong while parsing a CBT, IGMP, IPv4 or UDP
+/// packet off the wire.
+///
+/// Decoders never panic on hostile input; they return one of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Fewer bytes were available than the format requires.
+    Truncated {
+        /// What was being decoded.
+        what: &'static str,
+        /// Bytes needed for the fixed part (or the advertised length).
+        needed: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// A checksum did not verify.
+    BadChecksum {
+        /// What was being decoded.
+        what: &'static str,
+    },
+    /// A version field held an unsupported value.
+    BadVersion {
+        /// What was being decoded.
+        what: &'static str,
+        /// The value on the wire.
+        got: u8,
+    },
+    /// A type/code field held a value this implementation does not know.
+    UnknownType {
+        /// What was being decoded.
+        what: &'static str,
+        /// The value on the wire.
+        got: u8,
+    },
+    /// A length or count field was internally inconsistent.
+    BadLength {
+        /// What was being decoded.
+        what: &'static str,
+        /// The offending value.
+        got: usize,
+    },
+    /// A field held a value that violates an invariant (e.g. a non-
+    /// multicast group identifier).
+    BadField {
+        /// What was being decoded.
+        what: &'static str,
+        /// Human-readable description of the violation.
+        why: &'static str,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { what, needed, got } => {
+                write!(f, "truncated {what}: need {needed} bytes, have {got}")
+            }
+            WireError::BadChecksum { what } => write!(f, "bad checksum in {what}"),
+            WireError::BadVersion { what, got } => {
+                write!(f, "unsupported {what} version {got}")
+            }
+            WireError::UnknownType { what, got } => {
+                write!(f, "unknown {what} type {got:#04x}")
+            }
+            WireError::BadLength { what, got } => {
+                write!(f, "inconsistent length {got} in {what}")
+            }
+            WireError::BadField { what, why } => write!(f, "bad field in {what}: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = WireError::Truncated { what: "cbt control header", needed: 32, got: 4 };
+        let s = e.to_string();
+        assert!(s.contains("cbt control header"));
+        assert!(s.contains("32"));
+        assert!(s.contains('4'));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&WireError::BadChecksum { what: "x" });
+    }
+}

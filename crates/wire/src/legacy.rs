@@ -1,0 +1,372 @@
+//! The June-1995 (-02) message set, kept as a compatibility layer.
+//!
+//! The -03 authors' note explains the streamlining: "six message types
+//! have been eliminated from the previous version of the protocol".
+//! The -02 draft's group-initiation and DR-election machinery used a
+//! host-driven handshake:
+//!
+//! * `CORE_NOTIFICATION` / `CORE_NOTIFICATION_ACK` — the group
+//!   initiator told each elected core its rank; the acks confirmed, and
+//!   the secondary cores then built the core tree;
+//! * `DR_SOLICITATION` / `DR_ADV_NOTIFICATION` / `DR_ADVERTISEMENT` —
+//!   hosts solicited a designated router per group; candidate routers
+//!   tie-broke by lowest address and advertised the winner;
+//! * `TAG_REPORT` — the joining host told the elected DR to join;
+//! * `HOST_JOIN_ACK` — the DR's LAN-wide success notification;
+//! * `CORE_PING` / `PING_REPLY` — core reachability probes before a
+//!   re-join.
+//!
+//! In -03 all of this folded into IGMP (querier = D-DR, RP/Core-Report
+//! carries the core list, TreeJoined replaces HOST_JOIN_ACK) and the
+//! join itself (cores learn their role from the carried core list;
+//! reachability probing became try-join-with-timeout). This module
+//! encodes the -02 messages over the same control-header layout so
+//! that captures of a mixed -02/-03 deployment decode, and so the
+//! migration tests can state the correspondence precisely.
+//!
+//! Type numbers: the surviving -02 text assigns none; this
+//! implementation uses 16.. to stay clear of the -03 range (1..=8).
+
+use crate::addr::{Addr, GroupId};
+use crate::error::WireError;
+use crate::header::CbtControlHeader;
+use crate::Result;
+
+/// On-wire type numbers for the -02 message set (implementation-
+/// assigned; see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum LegacyType {
+    /// Group initiator → each elected core: "you are core rank N".
+    CoreNotification = 16,
+    /// Core → initiator: acceptance.
+    CoreNotificationAck = 17,
+    /// Host → all-CBT-routers: "who is my best next hop to this core?"
+    DrSolicitation = 18,
+    /// Router → all-CBT-routers: tie-breaker claim before advertising.
+    DrAdvNotification = 19,
+    /// Winning router → all-systems: "I am the DR".
+    DrAdvertisement = 20,
+    /// Host → DR: join the tree for me.
+    TagReport = 21,
+    /// DR → LAN (group multicast): tree joined successfully.
+    HostJoinAck = 22,
+    /// Router → core: are you reachable? (pre-rejoin probe).
+    CorePing = 23,
+    /// Core → router: yes.
+    PingReply = 24,
+}
+
+impl LegacyType {
+    /// Decodes the type number.
+    pub fn from_wire(v: u8) -> Result<Self> {
+        Ok(match v {
+            16 => LegacyType::CoreNotification,
+            17 => LegacyType::CoreNotificationAck,
+            18 => LegacyType::DrSolicitation,
+            19 => LegacyType::DrAdvNotification,
+            20 => LegacyType::DrAdvertisement,
+            21 => LegacyType::TagReport,
+            22 => LegacyType::HostJoinAck,
+            23 => LegacyType::CorePing,
+            24 => LegacyType::PingReply,
+            got => return Err(WireError::UnknownType { what: "cbt -02 legacy", got }),
+        })
+    }
+}
+
+/// A typed -02 auxiliary message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LegacyMessage {
+    /// CORE_NOTIFICATION: tells `target_core` it serves `group`, and
+    /// carries the full ranked core list (primary first).
+    CoreNotification {
+        /// The group being initiated.
+        group: GroupId,
+        /// The initiating host.
+        origin: Addr,
+        /// The core being notified.
+        target_core: Addr,
+        /// The ranked core list.
+        cores: Vec<Addr>,
+    },
+    /// CORE_NOTIFICATION_ACK: acceptance from a core.
+    CoreNotificationAck {
+        /// The group.
+        group: GroupId,
+        /// The accepting core.
+        origin: Addr,
+    },
+    /// DR_SOLICITATION: "the host wishes a join sent to this core".
+    DrSolicitation {
+        /// The group to be joined.
+        group: GroupId,
+        /// The soliciting host.
+        origin: Addr,
+        /// The core the join should target.
+        target_core: Addr,
+    },
+    /// DR_ADV_NOTIFICATION: a candidate's tie-breaker claim (lowest
+    /// source address wins, -02 §2.2).
+    DrAdvNotification {
+        /// The group concerned.
+        group: GroupId,
+        /// The claiming router.
+        origin: Addr,
+        /// The core the claim is about.
+        target_core: Addr,
+    },
+    /// DR_ADVERTISEMENT: the election winner announces itself.
+    DrAdvertisement {
+        /// The group concerned.
+        group: GroupId,
+        /// The elected DR.
+        origin: Addr,
+    },
+    /// TAG_REPORT: host → DR, "join this group for me toward this core".
+    TagReport {
+        /// The group to join.
+        group: GroupId,
+        /// The requesting host.
+        origin: Addr,
+        /// The desired core.
+        target_core: Addr,
+    },
+    /// HOST_JOIN_ACK: LAN-wide success notification with the actual
+    /// core affiliation.
+    HostJoinAck {
+        /// The joined group.
+        group: GroupId,
+        /// The DR announcing success.
+        origin: Addr,
+        /// Actual core affiliation of the new branch.
+        target_core: Addr,
+    },
+    /// CBT_CORE_PING: reachability probe carrying the core list (-02
+    /// §5.2 used it for core re-start discovery too).
+    CorePing {
+        /// The group concerned.
+        group: GroupId,
+        /// The probing router.
+        origin: Addr,
+        /// The probed core.
+        target_core: Addr,
+        /// The group's core list (how a restarted core re-learned its
+        /// role under -02).
+        cores: Vec<Addr>,
+    },
+    /// CBT_PING_REPLY.
+    PingReply {
+        /// The group concerned.
+        group: GroupId,
+        /// The replying core.
+        origin: Addr,
+    },
+}
+
+impl LegacyMessage {
+    /// The message's wire type.
+    pub fn legacy_type(&self) -> LegacyType {
+        match self {
+            LegacyMessage::CoreNotification { .. } => LegacyType::CoreNotification,
+            LegacyMessage::CoreNotificationAck { .. } => LegacyType::CoreNotificationAck,
+            LegacyMessage::DrSolicitation { .. } => LegacyType::DrSolicitation,
+            LegacyMessage::DrAdvNotification { .. } => LegacyType::DrAdvNotification,
+            LegacyMessage::DrAdvertisement { .. } => LegacyType::DrAdvertisement,
+            LegacyMessage::TagReport { .. } => LegacyType::TagReport,
+            LegacyMessage::HostJoinAck { .. } => LegacyType::HostJoinAck,
+            LegacyMessage::CorePing { .. } => LegacyType::CorePing,
+            LegacyMessage::PingReply { .. } => LegacyType::PingReply,
+        }
+    }
+
+    /// The -03 mechanism that replaced this message (the authors'-note
+    /// correspondence, used in docs and migration tests).
+    pub fn superseded_by(&self) -> &'static str {
+        match self {
+            LegacyMessage::CoreNotification { .. } | LegacyMessage::CoreNotificationAck { .. } => {
+                "core list carried in every JOIN-REQUEST (§6.2) + external core advertisement (§2.1)"
+            }
+            LegacyMessage::DrSolicitation { .. }
+            | LegacyMessage::DrAdvNotification { .. }
+            | LegacyMessage::DrAdvertisement { .. } => {
+                "IGMP querier election doubling as D-DR election (§2.3)"
+            }
+            LegacyMessage::TagReport { .. } => "IGMP membership report + RP/Core-Report (§2.2)",
+            LegacyMessage::HostJoinAck { .. } => "IGMP tree-joined notification (§2.5)",
+            LegacyMessage::CorePing { .. } | LegacyMessage::PingReply { .. } => {
+                "join retransmission with PEND-JOIN-TIMEOUT core fallback (§6.1, §9)"
+            }
+        }
+    }
+
+    fn to_header(&self) -> CbtControlHeader {
+        let typ = self.legacy_type() as u8;
+        let (group, origin, target_core, cores) = match self {
+            LegacyMessage::CoreNotification { group, origin, target_core, cores } => {
+                (*group, *origin, *target_core, cores.clone())
+            }
+            LegacyMessage::CorePing { group, origin, target_core, cores } => {
+                (*group, *origin, *target_core, cores.clone())
+            }
+            LegacyMessage::CoreNotificationAck { group, origin }
+            | LegacyMessage::DrAdvertisement { group, origin }
+            | LegacyMessage::PingReply { group, origin } => {
+                (*group, *origin, Addr::NULL, Vec::new())
+            }
+            LegacyMessage::DrSolicitation { group, origin, target_core }
+            | LegacyMessage::DrAdvNotification { group, origin, target_core }
+            | LegacyMessage::TagReport { group, origin, target_core }
+            | LegacyMessage::HostJoinAck { group, origin, target_core } => {
+                (*group, *origin, *target_core, Vec::new())
+            }
+        };
+        CbtControlHeader { typ, code: 0, group, origin, target_core, cores }
+    }
+
+    /// Serialises over the standard control-header layout.
+    pub fn encode(&self) -> Vec<u8> {
+        self.to_header().encode()
+    }
+
+    /// Parses a legacy message.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let h = CbtControlHeader::decode(bytes)?;
+        let typ = LegacyType::from_wire(h.typ)?;
+        Ok(match typ {
+            LegacyType::CoreNotification => LegacyMessage::CoreNotification {
+                group: h.group,
+                origin: h.origin,
+                target_core: h.target_core,
+                cores: h.cores,
+            },
+            LegacyType::CoreNotificationAck => {
+                LegacyMessage::CoreNotificationAck { group: h.group, origin: h.origin }
+            }
+            LegacyType::DrSolicitation => LegacyMessage::DrSolicitation {
+                group: h.group,
+                origin: h.origin,
+                target_core: h.target_core,
+            },
+            LegacyType::DrAdvNotification => LegacyMessage::DrAdvNotification {
+                group: h.group,
+                origin: h.origin,
+                target_core: h.target_core,
+            },
+            LegacyType::DrAdvertisement => {
+                LegacyMessage::DrAdvertisement { group: h.group, origin: h.origin }
+            }
+            LegacyType::TagReport => LegacyMessage::TagReport {
+                group: h.group,
+                origin: h.origin,
+                target_core: h.target_core,
+            },
+            LegacyType::HostJoinAck => LegacyMessage::HostJoinAck {
+                group: h.group,
+                origin: h.origin,
+                target_core: h.target_core,
+            },
+            LegacyType::CorePing => LegacyMessage::CorePing {
+                group: h.group,
+                origin: h.origin,
+                target_core: h.target_core,
+                cores: h.cores,
+            },
+            LegacyType::PingReply => {
+                LegacyMessage::PingReply { group: h.group, origin: h.origin }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g() -> GroupId {
+        GroupId::numbered(4)
+    }
+
+    fn samples() -> Vec<LegacyMessage> {
+        let host = Addr::from_octets(10, 1, 0, 100);
+        let core = Addr::from_octets(10, 255, 0, 4);
+        let core2 = Addr::from_octets(10, 255, 0, 9);
+        vec![
+            LegacyMessage::CoreNotification {
+                group: g(),
+                origin: host,
+                target_core: core,
+                cores: vec![core, core2],
+            },
+            LegacyMessage::CoreNotificationAck { group: g(), origin: core },
+            LegacyMessage::DrSolicitation { group: g(), origin: host, target_core: core },
+            LegacyMessage::DrAdvNotification {
+                group: g(),
+                origin: Addr::from_octets(10, 1, 0, 1),
+                target_core: core,
+            },
+            LegacyMessage::DrAdvertisement { group: g(), origin: Addr::from_octets(10, 1, 0, 1) },
+            LegacyMessage::TagReport { group: g(), origin: host, target_core: core },
+            LegacyMessage::HostJoinAck {
+                group: g(),
+                origin: Addr::from_octets(10, 1, 0, 1),
+                target_core: core,
+            },
+            LegacyMessage::CorePing {
+                group: g(),
+                origin: Addr::from_octets(10, 255, 0, 1),
+                target_core: core,
+                cores: vec![core, core2],
+            },
+            LegacyMessage::PingReply { group: g(), origin: core },
+        ]
+    }
+
+    #[test]
+    fn all_legacy_messages_round_trip() {
+        for msg in samples() {
+            let bytes = msg.encode();
+            assert_eq!(LegacyMessage::decode(&bytes).unwrap(), msg, "{msg:?}");
+        }
+    }
+
+    #[test]
+    fn legacy_numbers_do_not_collide_with_v03() {
+        for msg in samples() {
+            let t = msg.legacy_type() as u8;
+            assert!(t >= 16, "{t} clashes with the -03 range 1..=8");
+            // And the -03 decoder rejects them rather than mis-typing.
+            assert!(crate::ControlMessage::decode(&msg.encode()).is_err());
+        }
+    }
+
+    #[test]
+    fn every_legacy_message_names_its_successor() {
+        for msg in samples() {
+            let s = msg.superseded_by();
+            assert!(s.contains('§'), "successor cites a -03 section: {s}");
+        }
+    }
+
+    #[test]
+    fn core_notification_carries_ranked_list() {
+        let msg = &samples()[0];
+        let LegacyMessage::CoreNotification { cores, .. } =
+            LegacyMessage::decode(&msg.encode()).unwrap()
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!(cores.len(), 2);
+        assert_eq!(cores[0], Addr::from_octets(10, 255, 0, 4), "primary listed first");
+    }
+
+    #[test]
+    fn corruption_rejected() {
+        let bytes = samples()[0].encode();
+        for i in 0..bytes.len() {
+            let mut c = bytes.clone();
+            c[i] ^= 0x04;
+            assert!(LegacyMessage::decode(&c).is_err(), "byte {i}");
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Property-based tests: every wire format must (a) round-trip any valid
+//! value and (b) reject any single-byte corruption of its checksummed
+//! region — this is exactly the guarantee the simulator's fault
+//! injection relies on (experiment Spec-E7 in DESIGN.md).
+
+use cbt_wire::{
+    control::ECHO_AGGREGATE, igmp::RpCoreReport, Addr, AckSubcode, CbtControlHeader,
+    CbtDataHeader, CbtDataPacket, ControlMessage, DataPacket, GroupId, IgmpMessage, JoinSubcode,
+};
+use proptest::prelude::*;
+
+fn arb_addr() -> impl Strategy<Value = Addr> {
+    // Avoid class-D/E so unicast fields stay unicast.
+    (0u32..0xE000_0000).prop_map(Addr)
+}
+
+fn arb_group() -> impl Strategy<Value = GroupId> {
+    (0u32..0x0FFF_FFFF)
+        .prop_map(|low| GroupId::new(Addr(0xE000_0000 | low)).expect("class-D by construction"))
+}
+
+fn arb_cores() -> impl Strategy<Value = Vec<Addr>> {
+    proptest::collection::vec(arb_addr(), 0..=8)
+}
+
+fn arb_join_subcode() -> impl Strategy<Value = JoinSubcode> {
+    prop_oneof![
+        Just(JoinSubcode::ActiveJoin),
+        Just(JoinSubcode::RejoinActive),
+        Just(JoinSubcode::RejoinNactive),
+    ]
+}
+
+fn arb_ack_subcode() -> impl Strategy<Value = AckSubcode> {
+    prop_oneof![
+        Just(AckSubcode::Normal),
+        Just(AckSubcode::ProxyAck),
+        Just(AckSubcode::RejoinNactive),
+    ]
+}
+
+prop_compose! {
+    fn arb_control()(
+        which in 0u8..8,
+        join_sub in arb_join_subcode(),
+        ack_sub in arb_ack_subcode(),
+        group in arb_group(),
+        origin in arb_addr(),
+        target in arb_addr(),
+        cores in arb_cores(),
+        mask in proptest::option::of(arb_addr()),
+    ) -> ControlMessage {
+        match which {
+            0 => ControlMessage::JoinRequest {
+                subcode: join_sub, group, origin, target_core: target, cores,
+            },
+            1 => ControlMessage::JoinAck {
+                subcode: ack_sub, group, origin, target_core: target, cores,
+            },
+            2 => ControlMessage::JoinNack { group, origin, target_core: target },
+            3 => ControlMessage::QuitRequest { group, origin },
+            4 => ControlMessage::QuitAck { group, origin },
+            5 => ControlMessage::FlushTree { group, origin },
+            6 => ControlMessage::EchoRequest { group, origin, group_mask: mask },
+            _ => ControlMessage::EchoReply { group, origin, group_mask: mask },
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn control_round_trips(msg in arb_control()) {
+        let bytes = msg.encode();
+        prop_assert_eq!(ControlMessage::decode(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn control_rejects_any_corruption(msg in arb_control(), byte in 0usize..64, bit in 0u8..8) {
+        let bytes = msg.encode();
+        let byte = byte % bytes.len();
+        let mut corrupted = bytes.clone();
+        corrupted[byte] ^= 1 << bit;
+        // Either the decode errors, or — if a flip somehow produced a
+        // different *valid* message — it must not silently equal the
+        // original. (One's-complement checksums detect all 1-bit flips,
+        // so decode should in fact always error.)
+        if let Ok(other) = ControlMessage::decode(&corrupted) { prop_assert_ne!(other, msg) }
+    }
+
+    #[test]
+    fn control_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = ControlMessage::decode(&bytes);
+    }
+
+    #[test]
+    fn data_header_round_trips(
+        group in arb_group(),
+        core in arb_addr(),
+        origin in arb_addr(),
+        ttl in any::<u8>(),
+        on_tree in prop_oneof![Just(0x00u8), Just(0xffu8)],
+        flow in any::<u32>(),
+    ) {
+        let mut h = CbtDataHeader::new(group, core, origin, ttl);
+        h.on_tree = on_tree;
+        h.flow_id = flow;
+        let bytes = h.encode();
+        prop_assert_eq!(CbtDataHeader::decode(&bytes).unwrap(), h);
+    }
+
+    #[test]
+    fn data_header_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = CbtDataHeader::decode(&bytes);
+    }
+
+    #[test]
+    fn control_header_raw_round_trips(
+        typ in 1u8..=8,
+        code in 0u8..=2,
+        group in arb_group(),
+        origin in arb_addr(),
+        target in arb_addr(),
+        cores in arb_cores(),
+    ) {
+        // Echo messages interpret code specially; restrict accordingly.
+        let code = if typ >= 7 { if code == 1 { ECHO_AGGREGATE } else { 0 } } else { code };
+        let h = CbtControlHeader { typ, code, group, origin, target_core: target, cores };
+        let bytes = h.encode();
+        prop_assert_eq!(CbtControlHeader::decode(&bytes).unwrap(), h);
+    }
+
+    #[test]
+    fn igmp_round_trips(
+        group in arb_group(),
+        version in 1u8..=3,
+        cores in proptest::collection::vec(arb_addr(), 1..=5),
+        idx_seed in any::<u8>(),
+        max_resp in any::<u8>(),
+        general in any::<bool>(),
+    ) {
+        let idx = (idx_seed as usize % cores.len()) as u8;
+        let msgs = vec![
+            IgmpMessage::Query {
+                group: if general { None } else { Some(group) },
+                max_resp_tenths: max_resp,
+            },
+            IgmpMessage::Report { version, group },
+            IgmpMessage::Leave { group },
+            IgmpMessage::RpCore(RpCoreReport {
+                group,
+                code: 1,
+                target_core_index: idx,
+                cores: cores.clone(),
+            }),
+            IgmpMessage::TreeJoined { group, core: cores[0] },
+        ];
+        for msg in msgs {
+            let bytes = msg.encode();
+            prop_assert_eq!(IgmpMessage::decode(&bytes).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn igmp_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..96)) {
+        let _ = IgmpMessage::decode(&bytes);
+    }
+
+    #[test]
+    fn data_packet_full_encap_cycle(
+        group in arb_group(),
+        src in arb_addr(),
+        core in arb_addr(),
+        hop_src in arb_addr(),
+        hop_dst in arb_addr(),
+        ttl in 1u8..=255,
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        // host sends native -> DR encapsulates -> unicast hop ->
+        // unwrap -> decapsulate for delivery.
+        let native = DataPacket::new(src, group, ttl, payload.clone());
+        let enc = CbtDataPacket::encapsulate(&native, core);
+        let wire = enc.wrap_unicast(hop_src, hop_dst, None);
+        let (outer, back) = CbtDataPacket::unwrap_outer(&wire).unwrap();
+        prop_assert_eq!(outer.src, hop_src);
+        prop_assert_eq!(outer.dst, hop_dst);
+        prop_assert_eq!(&back, &enc);
+        let delivered = back.decapsulate_for_delivery().unwrap();
+        prop_assert_eq!(delivered.payload, payload);
+        prop_assert_eq!(delivered.src, src);
+        prop_assert_eq!(delivered.ttl, 1);
+    }
+}

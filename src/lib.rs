@@ -1,0 +1,2 @@
+//! Root reproduction package: hosts the workspace-level examples and
+//! integration tests. All functionality lives in the `crates/` members.

@@ -1,0 +1,110 @@
+//! End-to-end TTL scoping. The unit tests in `crates/core/src/forward.rs`
+//! pin the per-hop decrement rules (§4: native forwarding decrements the
+//! IP TTL; §5/§8.1: every CBT hop decrements the CBT header's TTL; §5:
+//! delivery onto a member subnet forces the inner TTL to one). These
+//! tests check the *composition*: across a three-router chain, a
+//! sender's TTL draws a radius — near members hear the packet, far
+//! members beyond the hop budget do not — identically in native and
+//! CBT forwarding modes.
+
+use cbt::{config::ForwardingMode, CbtConfig, CbtWorld};
+use cbt_netsim::{SimDuration, SimTime, WorldConfig};
+use cbt_topology::{HostId, NetworkBuilder, NetworkSpec, RouterId};
+use cbt_wire::{Addr, GroupId};
+
+/// A —S0— R0 —— R1(core, Smid: M) —— R2 —S1— B.
+/// Data from A crosses three forwarding routers to reach B, two to
+/// reach M.
+struct Chain {
+    net: NetworkSpec,
+    core: Addr,
+    a: HostId,
+    m: HostId,
+    b: HostId,
+}
+
+fn chain() -> Chain {
+    let mut bld = NetworkBuilder::new();
+    let r0 = bld.router("R0");
+    let r1 = bld.router("R1");
+    let r2 = bld.router("R2");
+    let s0 = bld.lan("S0");
+    bld.attach(s0, r0);
+    let a = bld.host("A", s0);
+    let smid = bld.lan("Smid");
+    bld.attach(smid, r1);
+    let m = bld.host("M", smid);
+    let s1 = bld.lan("S1");
+    bld.attach(s1, r2);
+    let b = bld.host("B", s1);
+    bld.link(r0, r1, 1);
+    bld.link(r1, r2, 1);
+    let net = bld.build();
+    let core = net.router_addr(RouterId(1));
+    Chain { net, core, a, m, b }
+}
+
+/// Runs one send with `ttl` from A and reports (M heard, B heard).
+fn run_case(mode: ForwardingMode, ttl: u8, sender_joins: bool) -> (bool, bool) {
+    let group = GroupId::numbered(1);
+    let c = chain();
+    let cfg = CbtConfig::fast()
+        .with_mode(mode)
+        // Managed mapping so a non-member sender's D-DR still knows the
+        // core (§5.1).
+        .with_mapping(group, vec![c.core]);
+    let mut cw = CbtWorld::build(c.net, cfg, WorldConfig::default());
+    if sender_joins {
+        cw.host(c.a).join_at(SimTime::from_secs(1), group, vec![c.core]);
+    }
+    cw.host(c.m).join_at(
+        SimTime::from_secs(1) + SimDuration::from_millis(150),
+        group,
+        vec![c.core],
+    );
+    cw.host(c.b).join_at(
+        SimTime::from_secs(1) + SimDuration::from_millis(300),
+        group,
+        vec![c.core],
+    );
+    cw.host(c.a).send_at(SimTime::from_secs(5), group, b"scoped".to_vec(), ttl);
+    cw.world.start();
+    cw.world.run_until(SimTime::from_secs(9));
+    let mut heard = |h: HostId| cw.host(h).received().iter().any(|d| d.payload == b"scoped");
+    (heard(c.m), heard(c.b))
+}
+
+/// §4 native mode: M sits two router hops from A, B three. TTL 3
+/// reaches M but dies entering R2; TTL 4 reaches both; TTL 1 never
+/// leaves the source subnet.
+#[test]
+fn native_ttl_scopes_delivery() {
+    for (ttl, want_m, want_b) in [(1u8, false, false), (3, true, false), (4, true, true)] {
+        let (m, b) = run_case(ForwardingMode::Native, ttl, true);
+        assert_eq!((m, b), (want_m, want_b), "native ttl={ttl}");
+    }
+}
+
+/// §5/§8.1 CBT mode: the sender's TTL seeds the CBT header TTL, which
+/// every CBT hop decrements — so the scoping radius matches native
+/// mode hop for hop.
+#[test]
+fn cbt_mode_ttl_scopes_delivery() {
+    for (ttl, want_m, want_b) in [(1u8, false, false), (3, true, false), (4, true, true)] {
+        let (m, b) = run_case(ForwardingMode::CbtMode, ttl, true);
+        assert_eq!((m, b), (want_m, want_b), "cbt-mode ttl={ttl}");
+    }
+}
+
+/// §5.1 non-member sending: A never joins; its D-DR encapsulates
+/// toward the core, which decrements once before spanning the tree.
+/// The off-tree unicast leg R0→core is plain IP forwarding and does
+/// not consume CBT hops, so TTL 2 reaches the core's own subnet (M)
+/// but not the subtree behind R2 (B); TTL 3 reaches both.
+#[test]
+fn nonmember_sender_ttl_scopes_from_the_core() {
+    for (ttl, want_m, want_b) in [(2u8, true, false), (3, true, true)] {
+        let (m, b) = run_case(ForwardingMode::CbtMode, ttl, false);
+        assert_eq!((m, b), (want_m, want_b), "non-member ttl={ttl}");
+    }
+}
