@@ -1,0 +1,69 @@
+//! LAN fan-out blast: the simulator's data-plane hot path.
+//!
+//! One router fronting a 64-host LAN; every host is a member and one
+//! host blasts 600 small (64-byte) packets. Each transmission fans out to
+//! all ~64 stations on the segment — the delivery pattern the
+//! zero-copy (`Bytes`) frame path and the precomputed LAN delivery
+//! plans exist for. Setup (topology, SPF, joins) is deliberately tiny
+//! so per-receiver delivery cost dominates the measurement.
+
+use cbt::{CbtConfig, CbtWorld};
+use cbt_netsim::{SimDuration, SimTime, WorldConfig};
+use cbt_topology::{HostId, NetworkBuilder};
+use cbt_wire::GroupId;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+const HOSTS: u32 = 64;
+const PACKETS: u64 = 600;
+const PAYLOAD: usize = 64;
+
+fn bench_lan_fanout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim");
+    // Application bytes delivered per iteration: every packet reaches
+    // every station except the sender.
+    g.throughput(Throughput::Bytes(PACKETS * (HOSTS as u64 - 1) * PAYLOAD as u64));
+    g.bench_function("lan_fanout_blast_64rx_64B", |b| {
+        b.iter(|| {
+            let mut nb = NetworkBuilder::new();
+            let r0 = nb.router("R0");
+            let s0 = nb.lan("S0");
+            nb.attach(s0, r0);
+            for i in 0..HOSTS {
+                nb.host(format!("H{i}"), s0);
+            }
+            let net = nb.build();
+            let core = net.router_addr(r0);
+            let group = GroupId::numbered(1);
+            let mut cw = CbtWorld::build(
+                net,
+                CbtConfig::fast(),
+                WorldConfig { record_trace: false, ..Default::default() },
+            );
+            for i in 0..HOSTS {
+                cw.host(HostId(i)).join_at(SimTime::from_secs(1), group, vec![core]);
+            }
+            let payload = vec![0xabu8; PAYLOAD];
+            for k in 0..PACKETS {
+                cw.host(HostId(0)).send_at(
+                    SimTime::from_secs(2) + SimDuration::from_millis(k),
+                    group,
+                    payload.clone(),
+                    32,
+                );
+            }
+            cw.world.start();
+            cw.world.run_until(SimTime::from_secs(3));
+            // Every other station heard every blast packet.
+            assert_eq!(cw.host(HostId(1)).received().len(), PACKETS as usize);
+            cw.world.trace().totals()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_lan_fanout
+}
+criterion_main!(benches);

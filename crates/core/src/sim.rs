@@ -9,7 +9,7 @@
 use crate::engine::{CbtRouter, RouteLookup, SharedRib};
 use crate::events::RouterAction;
 use cbt_igmp::{HostMembership, IgmpTimers};
-use cbt_netsim::{Outbox, SimNode, SimTime};
+use cbt_netsim::{Bytes, Outbox, SimNode, SimTime};
 use cbt_topology::IfIndex;
 use cbt_wire::ipv4::{build_datagram, split_datagram};
 use cbt_wire::{
@@ -127,7 +127,7 @@ impl SimNode for RouterNode {
         now: SimTime,
         iface: IfIndex,
         link_src: Addr,
-        frame: &[u8],
+        frame: &Bytes,
         out: &mut Outbox,
     ) {
         let Ok((hdr, body)) = split_datagram(frame) else { return };
@@ -210,6 +210,10 @@ impl SimNode for RouterNode {
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn as_any(&self) -> &dyn Any {
         self
     }
 }
@@ -322,7 +326,7 @@ impl SimNode for HostApp {
         now: SimTime,
         _iface: IfIndex,
         _link_src: Addr,
-        frame: &[u8],
+        frame: &Bytes,
         out: &mut Outbox,
     ) {
         let Ok((hdr, body)) = split_datagram(frame) else { return };
@@ -393,6 +397,10 @@ impl SimNode for HostApp {
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn as_any(&self) -> &dyn Any {
         self
     }
 }

@@ -58,7 +58,8 @@ pub fn run(p: &Params) -> Report {
         let mut maxes = Vec::new();
         let mut tree_ds = Vec::new();
         let mut direct_ds = Vec::new();
-        for &seed in &p.seeds {
+        // One independent trial per seed; merged back in seed order.
+        let trials = crate::parallel::run_trials(&p.seeds, |&seed| {
             let g = generate::waxman(
                 generate::WaxmanParams { n: p.n, ..Default::default() },
                 seed,
@@ -68,15 +69,14 @@ pub fn run(p: &Params) -> Report {
             let members = wl.members(m);
             let core = ap.medoid(&members).expect("connected");
             let tree = cbt_shared_tree(&g, core, &members);
-            if let Some(stats) = delay_ratio_stats(&tree, &ap, &members) {
-                if stats.ratio.n > 0 {
-                    ratios.push(stats.ratio.mean);
-                    p95s.push(stats.ratio.p95);
-                    maxes.push(stats.ratio.max);
-                    tree_ds.push(stats.tree_dist.mean);
-                    direct_ds.push(stats.direct_dist.mean);
-                }
-            }
+            delay_ratio_stats(&tree, &ap, &members).filter(|s| s.ratio.n > 0)
+        });
+        for stats in trials.into_iter().flatten() {
+            ratios.push(stats.ratio.mean);
+            p95s.push(stats.ratio.p95);
+            maxes.push(stats.ratio.max);
+            tree_ds.push(stats.tree_dist.mean);
+            direct_ds.push(stats.direct_dist.mean);
         }
         let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
         table.row([

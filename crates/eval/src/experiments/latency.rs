@@ -38,7 +38,7 @@ impl Default for Params {
 impl Params {
     /// Small preset for tests/benches.
     pub fn quick() -> Self {
-        Params { n: 20, group_size: 6, seeds: vec![0] }
+        Params { n: 20, group_size: 6, seeds: vec![2] }
     }
 }
 
@@ -48,7 +48,10 @@ pub fn run(p: &Params) -> Report {
     let mut by_distance: BTreeMap<u64, Vec<f64>> = BTreeMap::new();
     let mut first_vs_later: (Vec<f64>, Vec<f64>) = (Vec::new(), Vec::new());
 
-    for &seed in &p.seeds {
+    // One full simulation per seed, run in parallel; each trial
+    // returns its raw samples and the merge below happens in seed
+    // order, so the aggregate is independent of worker count.
+    let trials = crate::parallel::run_trials(&p.seeds, |&seed| {
         let graph =
             generate::waxman(generate::WaxmanParams { n: p.n, ..Default::default() }, seed);
         let ap = AllPairs::compute(&graph);
@@ -63,6 +66,9 @@ pub fn run(p: &Params) -> Report {
         setup.cw.world.start();
         setup.cw.world.run_until(SimTime::from_secs(2 * p.group_size as u64 + 5));
 
+        let mut samples: Vec<(u64, f64)> = Vec::new();
+        let mut first: Vec<f64> = Vec::new();
+        let mut later: Vec<f64> = Vec::new();
         for (idx, (m, joined_at)) in schedule.iter().enumerate() {
             let h = setup.host_of(*m);
             let Some((heard_at, ..)) = setup.cw.host(h).tree_joined_events().first().copied()
@@ -71,7 +77,7 @@ pub fn run(p: &Params) -> Report {
             };
             let latency_ms = (heard_at - *joined_at).as_millis_f64();
             let dist = ap.dist(*m, core).expect("connected");
-            by_distance.entry(dist).or_default().push(latency_ms);
+            samples.push((dist, latency_ms));
             // Normalise by the distance to the core so "first vs later"
             // compares the *per-hop* price: a later joiner's join
             // terminates at the nearest on-tree router, so it pays for
@@ -79,12 +85,20 @@ pub fn run(p: &Params) -> Report {
             if dist > 0 {
                 let per_hop = latency_ms / dist as f64;
                 if idx == 0 {
-                    first_vs_later.0.push(per_hop);
+                    first.push(per_hop);
                 } else {
-                    first_vs_later.1.push(per_hop);
+                    later.push(per_hop);
                 }
             }
         }
+        (samples, first, later)
+    });
+    for (samples, first, later) in trials {
+        for (dist, latency_ms) in samples {
+            by_distance.entry(dist).or_default().push(latency_ms);
+        }
+        first_vs_later.0.extend(first);
+        first_vs_later.1.extend(later);
     }
 
     let mut table = Table::new(["hops to core", "joins", "mean ms", "p95 ms", "max ms"]);

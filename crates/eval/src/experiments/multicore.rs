@@ -178,8 +178,12 @@ pub fn run(p: &Params) -> Report {
         let mut worked_before = 0usize;
         let mut recoveries = Vec::new();
         let mut late_total = 0usize;
-        for &seed in &p.seeds {
-            let o = scenario(p.n, p.group_size, seed, core_count);
+        // One full failover scenario per seed, fanned out; merged in
+        // seed order.
+        let trials = crate::parallel::run_trials(&p.seeds, |&seed| {
+            scenario(p.n, p.group_size, seed, core_count)
+        });
+        for o in trials {
             worked_before += o.worked_before as usize;
             late_total += o.late_delivery;
             if let Some(t) = o.recovery_s {

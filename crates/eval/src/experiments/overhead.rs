@@ -85,7 +85,8 @@ pub fn run(p: &Params) -> Report {
         let mut cbt_steady = 0.0;
         let mut dv_setup = 0.0;
         let mut dv_steady = 0.0;
-        for &seed in &p.seeds {
+        // One trial per seed, fanned out; summed below in seed order.
+        let trials = crate::parallel::run_trials(&p.seeds, |&seed| {
             // --- CBT, measured on the packet simulator. ---
             let graph =
                 generate::waxman(generate::WaxmanParams { n: p.n, ..Default::default() }, seed);
@@ -114,11 +115,6 @@ pub fn run(p: &Params) -> Report {
             let total_msgs = setup.cw.world.trace().cbt_control_frames() as f64;
             let per_min =
                 (total_msgs - setup_msgs) * 60.0 / p.window.as_secs_f64();
-            // CbtConfig::fast() compresses timers 10×, so a real
-            // deployment sends 10× fewer steady-state messages.
-            cbt_setup += setup_msgs;
-            cbt_steady += per_min / 10.0;
-
             // --- DVMRP, measured on the message-accounted baseline. ---
             let mut cycle_msgs = 0u64;
             let distinct: std::collections::BTreeSet<_> = senders.iter().copied().collect();
@@ -126,8 +122,15 @@ pub fn run(p: &Params) -> Report {
                 let out = flood_and_prune(&graph, src, &members);
                 cycle_msgs += out.total_messages();
             }
-            dv_setup += cycle_msgs as f64;
-            dv_steady += cycle_msgs as f64 * 60.0 / PRUNE_LIFETIME_S;
+            (setup_msgs, per_min, cycle_msgs as f64)
+        });
+        for (setup_msgs, per_min, cycle_msgs) in trials {
+            // CbtConfig::fast() compresses timers 10×, so a real
+            // deployment sends 10× fewer steady-state messages.
+            cbt_setup += setup_msgs;
+            cbt_steady += per_min / 10.0;
+            dv_setup += cycle_msgs;
+            dv_steady += cycle_msgs * 60.0 / PRUNE_LIFETIME_S;
         }
         let k = p.seeds.len() as f64;
         table.row([

@@ -47,7 +47,8 @@ pub fn run(p: &Params) -> Report {
         let mut max_r = 0.0;
         let mut cost = 0.0;
         let mut counted = 0usize;
-        for &seed in &p.seeds {
+        // One trial per seed, fanned out; summed below in seed order.
+        let trials = crate::parallel::run_trials(&p.seeds, |&seed| {
             let g = generate::waxman(
                 generate::WaxmanParams { n: p.n, ..Default::default() },
                 seed,
@@ -57,14 +58,15 @@ pub fn run(p: &Params) -> Report {
             let members = wl.members(p.group_size);
             let core = placement.place(&ap, &members, &mut wl);
             let tree = cbt_shared_tree(&g, core, &members);
-            if let Some(stats) = delay_ratio_stats(&tree, &ap, &members) {
-                if stats.ratio.n > 0 {
-                    mean_r += stats.ratio.mean;
-                    max_r += stats.ratio.max;
-                    cost += tree_cost(&tree) as f64;
-                    counted += 1;
-                }
-            }
+            delay_ratio_stats(&tree, &ap, &members)
+                .filter(|s| s.ratio.n > 0)
+                .map(|s| (s.ratio.mean, s.ratio.max, tree_cost(&tree) as f64))
+        });
+        for (mean, max, c) in trials.into_iter().flatten() {
+            mean_r += mean;
+            max_r += max;
+            cost += c;
+            counted += 1;
         }
         let k = counted.max(1) as f64;
         table.row([

@@ -62,7 +62,8 @@ pub fn run(p: &Params) -> Report {
         let mut cbt_max = 0.0;
         let mut dv_total = 0.0;
         let mut dv_max = 0.0;
-        for &seed in &p.seeds {
+        // One trial per seed, fanned out; summed below in seed order.
+        let trials = crate::parallel::run_trials(&p.seeds, |&seed| {
             let g = generate::waxman(
                 generate::WaxmanParams { n: p.n, ..Default::default() },
                 seed,
@@ -81,9 +82,6 @@ pub fn run(p: &Params) -> Report {
                 on_tree.insert(a);
                 on_tree.insert(b);
             }
-            cbt_total += on_tree.len() as f64;
-            cbt_max += 1.0; // one group ⇒ at most one entry per router
-
             // DVMRP: per *distinct* sender, forwarding + prune state.
             let mut per_router = vec![0u64; p.n];
             let distinct: std::collections::BTreeSet<NodeId> = senders.iter().copied().collect();
@@ -93,8 +91,17 @@ pub fn run(p: &Params) -> Report {
                     per_router[r.idx()] += 1;
                 }
             }
-            dv_total += per_router.iter().sum::<u64>() as f64;
-            dv_max += *per_router.iter().max().unwrap_or(&0) as f64;
+            (
+                on_tree.len() as f64,
+                per_router.iter().sum::<u64>() as f64,
+                *per_router.iter().max().unwrap_or(&0) as f64,
+            )
+        });
+        for (on_tree_n, dv_t, dv_m) in trials {
+            cbt_total += on_tree_n;
+            cbt_max += 1.0; // one group ⇒ at most one entry per router
+            dv_total += dv_t;
+            dv_max += dv_m;
         }
         let k = p.seeds.len() as f64;
         let (cbt_total, cbt_max, dv_total, dv_max) =

@@ -62,7 +62,8 @@ pub fn run(p: &Params) -> Report {
         let mut cbt_tot = 0.0;
         let mut spt_tot = 0.0;
         let mut star_tot = 0.0;
-        for &seed in &p.seeds {
+        // One trial per seed, fanned out; summed below in seed order.
+        let trials = crate::parallel::run_trials(&p.seeds, |&seed| {
             let g = generate::waxman(
                 generate::WaxmanParams { n: p.n, ..Default::default() },
                 seed,
@@ -76,15 +77,11 @@ pub fn run(p: &Params) -> Report {
             // Shared tree: every sender's packet floods the whole tree.
             let shared = cbt_shared_tree(&g, core, &members);
             let cbt = linkload::shared_tree_loads(&shared, s);
-            cbt_max += cbt.max_link as f64;
-            cbt_tot += cbt.total as f64;
 
             // Source trees: one SPT per sender transmission.
             let trees: Vec<_> =
                 senders.iter().map(|src| source_tree(&g, *src, &members)).collect();
             let spt = linkload::source_tree_loads(&trees);
-            spt_max += spt.max_link as f64;
-            spt_tot += spt.total as f64;
 
             // Unicast star per sender transmission.
             let mut star: BTreeMap<(NodeId, NodeId), u64> = BTreeMap::new();
@@ -94,6 +91,13 @@ pub fn run(p: &Params) -> Report {
                 }
             }
             let star_stats = linkload::load_stats(&star);
+            (cbt, spt, star_stats)
+        });
+        for (cbt, spt, star_stats) in trials {
+            cbt_max += cbt.max_link as f64;
+            cbt_tot += cbt.total as f64;
+            spt_max += spt.max_link as f64;
+            spt_tot += spt.total as f64;
             star_max += star_stats.max_link as f64;
             star_tot += star_stats.total as f64;
         }

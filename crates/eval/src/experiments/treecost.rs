@@ -64,7 +64,9 @@ pub fn run(p: &Params) -> Report {
             let mut cbt_c = 0.0;
             let mut spt_c = 0.0;
             let mut union_c = 0.0;
-            for &seed in &p.seeds {
+            // One trial per seed, fanned out; summed below in seed
+            // order.
+            let trials = crate::parallel::run_trials(&p.seeds, |&seed| {
                 let g = generate::waxman(
                     generate::WaxmanParams { n, ..Default::default() },
                     seed,
@@ -76,11 +78,9 @@ pub fn run(p: &Params) -> Report {
                 let core = ap.medoid(&members).expect("connected");
 
                 let shared = cbt_shared_tree(&g, core, &members);
-                cbt_c += tree_cost(&shared) as f64;
 
                 // Single-source SPT from the first sender.
                 let t0 = source_tree(&g, senders[0], &members);
-                spt_c += tree_cost(&t0) as f64;
 
                 // Union of all senders' trees (distinct edges).
                 let mut union = Graph::with_nodes(g.node_count());
@@ -90,7 +90,16 @@ pub fn run(p: &Params) -> Report {
                         union.add_edge(a, b, w);
                     }
                 }
-                union_c += tree_cost(&union) as f64;
+                (
+                    tree_cost(&shared) as f64,
+                    tree_cost(&t0) as f64,
+                    tree_cost(&union) as f64,
+                )
+            });
+            for (c, s0, u) in trials {
+                cbt_c += c;
+                spt_c += s0;
+                union_c += u;
             }
             let k = p.seeds.len() as f64;
             let (cbt_c, spt_c, union_c) = (cbt_c / k, spt_c / k, union_c / k);

@@ -1,12 +1,15 @@
 //! `cbt-eval` — regenerate any table/figure of the reproduction.
 //!
 //! ```text
-//! cbt-eval <experiment> [--quick]
-//! cbt-eval all [--quick]
+//! cbt-eval <experiment> [--quick] [--jobs N]
+//! cbt-eval all [--quick] [--jobs N]
 //! cbt-eval list
 //! ```
 //!
-//! Results are printed and also written as JSON under
+//! Independent trials (one per seed) fan out over `--jobs N` worker
+//! threads (default: `CBT_EVAL_JOBS` or the machine's parallelism);
+//! results are merged in seed order, so the output is identical for
+//! any N. Results are printed and also written as JSON under
 //! `target/eval-results/`.
 
 use cbt_eval::experiments::*;
@@ -19,7 +22,31 @@ type Runner = (&'static str, Box<dyn Fn(bool) -> Report>);
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let which = args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_default();
+    if let Some(i) = args.iter().position(|a| a == "--jobs") {
+        match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) if n >= 1 => cbt_eval::parallel::set_jobs(n),
+            _ => {
+                eprintln!("--jobs expects a positive integer");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut skip_next = false;
+    let which = args
+        .iter()
+        .find(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--jobs" {
+                skip_next = true;
+                return false;
+            }
+            !a.starts_with("--")
+        })
+        .cloned()
+        .unwrap_or_default();
 
     let runners: Vec<Runner> = vec![
         ("spec-e1", Box::new(|_| spec::e1())),
@@ -89,11 +116,19 @@ fn main() {
             }
         }
         "all" => {
+            let mut timings = Vec::new();
             for (name, run) in &runners {
+                let t0 = std::time::Instant::now();
                 let report = run(quick);
+                let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
                 println!("{}", report.render());
                 write_json(name, &report);
+                timings.push(serde_json::json!({
+                    "experiment": *name,
+                    "wall_ms": wall_ms,
+                }));
             }
+            write_bench(timings, quick);
         }
         name => match runners.iter().find(|(n, _)| *n == name) {
             Some((_, run)) => {
@@ -106,6 +141,29 @@ fn main() {
                 std::process::exit(2);
             }
         },
+    }
+}
+
+/// Consolidated wall-clock timings for an `all` run — the evaluation
+/// suite's own benchmark record (timings vary run to run; the
+/// experiment JSONs next to it do not).
+fn write_bench(timings: Vec<serde_json::Value>, quick: bool) {
+    let dir = PathBuf::from("target");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let total: f64 = timings.iter().filter_map(|t| t["wall_ms"].as_f64()).sum();
+    let payload = serde_json::json!({
+        "suite": "cbt-eval all",
+        "quick": quick,
+        "jobs": cbt_eval::parallel::jobs(),
+        "total_wall_ms": total,
+        "experiments": timings,
+    });
+    let path = dir.join("BENCH_eval.json");
+    if let Ok(s) = serde_json::to_string_pretty(&payload) {
+        let _ = std::fs::write(&path, s);
+        eprintln!("[written {}]", path.display());
     }
 }
 

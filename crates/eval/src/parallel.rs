@@ -1,0 +1,106 @@
+//! Parallel trial executor for the evaluation suite.
+//!
+//! Every sweep in this crate averages independent trials — one
+//! simulation per seed, no shared state between them. [`run_trials`]
+//! fans those trials out over a small thread pool and hands the
+//! results back **in input order**, so aggregation code is oblivious
+//! to scheduling: the merged output is byte-identical whether the
+//! trials ran on one thread or eight.
+//!
+//! Worker count, in precedence order: [`set_jobs`] (the `--jobs N`
+//! CLI flag), the `CBT_EVAL_JOBS` environment variable, then
+//! `std::thread::available_parallelism()`. With one job (or one
+//! trial) no threads are spawned at all — the sequential fallback is
+//! a plain in-order map.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, OnceLock};
+
+static JOBS: OnceLock<usize> = OnceLock::new();
+
+/// Pins the worker count (clamped to ≥ 1). First caller wins — the
+/// CLI calls this before any experiment runs; later calls (and calls
+/// after the first [`jobs`] query) are ignored.
+pub fn set_jobs(n: usize) {
+    let _ = JOBS.set(n.max(1));
+}
+
+/// The worker count trials fan out over.
+pub fn jobs() -> usize {
+    *JOBS.get_or_init(|| {
+        std::env::var("CBT_EVAL_JOBS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            })
+    })
+}
+
+/// Runs `f` over every item, in parallel when [`jobs`] allows, and
+/// returns the results **in item order** regardless of which worker
+/// finished first.
+///
+/// Work is distributed by an atomic cursor (no per-worker chunking),
+/// so a straggler trial cannot idle the other workers. A panic inside
+/// `f` propagates once the scope joins.
+pub fn run_trials<I, T, F>(items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    let workers = jobs().min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                // Send can only fail if the receiver is gone, which
+                // means the scope is already unwinding from a panic.
+                let _ = tx.send((i, f(&items[i])));
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<T>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+        for (i, v) in rx {
+            slots[i] = Some(v);
+        }
+        slots.into_iter().map(|v| v.expect("every trial produced a result")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<u64> = (0..64).collect();
+        // Uneven workloads: later items finish sooner than earlier
+        // ones, so completion order differs from input order.
+        let out = run_trials(&items, |&i| {
+            std::thread::sleep(std::time::Duration::from_micros(64 - i));
+            i * 10
+        });
+        assert_eq!(out, items.iter().map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let none: Vec<u32> = Vec::new();
+        assert!(run_trials(&none, |&x| x).is_empty());
+        assert_eq!(run_trials(&[7u32], |&x| x + 1), vec![8]);
+    }
+}

@@ -6,6 +6,7 @@
 //! property tests guarantee such packets never parse, so the protocol
 //! sees corruption as loss (exactly what a real router does).
 
+use bytes::Bytes;
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use rand_chacha::rand_core::SeedableRng;
@@ -55,7 +56,12 @@ impl FaultInjector {
 
     /// Applies the plan to a frame in flight. Returns `None` if the
     /// frame is dropped, otherwise the (possibly corrupted) frame.
-    pub fn apply(&mut self, mut frame: Vec<u8>) -> Option<Vec<u8>> {
+    ///
+    /// The clean path is zero-copy: the refcounted frame passes through
+    /// untouched. Corruption is copy-on-write — the injector clones the
+    /// payload into a fresh allocation before flipping its bit, so
+    /// other receivers of the same broadcast still see the original.
+    pub fn apply(&mut self, frame: Bytes) -> Option<Bytes> {
         if self.plan.drop_chance > 0.0 && self.rng.gen::<f64>() < self.plan.drop_chance {
             self.dropped += 1;
             return None;
@@ -64,13 +70,14 @@ impl FaultInjector {
             && !frame.is_empty()
             && self.rng.gen::<f64>() < self.plan.corrupt_chance
         {
-            let byte = self.rng.gen_range(0..frame.len());
+            let mut owned = frame.to_vec();
+            let byte = self.rng.gen_range(0..owned.len());
             let bit = self.rng.gen_range(0..8u8);
-            frame[byte] ^= 1 << bit;
+            owned[byte] ^= 1 << bit;
             self.corrupted += 1;
-        } else {
-            self.passed += 1;
+            return Some(Bytes::from(owned));
         }
+        self.passed += 1;
         Some(frame)
     }
 
@@ -88,17 +95,25 @@ mod tests {
     fn no_faults_passes_everything_untouched() {
         let mut inj = FaultInjector::new(FaultPlan::none(), 1);
         for i in 0..100u8 {
-            let frame = vec![i; 16];
+            let frame = Bytes::from(vec![i; 16]);
             assert_eq!(inj.apply(frame.clone()), Some(frame));
         }
         assert_eq!(inj.stats(), (100, 0, 0));
     }
 
     #[test]
+    fn clean_pass_shares_the_allocation() {
+        let mut inj = FaultInjector::new(FaultPlan::none(), 1);
+        let frame = Bytes::from(vec![7u8; 64]);
+        let out = inj.apply(frame.clone()).unwrap();
+        assert!(out.shares_allocation_with(&frame), "clean path must be zero-copy");
+    }
+
+    #[test]
     fn full_drop_drops_everything() {
         let mut inj = FaultInjector::new(FaultPlan::drops(1.0), 1);
         for _ in 0..50 {
-            assert_eq!(inj.apply(vec![0; 8]), None);
+            assert_eq!(inj.apply(Bytes::from(vec![0; 8])), None);
         }
         assert_eq!(inj.stats(), (0, 0, 50));
     }
@@ -107,7 +122,7 @@ mod tests {
     fn full_corruption_flips_exactly_one_bit() {
         let mut inj = FaultInjector::new(FaultPlan::corruption(1.0), 7);
         for _ in 0..50 {
-            let original = vec![0u8; 32];
+            let original = Bytes::from(vec![0u8; 32]);
             let out = inj.apply(original.clone()).unwrap();
             let flipped: u32 =
                 out.iter().zip(&original).map(|(a, b)| (a ^ b).count_ones()).sum();
@@ -116,12 +131,25 @@ mod tests {
     }
 
     #[test]
+    fn corruption_is_copy_on_write() {
+        // Two receivers of one broadcast share the allocation; when the
+        // injector corrupts one copy, the other must see the original.
+        let mut inj = FaultInjector::new(FaultPlan::corruption(1.0), 9);
+        let original = Bytes::from(vec![0u8; 32]);
+        let other_receiver = original.clone();
+        let corrupted = inj.apply(original.clone()).unwrap();
+        assert!(!corrupted.shares_allocation_with(&original), "corruption must not alias");
+        assert_eq!(other_receiver, original, "peer's copy untouched");
+        assert_ne!(corrupted, original);
+    }
+
+    #[test]
     fn drop_rate_is_roughly_honoured() {
         let mut inj = FaultInjector::new(FaultPlan::drops(0.3), 42);
         let n = 10_000;
         let mut dropped = 0;
         for _ in 0..n {
-            if inj.apply(vec![0; 4]).is_none() {
+            if inj.apply(Bytes::from(vec![0; 4])).is_none() {
                 dropped += 1;
             }
         }
@@ -134,7 +162,7 @@ mod tests {
         let run = |seed| {
             let mut inj =
                 FaultInjector::new(FaultPlan { drop_chance: 0.2, corrupt_chance: 0.2 }, seed);
-            (0..200).map(|i| inj.apply(vec![i as u8; 12])).collect::<Vec<_>>()
+            (0..200).map(|i| inj.apply(Bytes::from(vec![i as u8; 12]))).collect::<Vec<_>>()
         };
         assert_eq!(run(5), run(5));
         assert_ne!(run(5), run(6));
@@ -143,6 +171,6 @@ mod tests {
     #[test]
     fn empty_frame_never_corrupted() {
         let mut inj = FaultInjector::new(FaultPlan::corruption(1.0), 1);
-        assert_eq!(inj.apply(Vec::new()), Some(Vec::new()));
+        assert_eq!(inj.apply(Bytes::new()), Some(Bytes::new()));
     }
 }

@@ -33,6 +33,7 @@ pub mod time;
 pub mod trace;
 pub mod world;
 
+pub use bytes::Bytes;
 pub use fault::FaultPlan;
 pub use node::{Entity, Outbox, SimNode, Transmit};
 pub use pcap::Capture;

@@ -1,6 +1,7 @@
 //! The plug-in interface between the simulator and protocol behaviours.
 
 use crate::time::SimTime;
+use bytes::Bytes;
 use cbt_topology::{HostId, IfIndex, RouterId};
 
 /// An addressable entity in the world: a router or a host.
@@ -37,8 +38,9 @@ pub struct Transmit {
     pub iface: IfIndex,
     /// Link-layer destination on multi-access media.
     pub link_dst: Option<cbt_wire::Addr>,
-    /// The full datagram.
-    pub frame: Vec<u8>,
+    /// The full datagram. Refcounted: LAN fan-out clones this per
+    /// receiver for the price of a pointer bump, not a buffer copy.
+    pub frame: Bytes,
 }
 
 /// Collects a node's outbound transmissions during one callback.
@@ -54,14 +56,17 @@ impl Outbox {
     }
 
     /// Queues a frame on an interface, link-layer broadcast.
-    pub fn send(&mut self, iface: IfIndex, frame: Vec<u8>) {
-        self.sends.push(Transmit { iface, link_dst: None, frame });
+    ///
+    /// Accepts anything convertible to [`Bytes`]; in particular a
+    /// `Vec<u8>` is taken over without copying its buffer.
+    pub fn send(&mut self, iface: IfIndex, frame: impl Into<Bytes>) {
+        self.sends.push(Transmit { iface, link_dst: None, frame: frame.into() });
     }
 
     /// Queues a frame for one specific link-layer neighbour (the
     /// next-hop resolution an ARP lookup would have done).
-    pub fn send_to(&mut self, iface: IfIndex, link_dst: cbt_wire::Addr, frame: Vec<u8>) {
-        self.sends.push(Transmit { iface, link_dst: Some(link_dst), frame });
+    pub fn send_to(&mut self, iface: IfIndex, link_dst: cbt_wire::Addr, frame: impl Into<Bytes>) {
+        self.sends.push(Transmit { iface, link_dst: Some(link_dst), frame: frame.into() });
     }
 
     /// Drains everything queued.
@@ -93,12 +98,14 @@ pub trait SimNode {
     /// shared medium (what the source MAC address tells a real router).
     /// Protocols use it to accept branch traffic only from actual tree
     /// neighbours.
+    /// The frame arrives as [`Bytes`]: on a LAN every receiver gets a
+    /// view into the same allocation. Deref to `&[u8]` for parsing.
     fn on_packet(
         &mut self,
         now: SimTime,
         iface: IfIndex,
         link_src: cbt_wire::Addr,
-        frame: &[u8],
+        frame: &Bytes,
         out: &mut Outbox,
     );
 
@@ -114,6 +121,12 @@ pub trait SimNode {
     /// through the trait object (e.g. to tell a host app "join group G
     /// now"). Implementations are always the one-liner `self`.
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+
+    /// Immutable downcast hook: the `&self` twin of
+    /// [`SimNode::as_any_mut`], letting harnesses *inspect* a node
+    /// without exclusive access to the world. Implementations are
+    /// always the one-liner `self`.
+    fn as_any(&self) -> &dyn std::any::Any;
 }
 
 #[cfg(test)]
@@ -130,7 +143,7 @@ mod tests {
         let drained = out.drain();
         assert_eq!(drained.len(), 2);
         assert_eq!(drained[0].iface, IfIndex(0));
-        assert_eq!(drained[1].frame, vec![4]);
+        assert_eq!(drained[1].frame, Bytes::from(vec![4u8]));
         assert!(out.is_empty());
     }
 

@@ -11,6 +11,7 @@
 //! seconds/microseconds timestamps.
 
 use crate::time::SimTime;
+use bytes::Bytes;
 use std::io::{self, Write};
 
 /// Magic for microsecond-resolution pcap, little-endian.
@@ -26,7 +27,7 @@ const SNAPLEN: u32 = 65535;
 /// use cbt_netsim::{Capture, SimTime};
 ///
 /// let mut cap = Capture::new();
-/// cap.record(SimTime::from_secs(1), &[0x45, 0x00, 0x00, 0x14]);
+/// cap.record(SimTime::from_secs(1), vec![0x45, 0x00, 0x00, 0x14]);
 /// let mut file = Vec::new();
 /// cap.write_to(&mut file).unwrap();
 /// let records = Capture::parse(&file).unwrap();
@@ -34,7 +35,7 @@ const SNAPLEN: u32 = 65535;
 /// ```
 #[derive(Debug, Default, Clone)]
 pub struct Capture {
-    frames: Vec<(SimTime, Vec<u8>)>,
+    frames: Vec<(SimTime, Bytes)>,
 }
 
 impl Capture {
@@ -43,9 +44,11 @@ impl Capture {
         Capture::default()
     }
 
-    /// Appends one frame observed at `at`.
-    pub fn record(&mut self, at: SimTime, frame: &[u8]) {
-        self.frames.push((at, frame.to_vec()));
+    /// Appends one frame observed at `at`. Takes anything convertible
+    /// to [`Bytes`]; the simulator hands in a refcounted clone of the
+    /// in-flight frame, so capturing costs a pointer bump, not a copy.
+    pub fn record(&mut self, at: SimTime, frame: impl Into<Bytes>) {
+        self.frames.push((at, frame.into()));
     }
 
     /// Number of captured frames.
@@ -143,8 +146,8 @@ mod tests {
             DataPacket::new(Addr::from_octets(10, 1, 0, 100), GroupId::numbered(1), 9, b"a".to_vec())
                 .encode();
         let f2 = vec![0x45u8; 40];
-        cap.record(SimTime::from_micros(1_500_000), &f1);
-        cap.record(SimTime::from_micros(2_000_001), &f2);
+        cap.record(SimTime::from_micros(1_500_000), f1.clone());
+        cap.record(SimTime::from_micros(2_000_001), f2.clone());
         assert_eq!(cap.len(), 2);
         let mut buf = Vec::new();
         cap.write_to(&mut buf).unwrap();
@@ -160,7 +163,7 @@ mod tests {
         assert!(Capture::parse(&[0xffu8; 24]).is_err(), "bad magic");
         let mut buf = Vec::new();
         let mut cap = Capture::new();
-        cap.record(SimTime::ZERO, &[1, 2, 3]);
+        cap.record(SimTime::ZERO, vec![1, 2, 3]);
         cap.write_to(&mut buf).unwrap();
         buf.truncate(buf.len() - 1);
         assert!(Capture::parse(&buf).is_err(), "truncated body");
@@ -176,7 +179,7 @@ mod tests {
             16,
             b"hello".to_vec(),
         );
-        cap.record(SimTime::from_secs(3), &pkt.encode());
+        cap.record(SimTime::from_secs(3), pkt.encode());
         let mut buf = Vec::new();
         cap.write_to(&mut buf).unwrap();
         let parsed = Capture::parse(&buf).unwrap();

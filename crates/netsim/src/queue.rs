@@ -118,6 +118,32 @@ mod tests {
     }
 
     #[test]
+    fn fifo_holds_per_timestamp_under_mixed_times() {
+        // Insertion order deliberately scrambles the timestamps; within
+        // each timestamp the pop order must still be insertion order.
+        let mut q = EventQueue::new();
+        let (t1, t2) = (SimTime::from_secs(1), SimTime::from_secs(2));
+        q.push(t2, "t2-a");
+        q.push(t1, "t1-a");
+        q.push(t2, "t2-b");
+        q.push(t1, "t1-b");
+        q.push(t1, "t1-c");
+        q.push(t2, "t2-c");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(
+            order,
+            vec![
+                (t1, "t1-a"),
+                (t1, "t1-b"),
+                (t1, "t1-c"),
+                (t2, "t2-a"),
+                (t2, "t2-b"),
+                (t2, "t2-c"),
+            ]
+        );
+    }
+
+    #[test]
     fn peek_and_len() {
         let mut q = EventQueue::new();
         assert!(q.is_empty());

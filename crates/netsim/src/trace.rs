@@ -129,15 +129,31 @@ impl Trace {
 
     /// Records one transmission.
     pub fn record(&mut self, entry: TraceEntry) {
-        *self.by_kind.entry(entry.kind).or_default() += 1;
-        *self.frames_by_medium.entry(entry.medium).or_default() += 1;
-        if entry.kind.is_data() {
-            *self.data_bytes_by_medium.entry(entry.medium).or_default() += entry.bytes as u64;
+        self.record_tx(entry.at, entry.from, entry.iface, entry.medium, entry.kind, entry.bytes);
+    }
+
+    /// Hot-path recording: bumps the counters from loose fields and
+    /// only materialises a [`TraceEntry`] when full recording is on.
+    /// In counters-only mode (the large experiment sweeps) this is the
+    /// whole cost — no struct construction, no `Vec` push.
+    pub fn record_tx(
+        &mut self,
+        at: SimTime,
+        from: Entity,
+        iface: IfIndex,
+        medium: Medium,
+        kind: PacketKind,
+        bytes: usize,
+    ) {
+        *self.by_kind.entry(kind).or_default() += 1;
+        *self.frames_by_medium.entry(medium).or_default() += 1;
+        if kind.is_data() {
+            *self.data_bytes_by_medium.entry(medium).or_default() += bytes as u64;
         }
         self.total_frames += 1;
-        self.total_bytes += entry.bytes as u64;
+        self.total_bytes += bytes as u64;
         if self.keep_entries {
-            self.entries.push(entry);
+            self.entries.push(TraceEntry { at, from, iface, medium, kind, bytes });
         }
     }
 

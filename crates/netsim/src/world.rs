@@ -1,14 +1,32 @@
 //! The world: a [`NetworkSpec`] instantiated with live node behaviours,
 //! an event queue, latencies, failures and fault injection.
+//!
+//! # Hot-path design
+//!
+//! The dispatch loop is the simulator's inner loop, so three costs are
+//! engineered out of it:
+//!
+//! - **Frames are [`Bytes`]**: refcounted, immutable. LAN fan-out to N
+//!   receivers clones the handle N times (a pointer bump each), never
+//!   the payload. Corruption by the fault injector is copy-on-write.
+//! - **Node lookup is a dense `Vec` index**, not a `HashMap` probe.
+//!   Entities map to slots as routers-then-hosts; each slot carries its
+//!   node and its wake generation side by side.
+//! - **Delivery is precomputed**. `World::new` resolves, once, every
+//!   LAN's receiver list (entity, rx interface, rx address) and every
+//!   router interface's medium (LAN with hoisted source address, or
+//!   link with peer + peer interface). `emit` then walks flat slices
+//!   instead of cloning `LanSpec`s and re-resolving `iface_on_lan` per
+//!   transmission.
 
 use crate::fault::{FaultInjector, FaultPlan};
 use crate::node::{Entity, Outbox, SimNode};
 use crate::queue::EventQueue;
 use crate::time::{SimDuration, SimTime};
-use crate::trace::{Medium, PacketKind, Trace, TraceEntry};
+use crate::trace::{Medium, PacketKind, Trace};
+use bytes::Bytes;
 use cbt_routing::FailureSet;
-use cbt_topology::{Attachment, IfIndex, LanId, NetworkSpec};
-use std::collections::HashMap;
+use cbt_topology::{Attachment, HostId, IfIndex, LanId, LinkId, NetworkSpec, RouterId};
 
 /// World construction parameters.
 #[derive(Debug, Clone, Copy)]
@@ -42,8 +60,32 @@ impl Default for WorldConfig {
 }
 
 enum Event {
-    Arrive { to: Entity, iface: IfIndex, link_src: cbt_wire::Addr, frame: Vec<u8> },
+    Arrive { to: Entity, iface: IfIndex, link_src: cbt_wire::Addr, frame: Bytes },
     Wake { who: Entity, generation: u64 },
+}
+
+/// One entity's state: its behaviour (if installed) and the generation
+/// counter that invalidates stale queued wakeups.
+struct Slot {
+    node: Option<Box<dyn SimNode>>,
+    wake_generation: u64,
+}
+
+/// One attachment on a LAN, resolved at construction: who receives, on
+/// which interface, at which link-layer address.
+struct LanReceiver {
+    entity: Entity,
+    iface: IfIndex,
+    addr: cbt_wire::Addr,
+}
+
+/// What a router interface transmits onto, resolved at construction.
+/// `src_addr` is the interface's own address — the link-layer source
+/// every delivery from this interface carries.
+#[derive(Clone, Copy)]
+enum IfacePlan {
+    Lan { lan: LanId, src_addr: cbt_wire::Addr },
+    Link { link: LinkId, peer: RouterId, peer_iface: Option<IfIndex>, src_addr: cbt_wire::Addr },
 }
 
 /// The discrete-event world.
@@ -58,8 +100,15 @@ pub struct World {
     cfg: WorldConfig,
     now: SimTime,
     queue: EventQueue<Event>,
-    nodes: HashMap<Entity, Box<dyn SimNode>>,
-    wake_generation: HashMap<Entity, u64>,
+    /// Dense node table: routers at `[0, num_routers)`, hosts after.
+    slots: Vec<Slot>,
+    num_routers: usize,
+    /// Indexed by `LanId`: everyone attached to that LAN.
+    lan_plans: Vec<Vec<LanReceiver>>,
+    /// Indexed by `RouterId`, then `IfIndex`.
+    iface_plans: Vec<Vec<IfacePlan>>,
+    /// Indexed by `HostId`: (its LAN, its address).
+    host_plans: Vec<(LanId, cbt_wire::Addr)>,
     injector: FaultInjector,
     trace: Trace,
     capture: Option<crate::pcap::Capture>,
@@ -68,17 +117,80 @@ pub struct World {
 impl World {
     /// Creates a world over `spec` with the given config.
     pub fn new(spec: NetworkSpec, cfg: WorldConfig) -> Self {
+        let num_routers = spec.routers.len();
+        let slots = (0..num_routers + spec.hosts.len())
+            .map(|_| Slot { node: None, wake_generation: 0 })
+            .collect();
+
+        let iface_plans = spec
+            .routers
+            .iter()
+            .map(|r| {
+                r.ifaces
+                    .iter()
+                    .map(|ifspec| match ifspec.attachment {
+                        Attachment::Lan(lan) => IfacePlan::Lan { lan, src_addr: ifspec.addr },
+                        Attachment::Link { link, peer } => {
+                            let peer_iface = spec.routers[peer.0 as usize]
+                                .ifaces
+                                .iter()
+                                .position(|pi| {
+                                    matches!(pi.attachment,
+                                        Attachment::Link { link: l, .. } if l == link)
+                                })
+                                .map(|p| IfIndex(p as u32));
+                            IfacePlan::Link { link, peer, peer_iface, src_addr: ifspec.addr }
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let lan_plans = spec
+            .lans
+            .iter()
+            .enumerate()
+            .map(|(li, lan)| {
+                let lan_id = LanId(li as u32);
+                let mut receivers = Vec::with_capacity(lan.routers.len() + lan.hosts.len());
+                for &r in &lan.routers {
+                    if let Some((rx_iface, rx_spec)) =
+                        spec.routers[r.0 as usize].iface_on_lan(lan_id)
+                    {
+                        receivers.push(LanReceiver {
+                            entity: Entity::Router(r),
+                            iface: rx_iface,
+                            addr: rx_spec.addr,
+                        });
+                    }
+                }
+                for &h in &lan.hosts {
+                    receivers.push(LanReceiver {
+                        entity: Entity::Host(h),
+                        iface: IfIndex(0),
+                        addr: spec.hosts[h.0 as usize].addr,
+                    });
+                }
+                receivers
+            })
+            .collect();
+
+        let host_plans = spec.hosts.iter().map(|h| (h.lan, h.addr)).collect();
+
         World {
-            spec,
             failures: FailureSet::none(),
             now: SimTime::ZERO,
             queue: EventQueue::new(),
-            nodes: HashMap::new(),
-            wake_generation: HashMap::new(),
+            slots,
+            num_routers,
+            lan_plans,
+            iface_plans,
+            host_plans,
             injector: FaultInjector::new(cfg.fault, cfg.seed),
             trace: if cfg.record_trace { Trace::recording() } else { Trace::counters_only() },
             capture: cfg.capture_pcap.then(crate::pcap::Capture::new),
             cfg,
+            spec,
         }
     }
 
@@ -126,11 +238,34 @@ impl World {
         &mut self.failures
     }
 
+    /// Dense slot index: routers first, hosts after.
+    fn idx(&self, e: Entity) -> usize {
+        match e {
+            Entity::Router(r) => r.0 as usize,
+            Entity::Host(h) => self.num_routers + h.0 as usize,
+        }
+    }
+
+    /// Inverse of [`World::idx`].
+    fn entity_at(&self, i: usize) -> Entity {
+        if i < self.num_routers {
+            Entity::Router(RouterId(i as u32))
+        } else {
+            Entity::Host(HostId((i - self.num_routers) as u32))
+        }
+    }
+
     /// Installs the behaviour for an entity, replacing any previous one
     /// (that is how router *restarts* are modelled: a fresh engine with
     /// empty state, per §6.2).
+    ///
+    /// # Panics
+    ///
+    /// If `entity` is not part of this world's [`NetworkSpec`].
     pub fn set_node(&mut self, entity: Entity, node: Box<dyn SimNode>) {
-        self.nodes.insert(entity, node);
+        let i = self.idx(entity);
+        assert!(i < self.slots.len(), "set_node: {entity} is not in the network spec");
+        self.slots[i].node = Some(node);
         self.reschedule_wake(entity);
     }
 
@@ -138,12 +273,15 @@ impl World {
     /// a host application to join a group). Follow mutations that need
     /// to send packets with [`World::poke`].
     pub fn node_mut<N: SimNode + 'static>(&mut self, entity: Entity) -> Option<&mut N> {
-        self.nodes.get_mut(&entity)?.as_any_mut().downcast_mut::<N>()
+        let i = self.idx(entity);
+        self.slots.get_mut(i)?.node.as_deref_mut()?.as_any_mut().downcast_mut::<N>()
     }
 
-    /// Immutable typed access to a node.
-    pub fn node<N: SimNode + 'static>(&mut self, entity: Entity) -> Option<&N> {
-        self.nodes.get_mut(&entity)?.as_any_mut().downcast_mut::<N>().map(|n| &*n)
+    /// Immutable typed access to a node — inspection without exclusive
+    /// access to the world.
+    pub fn node<N: SimNode + 'static>(&self, entity: Entity) -> Option<&N> {
+        let i = self.idx(entity);
+        self.slots.get(i)?.node.as_deref()?.as_any().downcast_ref::<N>()
     }
 
     /// Invokes `on_timer` on an entity *now* — used right after a
@@ -154,8 +292,11 @@ impl World {
         }
         let mut out = Outbox::new();
         let now = self.now;
-        if let Some(node) = self.nodes.get_mut(&entity) {
-            node.on_timer(now, &mut out);
+        let i = self.idx(entity);
+        if let Some(slot) = self.slots.get_mut(i) {
+            if let Some(node) = slot.node.as_deref_mut() {
+                node.on_timer(now, &mut out);
+            }
         }
         self.emit(entity, out);
         self.reschedule_wake(entity);
@@ -164,10 +305,12 @@ impl World {
     /// Schedules the initial wakeups of every installed node. Call once
     /// after all nodes are installed.
     pub fn start(&mut self) {
-        let mut entities: Vec<Entity> = self.nodes.keys().copied().collect();
-        entities.sort(); // deterministic iteration
-        for e in entities {
-            self.poke(e);
+        // Slot order is routers-then-hosts ascending — the same total
+        // order `Entity` derives, so startup stays deterministic.
+        for i in 0..self.slots.len() {
+            if self.slots[i].node.is_some() {
+                self.poke(self.entity_at(i));
+            }
         }
     }
 
@@ -182,21 +325,23 @@ impl World {
                     return true;
                 }
                 let mut out = Outbox::new();
-                if let Some(node) = self.nodes.get_mut(&to) {
+                let i = self.idx(to);
+                if let Some(node) = self.slots[i].node.as_deref_mut() {
                     node.on_packet(at, iface, link_src, &frame, &mut out);
                 }
                 self.emit(to, out);
                 self.reschedule_wake(to);
             }
             Event::Wake { who, generation } => {
-                if self.wake_generation.get(&who).copied().unwrap_or(0) != generation {
+                let i = self.idx(who);
+                if self.slots[i].wake_generation != generation {
                     return true; // stale wake
                 }
                 if self.entity_down(who) {
                     return true;
                 }
                 let mut out = Outbox::new();
-                if let Some(node) = self.nodes.get_mut(&who) {
+                if let Some(node) = self.slots[i].node.as_deref_mut() {
                     node.on_timer(at, &mut out);
                 }
                 self.emit(who, out);
@@ -246,29 +391,39 @@ impl World {
         }
     }
 
-    /// Dispatches everything a node queued.
+    /// Dispatches everything a node queued, via the precomputed plans.
     fn emit(&mut self, from: Entity, mut out: Outbox) {
         for t in out.drain() {
-            match self.medium_of(from, t.iface) {
-                Some(Medium::Lan(lan)) => self.emit_lan(from, t.iface, lan, t.link_dst, t.frame),
-                Some(Medium::Link(_link)) => self.emit_link(from, t.iface, t.frame),
-                None => {} // unknown interface: silently dropped
-            }
-        }
-    }
-
-    fn medium_of(&self, from: Entity, iface: IfIndex) -> Option<Medium> {
-        match from {
-            Entity::Router(r) => {
-                let spec = self.spec.routers.get(r.0 as usize)?;
-                match spec.iface(iface)?.attachment {
-                    Attachment::Lan(l) => Some(Medium::Lan(l)),
-                    Attachment::Link { link, .. } => Some(Medium::Link(link)),
+            match from {
+                Entity::Router(r) => {
+                    let Some(plan) = self
+                        .iface_plans
+                        .get(r.0 as usize)
+                        .and_then(|p| p.get(t.iface.0 as usize))
+                        .copied()
+                    else {
+                        continue; // unknown interface: silently dropped
+                    };
+                    match plan {
+                        IfacePlan::Lan { lan, src_addr } => {
+                            self.emit_lan(from, t.iface, lan, src_addr, t.link_dst, t.frame);
+                        }
+                        IfacePlan::Link { link, peer, peer_iface, src_addr } => {
+                            self.emit_link(
+                                from, t.iface, link, peer, peer_iface, src_addr, t.frame,
+                            );
+                        }
+                    }
                 }
-            }
-            Entity::Host(h) => {
-                let spec = self.spec.hosts.get(h.0 as usize)?;
-                (iface == IfIndex(0)).then_some(Medium::Lan(spec.lan))
+                Entity::Host(h) => {
+                    if t.iface != IfIndex(0) {
+                        continue;
+                    }
+                    let Some(&(lan, src_addr)) = self.host_plans.get(h.0 as usize) else {
+                        continue;
+                    };
+                    self.emit_lan(from, t.iface, lan, src_addr, t.link_dst, t.frame);
+                }
             }
         }
     }
@@ -278,134 +433,96 @@ impl World {
         from: Entity,
         iface: IfIndex,
         lan: LanId,
+        link_src: cbt_wire::Addr,
         link_dst: Option<cbt_wire::Addr>,
-        frame: Vec<u8>,
+        frame: Bytes,
     ) {
         if self.failures.lan_down(lan) {
             return;
         }
-        self.trace.record(TraceEntry {
-            at: self.now,
+        self.trace.record_tx(
+            self.now,
             from,
             iface,
-            medium: Medium::Lan(lan),
-            kind: PacketKind::classify(&frame),
-            bytes: frame.len(),
-        });
+            Medium::Lan(lan),
+            PacketKind::classify(&frame),
+            frame.len(),
+        );
         if let Some(cap) = &mut self.capture {
-            cap.record(self.now, &frame);
+            cap.record(self.now, frame.clone());
         }
         let Some(frame) = self.injector.apply(frame) else { return };
         let arrive_at = self.now + self.cfg.lan_latency;
-        // The link-layer source: the sender's address on this LAN.
-        let link_src = match from {
-            Entity::Router(r) => self
-                .spec
-                .routers
-                .get(r.0 as usize)
-                .and_then(|s| s.iface_on_lan(lan))
-                .map(|(_, i)| i.addr)
-                .unwrap_or(cbt_wire::Addr::NULL),
-            Entity::Host(h) => {
-                self.spec.hosts.get(h.0 as usize).map(|s| s.addr).unwrap_or(cbt_wire::Addr::NULL)
-            }
-        };
-        let lan_spec = self.spec.lans[lan.0 as usize].clone();
-        for r in lan_spec.routers {
-            if Entity::Router(r) == from || self.failures.router_down(r) {
+        for rx in &self.lan_plans[lan.0 as usize] {
+            if rx.entity == from {
                 continue;
             }
-            let Some((rx_iface, rx_spec)) = self.spec.routers[r.0 as usize].iface_on_lan(lan)
-            else {
-                continue;
-            };
+            if let Entity::Router(r) = rx.entity {
+                if self.failures.router_down(r) {
+                    continue;
+                }
+            }
             // Link-layer filter: a framed unicast only reaches its
             // addressee.
-            if link_dst.is_some_and(|d| d != rx_spec.addr) {
+            if link_dst.is_some_and(|d| d != rx.addr) {
                 continue;
             }
             self.queue.push(
                 arrive_at,
                 Event::Arrive {
-                    to: Entity::Router(r),
-                    iface: rx_iface,
+                    to: rx.entity,
+                    iface: rx.iface,
                     link_src,
-                    frame: frame.clone(),
-                },
-            );
-        }
-        for h in lan_spec.hosts {
-            if Entity::Host(h) == from {
-                continue;
-            }
-            if link_dst.is_some_and(|d| d != self.spec.hosts[h.0 as usize].addr) {
-                continue;
-            }
-            self.queue.push(
-                arrive_at,
-                Event::Arrive {
-                    to: Entity::Host(h),
-                    iface: IfIndex(0),
-                    link_src,
-                    frame: frame.clone(),
+                    frame: frame.clone(), // refcount bump, not a copy
                 },
             );
         }
     }
 
-    fn emit_link(&mut self, from: Entity, iface: IfIndex, frame: Vec<u8>) {
-        let Entity::Router(r) = from else { return };
-        let Some(spec) = self.spec.routers.get(r.0 as usize) else { return };
-        let Some(ifspec) = spec.iface(iface) else { return };
-        let Attachment::Link { link, peer } = ifspec.attachment else { return };
-        if self.failures.link_down(link) || self.failures.router_down(peer) {
-            // Record the attempt (bytes hit the wire) but nothing arrives.
-            self.trace.record(TraceEntry {
-                at: self.now,
-                from,
-                iface,
-                medium: Medium::Link(link),
-                kind: PacketKind::classify(&frame),
-                bytes: frame.len(),
-            });
-            return;
-        }
-        self.trace.record(TraceEntry {
-            at: self.now,
+    #[allow(clippy::too_many_arguments)]
+    fn emit_link(
+        &mut self,
+        from: Entity,
+        iface: IfIndex,
+        link: LinkId,
+        peer: RouterId,
+        peer_iface: Option<IfIndex>,
+        src_addr: cbt_wire::Addr,
+        frame: Bytes,
+    ) {
+        // Record the attempt (bytes hit the wire) even when the link or
+        // peer is down and nothing arrives.
+        self.trace.record_tx(
+            self.now,
             from,
             iface,
-            medium: Medium::Link(link),
-            kind: PacketKind::classify(&frame),
-            bytes: frame.len(),
-        });
+            Medium::Link(link),
+            PacketKind::classify(&frame),
+            frame.len(),
+        );
+        if self.failures.link_down(link) || self.failures.router_down(peer) {
+            return;
+        }
         if let Some(cap) = &mut self.capture {
-            cap.record(self.now, &frame);
+            cap.record(self.now, frame.clone());
         }
         let Some(frame) = self.injector.apply(frame) else { return };
-        // Find the peer's interface on this link.
-        let peer_iface = self.spec.routers[peer.0 as usize]
-            .ifaces
-            .iter()
-            .position(|pi| matches!(pi.attachment, Attachment::Link { link: l, .. } if l == link));
         let Some(peer_iface) = peer_iface else { return };
         self.queue.push(
             self.now + self.cfg.link_latency,
-            Event::Arrive {
-                to: Entity::Router(peer),
-                iface: IfIndex(peer_iface as u32),
-                link_src: ifspec.addr,
-                frame,
-            },
+            Event::Arrive { to: Entity::Router(peer), iface: peer_iface, link_src: src_addr, frame },
         );
     }
 
     fn reschedule_wake(&mut self, entity: Entity) {
-        let generation = self.wake_generation.entry(entity).or_insert(0);
-        *generation += 1;
-        let generation = *generation;
-        if let Some(node) = self.nodes.get(&entity) {
+        let i = self.idx(entity);
+        let now = self.now;
+        let Some(slot) = self.slots.get_mut(i) else { return };
+        slot.wake_generation += 1;
+        let generation = slot.wake_generation;
+        if let Some(node) = &slot.node {
             if let Some(at) = node.next_wakeup() {
-                let at = at.max(self.now);
+                let at = at.max(now);
                 self.queue.push(at, Event::Wake { who: entity, generation });
             }
         }
@@ -415,7 +532,7 @@ impl World {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cbt_topology::{HostId, NetworkBuilder, RouterId};
+    use cbt_topology::NetworkBuilder;
     use cbt_wire::{Addr, DataPacket, GroupId};
     use std::any::Any;
 
@@ -438,7 +555,7 @@ mod tests {
             now: SimTime,
             iface: IfIndex,
             _link_src: cbt_wire::Addr,
-            _frame: &[u8],
+            _frame: &Bytes,
             _out: &mut Outbox,
         ) {
             self.received.push((now, iface));
@@ -454,6 +571,9 @@ mod tests {
             self.fire_at
         }
         fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+        fn as_any(&self) -> &dyn Any {
             self
         }
     }
@@ -481,7 +601,7 @@ mod tests {
         assert!(w.run_until_idle(SimTime::from_secs(10)));
         // All three fired once at t=1s; each hears the other two.
         for e in [Entity::Router(r0), Entity::Router(r1), Entity::Host(h)] {
-            let n = w.node_mut::<Chatter>(e).unwrap();
+            let n = w.node::<Chatter>(e).unwrap();
             assert_eq!(n.received.len(), 2, "{e}");
             for (at, _) in &n.received {
                 assert_eq!(*at, SimTime::from_secs(1) + WorldConfig::default().lan_latency);
@@ -503,7 +623,7 @@ mod tests {
         w.set_node(Entity::Router(r1), Box::new(Chatter::new(src)));
         w.start();
         assert!(w.run_until_idle(SimTime::from_secs(10)));
-        let n1 = w.node_mut::<Chatter>(Entity::Router(r1)).unwrap();
+        let n1 = w.node::<Chatter>(Entity::Router(r1)).unwrap();
         assert_eq!(n1.received.len(), 1);
         let (at, iface) = n1.received[0];
         assert_eq!(at, SimTime::from_secs(1) + SimDuration::from_millis(1));
@@ -521,7 +641,7 @@ mod tests {
         w.failures_mut().fail_lan(lan);
         w.start();
         w.run_until_idle(SimTime::from_secs(10));
-        assert!(w.node_mut::<Chatter>(Entity::Router(r1)).unwrap().received.is_empty());
+        assert!(w.node::<Chatter>(Entity::Router(r1)).unwrap().received.is_empty());
     }
 
     #[test]
@@ -535,10 +655,10 @@ mod tests {
         w.start();
         w.run_until_idle(SimTime::from_secs(10));
         // r0 is down: it never fires, and never hears r1's packet.
-        assert!(w.node_mut::<Chatter>(Entity::Router(r0)).unwrap().received.is_empty());
-        assert!(w.node_mut::<Chatter>(Entity::Router(r0)).unwrap().fire_at.is_some());
+        assert!(w.node::<Chatter>(Entity::Router(r0)).unwrap().received.is_empty());
+        assert!(w.node::<Chatter>(Entity::Router(r0)).unwrap().fire_at.is_some());
         // r1 fired but nobody was there to hear it.
-        assert!(w.node_mut::<Chatter>(Entity::Router(r1)).unwrap().fire_at.is_none());
+        assert!(w.node::<Chatter>(Entity::Router(r1)).unwrap().fire_at.is_none());
     }
 
     #[test]
@@ -551,7 +671,7 @@ mod tests {
         w.set_node(Entity::Router(r1), Box::new(Chatter::new(src)));
         w.start();
         w.run_until_idle(SimTime::from_secs(10));
-        assert!(w.node_mut::<Chatter>(Entity::Router(r1)).unwrap().received.is_empty());
+        assert!(w.node::<Chatter>(Entity::Router(r1)).unwrap().received.is_empty());
         assert_eq!(w.trace().data_frames(), 2, "sends are traced even when dropped");
     }
 
@@ -581,10 +701,73 @@ mod tests {
             w.run_until_idle(SimTime::from_secs(10));
             let mut log = Vec::new();
             for e in [Entity::Router(r0), Entity::Router(r1), Entity::Host(h)] {
-                log.push(w.node_mut::<Chatter>(e).unwrap().received.clone());
+                log.push(w.node::<Chatter>(e).unwrap().received.clone());
             }
             (log, w.trace().totals())
         };
         assert_eq!(run(), run());
+    }
+
+    /// A sink that keeps every frame it hears, for zero-copy asserts.
+    struct Keeper {
+        frames: Vec<Bytes>,
+    }
+
+    impl SimNode for Keeper {
+        fn on_packet(
+            &mut self,
+            _now: SimTime,
+            _iface: IfIndex,
+            _link_src: cbt_wire::Addr,
+            frame: &Bytes,
+            _out: &mut Outbox,
+        ) {
+            self.frames.push(frame.clone());
+        }
+        fn on_timer(&mut self, _now: SimTime, _out: &mut Outbox) {}
+        fn next_wakeup(&self) -> Option<SimTime> {
+            None
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn lan_fanout_shares_one_allocation() {
+        // One sender, three listeners on the same LAN: every receiver's
+        // frame must be a view into the same allocation.
+        let mut b = NetworkBuilder::new();
+        let r0 = b.router("R0");
+        let lan = b.lan("S0");
+        b.attach(lan, r0);
+        let hosts: Vec<HostId> = (0..3).map(|i| b.host(format!("H{i}"), lan)).collect();
+        let spec = b.build();
+        let src = spec.routers[0].ifaces[0].addr;
+        let mut w = World::new(spec, WorldConfig::default());
+        w.set_node(Entity::Router(r0), Box::new(Chatter::new(src)));
+        for &h in &hosts {
+            w.set_node(Entity::Host(h), Box::new(Keeper { frames: Vec::new() }));
+        }
+        w.start();
+        assert!(w.run_until_idle(SimTime::from_secs(10)));
+        let frames: Vec<Bytes> = hosts
+            .iter()
+            .map(|&h| {
+                let k = w.node::<Keeper>(Entity::Host(h)).unwrap();
+                assert_eq!(k.frames.len(), 1, "host{} heard the broadcast", h.0);
+                k.frames[0].clone()
+            })
+            .collect();
+        for other in &frames[1..] {
+            assert!(
+                frames[0].shares_allocation_with(other),
+                "fan-out must clone the handle, not the payload"
+            );
+            assert_eq!(&frames[0], other);
+        }
     }
 }

@@ -20,10 +20,15 @@
 #![warn(missing_docs)]
 
 pub mod config;
+#[cfg(feature = "live")]
 pub mod fabric;
+#[cfg(feature = "live")]
 pub mod live;
+#[cfg(feature = "live")]
 pub mod udp;
 
 pub use config::Deployment;
+#[cfg(feature = "live")]
 pub use fabric::Fabric;
+#[cfg(feature = "live")]
 pub use live::{LiveNet, RouterSnapshot};

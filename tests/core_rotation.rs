@@ -117,12 +117,23 @@ fn igp_visible_primary_failure_skips_to_secondary() {
 struct BlackHole;
 
 impl SimNode for BlackHole {
-    fn on_packet(&mut self, _: SimTime, _: IfIndex, _: Addr, _: &[u8], _: &mut Outbox) {}
+    fn on_packet(
+        &mut self,
+        _: SimTime,
+        _: IfIndex,
+        _: Addr,
+        _: &cbt_netsim::Bytes,
+        _: &mut Outbox,
+    ) {
+    }
     fn on_timer(&mut self, _: SimTime, _: &mut Outbox) {}
     fn next_wakeup(&self) -> Option<SimTime> {
         None
     }
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
         self
     }
 }

@@ -1,0 +1,16 @@
+//! Offline stand-in for `crossbeam`. The workspace declares the
+//! dependency but does not use it; scoped threads come from
+//! `std::thread::scope` instead.
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads, delegating to `std::thread::scope`.
+pub mod thread {
+    /// Runs `f` with a `std` scope. Provided for API familiarity.
+    pub fn scope<'env, F, T>(f: F) -> Result<T, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> T,
+    {
+        Ok(std::thread::scope(f))
+    }
+}

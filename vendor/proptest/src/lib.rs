@@ -1,0 +1,318 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Samples test cases from strategies with a deterministic per-test
+//! ChaCha stream (seeded from the test's name), runs `cases`
+//! iterations, and panics on the first failure. There is no shrinking:
+//! a failing case is reported as-is. The strategy combinator surface
+//! mirrors what this workspace uses: ranges, `any`, `Just`, tuples,
+//! `prop_map`, `collection::vec`, `option::of`, `prop_oneof!`,
+//! `prop_compose!`, and the `proptest!` test harness macro.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+
+use rand::SeedableRng;
+pub use strategy::{BoxedStrategy, Just, Strategy};
+
+/// The RNG driving every sample; one independent stream per test.
+pub type TestRng = rand_chacha::ChaCha8Rng;
+
+/// Builds the deterministic RNG for a named test.
+pub fn test_rng(test_name: &str) -> TestRng {
+    // FNV-1a over the test name: stable across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    TestRng::seed_from_u64(h)
+}
+
+/// Runner configuration; only `cases` is honored by this stand-in.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+    /// Accepted for compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+    /// Accepted for compatibility; ignored.
+    pub max_local_rejects: u32,
+    /// Accepted for compatibility; ignored.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+            max_local_rejects: 65_536,
+            max_global_rejects: 1_024,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Upstream-compatible helper: a config with the given case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..ProptestConfig::default() }
+    }
+}
+
+/// `proptest::collection` — strategies for containers.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+
+    /// Length specification for [`vec`] — the stand-in for upstream's
+    /// `SizeRange`. Implementing `From` only for `usize` ranges is what
+    /// lets bare literals in `vec(elem, 0..120)` infer as `usize`.
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_inclusive: n }
+        }
+    }
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+        }
+    }
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+        }
+    }
+
+    /// A `Vec` strategy: length drawn from `size`, elements from `elem`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+
+    /// Builds a strategy producing vectors of `elem` samples whose
+    /// length is drawn uniformly from `size` (a plain `0..6` / `1..=8`
+    /// range, or an exact `usize`).
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+}
+
+/// `proptest::option` — strategies for `Option`.
+pub mod option {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+
+    /// Strategy yielding `None` 1 time in 4, `Some` otherwise
+    /// (mirrors upstream's default weighting).
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen_range(0u8..4) == 0 {
+                None
+            } else {
+                Some(self.0.sample(rng))
+            }
+        }
+    }
+
+    /// Lifts a strategy into an `Option` strategy.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+}
+
+/// `proptest::num` is spelled via plain range strategies here; this
+/// module exists so `proptest::num::...` paths don't break callers.
+pub mod num {}
+
+/// Everything a property test usually imports.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+        ProptestConfig,
+    };
+}
+
+/// Asserts a condition inside a property (panics; no shrink phase).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniform choice between heterogeneous strategies with one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Composes named sub-strategies into a derived strategy function.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$attr:meta])*
+        $vis:vis fn $name:ident ($($arg:tt)*)
+        ($($field:ident in $strat:expr),* $(,)?)
+        -> $ret:ty
+        $body:block
+    ) => {
+        $(#[$attr])*
+        $vis fn $name($($arg)*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::Strategy::prop_map(
+                ($($strat,)*),
+                move |($($field,)*)| $body,
+            )
+        }
+    };
+}
+
+/// Declares property tests: each `fn` becomes a `#[test]` running
+/// `config.cases` sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_tests {
+    (($cfg:expr)) => {};
+    (
+        ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($field:ident in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        #[test]
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            let strat = ($($crate::strategy::Strategy::boxed($strat),)*);
+            for case in 0..config.cases {
+                let ($($field,)*) = {
+                    let ($(ref $field,)*) = strat;
+                    ($($crate::strategy::Strategy::sample($field, &mut rng),)*)
+                };
+                let guard = $crate::CaseReporter { name: stringify!($name), case };
+                $body
+                std::mem::forget(guard);
+            }
+        }
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+}
+
+/// Prints which sampled case failed when a property body panics.
+#[doc(hidden)]
+pub struct CaseReporter {
+    pub name: &'static str,
+    pub case: u32,
+}
+
+impl Drop for CaseReporter {
+    fn drop(&mut self) {
+        // Only reached via unwinding: passing cases are forgotten.
+        eprintln!("proptest stand-in: property `{}` failed at case #{}", self.name, self.case);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_even() -> impl Strategy<Value = u32> {
+        (0u32..1000).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        fn ranges_stay_in_bounds(x in 3u8..=9, y in 10u64..20) {
+            prop_assert!((3..=9).contains(&x));
+            prop_assert!((10..20).contains(&y));
+        }
+
+        fn vec_lengths_respect_size(v in crate::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+
+        fn mapped_values_hold(e in arb_even()) {
+            prop_assert_eq!(e % 2, 0);
+        }
+
+        fn oneof_covers_variants(x in prop_oneof![Just(1u8), Just(2u8), 5u8..7]) {
+            prop_assert!(x == 1 || x == 2 || x == 5 || x == 6);
+        }
+
+        fn options_appear(o in crate::option::of(0u8..5)) {
+            if let Some(x) = o {
+                prop_assert!(x < 5);
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_same_name_same_stream() {
+        use crate::strategy::{any, Strategy};
+        let s = (0u32..1_000_000, any::<bool>());
+        let mut a = crate::test_rng("t");
+        let mut b = crate::test_rng("t");
+        for _ in 0..100 {
+            assert_eq!(s.sample(&mut a), s.sample(&mut b));
+        }
+    }
+
+    prop_compose! {
+        fn arb_pair()(a in 0u8..10, b in 0u8..10) -> (u8, u8) { (a, b) }
+    }
+
+    proptest! {
+        fn composed_strategies_work(p in arb_pair()) {
+            prop_assert!(p.0 < 10 && p.1 < 10);
+        }
+    }
+}

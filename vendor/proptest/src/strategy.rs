@@ -1,0 +1,184 @@
+//! Strategy trait and combinators for the proptest stand-in.
+
+use crate::TestRng;
+use rand::Rng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for sampling values of one type.
+///
+/// Unlike upstream there is no value tree and no shrinking: a strategy
+/// is just a deterministic function of the RNG stream.
+pub trait Strategy {
+    /// The type of the sampled values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps sampled values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy so heterogeneous strategies of one
+    /// value type can live in one collection (`prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(move |rng| self.sample(rng)))
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A type-erased strategy; see [`Strategy::boxed`].
+pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Uniform choice over type-erased alternatives (`prop_oneof!`).
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T> Union<T> {
+    /// Builds a union; panics on an empty alternative list.
+    pub fn new(alternatives: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!alternatives.is_empty(), "prop_oneof! needs at least one alternative");
+        Union(alternatives)
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.gen_range(0..self.0.len());
+        self.0[i].sample(rng)
+    }
+}
+
+/// A strategy producing clones of one fixed value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The `any::<T>()` whole-domain strategy.
+pub struct Any<T>(PhantomData<T>);
+
+/// Samples uniformly from `T`'s whole domain.
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy<Value = T>,
+{
+    Any(PhantomData)
+}
+
+macro_rules! any_via_gen {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen()
+            }
+        }
+    )*};
+}
+any_via_gen!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f32, f64);
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+),)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A/0),
+    (A/0, B/1),
+    (A/0, B/1, C/2),
+    (A/0, B/1, C/2, D/3),
+    (A/0, B/1, C/2, D/3, E/4),
+    (A/0, B/1, C/2, D/3, E/4, F/5),
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6),
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7),
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7, I/8),
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7, I/8, J/9),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_and_tuples() {
+        let mut rng = crate::test_rng("strategy-tests");
+        let s = (0u8..4, 10u64..=12, any::<bool>());
+        for _ in 0..200 {
+            let (a, b, _c) = s.sample(&mut rng);
+            assert!(a < 4);
+            assert!((10..=12).contains(&b));
+        }
+    }
+
+    #[test]
+    fn union_picks_every_arm() {
+        let mut rng = crate::test_rng("union-tests");
+        let u = Union::new(vec![Just(1u8).boxed(), Just(2u8).boxed(), Just(3u8).boxed()]);
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[u.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+}

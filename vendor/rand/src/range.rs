@@ -1,0 +1,95 @@
+//! Uniform range sampling for `Rng::gen_range`.
+//!
+//! `SampleRange` is implemented generically over any `SampleUniform`
+//! type (as upstream does) so that integer-literal ranges like
+//! `rng.gen_range(0..3)` infer their type from the surrounding
+//! expression instead of defaulting to `i32`.
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// A primitive that can be drawn uniformly from a bounded range.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Uniform draw from `[low, high)`.
+    fn sample_half_open<R: RngCore>(low: Self, high: Self, rng: &mut R) -> Self;
+    /// Uniform draw from `[low, high]`.
+    fn sample_inclusive<R: RngCore>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+/// A range usable with [`crate::Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+        T::sample_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+macro_rules! impl_uint_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore>(low: $t, high: $t, rng: &mut R) -> $t {
+                assert!(low < high, "gen_range: empty range");
+                let span = (high as u128).wrapping_sub(low as u128);
+                // Widening-multiply reduction: deterministic, near-uniform.
+                let x = rng.next_u64() as u128;
+                low.wrapping_add(((x * span) >> 64) as $t)
+            }
+            fn sample_inclusive<R: RngCore>(low: $t, high: $t, rng: &mut R) -> $t {
+                assert!(low <= high, "gen_range: empty range");
+                let span = (high as u128) - (low as u128) + 1;
+                let x = rng.next_u64() as u128;
+                low.wrapping_add(((x * span) >> 64) as $t)
+            }
+        }
+    )*};
+}
+impl_uint_uniform!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore>(low: $t, high: $t, rng: &mut R) -> $t {
+                assert!(low < high, "gen_range: empty range");
+                let span = (high as i128 - low as i128) as u128;
+                let x = rng.next_u64() as u128;
+                (low as i128 + ((x * span) >> 64) as i128) as $t
+            }
+            fn sample_inclusive<R: RngCore>(low: $t, high: $t, rng: &mut R) -> $t {
+                assert!(low <= high, "gen_range: empty range");
+                let span = (high as i128 - low as i128) as u128 + 1;
+                let x = rng.next_u64() as u128;
+                (low as i128 + ((x * span) >> 64) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_int_uniform!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_uniform {
+    ($($t:ty, $bits:expr, $shift:expr);*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore>(low: $t, high: $t, rng: &mut R) -> $t {
+                assert!(low < high, "gen_range: empty range");
+                let unit = (rng.next_u64() >> $shift) as $t / (1u64 << ($bits)) as $t;
+                low + unit * (high - low)
+            }
+            fn sample_inclusive<R: RngCore>(low: $t, high: $t, rng: &mut R) -> $t {
+                assert!(low <= high, "gen_range: empty range");
+                let unit =
+                    (rng.next_u64() >> $shift) as $t / ((1u64 << ($bits)) - 1) as $t;
+                low + unit * (high - low)
+            }
+        }
+    )*};
+}
+impl_float_uniform!(f64, 53, 11; f32, 24, 40);

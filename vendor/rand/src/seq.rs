@@ -1,0 +1,66 @@
+//! Sequence sampling: `SliceRandom` and `IteratorRandom`.
+
+use crate::{Rng, RngCore};
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+    /// One uniformly chosen element, or `None` if empty.
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// One uniformly chosen element by mutable reference.
+    fn choose_mut<R: RngCore>(&mut self, rng: &mut R) -> Option<&mut Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j: usize = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            let i: usize = rng.gen_range(0..self.len());
+            self.get(i)
+        }
+    }
+
+    fn choose_mut<R: RngCore>(&mut self, rng: &mut R) -> Option<&mut T> {
+        if self.is_empty() {
+            None
+        } else {
+            let i: usize = rng.gen_range(0..self.len());
+            self.get_mut(i)
+        }
+    }
+}
+
+/// Random operations on iterators.
+pub trait IteratorRandom: Iterator + Sized {
+    /// Uniformly chosen element via reservoir sampling.
+    fn choose<R: RngCore>(self, rng: &mut R) -> Option<Self::Item> {
+        let mut chosen = None;
+        let mut seen: usize = 0;
+        for item in self {
+            seen += 1;
+            if rng.gen_range(0..seen) == 0 {
+                chosen = Some(item);
+            }
+        }
+        let _ = seen;
+        chosen
+    }
+}
+
+impl<I: Iterator> IteratorRandom for I {}

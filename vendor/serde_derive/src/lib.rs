@@ -1,0 +1,306 @@
+//! Offline stand-in for `serde_derive`, written directly against
+//! `proc_macro` (no syn/quote, which cannot be fetched offline).
+//!
+//! Supports what this workspace uses:
+//! * structs with named fields (no generics);
+//! * enums whose variants are all unit variants (serialized as their
+//!   name string);
+//! * field attributes `#[serde(default)]` and
+//!   `#[serde(rename = "...")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    json_name: String,
+    default: bool,
+}
+
+enum Shape {
+    Struct { name: String, fields: Vec<Field> },
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+/// Parses the item the derive is attached to.
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip attributes and visibility before `struct`/`enum`.
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // '#' + [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                // Optional (crate)/(super) group after pub.
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" || id.to_string() == "enum" => {
+                break id.to_string();
+            }
+            Some(t) => return Err(format!("unexpected token before item keyword: {t}")),
+            None => return Err("ran out of tokens before struct/enum".into()),
+        }
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    i += 1;
+    // Reject generics: the workspace doesn't derive on generic types.
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("derive stand-in does not support generics on `{name}`"));
+    }
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(_) => i += 1,
+            None => return Err(format!("no braced body found for `{name}`")),
+        }
+    };
+    if kind == "struct" {
+        Ok(Shape::Struct { name, fields: parse_named_fields(body)? })
+    } else {
+        Ok(Shape::UnitEnum { name, variants: parse_unit_variants(body)? })
+    }
+}
+
+/// Splits a brace-group token stream into top-level comma chunks.
+fn split_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == ',' => chunks.push(Vec::new()),
+            _ => chunks.last_mut().unwrap().push(t),
+        }
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+/// Reads `#[serde(...)]` options from one attribute group body.
+fn read_serde_attr(group: &proc_macro::Group, field: &mut Field) {
+    let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+    // Expect: serde ( ... )
+    let [TokenTree::Ident(id), TokenTree::Group(args)] = &inner[..] else { return };
+    if id.to_string() != "serde" {
+        return;
+    }
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut j = 0;
+    while j < args.len() {
+        match &args[j] {
+            TokenTree::Ident(opt) if opt.to_string() == "default" => {
+                field.default = true;
+                j += 1;
+            }
+            TokenTree::Ident(opt) if opt.to_string() == "rename" => {
+                // rename = "literal"
+                if let (
+                    Some(TokenTree::Punct(eq)),
+                    Some(TokenTree::Literal(lit)),
+                ) = (args.get(j + 1), args.get(j + 2))
+                {
+                    if eq.as_char() == '=' {
+                        let s = lit.to_string();
+                        field.json_name = s.trim_matches('"').to_string();
+                    }
+                }
+                j += 3;
+            }
+            _ => j += 1,
+        }
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    for chunk in split_commas(body) {
+        let mut field: Option<Field> = None;
+        let mut k = 0;
+        while k < chunk.len() {
+            match &chunk[k] {
+                TokenTree::Punct(p) if p.as_char() == '#' => {
+                    // Attribute: may carry serde options; stash until
+                    // the name is known by applying to a placeholder.
+                    if field.is_none() {
+                        field = Some(Field {
+                            name: String::new(),
+                            json_name: String::new(),
+                            default: false,
+                        });
+                    }
+                    if let Some(TokenTree::Group(g)) = chunk.get(k + 1) {
+                        read_serde_attr(g, field.as_mut().unwrap());
+                    }
+                    k += 2;
+                }
+                TokenTree::Ident(id) if id.to_string() == "pub" => {
+                    k += 1;
+                    if matches!(chunk.get(k), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        k += 1;
+                    }
+                }
+                TokenTree::Ident(id) => {
+                    // Field name, then a ':' and the type (ignored).
+                    let f = field.get_or_insert(Field {
+                        name: String::new(),
+                        json_name: String::new(),
+                        default: false,
+                    });
+                    f.name = id.to_string();
+                    if f.json_name.is_empty() {
+                        f.json_name = f.name.clone();
+                    }
+                    break;
+                }
+                other => return Err(format!("unexpected token in field: {other}")),
+            }
+        }
+        match field {
+            Some(f) if !f.name.is_empty() => fields.push(f),
+            _ => return Err("could not find field name".into()),
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    for chunk in split_commas(body) {
+        let mut k = 0;
+        let mut name = None;
+        while k < chunk.len() {
+            match &chunk[k] {
+                TokenTree::Punct(p) if p.as_char() == '#' => k += 2,
+                TokenTree::Ident(id) => {
+                    name = Some(id.to_string());
+                    k += 1;
+                }
+                TokenTree::Group(_) => {
+                    return Err("derive stand-in supports unit enum variants only".into())
+                }
+                TokenTree::Punct(p) if p.as_char() == '=' => break, // discriminant
+                other => return Err(format!("unexpected token in variant: {other}")),
+            }
+        }
+        match name {
+            Some(n) => variants.push(n),
+            None => return Err("could not find variant name".into()),
+        }
+    }
+    Ok(variants)
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derives the stand-in `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let out = match shape {
+        Shape::Struct { name, fields } => {
+            let mut inserts = String::new();
+            for f in &fields {
+                inserts.push_str(&format!(
+                    "m.insert({json:?}.to_string(), serde::Serialize::to_json_value(&self.{field}));\n",
+                    json = f.json_name,
+                    field = f.name,
+                ));
+            }
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_json_value(&self) -> serde::json::Value {{\n\
+                         let mut m = serde::json::Map::new();\n\
+                         {inserts}\
+                         serde::json::Value::Object(m)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => {v:?},\n"))
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_json_value(&self) -> serde::json::Value {{\n\
+                         serde::json::Value::String(match self {{\n{arms}}}.to_string())\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().unwrap()
+}
+
+/// Derives the stand-in `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let out = match shape {
+        Shape::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in &fields {
+                let missing = if f.default {
+                    "std::default::Default::default()".to_string()
+                } else {
+                    format!(
+                        "return Err(serde::json::DeError::new(\
+                             format!(\"missing field `{}`\")))",
+                        f.json_name
+                    )
+                };
+                inits.push_str(&format!(
+                    "{field}: match obj.get({json:?}) {{\n\
+                         Some(x) => serde::Deserialize::from_json_value(x)?,\n\
+                         None => {missing},\n\
+                     }},\n",
+                    field = f.name,
+                    json = f.json_name,
+                ));
+            }
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_json_value(v: &serde::json::Value) -> Result<Self, serde::json::DeError> {{\n\
+                         let obj = v.as_object().ok_or_else(|| serde::json::DeError::expected(\"object\", v))?;\n\
+                         Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_json_value(v: &serde::json::Value) -> Result<Self, serde::json::DeError> {{\n\
+                         let s = v.as_str().ok_or_else(|| serde::json::DeError::expected(\"string\", v))?;\n\
+                         match s {{\n{arms}\
+                             other => Err(serde::json::DeError::new(format!(\"unknown variant `{{other}}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().unwrap()
+}

@@ -1,0 +1,178 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! The value model lives in the `serde` stand-in (`serde::json`); this
+//! crate re-exports it and provides the familiar entry points:
+//! [`json!`], [`to_string`], [`to_string_pretty`], [`from_str`],
+//! [`to_value`], [`from_value`].
+
+#![forbid(unsafe_code)]
+
+pub use serde::json::{DeError as Error, Map, Number, Value};
+
+/// `serde_json::value` module mirror.
+pub mod value {
+    pub use serde::json::{Map, Number, Value};
+}
+
+/// Result alias matching upstream.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes to compact JSON text.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String> {
+    Ok(value.to_json_value().to_json_string())
+}
+
+/// Serializes to human-readable JSON text (2-space indent).
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String> {
+    Ok(value.to_json_value().to_json_string_pretty())
+}
+
+/// Serializes to a [`Value`] tree.
+pub fn to_value<T: serde::Serialize>(value: &T) -> Result<Value> {
+    Ok(value.to_json_value())
+}
+
+/// Parses JSON text into any deserializable type.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T> {
+    let v = serde::json::parse(text)?;
+    T::from_json_value(&v)
+}
+
+/// Converts a [`Value`] tree into any deserializable type.
+pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T> {
+    T::from_json_value(&value)
+}
+
+/// Builds a [`Value`] from JSON-ish syntax, like upstream's `json!`.
+///
+/// Supports literals, `null`, arrays, objects with string-literal or
+/// parenthesized-expression keys, and arbitrary expressions in value
+/// position (converted via `Into<Value>` or `Serialize`).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elems:tt)* ]) => {
+        $crate::Value::Array($crate::json_internal_array!([] $($elems)*))
+    };
+    ({ $($entries:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $crate::json_internal_object!(map () ($($entries)*));
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => {
+        $crate::to_value(&$other).unwrap()
+    };
+}
+
+/// Internal: accumulates array elements. Not public API.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_internal_array {
+    // Finished.
+    ([ $($done:expr,)* ]) => { vec![ $($done,)* ] };
+    // Trailing comma after last element.
+    ([ $($done:expr,)* ] , ) => { vec![ $($done,)* ] };
+    // Next element is null / array / object / expression; munch until comma.
+    ([ $($done:expr,)* ] null $(, $($rest:tt)*)?) => {
+        $crate::json_internal_array!([ $($done,)* $crate::Value::Null, ] $($($rest)*)?)
+    };
+    ([ $($done:expr,)* ] [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_internal_array!([ $($done,)* $crate::json!([ $($inner)* ]), ] $($($rest)*)?)
+    };
+    ([ $($done:expr,)* ] { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_internal_array!([ $($done,)* $crate::json!({ $($inner)* }), ] $($($rest)*)?)
+    };
+    ([ $($done:expr,)* ] $next:expr $(, $($rest:tt)*)?) => {
+        $crate::json_internal_array!([ $($done,)* $crate::to_value(&$next).unwrap(), ] $($($rest)*)?)
+    };
+}
+
+/// Internal: accumulates object entries. Not public API.
+///
+/// Shape: `json_internal_object!(map (partial-key-tokens) (remaining))`.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_internal_object {
+    // Done.
+    ($map:ident () ()) => {};
+    // Trailing comma.
+    ($map:ident () (,)) => {};
+    // Key complete, value is null.
+    ($map:ident ($($key:tt)+) (: null $(, $($rest:tt)*)?)) => {
+        $map.insert(($($key)+).to_string(), $crate::Value::Null);
+        $crate::json_internal_object!($map () ($($($rest)*)?));
+    };
+    // Key complete, value is an array.
+    ($map:ident ($($key:tt)+) (: [ $($inner:tt)* ] $(, $($rest:tt)*)?)) => {
+        $map.insert(($($key)+).to_string(), $crate::json!([ $($inner)* ]));
+        $crate::json_internal_object!($map () ($($($rest)*)?));
+    };
+    // Key complete, value is an object.
+    ($map:ident ($($key:tt)+) (: { $($inner:tt)* } $(, $($rest:tt)*)?)) => {
+        $map.insert(($($key)+).to_string(), $crate::json!({ $($inner)* }));
+        $crate::json_internal_object!($map () ($($($rest)*)?));
+    };
+    // Key complete, value is an expression.
+    ($map:ident ($($key:tt)+) (: $value:expr $(, $($rest:tt)*)?)) => {
+        $map.insert(($($key)+).to_string(), $crate::to_value(&$value).unwrap());
+        $crate::json_internal_object!($map () ($($($rest)*)?));
+    };
+    // Munch one more token into the key.
+    ($map:ident ($($key:tt)*) ($tt:tt $($rest:tt)*)) => {
+        $crate::json_internal_object!($map ($($key)* $tt) ($($rest)*));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let v = json!({
+            "name": "cbt",
+            "count": 3,
+            "ratio": 1.5,
+            "on": true,
+            "none": null,
+            "tags": ["a", "b"],
+            "nested": { "deep": [1, 2, 3] },
+        });
+        assert_eq!(v["name"].as_str(), Some("cbt"));
+        assert_eq!(v["count"].as_u64(), Some(3));
+        assert_eq!(v["ratio"].as_f64(), Some(1.5));
+        assert_eq!(v["on"].as_bool(), Some(true));
+        assert!(v["none"].is_null());
+        assert_eq!(v["tags"].as_array().unwrap().len(), 2);
+        assert_eq!(v["nested"]["deep"][2].as_u64(), Some(3));
+    }
+
+    #[test]
+    fn json_macro_expressions() {
+        let n = 41 + 1;
+        let s = String::from("dyn");
+        let list: Vec<u32> = vec![7, 8];
+        let v = json!({ "n": n, "s": s, "list": list, "sum": 1 + 2 });
+        assert_eq!(v["n"].as_u64(), Some(42));
+        assert_eq!(v["s"].as_str(), Some("dyn"));
+        assert_eq!(v["list"][1].as_u64(), Some(8));
+        assert_eq!(v["sum"].as_u64(), Some(3));
+    }
+
+    #[test]
+    fn round_trip_text() {
+        let v = json!({ "a": [1, 2], "b": { "c": "x" } });
+        let text = to_string_pretty(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn scalar_json() {
+        assert_eq!(json!(5).as_u64(), Some(5));
+        assert_eq!(json!("s").as_str(), Some("s"));
+        assert_eq!(json!([1, [2]])[1][0].as_u64(), Some(2));
+        assert_eq!(json!(null), Value::Null);
+    }
+}

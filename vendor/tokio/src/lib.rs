@@ -1,0 +1,11 @@
+//! Offline placeholder for `tokio`.
+//!
+//! This build environment has no network access to crates.io, so the
+//! real tokio cannot be vendored. Crates that need the live runtime
+//! (`cbt-node`'s fabric/live/udp modules, the tunnel-overlay
+//! integration test, the `live_tokio` example) are gated behind a
+//! non-default `live` cargo feature and document that they require the
+//! genuine dependency. Everything else — the entire deterministic
+//! simulator and evaluation suite — is tokio-free.
+
+#![forbid(unsafe_code)]
