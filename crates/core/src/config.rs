@@ -63,6 +63,12 @@ pub struct CbtConfig {
     /// learn cores — "by means of network management"). Ordered,
     /// primary first. Consulted when no RP/Core-Report supplied a list.
     pub managed_mappings: HashMap<GroupId, Vec<Addr>>,
+    /// Drive timers from the hierarchical timer wheel (O(due entries)
+    /// per tick) instead of the legacy full-FIB scans. Behaviour is
+    /// bit-identical either way; the flag exists so the equivalence
+    /// suite and the `groupscale` experiment can pit both paths against
+    /// each other.
+    pub timer_wheel: bool,
 }
 
 impl Default for CbtConfig {
@@ -83,6 +89,7 @@ impl Default for CbtConfig {
             aggregate_echoes: false,
             igmp: IgmpTimers::default(),
             managed_mappings: HashMap::new(),
+            timer_wheel: true,
         }
     }
 }

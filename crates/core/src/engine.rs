@@ -10,6 +10,7 @@ use crate::config::CbtConfig;
 use crate::events::{RouterAction, RouterStats};
 use crate::fib::Fib;
 use crate::pending::PendingJoins;
+use crate::timers::TimerService;
 use cbt_igmp::{GroupPresence, IgmpOut, PresenceEvent, QuerierElection};
 use cbt_netsim::SimTime;
 use cbt_routing::{FailureSet, Hop, Rib};
@@ -93,6 +94,79 @@ pub(crate) struct PendingQuit {
     pub next_send: SimTime,
 }
 
+/// Everything the engine schedules on the timer wheel. One key per
+/// independent deadline; re-arming a key supersedes its previous entry
+/// (generation counters inside [`TimerService`] make that O(1)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum TimerKind {
+    /// IGMP querier election + membership presence on one LAN.
+    Lan(IfIndex),
+    /// Deferred re-attachment after a broken loop (§6.3 backoff).
+    Reattach(GroupId),
+    /// Pending-join retransmit / timeout / expiry (§9).
+    PendingJoin(GroupId),
+    /// Parent keepalive: next CBT-ECHO-REQUEST *or* echo-timeout
+    /// failure, whichever is earlier (§9).
+    Echo(GroupId),
+    /// Pending-quit retransmit (§6.3).
+    Quit(GroupId),
+    /// The CHILD-ASSERT-INTERVAL liveness sweep (§9).
+    ChildSweep,
+    /// The IFF-SCAN-INTERVAL membership scan (§9).
+    IffScan,
+}
+
+/// The engine's timer front-end: a [`TimerService`] when the wheel is
+/// enabled, a transparent no-op when the legacy scan path is in force
+/// (so call sites arm unconditionally and legacy mode pays nothing).
+pub(crate) struct EngineTimers {
+    svc: TimerService<TimerKind>,
+    /// Mirrors `CbtConfig::timer_wheel`.
+    pub(crate) enabled: bool,
+}
+
+impl EngineTimers {
+    fn new(now: SimTime, enabled: bool) -> Self {
+        EngineTimers { svc: TimerService::new(now), enabled }
+    }
+
+    /// (Re-)schedules `key` to fire at `deadline`.
+    pub(crate) fn arm(&mut self, key: TimerKind, deadline: SimTime) {
+        if self.enabled {
+            self.svc.arm(key, deadline);
+        }
+    }
+
+    /// Disarms `key`. Must be called wherever the state behind a timer
+    /// is removed outside its own service routine: `next_wakeup` must
+    /// be *exact* (the event loop's FIFO tie-break is part of the
+    /// bit-identity contract), so no disarmed deadline may linger at
+    /// the wheel head.
+    pub(crate) fn cancel(&mut self, key: TimerKind) {
+        if self.enabled {
+            self.svc.cancel(key);
+        }
+    }
+
+    fn pop_due(&mut self, now: SimTime) -> Vec<TimerKind> {
+        self.svc.pop_due(now)
+    }
+
+    fn peek(&self) -> Option<SimTime> {
+        self.svc.peek()
+    }
+
+    /// Drains superseded/cancelled entries off the wheel head so the
+    /// next `peek` reports the earliest *valid* deadline. Called at the
+    /// end of every mutating engine entry point (`next_wakeup` itself
+    /// takes `&self` and cannot).
+    fn compact(&mut self) {
+        if self.enabled {
+            self.svc.compact();
+        }
+    }
+}
+
 /// The CBT protocol engine for one router.
 pub struct CbtRouter {
     pub(crate) me: RouterId,
@@ -122,6 +196,19 @@ pub struct CbtRouter {
     pub(crate) reattach_started: BTreeMap<GroupId, SimTime>,
     pub(crate) next_child_sweep: SimTime,
     pub(crate) next_iff_scan: SimTime,
+    /// Deadline-driven timer service (see [`TimerKind`]); inert when
+    /// `cfg.timer_wheel` is off.
+    pub(crate) timers: EngineTimers,
+    /// Parent address → groups currently parented through it. Keyed on
+    /// address alone (a neighbour is one keepalive peer no matter how
+    /// many groups ride it), kept in both timer modes: the §8.4
+    /// aggregate-echo refresh walks it instead of rescanning the FIB.
+    pub(crate) parent_index: BTreeMap<Addr, BTreeSet<GroupId>>,
+    /// Child-liveness deadlines: `(last_heard + CHILD-ASSERT-EXPIRE,
+    /// group, child)`. Maintained only when the wheel is enabled; the
+    /// sweep pops due tuples and re-checks against the FIB, so stale
+    /// tuples for removed children are harmless.
+    pub(crate) child_expiry: BTreeSet<(SimTime, GroupId, Addr)>,
     pub(crate) stats: RouterStats,
 }
 
@@ -162,7 +249,8 @@ impl CbtRouter {
                 );
             }
         }
-        CbtRouter {
+        let timers = EngineTimers::new(now, cfg.timer_wheel);
+        let mut r = CbtRouter {
             me,
             id_addr: spec.addr,
             my_addrs,
@@ -180,8 +268,17 @@ impl CbtRouter {
             core_knowledge: BTreeMap::new(),
             deferred_reattach: BTreeMap::new(),
             reattach_started: BTreeMap::new(),
+            timers,
+            parent_index: BTreeMap::new(),
+            child_expiry: BTreeSet::new(),
             stats: RouterStats::default(),
+        };
+        r.timers.arm(TimerKind::ChildSweep, r.next_child_sweep);
+        r.timers.arm(TimerKind::IffScan, r.next_iff_scan);
+        for iface in r.lan_ifaces() {
+            r.arm_lan(iface);
         }
+        r
     }
 
     // ------------------------------------------------------------------
@@ -338,6 +435,7 @@ impl CbtRouter {
                 self.on_echo_reply(now, iface, src, group, group_mask);
             }
         }
+        self.timers.compact();
         act
     }
 
@@ -383,6 +481,10 @@ impl CbtRouter {
                 self.trigger_join(now, iface, r.group, r.target_core_index as usize, &mut act);
             }
         }
+        // Reports and Leaves move this LAN's presence deadlines (and a
+        // foreign query re-times the election): re-clock its wheel entry.
+        self.arm_lan(iface);
+        self.timers.compact();
         act
     }
 
@@ -420,6 +522,17 @@ impl CbtRouter {
 
     /// Advances every timer that has come due.
     pub fn on_timer(&mut self, now: SimTime) -> Vec<RouterAction> {
+        if self.cfg.timer_wheel {
+            self.on_timer_wheel(now)
+        } else {
+            self.on_timer_scan(now)
+        }
+    }
+
+    /// Legacy timer service: scan every piece of state for due work.
+    /// Kept as the O(groups) reference the wheel path must match
+    /// bit-for-bit (`cfg.timer_wheel = false`).
+    fn on_timer_scan(&mut self, now: SimTime) -> Vec<RouterAction> {
         let mut act = Vec::new();
         // IGMP querier duty + presence expiry per LAN.
         let lan_ids: Vec<IfIndex> = self.lans.keys().copied().collect();
@@ -452,8 +565,119 @@ impl CbtRouter {
         act
     }
 
+    /// Wheel-driven timer service: pop the due entries, bucket them by
+    /// kind, then run the same seven phases in the same order as the
+    /// scan path — but each phase visits only its due candidates.
+    ///
+    /// Every candidate is re-checked against the authoritative state
+    /// (`pending`, `deferred_reattach`, the FIB…) before acting, so a
+    /// stale or early entry degenerates to a no-op (plus a lazy re-arm
+    /// where the true deadline moved later) and never produces an
+    /// action the scan path would not.
+    fn on_timer_wheel(&mut self, now: SimTime) -> Vec<RouterAction> {
+        let mut act = Vec::new();
+        let mut lan_due: BTreeSet<IfIndex> = BTreeSet::new();
+        let mut reattach_due: BTreeSet<GroupId> = BTreeSet::new();
+        let mut join_due: BTreeSet<GroupId> = BTreeSet::new();
+        let mut echo_cand: BTreeSet<GroupId> = BTreeSet::new();
+        let mut quit_due: BTreeSet<GroupId> = BTreeSet::new();
+        let mut sweep_due = false;
+        let mut scan_due = false;
+        for kind in self.timers.pop_due(now) {
+            match kind {
+                TimerKind::Lan(i) => {
+                    lan_due.insert(i);
+                }
+                TimerKind::Reattach(g) => {
+                    reattach_due.insert(g);
+                }
+                TimerKind::PendingJoin(g) => {
+                    join_due.insert(g);
+                }
+                TimerKind::Echo(g) => {
+                    echo_cand.insert(g);
+                }
+                TimerKind::Quit(g) => {
+                    quit_due.insert(g);
+                }
+                TimerKind::ChildSweep => sweep_due = true,
+                TimerKind::IffScan => scan_due = true,
+            }
+        }
+        // Phase 1: IGMP querier duty + presence expiry per due LAN.
+        for iface in lan_due {
+            if !self.lans.contains_key(&iface) {
+                continue;
+            }
+            let (sends, events) = {
+                let lan = self.lans.get_mut(&iface).expect("checked");
+                let sends: Vec<IgmpOut> = lan.election.poll(now);
+                let events = lan.presence.poll(now);
+                (sends, events)
+            };
+            for s in sends {
+                act.push(RouterAction::SendIgmp { iface, dst: s.dst, msg: s.msg });
+            }
+            for ev in events {
+                self.on_presence_event(now, iface, ev, &mut act);
+            }
+            self.arm_lan(iface);
+        }
+        // Phase 2: deferred re-attachments.
+        for group in reattach_due {
+            if self.deferred_reattach.get(&group).is_some_and(|(t, _)| *t <= now) {
+                let (_, idx) = self.deferred_reattach.remove(&group).expect("checked");
+                self.start_reattach(now, group, idx, &mut act);
+            }
+        }
+        // Phase 3: pending-join retransmit/expiry.
+        for group in join_due {
+            if self.pending.get(group).is_some_and(|p| p.next_deadline() <= now) {
+                self.service_pending_join_group(now, group, &mut act);
+            }
+        }
+        // Phase 4: parent keepalives.
+        self.service_keepalives_wheel(now, echo_cand, &mut act);
+        // Phase 5: pending-quit retransmits.
+        for group in quit_due {
+            if self.pending_quits.get(&group).is_some_and(|q| q.next_send <= now) {
+                self.service_pending_quit_group(now, group, &mut act);
+            }
+        }
+        // Phase 6: child-liveness sweep (cadence-gated, like the scan).
+        if sweep_due {
+            if now >= self.next_child_sweep {
+                self.sweep_children_wheel(now, &mut act);
+                self.next_child_sweep = now + self.cfg.child_assert_interval;
+            }
+            self.timers.arm(TimerKind::ChildSweep, self.next_child_sweep);
+        }
+        // Phase 7: the IFF scan (inherently a membership-wide pass).
+        if scan_due {
+            if now >= self.next_iff_scan {
+                self.iff_scan(now, &mut act);
+                self.next_iff_scan = now + self.cfg.iff_scan_interval;
+            }
+            self.timers.arm(TimerKind::IffScan, self.next_iff_scan);
+        }
+        self.timers.compact();
+        act
+    }
+
     /// Earliest instant any internal timer wants service.
+    ///
+    /// With the wheel enabled this is a peek at the wheel head, and it
+    /// is *exact*: every mutating entry point ends by compacting stale
+    /// entries off the head, and every state removal cancels its key,
+    /// so the head always carries the earliest valid deadline. This
+    /// matters beyond efficiency — `netsim` breaks same-instant event
+    /// ties in scheduling order, so a spurious early wake would
+    /// reshuffle a router against its peers and break bit-identity
+    /// with the scan engine.
     pub fn next_wakeup(&self) -> Option<SimTime> {
+        if self.cfg.timer_wheel {
+            return self.timers.peek();
+        }
         let mut earliest: Option<SimTime> = None;
         let mut consider = |t: Option<SimTime>| {
             if let Some(t) = t {
@@ -471,6 +695,78 @@ impl CbtRouter {
         consider(Some(self.next_child_sweep));
         consider(Some(self.next_iff_scan));
         earliest
+    }
+
+    // ------------------------------------------------------------------
+    // Timer arming + index maintenance, shared by the protocol modules.
+    // ------------------------------------------------------------------
+
+    /// (Re-)clocks a LAN's wheel entry from its election + presence
+    /// deadlines. Called wherever those deadlines can change: after
+    /// every `handle_igmp` and after each phase-1 poll.
+    pub(crate) fn arm_lan(&mut self, iface: IfIndex) {
+        if !self.timers.enabled {
+            return;
+        }
+        if let Some(lan) = self.lans.get(&iface) {
+            let mut d = lan.election.next_wakeup();
+            if let Some(p) = lan.presence.next_wakeup() {
+                d = d.min(p);
+            }
+            self.timers.arm(TimerKind::Lan(iface), d);
+        }
+    }
+
+    /// (Re-)clocks a group's keepalive entry: next echo *or* the echo-
+    /// timeout failure instant, whichever comes first. No-op without a
+    /// parent.
+    pub(crate) fn arm_echo(&mut self, group: GroupId) {
+        if !self.timers.enabled {
+            return;
+        }
+        let Some(p) = self.fib.get(group).and_then(|e| e.parent) else { return };
+        let d = p.next_echo.min(p.last_reply + self.cfg.echo_timeout);
+        self.timers.arm(TimerKind::Echo(group), d);
+    }
+
+    /// Defers a re-attachment, keeping any earlier deferral (the map's
+    /// `or_insert` semantics), and arms the wheel at the instant the
+    /// map actually holds.
+    pub(crate) fn defer_reattach(&mut self, group: GroupId, at: SimTime, core_index: usize) {
+        let (t, _) = *self.deferred_reattach.entry(group).or_insert((at, core_index));
+        self.timers.arm(TimerKind::Reattach(group), t);
+    }
+
+    /// Re-points `parent_index` after any mutation of a group's parent.
+    /// `old` is the parent address captured *before* the mutation.
+    pub(crate) fn reindex_parent(&mut self, group: GroupId, old: Option<Addr>) {
+        let new = self.fib.get(group).and_then(|e| e.parent.map(|p| p.addr));
+        if old == new {
+            return;
+        }
+        if let Some(a) = old {
+            if let Some(set) = self.parent_index.get_mut(&a) {
+                set.remove(&group);
+                if set.is_empty() {
+                    self.parent_index.remove(&a);
+                }
+            }
+        }
+        if let Some(a) = new {
+            self.parent_index.entry(a).or_default().insert(group);
+        } else {
+            // No parent ⇒ no keepalive deadline; the entry must not
+            // linger or `next_wakeup` stops being exact.
+            self.timers.cancel(TimerKind::Echo(group));
+        }
+    }
+
+    /// Removes a group's FIB entry and keeps `parent_index` honest.
+    /// Every `fib.remove` in the engine goes through here.
+    pub(crate) fn remove_fib_entry(&mut self, group: GroupId) {
+        let old = self.fib.get(group).and_then(|e| e.parent.map(|p| p.addr));
+        self.fib.remove(group);
+        self.reindex_parent(group, old);
     }
 
     // ------------------------------------------------------------------

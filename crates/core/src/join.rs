@@ -1,7 +1,7 @@
 //! Tree joining: origination, hop-by-hop forwarding, acknowledgement,
 //! proxy-acks, rejoins and loop detection (§2.5, §2.6, §6.1–6.3, §8.3).
 
-use crate::engine::CbtRouter;
+use crate::engine::{CbtRouter, TimerKind};
 use crate::events::RouterAction;
 use crate::fib::Parent;
 use crate::pending::{CachedJoin, JoinReason, PendingJoin};
@@ -185,6 +185,7 @@ impl CbtRouter {
                 core_index,
             },
         );
+        self.timers.arm(TimerKind::PendingJoin(group), now + self.cfg.pend_join_interval);
     }
 
     /// Receipt of a JOIN_REQUEST (§2.5, §6.2, §6.3).
@@ -308,6 +309,8 @@ impl CbtRouter {
                         core_index: cores.iter().position(|c| *c == target_core).unwrap_or(0),
                     },
                 );
+                self.timers
+                    .arm(TimerKind::PendingJoin(group), now + self.cfg.pend_join_interval);
             }
             _ => {
                 // Unreachable core, or routing points straight back:
@@ -340,6 +343,7 @@ impl CbtRouter {
                 if let Some(e) = self.fib.get_mut(group) {
                     e.parent = None;
                 }
+                self.reindex_parent(group, Some(p.addr));
             }
             // A broken loop is a failed attempt of the ongoing §6.1
             // RECONNECT campaign — make sure the campaign clock is
@@ -352,10 +356,11 @@ impl CbtRouter {
             // the pending rejoin so a late ack cannot instate the
             // looping parent.
             self.pending.remove(group);
+            self.timers.cancel(TimerKind::PendingJoin(group));
             // "It then attempts to re-join again" — after a short
             // backoff via the next core, giving routing time to settle.
             let next_attempt = now + self.cfg.pend_join_interval;
-            self.deferred_reattach.entry(group).or_insert((next_attempt, 1));
+            self.defer_reattach(group, next_attempt, 1);
             return;
         }
         let i_primary = self.i_am_primary(cores)
@@ -430,10 +435,24 @@ impl CbtRouter {
         // Normal ack: the previous hop becomes a child (§8.3: "it is
         // the receipt of a JOIN-ACK that actually creates a branch" —
         // state on our side is created when we *send* one).
+        let old_heard = if self.timers.enabled {
+            self.fib.get(group).and_then(|e| {
+                e.children.iter().find(|c| c.addr == join.from_addr).map(|c| c.last_heard)
+            })
+        } else {
+            None
+        };
         let full = {
             let entry = self.fib.entry(group);
             !entry.add_child(join.from_addr, join.from_iface, now)
         };
+        if !full && self.timers.enabled {
+            let expire = self.cfg.child_assert_expire;
+            if let Some(h) = old_heard {
+                self.child_expiry.remove(&(h + expire, group, join.from_addr));
+            }
+            self.child_expiry.insert((now + expire, group, join.from_addr));
+        }
         if full {
             let nack = ControlMessage::JoinNack {
                 group,
@@ -481,7 +500,9 @@ impl CbtRouter {
             self.pending.insert(group, p);
             return;
         }
+        self.timers.cancel(TimerKind::PendingJoin(group));
 
+        let old_parent = self.fib.get(group).and_then(|e| e.parent.map(|pp| pp.addr));
         match (&p.reason, subcode) {
             (JoinReason::LocalMembership { trigger_lans }, AckSubcode::ProxyAck) => {
                 // §2.6: cancel transient state, keep **no** FIB entry;
@@ -561,6 +582,8 @@ impl CbtRouter {
                 // (`on_echo_reply`).
             }
         }
+        self.reindex_parent(group, old_parent);
+        self.arm_echo(group);
 
         // §2.5: "only then can it acknowledge any cached joins."
         for cached in p.cached {
@@ -622,6 +645,7 @@ impl CbtRouter {
             self.pending.insert(group, p);
             return;
         }
+        self.timers.cancel(TimerKind::PendingJoin(group));
         self.fail_pending(now, group, p, act);
     }
 
@@ -697,7 +721,7 @@ impl CbtRouter {
             // subtree down; downstream routers will re-join on their own
             // (they serve their own member subnets).
             self.flush_all_children(now, group, act);
-            self.fib.remove(group);
+            self.remove_fib_entry(group);
             for lan in self.lan_ifaces() {
                 self.gdr.remove(&(lan, group));
             }
@@ -707,31 +731,43 @@ impl CbtRouter {
     /// Retransmission / core-switch / expiry service for pending joins.
     pub(crate) fn service_pending_joins(&mut self, now: SimTime, act: &mut Vec<RouterAction>) {
         for group in self.pending.due(now) {
-            let p = self.pending.get(group).expect("due implies present").clone();
-            if now.since(p.started) >= self.cfg.expire_pending_join {
-                let p = self.pending.remove(group).expect("present");
-                self.give_up_pending(now, group, p, act);
-            } else if now.since(p.attempt_started) >= self.cfg.pend_join_timeout {
-                // §9 PEND-JOIN-TIMEOUT: "time to try joining a
-                // different core".
-                let p = self.pending.remove(group).expect("present");
-                self.fail_pending(now, group, p, act);
-            } else {
-                // §9 PEND-JOIN-INTERVAL: retransmit the same join.
-                let msg = ControlMessage::JoinRequest {
-                    subcode: p.sent_subcode,
-                    group,
-                    origin: p.origin,
-                    target_core: p.target_core,
-                    cores: p.cores.clone(),
-                };
-                let (up_iface, up_addr) = p.upstream;
-                self.send_control(act, up_iface, up_addr, msg);
-                let interval = self.cfg.pend_join_interval;
-                if let Some(pm) = self.pending.get_mut(group) {
-                    pm.next_retransmit = now + interval;
-                }
+            self.service_pending_join_group(now, group, act);
+        }
+    }
+
+    /// Services one due pending join — the shared body behind both the
+    /// legacy scan and the wheel's per-candidate dispatch.
+    pub(crate) fn service_pending_join_group(
+        &mut self,
+        now: SimTime,
+        group: GroupId,
+        act: &mut Vec<RouterAction>,
+    ) {
+        let p = self.pending.get(group).expect("due implies present").clone();
+        if now.since(p.started) >= self.cfg.expire_pending_join {
+            let p = self.pending.remove(group).expect("present");
+            self.give_up_pending(now, group, p, act);
+        } else if now.since(p.attempt_started) >= self.cfg.pend_join_timeout {
+            // §9 PEND-JOIN-TIMEOUT: "time to try joining a
+            // different core".
+            let p = self.pending.remove(group).expect("present");
+            self.fail_pending(now, group, p, act);
+        } else {
+            // §9 PEND-JOIN-INTERVAL: retransmit the same join.
+            let msg = ControlMessage::JoinRequest {
+                subcode: p.sent_subcode,
+                group,
+                origin: p.origin,
+                target_core: p.target_core,
+                cores: p.cores.clone(),
+            };
+            let (up_iface, up_addr) = p.upstream;
+            self.send_control(act, up_iface, up_addr, msg);
+            let interval = self.cfg.pend_join_interval;
+            if let Some(pm) = self.pending.get_mut(group) {
+                pm.next_retransmit = now + interval;
             }
+            self.timers.arm(TimerKind::PendingJoin(group), now + interval);
         }
     }
 
@@ -762,10 +798,13 @@ impl CbtRouter {
         if self.pending.contains(group) {
             return;
         }
+        let old_parent = self.fib.get(group).and_then(|e| e.parent.map(|p| p.addr));
         let Some(entry) = self.fib.get_mut(group) else { return };
         entry.parent = None;
+        let entry_cores = entry.cores.clone();
+        self.reindex_parent(group, old_parent);
         let cores =
-            if entry.cores.is_empty() { self.cores_for(group) } else { Some(entry.cores.clone()) };
+            if entry_cores.is_empty() { self.cores_for(group) } else { Some(entry_cores) };
         let Some(cores) = cores else { return };
         if self.i_am_primary(&cores) {
             self.reattach_started.remove(&group);
@@ -779,6 +818,7 @@ impl CbtRouter {
         if now.since(started) >= self.cfg.expire_pending_join {
             self.reattach_started.remove(&group);
             self.deferred_reattach.remove(&group);
+            self.timers.cancel(TimerKind::Reattach(group));
             if self.fib.get(group).is_some_and(|e| e.i_am_core) {
                 // A core with an intact subtree is a legitimate root
                 // (§6.1 fallback; §6.2: the primary waits to be
@@ -805,7 +845,7 @@ impl CbtRouter {
             // No core currently reachable: retry after a backoff (the
             // IGP may still be converging), inside the same budget.
             let retry = now + self.cfg.pend_join_interval;
-            self.deferred_reattach.entry(group).or_insert((retry, start_index));
+            self.defer_reattach(group, retry, start_index);
         }
     }
 }

@@ -7,7 +7,7 @@ use crate::events::RouterAction;
 use cbt_netsim::SimTime;
 use cbt_topology::IfIndex;
 use cbt_wire::{Addr, ControlMessage, GroupId};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 impl CbtRouter {
     /// Earliest echo-related deadline (for `next_wakeup`).
@@ -19,7 +19,9 @@ impl CbtRouter {
             .min()
     }
 
-    /// Sends due echo requests and detects parent failures.
+    /// Sends due echo requests and detects parent failures (legacy
+    /// full-FIB scan; the wheel path feeds the same worker from its due
+    /// candidates in [`CbtRouter::service_keepalives_wheel`]).
     pub(crate) fn service_keepalives(&mut self, now: SimTime, act: &mut Vec<RouterAction>) {
         // Pass 1: which groups need an echo, which parents have timed out.
         let mut echo_due: Vec<(GroupId, IfIndex, Addr)> = Vec::new();
@@ -32,7 +34,44 @@ impl CbtRouter {
                 echo_due.push((g, p.iface, p.addr));
             }
         }
+        self.run_echoes(now, echo_due, failed, act);
+    }
 
+    /// Wheel-side keepalive service: the same classification as the
+    /// legacy pass 1, applied only to the due candidates. A candidate
+    /// whose true deadline moved later (its parent answered an echo
+    /// since the entry was armed) is silently re-armed.
+    pub(crate) fn service_keepalives_wheel(
+        &mut self,
+        now: SimTime,
+        candidates: BTreeSet<GroupId>,
+        act: &mut Vec<RouterAction>,
+    ) {
+        let mut echo_due: Vec<(GroupId, IfIndex, Addr)> = Vec::new();
+        let mut failed: Vec<GroupId> = Vec::new();
+        for g in candidates {
+            let Some(p) = self.fib.get(g).and_then(|e| e.parent) else { continue };
+            if now.since(p.last_reply) >= self.cfg.echo_timeout {
+                failed.push(g);
+            } else if now >= p.next_echo {
+                echo_due.push((g, p.iface, p.addr));
+            } else {
+                self.arm_echo(g);
+            }
+        }
+        self.run_echoes(now, echo_due, failed, act);
+    }
+
+    /// Sends the echoes for the already-classified due groups and kicks
+    /// off re-attachment for failed parents — shared by both timer
+    /// paths, so behaviour (message set *and* order) is identical.
+    fn run_echoes(
+        &mut self,
+        now: SimTime,
+        echo_due: Vec<(GroupId, IfIndex, Addr)>,
+        failed: Vec<GroupId>,
+        act: &mut Vec<RouterAction>,
+    ) {
         if self.cfg.aggregate_echoes {
             // §8.4: one echo per parent covering a masked group range.
             let mut by_parent: BTreeMap<(IfIndex, Addr), Vec<GroupId>> = BTreeMap::new();
@@ -49,12 +88,21 @@ impl CbtRouter {
                 self.send_control(act, iface, addr, msg);
                 // Every group this parent covers advances its echo clock
                 // (not just the due ones — the aggregate refreshed all).
-                for (_, e) in self.fib.iter_mut() {
-                    if let Some(p) = &mut e.parent {
+                // One `parent_index` lookup yields exactly those groups;
+                // the old code rescanned the entire FIB per parent.
+                let covered: Vec<GroupId> = self
+                    .parent_index
+                    .get(&addr)
+                    .map(|s| s.iter().copied().collect())
+                    .unwrap_or_default();
+                let interval = self.cfg.echo_interval;
+                for g in covered {
+                    if let Some(p) = self.fib.get_mut(g).and_then(|e| e.parent.as_mut()) {
                         if p.addr == addr {
-                            p.next_echo = now + self.cfg.echo_interval;
+                            p.next_echo = now + interval;
                         }
                     }
+                    self.arm_echo(g);
                 }
             }
         } else {
@@ -69,6 +117,7 @@ impl CbtRouter {
                 if let Some(p) = self.fib.get_mut(g).and_then(|e| e.parent.as_mut()) {
                     p.next_echo = now + interval;
                 }
+                self.arm_echo(g);
             }
         }
 
@@ -98,11 +147,18 @@ impl CbtRouter {
             .filter(|(g, e)| group_matches(*g, group, group_mask) && e.has_child(src))
             .map(|(g, _)| g)
             .collect();
+        let wheel = self.timers.enabled;
+        let expire = self.cfg.child_assert_expire;
         for g in matching {
             if let Some(e) = self.fib.get_mut(g) {
                 if let Some(c) = e.children.iter_mut().find(|c| c.addr == src) {
+                    let old_heard = c.last_heard;
                     c.last_heard = now;
                     refreshed_any = true;
+                    if wheel {
+                        self.child_expiry.remove(&(old_heard + expire, g, src));
+                        self.child_expiry.insert((now + expire, g, src));
+                    }
                 }
             }
         }
@@ -143,6 +199,9 @@ impl CbtRouter {
         // succeeded and its budget can be retired.
         for g in settled {
             self.reattach_started.remove(&g);
+            // The keepalive deadline just moved later: re-clock the
+            // wheel entry so the next wake lands on it exactly.
+            self.arm_echo(g);
         }
     }
 
@@ -159,6 +218,35 @@ impl CbtRouter {
         }
         for g in affected {
             // Losing the last child may make us quittable (§2.7).
+            self.maybe_quit(now, g, act);
+        }
+    }
+
+    /// Wheel-side child-assert sweep: pop the due `(deadline, group,
+    /// child)` tuples and run the exact legacy `retain` on just those
+    /// groups. Tuples are exact (every `last_heard` refresh re-files
+    /// its tuple), so a group with no due tuple cannot hold an expired
+    /// child; orphan tuples for already-removed children pop as no-ops.
+    pub(crate) fn sweep_children_wheel(&mut self, now: SimTime, act: &mut Vec<RouterAction>) {
+        let expire = self.cfg.child_assert_expire;
+        let mut candidates: BTreeSet<GroupId> = BTreeSet::new();
+        while let Some(first) = self.child_expiry.first().copied() {
+            if first.0 > now {
+                break;
+            }
+            self.child_expiry.remove(&first);
+            candidates.insert(first.1);
+        }
+        let mut affected: Vec<GroupId> = Vec::new();
+        for g in candidates {
+            let Some(e) = self.fib.get_mut(g) else { continue };
+            let before = e.children.len();
+            e.children.retain(|c| now.since(c.last_heard) < expire);
+            if e.children.len() != before {
+                affected.push(g);
+            }
+        }
+        for g in affected {
             self.maybe_quit(now, g, act);
         }
     }
@@ -467,6 +555,92 @@ mod tests {
         e.on_timer(t(60));
         e.on_timer(t(90));
         assert_eq!(e.stats().parent_failures, 0);
+    }
+
+    /// Regression for the §8.4 re-clock loop: refreshing one parent's
+    /// covered groups must touch exactly that parent's groups (one
+    /// `parent_index` lookup), never re-scan the whole FIB. Two groups
+    /// ride the upstream parent, a third rides a different parent with
+    /// a staggered clock — the aggregate for the first parent must
+    /// advance its own two groups to `now + interval` and leave the
+    /// third group's earlier deadline untouched.
+    #[test]
+    fn aggregate_refresh_is_single_pass_per_parent() {
+        let cfg = CbtConfig { aggregate_echoes: true, ..Default::default() };
+        let mut e = routed_engine(cfg);
+        let down_hop = cbt_routing::Hop {
+            iface: IfIndex(2),
+            router: cbt_topology::RouterId(2),
+            addr: down_addr(),
+            dist: 1,
+        };
+        let mut map = BTreeMap::new();
+        map.insert(core_a(), up_hop());
+        map.insert(core_b(), down_hop);
+        set_routes(&mut e, map);
+        join_group(&mut e, 1, t(0));
+        join_group(&mut e, 2, t(0));
+        // Group 3 joins through the *other* parent, 10 s later.
+        e.learn_cores(g(3), &[core_b()]);
+        let mut act = Vec::new();
+        e.trigger_join(t(10), IfIndex(0), g(3), 0, &mut act);
+        e.handle_control(
+            t(10),
+            IfIndex(2),
+            down_addr(),
+            ControlMessage::JoinAck {
+                subcode: AckSubcode::Normal,
+                group: g(3),
+                origin: Addr::from_octets(10, 1, 0, 1),
+                target_core: core_b(),
+                cores: vec![core_b()],
+            },
+        );
+        assert_eq!(
+            e.parent_index.get(&up_hop().addr).map(|s| s.iter().copied().collect::<Vec<_>>()),
+            Some(vec![g(1), g(2)]),
+            "index maps the upstream parent to exactly its groups"
+        );
+        assert_eq!(
+            e.parent_index.get(&down_addr()).map(|s| s.iter().copied().collect::<Vec<_>>()),
+            Some(vec![g(3)]),
+        );
+
+        let act = e.on_timer(t(30));
+        let echoes = act
+            .iter()
+            .filter(|a| {
+                matches!(
+                    a,
+                    RouterAction::SendControl { msg: ControlMessage::EchoRequest { .. }, .. }
+                )
+            })
+            .count();
+        assert_eq!(echoes, 1, "only the upstream parent's groups were due");
+        let next_echo = |e: &CbtRouter, n: u16| {
+            e.fib().get(g(n)).unwrap().parent.unwrap().next_echo
+        };
+        assert_eq!(next_echo(&e, 1), t(60), "covered group re-clocked");
+        assert_eq!(next_echo(&e, 2), t(60), "covered group re-clocked");
+        assert_eq!(next_echo(&e, 3), t(40), "other parent's group left alone");
+
+        // The untouched clock fires on its own schedule, aimed at the
+        // other parent only.
+        let act = e.on_timer(t(40));
+        let targets: Vec<Addr> = act
+            .iter()
+            .filter_map(|a| match a {
+                RouterAction::SendControl {
+                    dst,
+                    msg: ControlMessage::EchoRequest { .. },
+                    ..
+                } => Some(*dst),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(targets, vec![down_addr()]);
+        assert_eq!(next_echo(&e, 1), t(60), "upstream clocks unaffected in return");
+        assert_eq!(next_echo(&e, 3), t(70));
     }
 
     #[test]

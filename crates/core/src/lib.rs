@@ -87,6 +87,7 @@ pub mod keepalive;
 pub mod pending;
 pub mod sim;
 pub mod teardown;
+pub mod timers;
 
 pub use config::CbtConfig;
 pub use engine::{CbtRouter, RouteLookup, SharedRib};

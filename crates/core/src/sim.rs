@@ -25,6 +25,9 @@ use std::any::Any;
 pub struct RouterNode {
     engine: CbtRouter,
     rib: SharedRib,
+    /// Scratch buffer reused for every control-message encode on the
+    /// send path — the hot path allocates once, not per message.
+    ctl_buf: Vec<u8>,
 }
 
 impl RouterNode {
@@ -38,7 +41,7 @@ impl RouterNode {
         now: SimTime,
     ) -> Self {
         let engine = CbtRouter::new(net, me, cfg, Box::new(rib.clone()), now);
-        RouterNode { engine, rib }
+        RouterNode { engine, rib, ctl_buf: Vec::new() }
     }
 
     /// The protocol engine (tests and metrics poke around in here).
@@ -57,7 +60,8 @@ impl RouterNode {
             match a {
                 RouterAction::SendControl { iface, dst, msg } => {
                     let port = if msg.is_primary() { CBT_PRIMARY_PORT } else { CBT_AUX_PORT };
-                    let udp = UdpHeader::wrap(port, port, &msg.encode());
+                    msg.encode_into(&mut self.ctl_buf);
+                    let udp = UdpHeader::wrap(port, port, &self.ctl_buf);
                     let src = self.iface_addr(iface);
                     let frame = build_datagram(src, dst, IpProto::Udp, 64, &udp);
                     self.emit_frame(iface, dst, frame, out);

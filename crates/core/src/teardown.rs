@@ -1,7 +1,7 @@
 //! Tree teardown: QUIT_REQUEST/QUIT_ACK, FLUSH_TREE and the periodic
 //! membership scan (§2.7, §6.3, §9).
 
-use crate::engine::{CbtRouter, PendingQuit};
+use crate::engine::{CbtRouter, PendingQuit, TimerKind};
 use crate::events::RouterAction;
 use cbt_netsim::SimTime;
 use cbt_topology::IfIndex;
@@ -34,6 +34,7 @@ impl CbtRouter {
                         next_send: now + self.cfg.quit_interval,
                     },
                 );
+                self.timers.arm(TimerKind::Quit(group), now + self.cfg.quit_interval);
                 // The child removes its own state right away; the
                 // pending quit only drives retransmission (§8.3: if the
                 // parent cannot respond "the child nevertheless removes
@@ -51,13 +52,15 @@ impl CbtRouter {
 
     /// Removes every trace of `group` from this router.
     pub(crate) fn drop_group_state(&mut self, group: GroupId) {
-        self.fib.remove(group);
+        self.remove_fib_entry(group);
         let lans = self.lan_ifaces();
         for lan in lans {
             self.gdr.remove(&(lan, group));
         }
         self.pending.remove(group);
+        self.timers.cancel(TimerKind::PendingJoin(group));
         self.deferred_reattach.remove(&group);
+        self.timers.cancel(TimerKind::Reattach(group));
         self.reattach_started.remove(&group);
     }
 
@@ -85,6 +88,7 @@ impl CbtRouter {
     /// Receipt of a QUIT_ACK: retransmissions can stop.
     pub(crate) fn on_quit_ack(&mut self, group: GroupId) {
         self.pending_quits.remove(&group);
+        self.timers.cancel(TimerKind::Quit(group));
     }
 
     /// Retransmits unacknowledged quits; gives up after the configured
@@ -97,19 +101,31 @@ impl CbtRouter {
             .map(|(g, _)| *g)
             .collect();
         for group in due {
-            let q = self.pending_quits.get(&group).copied().expect("listed");
-            if q.retries_left == 0 {
-                self.pending_quits.remove(&group);
-                continue;
-            }
-            let quit = ControlMessage::QuitRequest { group, origin: self.id_addr() };
-            self.send_control(act, q.parent_iface, q.parent_addr, quit);
-            let interval = self.cfg.quit_interval;
-            if let Some(qm) = self.pending_quits.get_mut(&group) {
-                qm.retries_left -= 1;
-                qm.next_send = now + interval;
-            }
+            self.service_pending_quit_group(now, group, act);
         }
+    }
+
+    /// Services one due pending quit — the shared body behind both the
+    /// legacy scan and the wheel's per-candidate dispatch.
+    pub(crate) fn service_pending_quit_group(
+        &mut self,
+        now: SimTime,
+        group: GroupId,
+        act: &mut Vec<RouterAction>,
+    ) {
+        let q = self.pending_quits.get(&group).copied().expect("listed");
+        if q.retries_left == 0 {
+            self.pending_quits.remove(&group);
+            return;
+        }
+        let quit = ControlMessage::QuitRequest { group, origin: self.id_addr() };
+        self.send_control(act, q.parent_iface, q.parent_addr, quit);
+        let interval = self.cfg.quit_interval;
+        if let Some(qm) = self.pending_quits.get_mut(&group) {
+            qm.retries_left -= 1;
+            qm.next_send = now + interval;
+        }
+        self.timers.arm(TimerKind::Quit(group), now + interval);
     }
 
     /// Sends FLUSH_TREE down one child branch and removes that child

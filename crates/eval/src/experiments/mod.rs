@@ -3,6 +3,7 @@
 //! `quick()` preset that the integration tests and benches use.
 
 pub mod delay;
+pub mod groupscale;
 pub mod latency;
 pub mod multicore;
 pub mod overhead;

@@ -99,6 +99,12 @@ fn main() {
                 multicore::run(&if q { multicore::Params::quick() } else { Default::default() })
             }),
         ),
+        (
+            "groupscale",
+            Box::new(|q| {
+                groupscale::run(&if q { groupscale::Params::quick() } else { Default::default() })
+            }),
+        ),
     ];
 
     match which.as_str() {
@@ -117,18 +123,25 @@ fn main() {
         }
         "all" => {
             let mut timings = Vec::new();
+            let mut timer_scaling = serde_json::Value::Null;
             for (name, run) in &runners {
                 let t0 = std::time::Instant::now();
                 let report = run(quick);
                 let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
                 println!("{}", report.render());
                 write_json(name, &report);
+                if *name == "groupscale" {
+                    // The timer-service scaling rows are a benchmark in
+                    // their own right; carry them into the consolidated
+                    // record alongside the wall timings.
+                    timer_scaling = report.json.clone();
+                }
                 timings.push(serde_json::json!({
                     "experiment": *name,
                     "wall_ms": wall_ms,
                 }));
             }
-            write_bench(timings, quick);
+            write_bench(timings, timer_scaling, quick);
         }
         name => match runners.iter().find(|(n, _)| *n == name) {
             Some((_, run)) => {
@@ -147,7 +160,7 @@ fn main() {
 /// Consolidated wall-clock timings for an `all` run — the evaluation
 /// suite's own benchmark record (timings vary run to run; the
 /// experiment JSONs next to it do not).
-fn write_bench(timings: Vec<serde_json::Value>, quick: bool) {
+fn write_bench(timings: Vec<serde_json::Value>, timer_scaling: serde_json::Value, quick: bool) {
     let dir = PathBuf::from("target");
     if std::fs::create_dir_all(&dir).is_err() {
         return;
@@ -159,6 +172,7 @@ fn write_bench(timings: Vec<serde_json::Value>, quick: bool) {
         "jobs": cbt_eval::parallel::jobs(),
         "total_wall_ms": total,
         "experiments": timings,
+        "timer_scaling": timer_scaling,
     });
     let path = dir.join("BENCH_eval.json");
     if let Ok(s) = serde_json::to_string_pretty(&payload) {

@@ -6,7 +6,7 @@
 use crate::{IgmpOut, IgmpTimers};
 use cbt_netsim::{SimDuration, SimTime};
 use cbt_wire::{Addr, GroupId, IgmpMessage, RpCoreReport};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Something the presence table wants the CBT engine to know.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,6 +42,13 @@ struct GroupState {
     target_core_index: usize,
 }
 
+/// A group's next service instant: the leave-query window if one is
+/// open (it is always at or before the membership expiry), else the
+/// membership expiry itself.
+fn deadline_of(s: &GroupState) -> SimTime {
+    s.leave_deadline.map_or(s.expires, |d| d.min(s.expires))
+}
+
 /// Membership presence for one LAN interface of one router.
 #[derive(Debug, Clone)]
 pub struct GroupPresence {
@@ -50,12 +57,21 @@ pub struct GroupPresence {
     /// Core lists learned from RP/Core-Reports *before* the matching
     /// membership report arrived (the spec allows either order).
     pending_cores: BTreeMap<GroupId, (Vec<Addr>, usize)>,
+    /// `(deadline, group)` — exactly one tuple per tracked group, kept
+    /// in lock-step with every deadline mutation, so `poll` pops due
+    /// groups and `next_wakeup` peeks the head instead of scanning.
+    deadlines: BTreeSet<(SimTime, GroupId)>,
 }
 
 impl GroupPresence {
     /// Empty table.
     pub fn new(timers: IgmpTimers) -> Self {
-        GroupPresence { timers, groups: BTreeMap::new(), pending_cores: BTreeMap::new() }
+        GroupPresence {
+            timers,
+            groups: BTreeMap::new(),
+            pending_cores: BTreeMap::new(),
+            deadlines: BTreeSet::new(),
+        }
     }
 
     /// Does this LAN currently have members of `group`?
@@ -91,10 +107,13 @@ impl GroupPresence {
                 let expires = now + SimDuration::from_secs(self.timers.membership_timeout_s);
                 match self.groups.get_mut(group) {
                     Some(state) => {
+                        let old = deadline_of(state);
                         state.expires = expires;
                         // A report during a leave-query window cancels
                         // the pending expiry: members remain.
                         state.leave_deadline = None;
+                        self.deadlines.remove(&(old, *group));
+                        self.deadlines.insert((expires, *group));
                     }
                     None => {
                         let (cores, idx) =
@@ -108,6 +127,7 @@ impl GroupPresence {
                                 target_core_index: idx,
                             },
                         );
+                        self.deadlines.insert((expires, *group));
                         events.push(PresenceEvent::NewGroup {
                             group: *group,
                             cores,
@@ -137,8 +157,12 @@ impl GroupPresence {
                 // that is how the G-DR (which may not be the querier,
                 // §2.6) learns to quit promptly.
                 if let Some(state) = self.groups.get_mut(group) {
+                    let old = deadline_of(state);
                     state.leave_deadline =
                         Some(now + SimDuration::from_secs(self.timers.last_member_query_s));
+                    let new = deadline_of(state);
+                    self.deadlines.remove(&(old, *group));
+                    self.deadlines.insert((new, *group));
                     if i_am_querier {
                         sends.push(IgmpOut {
                             dst: group.addr(),
@@ -157,28 +181,30 @@ impl GroupPresence {
     }
 
     /// Advances time: expires lapsed memberships and resolves
-    /// unanswered leave queries.
+    /// unanswered leave queries. O(due groups), not O(tracked groups):
+    /// pops the head of the deadline index. Events come out in group
+    /// order (the order the old full-scan produced).
     pub fn poll(&mut self, now: SimTime) -> Vec<PresenceEvent> {
+        let mut due: Vec<GroupId> = Vec::new();
+        while let Some(&(t, g)) = self.deadlines.first() {
+            if t > now {
+                break;
+            }
+            self.deadlines.remove(&(t, g));
+            due.push(g);
+        }
+        due.sort_unstable();
         let mut events = Vec::new();
-        let expired: Vec<GroupId> = self
-            .groups
-            .iter()
-            .filter(|(_, s)| s.leave_deadline.is_some_and(|d| d <= now) || s.expires <= now)
-            .map(|(g, _)| *g)
-            .collect();
-        for g in expired {
+        for g in due {
             self.groups.remove(&g);
             events.push(PresenceEvent::GroupExpired { group: g });
         }
         events
     }
 
-    /// Earliest instant `poll` would do something.
+    /// Earliest instant `poll` would do something: the index head.
     pub fn next_wakeup(&self) -> Option<SimTime> {
-        self.groups
-            .values()
-            .map(|s| s.leave_deadline.map_or(s.expires, |d| d.min(s.expires)))
-            .min()
+        self.deadlines.first().map(|&(t, _)| t)
     }
 }
 
@@ -300,6 +326,26 @@ mod tests {
         p.on_igmp(&report(2), t(5), true);
         p.on_igmp(&IgmpMessage::Leave { group: g(2) }, t(6), true);
         assert_eq!(p.next_wakeup(), Some(t(7)), "leave query deadline is earliest");
+    }
+
+    #[test]
+    fn deadline_index_survives_refresh_and_cancelled_leave() {
+        let mut p = GroupPresence::new(IgmpTimers::default());
+        p.on_igmp(&report(1), t(0), true);
+        assert_eq!(p.next_wakeup(), Some(t(260)));
+        // A refresh re-files the single deadline tuple, not a second one.
+        p.on_igmp(&report(1), t(50), true);
+        assert_eq!(p.next_wakeup(), Some(t(310)));
+        assert!(p.poll(t(260)).is_empty(), "stale pre-refresh deadline must be gone");
+        // A leave opens the query window; an answering report closes it
+        // and restores the plain membership expiry.
+        p.on_igmp(&IgmpMessage::Leave { group: g(1) }, t(261), true);
+        assert_eq!(p.next_wakeup(), Some(t(262)));
+        p.on_igmp(&report(1), t(261), true);
+        assert_eq!(p.next_wakeup(), Some(t(521)));
+        assert!(p.poll(t(262)).is_empty(), "answered leave window must not fire");
+        assert_eq!(p.poll(t(521)), vec![PresenceEvent::GroupExpired { group: g(1) }]);
+        assert_eq!(p.next_wakeup(), None, "index drains with the table");
     }
 
     #[test]

@@ -354,6 +354,13 @@ impl ControlMessage {
         self.to_header().encode()
     }
 
+    /// Serializes into `buf`, replacing its contents. Hot send paths
+    /// keep one scratch buffer alive and call this per message instead
+    /// of allocating a fresh `Vec` via [`ControlMessage::encode`].
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        self.to_header().encode_into(buf);
+    }
+
     /// Parses straight from bytes (header decode + typing).
     pub fn decode(bytes: &[u8]) -> Result<Self> {
         Self::from_header(&CbtControlHeader::decode(bytes)?)
@@ -443,6 +450,21 @@ mod tests {
             let bytes = msg.encode();
             let back = ControlMessage::decode(&bytes).unwrap();
             assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn encode_into_matches_encode_and_reuses_the_buffer() {
+        // One scratch buffer across every message shape: each call must
+        // leave exactly the bytes `encode` would have produced, even
+        // when the previous message was longer (stale-tail hazard).
+        let mut buf = Vec::new();
+        let mut samples = all_samples();
+        samples.reverse(); // longest core lists first exercises shrink
+        for msg in samples {
+            msg.encode_into(&mut buf);
+            assert_eq!(buf, msg.encode());
+            assert_eq!(ControlMessage::decode(&buf).unwrap(), msg);
         }
     }
 

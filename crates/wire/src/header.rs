@@ -212,9 +212,25 @@ impl CbtControlHeader {
     /// Panics if `self.cores.len() > MAX_CORES`; construct messages via
     /// the typed [`crate::ControlMessage`] API to avoid this.
     pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::new();
+        self.encode_into(&mut b);
+        b
+    }
+
+    /// Serializes into `buf`, replacing its contents. The buffer's
+    /// capacity is reused across calls, so a send path that encodes
+    /// many messages through one scratch buffer allocates only until
+    /// the buffer has grown to the largest message seen.
+    ///
+    /// # Panics
+    /// Panics if `self.cores.len() > MAX_CORES`; construct messages via
+    /// the typed [`crate::ControlMessage`] API to avoid this.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
         assert!(self.cores.len() <= MAX_CORES, "too many cores: {}", self.cores.len());
         let len = Self::encoded_len(self.cores.len());
-        let mut b = vec![0u8; len];
+        buf.clear();
+        buf.resize(len, 0);
+        let b = &mut buf[..];
         b[0] = CBT_VERSION << 4;
         b[1] = self.typ;
         b[2] = self.code;
@@ -229,9 +245,8 @@ impl CbtControlHeader {
             b[off..off + 4].copy_from_slice(&core.0.to_be_bytes());
         }
         // Trailing 16 bytes: reservation + security, all-zero (T.B.D).
-        let ck = internet_checksum(&b);
+        let ck = internet_checksum(b);
         b[6..8].copy_from_slice(&ck.to_be_bytes());
-        b
     }
 
     /// Parses and validates a control message from `bytes`.

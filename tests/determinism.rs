@@ -14,14 +14,14 @@ use std::hash::{Hash, Hasher};
 
 /// A busy little world: joins, a mid-churn data transmission, and
 /// enough fault injection to consume the world's only RNG stream.
-fn build(seed: u64) -> CbtWorld {
+fn build_with(seed: u64, cfg: CbtConfig) -> CbtWorld {
     let graph = generate::waxman(generate::WaxmanParams { n: 20, ..Default::default() }, 4);
     let net = NetworkSpec::from_graph_with_stub_lans(&graph);
     let core_addr = net.router_addr(RouterId(0));
     let group = GroupId::numbered(1);
     let mut cw = CbtWorld::build(
         net,
-        CbtConfig::fast(),
+        cfg,
         WorldConfig {
             fault: FaultPlan { drop_chance: 0.08, corrupt_chance: 0.05 },
             seed,
@@ -33,6 +33,10 @@ fn build(seed: u64) -> CbtWorld {
     }
     cw.host(HostId(2)).send_at(SimTime::from_secs(10), group, b"probe".to_vec(), 64);
     cw
+}
+
+fn build(seed: u64) -> CbtWorld {
+    build_with(seed, CbtConfig::fast())
 }
 
 /// Order-sensitive digest of every transmission the trace recorded:
@@ -72,6 +76,44 @@ fn seeded_scenario_replays_bit_identically() {
 #[test]
 fn different_seeds_diverge() {
     assert_ne!(run(42).2, run(43).2, "fault seeds must matter");
+}
+
+fn run_cfg(seed: u64, cfg: CbtConfig) -> ((u64, u64), Vec<(cbt_netsim::PacketKind, u64)>, u64) {
+    let mut cw = build_with(seed, cfg);
+    cw.world.start();
+    cw.world.run_until(SimTime::from_secs(30));
+    (cw.world.trace().totals(), cw.world.trace().kind_counts(), event_stream_hash(&cw))
+}
+
+/// The wheel-driven timer service must be *behaviour-preserving*, not
+/// just correct: under seeded churn (lossy links force pending-join
+/// retransmits, core switches, echo timeouts and re-attachments) every
+/// transmission must happen at the same instant, in the same order,
+/// with the same bytes as the legacy scan-every-tick engine — any
+/// timer that fires early, late, twice, or not at all changes the
+/// event-stream hash.
+#[test]
+fn timer_wheel_replays_the_scan_engine_bit_identically() {
+    for seed in [7u64, 42, 1337] {
+        let wheel = run_cfg(seed, CbtConfig { timer_wheel: true, ..CbtConfig::fast() });
+        let scan = run_cfg(seed, CbtConfig { timer_wheel: false, ..CbtConfig::fast() });
+        assert_eq!(wheel.0, scan.0, "seed {seed}: frame/byte totals diverge");
+        assert_eq!(wheel.1, scan.1, "seed {seed}: per-kind counters diverge");
+        assert_eq!(wheel.2, scan.2, "seed {seed}: event-stream hash diverges");
+    }
+}
+
+/// Same equivalence with §8.4 echo aggregation on — the path whose
+/// per-parent refresh now rides the parent index.
+#[test]
+fn timer_wheel_matches_scan_with_aggregated_echoes() {
+    for seed in [5u64, 99] {
+        let base = CbtConfig { aggregate_echoes: true, ..CbtConfig::fast() };
+        let wheel = run_cfg(seed, CbtConfig { timer_wheel: true, ..base.clone() });
+        let scan = run_cfg(seed, CbtConfig { timer_wheel: false, ..base });
+        assert_eq!(wheel.1, scan.1, "seed {seed}: per-kind counters diverge");
+        assert_eq!(wheel.2, scan.2, "seed {seed}: event-stream hash diverges");
+    }
 }
 
 /// The parallel trial runner must hand back exactly what a sequential
