@@ -105,8 +105,8 @@ fn bench_modes(c: &mut Criterion) {
         // encapsulation work, and record the bytes each mode puts on
         // the wire.
         let host_src = Addr::from_octets(10, 1, 0, 100);
-        let actions =
-            engine.handle_native_data(SimTime::from_secs(2), IfIndex(0), host_src, pkt.clone());
+        let mut actions = Vec::new();
+        engine.handle_native_data(SimTime::from_secs(2), IfIndex(0), host_src, pkt.clone(), &mut actions);
         let wire_bytes: usize = actions
             .iter()
             .map(|a| match a {
@@ -119,13 +119,19 @@ fn bench_modes(c: &mut Criterion) {
         let mut g = c.benchmark_group(format!("forward_{name}"));
         g.throughput(Throughput::Bytes(wire_bytes as u64));
         g.bench_function("one_packet_512B", |b| {
+            // One action buffer reused across iterations — the shape
+            // every real caller (sim and live) now has.
+            let mut act = Vec::new();
             b.iter(|| {
+                act.clear();
                 engine.handle_native_data(
                     black_box(SimTime::from_secs(2)),
                     IfIndex(0),
                     host_src,
                     black_box(pkt.clone()),
-                )
+                    &mut act,
+                );
+                black_box(&mut act);
             })
         });
         g.finish();

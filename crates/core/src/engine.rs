@@ -8,7 +8,7 @@
 
 use crate::config::CbtConfig;
 use crate::events::{RouterAction, RouterStats};
-use crate::fib::Fib;
+use crate::fib::{Fib, GroupSlot};
 use crate::pending::PendingJoins;
 use crate::timers::TimerService;
 use cbt_igmp::{GroupPresence, IgmpOut, PresenceEvent, QuerierElection};
@@ -210,6 +210,17 @@ pub struct CbtRouter {
     /// tuples for removed children are harmless.
     pub(crate) child_expiry: BTreeSet<(SimTime, GroupId, Addr)>,
     pub(crate) stats: RouterStats,
+    /// Data-plane memo: the last group's dense FIB slot plus the FIB
+    /// generation it was resolved at. A burst of packets to one group
+    /// pays the ordered FIB lookup once (see [`Fib::slot`]).
+    pub(crate) data_slot_memo: Option<(GroupId, GroupSlot, u64)>,
+    /// Reused per-packet scratch for native spanning (the distinct
+    /// outgoing interfaces); capacity persists across packets so the
+    /// steady-state forward path performs no heap allocation.
+    pub(crate) scratch_ifaces: Vec<IfIndex>,
+    /// Reused per-packet scratch for CBT spanning: (iface, neighbour)
+    /// pairs, sorted by interface before emission.
+    pub(crate) scratch_neighbors: Vec<(IfIndex, Addr)>,
 }
 
 impl CbtRouter {
@@ -272,6 +283,9 @@ impl CbtRouter {
             parent_index: BTreeMap::new(),
             child_expiry: BTreeSet::new(),
             stats: RouterStats::default(),
+            data_slot_memo: None,
+            scratch_ifaces: Vec::new(),
+            scratch_neighbors: Vec::new(),
         };
         r.timers.arm(TimerKind::ChildSweep, r.next_child_sweep);
         r.timers.arm(TimerKind::IffScan, r.next_iff_scan);
@@ -302,6 +316,21 @@ impl CbtRouter {
 
     pub(crate) fn iface(&self, i: IfIndex) -> Option<&IfaceInfo> {
         self.ifaces.get(i.0 as usize)
+    }
+
+    /// Data-plane FIB lookup through the memoised dense slot: a burst
+    /// of packets to one group resolves the ordered index once; any
+    /// FIB insert/remove (generation bump) invalidates the memo.
+    pub(crate) fn fib_slot_cached(&mut self, group: GroupId) -> Option<GroupSlot> {
+        let generation = self.fib.generation();
+        if let Some((g, slot, seen)) = self.data_slot_memo {
+            if g == group && seen == generation {
+                return Some(slot);
+            }
+        }
+        let slot = self.fib.slot(group)?;
+        self.data_slot_memo = Some((group, slot, generation));
+        Some(slot)
     }
 
     /// Am I the D-DR on LAN interface `i` right now?

@@ -113,10 +113,26 @@ impl FibEntry {
     }
 }
 
+/// A stable handle to one group's dense FIB slot, valid for as long as
+/// the FIB's [`Fib::generation`] is unchanged. Data-plane code resolves
+/// a group to its slot once per burst and then indexes directly,
+/// instead of walking the ordered index per packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupSlot(usize);
+
 /// The full FIB: group → entry.
+///
+/// Entries live in a dense slot vector; a `BTreeMap` keyed by group
+/// maps to slot numbers and keeps iteration deterministic (sorted by
+/// group — the determinism suite depends on this order). The slot
+/// layer exists for the data plane: [`Fib::slot`] pays the ordered
+/// lookup once, after which [`Fib::at`] is a bounds-checked index.
 #[derive(Debug, Clone, Default)]
 pub struct Fib {
-    entries: BTreeMap<GroupId, FibEntry>,
+    index: BTreeMap<GroupId, usize>,
+    slots: Vec<Option<FibEntry>>,
+    free: Vec<usize>,
+    generation: u64,
 }
 
 impl Fib {
@@ -127,53 +143,100 @@ impl Fib {
 
     /// Entry for `group`, if on-tree.
     pub fn get(&self, group: GroupId) -> Option<&FibEntry> {
-        self.entries.get(&group)
+        self.index.get(&group).map(|&s| self.slots[s].as_ref().expect("indexed slot is live"))
     }
 
     /// Mutable entry for `group`.
     pub fn get_mut(&mut self, group: GroupId) -> Option<&mut FibEntry> {
-        self.entries.get_mut(&group)
+        let s = *self.index.get(&group)?;
+        Some(self.slots[s].as_mut().expect("indexed slot is live"))
+    }
+
+    /// Resolves `group` to its dense slot — the once-per-burst half of
+    /// a data-plane lookup. The handle is invalidated by any insert or
+    /// remove (see [`Fib::generation`]).
+    pub fn slot(&self, group: GroupId) -> Option<GroupSlot> {
+        self.index.get(&group).map(|&s| GroupSlot(s))
+    }
+
+    /// Direct slot access — the per-packet half of a data-plane lookup.
+    pub fn at(&self, slot: GroupSlot) -> &FibEntry {
+        self.slots[slot.0].as_ref().expect("slot handle outlived its entry")
+    }
+
+    /// Bumped on every insert and remove; a [`GroupSlot`] obtained at
+    /// generation `n` must not be used once the generation moves on.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Creates (or returns) the entry for `group`.
     pub fn entry(&mut self, group: GroupId) -> &mut FibEntry {
-        self.entries.entry(group).or_default()
+        let s = match self.index.get(&group) {
+            Some(&s) => s,
+            None => {
+                self.generation += 1;
+                let s = match self.free.pop() {
+                    Some(s) => {
+                        self.slots[s] = Some(FibEntry::default());
+                        s
+                    }
+                    None => {
+                        self.slots.push(Some(FibEntry::default()));
+                        self.slots.len() - 1
+                    }
+                };
+                self.index.insert(group, s);
+                s
+            }
+        };
+        self.slots[s].as_mut().expect("indexed slot is live")
     }
 
     /// Deletes the entry for `group`; returns it if it existed.
     pub fn remove(&mut self, group: GroupId) -> Option<FibEntry> {
-        self.entries.remove(&group)
+        let s = self.index.remove(&group)?;
+        self.generation += 1;
+        self.free.push(s);
+        Some(self.slots[s].take().expect("indexed slot is live"))
     }
 
     /// Is this router on-tree for `group`?
     pub fn on_tree(&self, group: GroupId) -> bool {
-        self.entries.contains_key(&group)
+        self.index.contains_key(&group)
     }
 
     /// All on-tree groups.
     pub fn groups(&self) -> impl Iterator<Item = GroupId> + '_ {
-        self.entries.keys().copied()
+        self.index.keys().copied()
     }
 
-    /// All (group, entry) pairs.
+    /// All (group, entry) pairs, sorted by group.
     pub fn iter(&self) -> impl Iterator<Item = (GroupId, &FibEntry)> {
-        self.entries.iter().map(|(g, e)| (*g, e))
+        self.index
+            .iter()
+            .map(|(g, &s)| (*g, self.slots[s].as_ref().expect("indexed slot is live")))
     }
 
-    /// Mutable iteration.
+    /// Mutable iteration, sorted by group. (Control-plane only — the
+    /// per-call scatter vector is fine off the packet path.)
     pub fn iter_mut(&mut self) -> impl Iterator<Item = (GroupId, &mut FibEntry)> {
-        self.entries.iter_mut().map(|(g, e)| (*g, e))
+        let mut refs: Vec<Option<&mut FibEntry>> =
+            self.slots.iter_mut().map(|o| o.as_mut()).collect();
+        self.index
+            .iter()
+            .map(move |(g, &s)| (*g, refs[s].take().expect("indexed slot is live")))
     }
 
     /// Number of entries — the "state per router" metric of experiment
     /// S93-T1.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.index.len()
     }
 
     /// True when no groups are on-tree.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.index.is_empty()
     }
 }
 
@@ -256,6 +319,53 @@ mod tests {
         assert!(!e.is_tree_iface(IfIndex(7)));
         assert!(e.is_parent(a(9)));
         assert!(!e.is_parent(a(1)));
+    }
+
+    #[test]
+    fn slot_lookup_tracks_generation() {
+        let mut fib = Fib::new();
+        fib.entry(g()).cores = vec![a(4)];
+        let gen0 = fib.generation();
+        let slot = fib.slot(g()).expect("on-tree");
+        assert_eq!(fib.at(slot).primary_core(), Some(a(4)));
+        // Mutating an entry in place does not move slots...
+        fib.get_mut(g()).unwrap().add_child(a(1), IfIndex(0), t(1));
+        assert_eq!(fib.generation(), gen0);
+        assert_eq!(fib.at(slot).children.len(), 1);
+        // ...but insert/remove invalidate outstanding handles.
+        fib.entry(GroupId::numbered(2));
+        assert_ne!(fib.generation(), gen0);
+        assert_eq!(fib.slot(g()), Some(slot), "existing entries keep their slot");
+    }
+
+    #[test]
+    fn removed_slots_are_reused() {
+        let mut fib = Fib::new();
+        fib.entry(GroupId::numbered(1));
+        fib.entry(GroupId::numbered(2));
+        assert!(fib.remove(GroupId::numbered(1)).is_some());
+        assert!(!fib.on_tree(GroupId::numbered(1)));
+        fib.entry(GroupId::numbered(3));
+        // Group 3 recycled group 1's slot: the dense vector stays dense.
+        assert_eq!(fib.slots.iter().filter(|s| s.is_some()).count(), 2);
+        assert_eq!(fib.slots.len(), 2);
+        let gs: Vec<_> = fib.groups().collect();
+        assert_eq!(gs, vec![GroupId::numbered(2), GroupId::numbered(3)]);
+    }
+
+    #[test]
+    fn iter_mut_is_sorted_and_hits_every_entry() {
+        let mut fib = Fib::new();
+        for n in [5u16, 1, 3] {
+            fib.entry(GroupId::numbered(n));
+        }
+        let mut seen = Vec::new();
+        for (g, e) in fib.iter_mut() {
+            e.i_am_core = true;
+            seen.push(g);
+        }
+        assert_eq!(seen, vec![GroupId::numbered(1), GroupId::numbered(3), GroupId::numbered(5)]);
+        assert!(fib.iter().all(|(_, e)| e.i_am_core));
     }
 
     #[test]

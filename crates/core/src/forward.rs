@@ -1,5 +1,12 @@
 //! Data-plane forwarding: native mode (§4), CBT mode (§5), the on-tree
 //! bit (§7) and non-member sending (§5.1/§5.3).
+//!
+//! The handlers write into a caller-provided action buffer and draw all
+//! per-packet working storage from scratch collections on the router,
+//! so the steady-state forward path performs no heap allocation: the
+//! caller drains and reuses one `Vec<RouterAction>`, packet payloads
+//! are refcounted [`Bytes`](cbt_wire::data) handles, and group lookups
+//! go through the memoised dense FIB slot.
 
 use crate::config::ForwardingMode;
 use crate::engine::CbtRouter;
@@ -8,26 +15,26 @@ use cbt_netsim::SimTime;
 use cbt_topology::IfIndex;
 use cbt_wire::header::{OFF_TREE, ON_TREE};
 use cbt_wire::{Addr, CbtDataPacket, DataPacket, GroupId};
-use std::collections::BTreeSet;
 
 impl CbtRouter {
     /// A native (plain IP multicast) data packet arrived on `iface`
     /// from link-layer neighbour `link_src` (the sender's interface
     /// address on the shared medium — what the source MAC identifies
-    /// on real Ethernet).
+    /// on real Ethernet). Resulting sends are appended to `act`.
     pub fn handle_native_data(
         &mut self,
         now: SimTime,
         iface: IfIndex,
         link_src: Addr,
         pkt: DataPacket,
-    ) -> Vec<RouterAction> {
-        let mut act = Vec::new();
+        act: &mut Vec<RouterAction>,
+    ) {
         if pkt.ttl == 0 {
             self.stats.data_discarded += 1;
-            return act;
+            return;
         }
         let group = pkt.group;
+        let slot = self.fib_slot_cached(group);
         // "Sourced locally" (§5) means the originating host itself put
         // the packet on this wire — the link sender IS the IP source.
         let local_origin =
@@ -50,18 +57,17 @@ impl CbtRouter {
             let responsible = self.is_gdr(iface, group)
                 || (self.i_am_dr(iface, now)
                     && !self.proxy_handled.contains_key(&(iface, group)));
-            let arrival_is_tree =
-                self.fib.get(group).is_some_and(|e| e.is_tree_iface(iface));
-            if self.fib.on_tree(group) && (responsible || arrival_is_tree) {
-                self.forward_over_tree(now, group, &pkt, Some(iface), None, &mut act);
-            } else if responsible && self.i_am_dr(iface, now) && !self.fib.on_tree(group) {
+            let arrival_is_tree = slot.is_some_and(|s| self.fib.at(s).is_tree_iface(iface));
+            if slot.is_some() && (responsible || arrival_is_tree) {
+                self.forward_over_tree(now, group, &pkt, Some(iface), None, act);
+            } else if responsible && self.i_am_dr(iface, now) && slot.is_none() {
                 // §5.1/§5.3 non-member sending: the D-DR encapsulates
                 // and unicasts toward a core for the group.
-                self.send_toward_core(group, &pkt, &mut act);
+                self.send_toward_core(group, &pkt, act);
             } else {
                 self.stats.data_discarded += 1;
             }
-            return act;
+            return;
         }
 
         // §7: forwarded native packets must arrive on a valid on-tree
@@ -70,56 +76,57 @@ impl CbtRouter {
         // the branch parent/child counts, otherwise member-delivery
         // multicasts from a co-located G-DR would be mistaken for
         // branch traffic and amplified around shared-LAN cycles.
-        let valid = self.fib.get(group).is_some_and(|e| {
+        let valid = slot.is_some_and(|s| {
+            let e = self.fib.at(s);
             e.parent.is_some_and(|p| p.iface == iface && p.addr == link_src)
                 || e.children.iter().any(|c| c.iface == iface && c.addr == link_src)
         });
         if valid {
-            self.forward_over_tree(now, group, &pkt, Some(iface), None, &mut act);
+            self.forward_over_tree(now, group, &pkt, Some(iface), None, act);
         } else {
             self.stats.data_discarded += 1;
         }
-        act
     }
 
     /// A CBT-mode (encapsulated) data packet arrived, addressed to us
     /// (or CBT-multicast on a LAN). `outer_src` identifies the sending
-    /// neighbour; `arrival` the interface.
+    /// neighbour; `arrival` the interface. Sends are appended to `act`.
     pub fn handle_cbt_data(
         &mut self,
         now: SimTime,
         arrival: IfIndex,
         outer_src: Addr,
         mut pkt: CbtDataPacket,
-    ) -> Vec<RouterAction> {
-        let mut act = Vec::new();
+        act: &mut Vec<RouterAction>,
+    ) {
         let group = pkt.cbt.group;
+        let slot = self.fib_slot_cached(group);
         if pkt.cbt.is_on_tree() {
             // §7: an on-tree packet arriving over a non-tree interface
             // — or from anyone but the tree neighbour behind that
             // interface — is a leak (or a loop): discard immediately.
-            let valid = self.fib.get(group).is_some_and(|e| {
+            let valid = slot.is_some_and(|s| {
+                let e = self.fib.at(s);
                 e.parent.is_some_and(|p| p.iface == arrival && p.addr == outer_src)
                     || e.children.iter().any(|c| c.iface == arrival && c.addr == outer_src)
             });
             if !valid {
                 self.stats.data_discarded += 1;
-                return act;
+                return;
             }
-            self.span_cbt(now, group, pkt, Some(outer_src), Some(arrival), &mut act);
+            self.span_cbt(now, group, pkt, Some(outer_src), Some(arrival), act);
         } else {
             // Off-tree packet travelling from a non-member sender's DR
             // toward the tree (§5.1). The first on-tree router marks it.
-            if self.fib.on_tree(group) {
+            if slot.is_some() {
                 pkt.cbt.on_tree = ON_TREE;
-                self.span_cbt(now, group, pkt, Some(outer_src), None, &mut act);
+                self.span_cbt(now, group, pkt, Some(outer_src), None, act);
             } else {
                 // We are the target core but have no tree (no members
                 // ever joined): nowhere to deliver.
                 self.stats.data_discarded += 1;
             }
         }
-        act
     }
 
     /// Encapsulates a native packet and unicasts it toward the group's
@@ -161,9 +168,8 @@ impl CbtRouter {
             }
             ForwardingMode::CbtMode => {
                 let core = self
-                    .fib
-                    .get(group)
-                    .and_then(|e| e.primary_core())
+                    .fib_slot_cached(group)
+                    .and_then(|s| self.fib.at(s).primary_core())
                     .unwrap_or(Addr::NULL);
                 let mut enc = CbtDataPacket::encapsulate(pkt, core);
                 enc.cbt.on_tree = ON_TREE;
@@ -182,36 +188,41 @@ impl CbtRouter {
         skip_iface: Option<IfIndex>,
         act: &mut Vec<RouterAction>,
     ) {
-        let Some(entry) = self.fib.get(group) else { return };
+        let Some(slot) = self.fib_slot_cached(group) else { return };
         if pkt.ttl <= 1 {
             // Decrementing would kill it; nothing to forward.
             self.stats.data_discarded += 1;
             return;
         }
-        let mut out = DataPacket::new(pkt.src, pkt.group, pkt.ttl - 1, pkt.payload.clone());
-        let mut ifaces: BTreeSet<IfIndex> = BTreeSet::new();
-        if let Some(p) = entry.parent {
-            ifaces.insert(p.iface);
-        }
-        for c in &entry.children {
-            ifaces.insert(c.iface);
-        }
-        for lan in self.lan_ifaces() {
-            let members =
-                self.lans.get(&lan).is_some_and(|l| l.presence.has_members(group));
-            if members && self.is_gdr(lan, group) {
-                ifaces.insert(lan);
+        let mut ifaces = std::mem::take(&mut self.scratch_ifaces);
+        ifaces.clear();
+        {
+            let entry = self.fib.at(slot);
+            if let Some(p) = entry.parent {
+                ifaces.push(p.iface);
+            }
+            for c in &entry.children {
+                ifaces.push(c.iface);
             }
         }
+        for (&lan, l) in &self.lans {
+            if l.presence.has_members(group) && self.is_gdr(lan, group) {
+                ifaces.push(lan);
+            }
+        }
+        // Sorted + deduped: same deterministic emission order as the
+        // BTreeSet this replaced, without its per-packet node allocs.
+        ifaces.sort_unstable();
+        ifaces.dedup();
         if let Some(skip) = skip_iface {
-            ifaces.remove(&skip);
+            ifaces.retain(|i| *i != skip);
         }
-        out.ttl = pkt.ttl - 1;
-        let mut sent = 0;
-        for iface in ifaces {
+        let out = DataPacket::new(pkt.src, pkt.group, pkt.ttl - 1, pkt.payload.clone());
+        let sent = ifaces.len();
+        for &iface in &ifaces {
             act.push(RouterAction::SendNativeData { iface, pkt: out.clone() });
-            sent += 1;
         }
+        self.scratch_ifaces = ifaces;
         if sent > 0 {
             self.stats.data_forwarded += 1;
         }
@@ -236,27 +247,39 @@ impl CbtRouter {
             return;
         }
         pkt.cbt.ip_ttl -= 1;
-        let Some(entry) = self.fib.get(group) else { return };
+        let Some(slot) = self.fib_slot_cached(group) else { return };
 
-        // Collect tree neighbours per interface.
-        let mut per_iface: std::collections::BTreeMap<IfIndex, Vec<Addr>> = Default::default();
-        if let Some(p) = entry.parent {
-            if Some(p.addr) != skip_neighbor {
-                per_iface.entry(p.iface).or_default().push(p.addr);
+        // Collect tree neighbours, then group by interface (ascending,
+        // matching the order of the BTreeMap this replaced).
+        let mut neighbors = std::mem::take(&mut self.scratch_neighbors);
+        neighbors.clear();
+        {
+            let entry = self.fib.at(slot);
+            if let Some(p) = entry.parent {
+                if Some(p.addr) != skip_neighbor {
+                    neighbors.push((p.iface, p.addr));
+                }
+            }
+            for c in &entry.children {
+                if Some(c.addr) != skip_neighbor {
+                    neighbors.push((c.iface, c.addr));
+                }
             }
         }
-        for c in &entry.children {
-            if Some(c.addr) != skip_neighbor {
-                per_iface.entry(c.iface).or_default().push(c.addr);
-            }
-        }
+        neighbors.sort_unstable_by_key(|(iface, _)| *iface);
 
         let mut forwarded = false;
-        for (iface, neighbors) in per_iface {
-            if neighbors.len() == 1 {
+        let mut i = 0;
+        while i < neighbors.len() {
+            let iface = neighbors[i].0;
+            let mut j = i + 1;
+            while j < neighbors.len() && neighbors[j].0 == iface {
+                j += 1;
+            }
+            if j - i == 1 {
                 act.push(RouterAction::SendCbtUnicast {
                     iface,
-                    dst: neighbors[0],
+                    dst: neighbors[i].1,
                     pkt: pkt.clone(),
                 });
             } else {
@@ -265,14 +288,16 @@ impl CbtRouter {
                 act.push(RouterAction::SendCbtMulticast { iface, pkt: pkt.clone() });
             }
             forwarded = true;
+            i = j;
         }
+        self.scratch_neighbors = neighbors;
 
         // Member subnets: decapsulate, inner TTL forced to 1 (§5).
+        // Zero-copy: the delivered payload views the encapsulated inner
+        // datagram's refcounted buffer.
         if let Ok(native) = pkt.decapsulate_for_delivery() {
-            for lan in self.lan_ifaces() {
-                let members =
-                    self.lans.get(&lan).is_some_and(|l| l.presence.has_members(group));
-                if members && self.is_gdr(lan, group) {
+            for (&lan, l) in &self.lans {
+                if l.presence.has_members(group) && self.is_gdr(lan, group) {
                     // Never send the packet back onto its source subnet
                     // ("S10 received the IP style packet already from
                     // the originator", §5).
@@ -313,6 +338,33 @@ mod tests {
 
     fn host_pkt(ttl: u8) -> DataPacket {
         DataPacket::new(Addr::from_octets(10, 1, 0, 100), g(), ttl, b"data".to_vec())
+    }
+
+    /// Drives `handle_native_data` through a fresh action buffer, the
+    /// way pre-out-param callers did.
+    fn native_data(
+        e: &mut CbtRouter,
+        now: SimTime,
+        iface: IfIndex,
+        link_src: Addr,
+        pkt: DataPacket,
+    ) -> Vec<RouterAction> {
+        let mut act = Vec::new();
+        e.handle_native_data(now, iface, link_src, pkt, &mut act);
+        act
+    }
+
+    /// Same for `handle_cbt_data`.
+    fn cbt_data(
+        e: &mut CbtRouter,
+        now: SimTime,
+        arrival: IfIndex,
+        outer_src: Addr,
+        pkt: CbtDataPacket,
+    ) -> Vec<RouterAction> {
+        let mut act = Vec::new();
+        e.handle_cbt_data(now, arrival, outer_src, pkt, &mut act);
+        act
     }
 
     /// On-tree engine with parent via if1, one child via if2, members +
@@ -363,7 +415,7 @@ mod tests {
     #[test]
     fn local_packet_fans_up_and_down_but_not_back() {
         let mut e = full_tree_engine(CbtConfig::default());
-        let act = e.handle_native_data(t(5), IfIndex(0), Addr::from_octets(10, 1, 0, 100), host_pkt(16));
+        let act = native_data(&mut e, t(5), IfIndex(0), Addr::from_octets(10, 1, 0, 100), host_pkt(16));
         let ifaces: Vec<IfIndex> = act
             .iter()
             .filter_map(|a| match a {
@@ -383,10 +435,44 @@ mod tests {
     }
 
     #[test]
+    fn fanned_out_copies_share_the_payload_allocation() {
+        let mut e = full_tree_engine(CbtConfig::default());
+        let src_pkt = host_pkt(16);
+        let original_payload = src_pkt.payload.clone();
+        let act = native_data(&mut e, t(5), IfIndex(0), Addr::from_octets(10, 1, 0, 100), src_pkt);
+        let payloads: Vec<_> = act
+            .iter()
+            .filter_map(|a| match a {
+                RouterAction::SendNativeData { pkt, .. } => Some(&pkt.payload),
+                _ => None,
+            })
+            .collect();
+        assert!(payloads.len() >= 2, "parent + child branches");
+        for p in payloads {
+            assert!(
+                p.shares_allocation_with(&original_payload),
+                "per-branch copies must be refcount clones, not deep copies"
+            );
+        }
+    }
+
+    #[test]
+    fn action_buffer_is_appended_not_replaced() {
+        // Callers drain one reusable buffer; the handler must append.
+        let mut e = full_tree_engine(CbtConfig::default());
+        let mut act = Vec::new();
+        e.handle_native_data(t(5), IfIndex(0), Addr::from_octets(10, 1, 0, 100), host_pkt(16), &mut act);
+        let first = act.len();
+        assert!(first >= 2);
+        e.handle_native_data(t(6), IfIndex(0), Addr::from_octets(10, 1, 0, 100), host_pkt(16), &mut act);
+        assert_eq!(act.len(), first * 2, "second packet appends after the first");
+    }
+
+    #[test]
     fn packet_from_parent_reaches_child_and_members() {
         let mut e = full_tree_engine(CbtConfig::default());
         let remote = DataPacket::new(Addr::from_octets(10, 9, 0, 100), g(), 16, b"x".to_vec());
-        let act = e.handle_native_data(t(5), IfIndex(1), up_hop().addr, remote);
+        let act = native_data(&mut e, t(5), IfIndex(1), up_hop().addr, remote);
         let ifaces: Vec<IfIndex> = act
             .iter()
             .filter_map(|a| match a {
@@ -405,7 +491,7 @@ mod tests {
         // if0 is a member LAN, not a tree iface; a *forwarded* (non-
         // local-origin) packet arriving there violates §7.
         let rogue = DataPacket::new(Addr::from_octets(10, 9, 0, 100), g(), 16, b"x".to_vec());
-        let act = e.handle_native_data(t(5), IfIndex(0), Addr::from_octets(10, 1, 0, 2), rogue);
+        let act = native_data(&mut e, t(5), IfIndex(0), Addr::from_octets(10, 1, 0, 2), rogue);
         assert!(act.is_empty());
         assert_eq!(e.stats().data_discarded, 1);
     }
@@ -413,9 +499,9 @@ mod tests {
     #[test]
     fn ttl_expiry_discards() {
         let mut e = full_tree_engine(CbtConfig::default());
-        let act = e.handle_native_data(t(5), IfIndex(0), Addr::from_octets(10, 1, 0, 100), host_pkt(1));
+        let act = native_data(&mut e, t(5), IfIndex(0), Addr::from_octets(10, 1, 0, 100), host_pkt(1));
         assert!(act.is_empty(), "TTL 1 cannot be forwarded");
-        assert!(e.handle_native_data(t(5), IfIndex(0), Addr::from_octets(10, 1, 0, 100), host_pkt(0)).is_empty());
+        assert!(native_data(&mut e, t(5), IfIndex(0), Addr::from_octets(10, 1, 0, 100), host_pkt(0)).is_empty());
         assert_eq!(e.stats().data_discarded, 2);
     }
 
@@ -423,7 +509,7 @@ mod tests {
     fn unknown_group_from_host_without_dr_role_is_dropped() {
         let mut e = engine(CbtConfig::default());
         // No cores known, but we are the DR: nothing can be done.
-        let act = e.handle_native_data(t(5), IfIndex(0), Addr::from_octets(10, 1, 0, 100), host_pkt(16));
+        let act = native_data(&mut e, t(5), IfIndex(0), Addr::from_octets(10, 1, 0, 100), host_pkt(16));
         assert!(act.is_empty());
         assert_eq!(e.stats().data_discarded, 1);
     }
@@ -437,7 +523,7 @@ mod tests {
         e.learn_cores(g(), &[core_a()]);
         // Off-tree, D-DR of if0, host sends to a group with no local
         // members: §5.1/§5.3.
-        let act = e.handle_native_data(t(5), IfIndex(0), Addr::from_octets(10, 1, 0, 100), host_pkt(16));
+        let act = native_data(&mut e, t(5), IfIndex(0), Addr::from_octets(10, 1, 0, 100), host_pkt(16));
         assert_eq!(act.len(), 1);
         match &act[0] {
             RouterAction::SendCbtUnicast { iface, dst, pkt } => {
@@ -459,14 +545,14 @@ mod tests {
         set_routes(&mut e, map);
         e.learn_cores(g(), &[core_a()]);
         e.proxy_handled.insert((IfIndex(0), g()), Addr::from_octets(10, 1, 0, 2));
-        let act = e.handle_native_data(t(5), IfIndex(0), Addr::from_octets(10, 1, 0, 100), host_pkt(16));
+        let act = native_data(&mut e, t(5), IfIndex(0), Addr::from_octets(10, 1, 0, 100), host_pkt(16));
         assert!(act.is_empty(), "the G-DR on the LAN forwards; we must not duplicate");
     }
 
     #[test]
     fn cbt_mode_local_packet_spans_with_unicasts() {
         let mut e = full_tree_engine(CbtConfig::cbt_mode());
-        let act = e.handle_native_data(t(5), IfIndex(0), Addr::from_octets(10, 1, 0, 100), host_pkt(16));
+        let act = native_data(&mut e, t(5), IfIndex(0), Addr::from_octets(10, 1, 0, 100), host_pkt(16));
         let unicasts: Vec<(&IfIndex, &Addr)> = act
             .iter()
             .filter_map(|a| match a {
@@ -499,7 +585,7 @@ mod tests {
                 cores: vec![core_a()],
             },
         );
-        let act = e.handle_native_data(t(5), IfIndex(0), Addr::from_octets(10, 1, 0, 100), host_pkt(16));
+        let act = native_data(&mut e, t(5), IfIndex(0), Addr::from_octets(10, 1, 0, 100), host_pkt(16));
         assert!(act.iter().any(|a| matches!(
             a,
             RouterAction::SendCbtMulticast { iface: IfIndex(2), .. }
@@ -516,7 +602,7 @@ mod tests {
         let native = DataPacket::new(Addr::from_octets(10, 9, 0, 100), g(), 16, b"x".to_vec());
         let mut enc = CbtDataPacket::encapsulate(&native, core_a());
         enc.cbt.on_tree = ON_TREE;
-        let act = e.handle_cbt_data(t(5), IfIndex(1), up_hop().addr, enc);
+        let act = cbt_data(&mut e, t(5), IfIndex(1), up_hop().addr, enc);
         assert!(act.iter().any(|a| matches!(
             a,
             RouterAction::SendCbtUnicast { iface: IfIndex(2), .. }
@@ -540,7 +626,7 @@ mod tests {
         let mut enc = CbtDataPacket::encapsulate(&native, core_a());
         enc.cbt.on_tree = ON_TREE;
         // Arrives on the member LAN (if0) — not a tree interface.
-        let act = e.handle_cbt_data(t(5), IfIndex(0), Addr::from_octets(10, 1, 0, 7), enc);
+        let act = cbt_data(&mut e, t(5), IfIndex(0), Addr::from_octets(10, 1, 0, 7), enc);
         assert!(act.is_empty(), "§7 wandering packet discarded");
         assert_eq!(e.stats().data_discarded, 1);
     }
@@ -552,7 +638,7 @@ mod tests {
         let enc = CbtDataPacket::encapsulate(&native, core_a()); // OFF_TREE
         // Arrives over a non-tree path (unicast toward the core crossed
         // us first).
-        let act = e.handle_cbt_data(t(5), IfIndex(2), Addr::from_octets(172, 31, 0, 9), enc);
+        let act = cbt_data(&mut e, t(5), IfIndex(2), Addr::from_octets(172, 31, 0, 9), enc);
         assert!(!act.is_empty(), "we are on-tree: the packet spans from here");
         for a in &act {
             if let RouterAction::SendCbtUnicast { pkt, .. } = a {
@@ -566,7 +652,7 @@ mod tests {
         let mut e = engine(CbtConfig::cbt_mode());
         let native = DataPacket::new(Addr::from_octets(10, 77, 0, 5), g(), 16, b"ns".to_vec());
         let enc = CbtDataPacket::encapsulate(&native, core_a());
-        let act = e.handle_cbt_data(t(5), IfIndex(1), up_hop().addr, enc);
+        let act = cbt_data(&mut e, t(5), IfIndex(1), up_hop().addr, enc);
         assert!(act.is_empty(), "target core without a tree: no receivers exist");
         assert_eq!(e.stats().data_discarded, 1);
     }
@@ -597,7 +683,7 @@ mod tests {
         let native = DataPacket::new(Addr::from_octets(10, 9, 0, 100), g(), 16, b"x".to_vec());
         let mut enc = CbtDataPacket::encapsulate(&native, core_a());
         enc.cbt.on_tree = ON_TREE;
-        let act = e.handle_cbt_data(t(5), IfIndex(1), up_hop().addr, enc);
+        let act = cbt_data(&mut e, t(5), IfIndex(1), up_hop().addr, enc);
         assert!(
             act.iter().any(|a| matches!(a, RouterAction::SendCbtMulticast { iface: IfIndex(0), .. })),
             "two children behind if0 ⇒ one CBT multicast on the subnet"
@@ -615,7 +701,7 @@ mod tests {
         let mut enc = CbtDataPacket::encapsulate(&native, core_a());
         enc.cbt.on_tree = ON_TREE;
         assert_eq!(enc.cbt.ip_ttl, 1);
-        let act = e.handle_cbt_data(t(5), IfIndex(1), up_hop().addr, enc);
+        let act = cbt_data(&mut e, t(5), IfIndex(1), up_hop().addr, enc);
         assert!(act.is_empty(), "CBT header TTL exhausted (§5)");
     }
 }

@@ -28,6 +28,10 @@ pub struct RouterNode {
     /// Scratch buffer reused for every control-message encode on the
     /// send path — the hot path allocates once, not per message.
     ctl_buf: Vec<u8>,
+    /// Reusable action buffer the data-plane handlers write into;
+    /// drained by [`RouterNode::emit`], its capacity persists across
+    /// packets so the steady-state forward path never reallocates it.
+    act_buf: Vec<RouterAction>,
 }
 
 impl RouterNode {
@@ -41,7 +45,7 @@ impl RouterNode {
         now: SimTime,
     ) -> Self {
         let engine = CbtRouter::new(net, me, cfg, Box::new(rib.clone()), now);
-        RouterNode { engine, rib, ctl_buf: Vec::new() }
+        RouterNode { engine, rib, ctl_buf: Vec::new(), act_buf: Vec::new() }
     }
 
     /// The protocol engine (tests and metrics poke around in here).
@@ -54,9 +58,15 @@ impl RouterNode {
         &mut self.engine
     }
 
-    /// Turns engine actions into frames.
-    fn emit(&mut self, actions: Vec<RouterAction>, out: &mut Outbox) {
-        for a in actions {
+    /// Turns engine actions into frames, draining `actions` so the
+    /// caller's buffer (and its capacity) can be reused for the next
+    /// packet.
+    fn emit(&mut self, actions: &mut Vec<RouterAction>, out: &mut Outbox) {
+        // Fan-out memo: native spanning pushes one SendNativeData per
+        // branch interface carrying the *same* datagram. Encode once
+        // and hand each interface a refcounted clone of the frame.
+        let mut native_memo: Option<(DataPacket, Bytes)> = None;
+        for a in actions.drain(..) {
             match a {
                 RouterAction::SendControl { iface, dst, msg } => {
                     let port = if msg.is_primary() { CBT_PRIMARY_PORT } else { CBT_AUX_PORT };
@@ -64,25 +74,34 @@ impl RouterNode {
                     let udp = UdpHeader::wrap(port, port, &self.ctl_buf);
                     let src = self.iface_addr(iface);
                     let frame = build_datagram(src, dst, IpProto::Udp, 64, &udp);
-                    self.emit_frame(iface, dst, frame, out);
+                    self.emit_frame(iface, dst, frame.into(), out);
                 }
                 RouterAction::SendIgmp { iface, dst, msg } => {
                     let src = self.iface_addr(iface);
                     let frame = build_datagram(src, dst, IpProto::Igmp, 1, &msg.encode());
-                    self.emit_frame(iface, dst, frame, out);
+                    self.emit_frame(iface, dst, frame.into(), out);
                 }
                 RouterAction::SendNativeData { iface, pkt } => {
                     // The original datagram travels unchanged (§4):
                     // source stays the originating end-system.
-                    let frame = pkt.encode();
+                    let frame = match &native_memo {
+                        Some((prev, frame)) if *prev == pkt => frame.clone(),
+                        _ => {
+                            let frame = Bytes::from(pkt.encode());
+                            native_memo = Some((pkt, frame.clone()));
+                            frame
+                        }
+                    };
                     out.send(iface, frame);
                 }
                 RouterAction::SendCbtUnicast { iface, dst, pkt } => {
                     let src = self.iface_addr(iface);
                     let frame = pkt.wrap_unicast(src, dst, None);
-                    self.emit_frame(iface, dst, frame, out);
+                    self.emit_frame(iface, dst, frame.into(), out);
                 }
                 RouterAction::SendCbtMulticast { iface, pkt } => {
+                    // Outer source differs per interface, so CBT
+                    // multicasts cannot share a memoised frame.
                     let src = self.iface_addr(iface);
                     let frame = pkt.wrap_multicast(src);
                     out.send(iface, frame);
@@ -97,7 +116,7 @@ impl RouterNode {
 
     /// Sends a frame out `iface`, resolving the link-layer destination
     /// the way ARP + a routing lookup would.
-    fn emit_frame(&self, iface: IfIndex, ip_dst: Addr, frame: Vec<u8>, out: &mut Outbox) {
+    fn emit_frame(&self, iface: IfIndex, ip_dst: Addr, frame: Bytes, out: &mut Outbox) {
         let Some(info) = self.engine.iface(iface) else { return };
         if info.lan.is_none() || ip_dst.is_multicast() {
             out.send(iface, frame);
@@ -121,7 +140,14 @@ impl RouterNode {
         }
         let Some(hop) = self.rib.hop_toward(hdr.dst) else { return };
         let frame = build_datagram(hdr.src, hdr.dst, hdr.proto, hdr.ttl - 1, body);
-        self.emit_frame(hop.iface, hdr.dst, frame, out);
+        self.emit_frame(hop.iface, hdr.dst, frame.into(), out);
+    }
+
+    /// Zero-copy view of `sub` (a subslice of `frame`'s backing bytes)
+    /// as a refcounted handle into the same allocation.
+    fn subslice(frame: &Bytes, sub: &[u8]) -> Bytes {
+        let off = sub.as_ptr() as usize - frame.as_ptr() as usize;
+        frame.slice(off..off + sub.len())
     }
 }
 
@@ -139,8 +165,8 @@ impl SimNode for RouterNode {
         match hdr.proto {
             IpProto::Igmp => {
                 if let Ok(msg) = IgmpMessage::decode(body) {
-                    let actions = self.engine.handle_igmp(now, iface, hdr.src, msg);
-                    self.emit(actions, out);
+                    let mut actions = self.engine.handle_igmp(now, iface, hdr.src, msg);
+                    self.emit(&mut actions, out);
                 }
             }
             IpProto::Udp => {
@@ -150,9 +176,9 @@ impl SimNode for RouterNode {
                     {
                         if mine {
                             if let Ok(msg) = ControlMessage::decode(payload) {
-                                let actions =
+                                let mut actions =
                                     self.engine.handle_control(now, iface, hdr.src, msg);
-                                self.emit(actions, out);
+                                self.emit(&mut actions, out);
                             }
                         } else if !hdr.dst.is_multicast() {
                             self.ip_forward(hdr, body, out);
@@ -160,10 +186,14 @@ impl SimNode for RouterNode {
                     }
                     Ok(_) => {
                         if hdr.dst.is_multicast() {
-                            if let Ok(pkt) = DataPacket::decode(frame) {
-                                let actions =
-                                    self.engine.handle_native_data(now, iface, link_src, pkt);
-                                self.emit(actions, out);
+                            // Zero-copy parse: the packet's payload is
+                            // a refcounted view into the frame.
+                            if let Ok(pkt) = DataPacket::decode_bytes(frame) {
+                                let mut actions = std::mem::take(&mut self.act_buf);
+                                self.engine
+                                    .handle_native_data(now, iface, link_src, pkt, &mut actions);
+                                self.emit(&mut actions, out);
+                                self.act_buf = actions;
                             }
                         } else if !mine {
                             self.ip_forward(hdr, body, out);
@@ -173,10 +203,13 @@ impl SimNode for RouterNode {
                 }
             }
             IpProto::Cbt => {
+                let payload = Self::subslice(frame, body);
                 if mine || hdr.dst.is_multicast() {
-                    if let Ok(pkt) = CbtDataPacket::decode_payload(body) {
-                        let actions = self.engine.handle_cbt_data(now, iface, hdr.src, pkt);
-                        self.emit(actions, out);
+                    if let Ok(pkt) = CbtDataPacket::decode_payload_bytes(&payload) {
+                        let mut actions = std::mem::take(&mut self.act_buf);
+                        self.engine.handle_cbt_data(now, iface, hdr.src, pkt, &mut actions);
+                        self.emit(&mut actions, out);
+                        self.act_buf = actions;
                     }
                 } else {
                     // §7: an off-tree encapsulated packet travelling
@@ -185,12 +218,14 @@ impl SimNode for RouterNode {
                     // reaches an on-tree router — at this point, the
                     // router must convert [on-tree] to 0xff"), not only
                     // by the addressed core.
-                    let intercept = CbtDataPacket::decode_payload(body)
+                    let intercept = CbtDataPacket::decode_payload_bytes(&payload)
                         .ok()
                         .filter(|p| !p.cbt.is_on_tree() && self.engine.is_on_tree(p.cbt.group));
                     if let Some(pkt) = intercept {
-                        let actions = self.engine.handle_cbt_data(now, iface, hdr.src, pkt);
-                        self.emit(actions, out);
+                        let mut actions = std::mem::take(&mut self.act_buf);
+                        self.engine.handle_cbt_data(now, iface, hdr.src, pkt, &mut actions);
+                        self.emit(&mut actions, out);
+                        self.act_buf = actions;
                     } else {
                         self.ip_forward(hdr, body, out);
                     }
@@ -205,8 +240,8 @@ impl SimNode for RouterNode {
     }
 
     fn on_timer(&mut self, now: SimTime, out: &mut Outbox) {
-        let actions = self.engine.on_timer(now);
-        self.emit(actions, out);
+        let mut actions = self.engine.on_timer(now);
+        self.emit(&mut actions, out);
     }
 
     fn next_wakeup(&self) -> Option<SimTime> {
@@ -348,13 +383,15 @@ impl SimNode for HostApp {
             }
             IpProto::Udp => {
                 // Application data: only for groups we are members of.
-                if let Ok(pkt) = DataPacket::decode(frame) {
+                // The parse itself is zero-copy; the one copy happens
+                // here, where the application takes ownership.
+                if let Ok(pkt) = DataPacket::decode_bytes(frame) {
                     if self.membership.is_member(pkt.group) && pkt.src != self.addr {
                         self.received.push(Delivery {
                             at: now,
                             group: pkt.group,
                             src: pkt.src,
-                            payload: pkt.payload,
+                            payload: pkt.payload.to_vec(),
                         });
                     }
                 }

@@ -171,7 +171,8 @@ fn drive(inputs: &[Input]) {
                 // Fuzz both honest (link_src == ip src) and spoofed
                 // link senders.
                 let link_src = if ttl % 2 == 0 { src } else { Addr::from_octets(172, 31, 0, 2) };
-                let _ = e.handle_native_data(now, IfIndex(u32::from(iface)), link_src, pkt);
+                let mut act = Vec::new();
+                e.handle_native_data(now, IfIndex(u32::from(iface)), link_src, pkt, &mut act);
             }
             Input::CbtData { iface, on_tree, ttl } => {
                 let native = DataPacket::new(
@@ -183,11 +184,13 @@ fn drive(inputs: &[Input]) {
                 let mut pkt = CbtDataPacket::encapsulate(&native, core_a());
                 pkt.cbt.on_tree =
                     if on_tree { cbt_wire::header::ON_TREE } else { cbt_wire::header::OFF_TREE };
-                let _ = e.handle_cbt_data(
+                let mut act = Vec::new();
+                e.handle_cbt_data(
                     now,
                     IfIndex(u32::from(iface)),
                     Addr::from_octets(172, 31, 0, 2),
                     pkt,
+                    &mut act,
                 );
             }
             Input::Tick { advance_ms } => {

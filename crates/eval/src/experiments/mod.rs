@@ -2,6 +2,7 @@
 //! with a `Params::default()` matching DESIGN.md's index, plus a
 //! `quick()` preset that the integration tests and benches use.
 
+pub mod dataplane;
 pub mod delay;
 pub mod groupscale;
 pub mod latency;

@@ -105,6 +105,12 @@ fn main() {
                 groupscale::run(&if q { groupscale::Params::quick() } else { Default::default() })
             }),
         ),
+        (
+            "dataplane",
+            Box::new(|q| {
+                dataplane::run(&if q { dataplane::Params::quick() } else { Default::default() })
+            }),
+        ),
     ];
 
     match which.as_str() {
@@ -124,24 +130,28 @@ fn main() {
         "all" => {
             let mut timings = Vec::new();
             let mut timer_scaling = serde_json::Value::Null;
+            let mut dataplane_rows = serde_json::Value::Null;
             for (name, run) in &runners {
                 let t0 = std::time::Instant::now();
                 let report = run(quick);
                 let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
                 println!("{}", report.render());
                 write_json(name, &report);
+                // Scaling rows from the implementation benchmarks are
+                // benchmark records in their own right; carry them into
+                // the consolidated record alongside the wall timings.
                 if *name == "groupscale" {
-                    // The timer-service scaling rows are a benchmark in
-                    // their own right; carry them into the consolidated
-                    // record alongside the wall timings.
                     timer_scaling = report.json.clone();
+                }
+                if *name == "dataplane" {
+                    dataplane_rows = report.json.clone();
                 }
                 timings.push(serde_json::json!({
                     "experiment": *name,
                     "wall_ms": wall_ms,
                 }));
             }
-            write_bench(timings, timer_scaling, quick);
+            write_bench(timings, timer_scaling, dataplane_rows, quick);
         }
         name => match runners.iter().find(|(n, _)| *n == name) {
             Some((_, run)) => {
@@ -160,7 +170,12 @@ fn main() {
 /// Consolidated wall-clock timings for an `all` run — the evaluation
 /// suite's own benchmark record (timings vary run to run; the
 /// experiment JSONs next to it do not).
-fn write_bench(timings: Vec<serde_json::Value>, timer_scaling: serde_json::Value, quick: bool) {
+fn write_bench(
+    timings: Vec<serde_json::Value>,
+    timer_scaling: serde_json::Value,
+    dataplane: serde_json::Value,
+    quick: bool,
+) {
     let dir = PathBuf::from("target");
     if std::fs::create_dir_all(&dir).is_err() {
         return;
@@ -173,6 +188,7 @@ fn write_bench(timings: Vec<serde_json::Value>, timer_scaling: serde_json::Value
         "total_wall_ms": total,
         "experiments": timings,
         "timer_scaling": timer_scaling,
+        "dataplane": dataplane,
     });
     let path = dir.join("BENCH_eval.json");
     if let Ok(s) = serde_json::to_string_pretty(&payload) {

@@ -74,6 +74,16 @@ impl Outbox {
         std::mem::take(&mut self.sends)
     }
 
+    /// Drains everything queued into a caller-provided buffer, keeping
+    /// both allocations alive for reuse. Hot loops (the live node
+    /// tasks) call this with a scratch `Vec` instead of [`drain`],
+    /// which gives up the outbox's capacity every call.
+    ///
+    /// [`drain`]: Outbox::drain
+    pub fn drain_into(&mut self, buf: &mut Vec<Transmit>) {
+        buf.append(&mut self.sends);
+    }
+
     /// Number of queued transmissions.
     pub fn len(&self) -> usize {
         self.sends.len()
@@ -145,6 +155,22 @@ mod tests {
         assert_eq!(drained[0].iface, IfIndex(0));
         assert_eq!(drained[1].frame, Bytes::from(vec![4u8]));
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn drain_into_appends_and_empties() {
+        let mut out = Outbox::new();
+        let mut buf = Vec::new();
+        out.send(IfIndex(0), vec![1]);
+        out.send(IfIndex(1), vec![2]);
+        out.drain_into(&mut buf);
+        assert_eq!(buf.len(), 2);
+        assert!(out.is_empty());
+        // Draining again appends, never clobbers.
+        out.send(IfIndex(2), vec![3]);
+        out.drain_into(&mut buf);
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf[2].iface, IfIndex(2));
     }
 
     #[test]

@@ -88,27 +88,30 @@ async fn main() {
     names.sort();
     for name in names {
         let r = built.routers[&name];
-        if let Some(snap) = live.router_snapshot(r, group).await {
-            println!(
+        match live.router_snapshot(r, group).await {
+            Ok(snap) => println!(
                 "  {name}: on_tree={} parent={} children={}",
                 snap.on_tree,
                 snap.parent.map(|a| a.to_string()).unwrap_or_else(|| "—".into()),
                 snap.children.len(),
-            );
+            ),
+            Err(e) => println!("  {name}: unavailable ({e})"),
         }
     }
     println!("\ndeliveries:");
     let mut hnames: Vec<_> = built.hosts.keys().cloned().collect();
     hnames.sort();
     for name in hnames {
-        let got = live.host_received(built.hosts[&name]).await;
-        println!(
-            "  {name}: {} packet(s) {:?}",
-            got.len(),
-            got.iter()
-                .map(|d| String::from_utf8_lossy(&d.payload).into_owned())
-                .collect::<Vec<_>>()
-        );
+        match live.host_received(built.hosts[&name]).await {
+            Ok(got) => println!(
+                "  {name}: {} packet(s) {:?}",
+                got.len(),
+                got.iter()
+                    .map(|d| String::from_utf8_lossy(&d.payload).into_owned())
+                    .collect::<Vec<_>>()
+            ),
+            Err(e) => println!("  {name}: unavailable ({e})"),
+        }
     }
     live.shutdown();
 }

@@ -4,15 +4,29 @@
 //! with link-layer unicast filtering, p2p peer delivery) but pushes
 //! frames into per-entity tokio mpsc channels instead of an event
 //! queue.
+//!
+//! Data-plane properties (see DESIGN.md "Data-plane architecture"):
+//! - **Zero-copy fan-out** — a [`Transmit`] already owns its frame as
+//!   refcounted [`Bytes`]; delivery clones the handle per recipient
+//!   (a refcount bump), never the payload. The optional legacy mode
+//!   (`DataPlaneConfig::copy_per_recipient`) re-materializes each
+//!   recipient's copy the way the pre-batching fabric did, so the
+//!   `dataplane` experiment can measure both paths in one harness.
+//! - **Bounded inboxes** — every node inbox is a bounded channel; when
+//!   a receiver falls behind, frames are dropped and counted instead
+//!   of growing an unbounded queue (a real router sheds load, it does
+//!   not OOM).
 
-use cbt_netsim::{Entity, Transmit};
+use cbt_netsim::{Bytes, Entity, Transmit};
 use cbt_topology::{Attachment, HostId, IfIndex, NetworkSpec, RouterId};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use tokio::sync::mpsc;
 
 /// A frame as delivered to a node: which interface it arrived on and
-/// who (at the link layer) sent it.
+/// who (at the link layer) sent it. The frame bytes are a refcounted
+/// handle shared with every other recipient of the same transmission.
 #[derive(Debug, Clone)]
 pub struct RxFrame {
     /// Arrival interface (0 for hosts).
@@ -20,35 +34,122 @@ pub struct RxFrame {
     /// Link-layer sender (their address on the shared medium).
     pub link_src: cbt_wire::Addr,
     /// The datagram.
-    pub frame: Vec<u8>,
+    pub frame: Bytes,
+}
+
+/// Tuning knobs for the live data plane, shared by the channel fabric,
+/// the UDP fabric and the node task loops.
+#[derive(Debug, Clone, Copy)]
+pub struct DataPlaneConfig {
+    /// Bounded inbox capacity per node; beyond it frames are dropped
+    /// and counted ([`FabricStats::dropped_overflow`]).
+    pub inbox_capacity: usize,
+    /// How many queued frames a node task drains per wakeup before
+    /// flushing its outbox (1 = wake-per-packet, the legacy behavior).
+    pub rx_batch: usize,
+    /// Copy the frame per recipient instead of fanning out refcounted
+    /// handles — the pre-batching behavior, kept as a measurable
+    /// baseline for the `dataplane` experiment.
+    pub copy_per_recipient: bool,
+}
+
+impl Default for DataPlaneConfig {
+    fn default() -> Self {
+        DataPlaneConfig { inbox_capacity: 2048, rx_batch: 64, copy_per_recipient: false }
+    }
+}
+
+impl DataPlaneConfig {
+    /// The pre-batching data plane: per-recipient frame copies and
+    /// one inbox frame handled per task wakeup.
+    pub fn legacy() -> Self {
+        DataPlaneConfig { inbox_capacity: 1024, rx_batch: 1, copy_per_recipient: true }
+    }
+}
+
+/// Live counters for fabric delivery. All counters are cumulative.
+#[derive(Default)]
+pub struct FabricCounters {
+    delivered: AtomicU64,
+    dropped_overflow: AtomicU64,
+}
+
+/// A point-in-time snapshot of [`FabricCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FabricStats {
+    /// Frames enqueued into recipient inboxes.
+    pub delivered: u64,
+    /// Frames dropped because a recipient's bounded inbox was full.
+    pub dropped_overflow: u64,
+}
+
+impl FabricCounters {
+    pub(crate) fn count_delivered(&self) {
+        self.delivered.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn count_dropped(&self) {
+        self.dropped_overflow.fetch_add(1, Ordering::Relaxed);
+    }
+    /// Snapshots the counters.
+    pub fn snapshot(&self) -> FabricStats {
+        FabricStats {
+            delivered: self.delivered.load(Ordering::Relaxed),
+            dropped_overflow: self.dropped_overflow.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// Shared dispatch fabric.
 pub struct Fabric {
     net: Arc<NetworkSpec>,
-    inboxes: HashMap<Entity, mpsc::UnboundedSender<RxFrame>>,
+    inboxes: HashMap<Entity, mpsc::Sender<RxFrame>>,
+    counters: Arc<FabricCounters>,
+    copy_per_recipient: bool,
 }
 
 impl Fabric {
-    /// Builds the fabric and one inbox per entity. Returns the fabric
-    /// plus the receive ends, to hand to each node's task.
-    pub fn new(net: Arc<NetworkSpec>) -> (Arc<Self>, HashMap<Entity, mpsc::UnboundedReceiver<RxFrame>>) {
+    /// Builds the fabric (default data-plane config) and one bounded
+    /// inbox per entity. Returns the fabric plus the receive ends, to
+    /// hand to each node's task.
+    pub fn new(net: Arc<NetworkSpec>) -> (Arc<Self>, HashMap<Entity, mpsc::Receiver<RxFrame>>) {
+        Fabric::with_config(net, DataPlaneConfig::default())
+    }
+
+    /// Builds the fabric with explicit data-plane tuning.
+    pub fn with_config(
+        net: Arc<NetworkSpec>,
+        dp: DataPlaneConfig,
+    ) -> (Arc<Self>, HashMap<Entity, mpsc::Receiver<RxFrame>>) {
         let mut inboxes = HashMap::new();
         let mut rxs = HashMap::new();
+        let cap = dp.inbox_capacity.max(1);
         for i in 0..net.routers.len() {
-            let (tx, rx) = mpsc::unbounded_channel();
+            let (tx, rx) = mpsc::channel(cap);
             inboxes.insert(Entity::Router(RouterId(i as u32)), tx);
             rxs.insert(Entity::Router(RouterId(i as u32)), rx);
         }
         for i in 0..net.hosts.len() {
-            let (tx, rx) = mpsc::unbounded_channel();
+            let (tx, rx) = mpsc::channel(cap);
             inboxes.insert(Entity::Host(HostId(i as u32)), tx);
             rxs.insert(Entity::Host(HostId(i as u32)), rx);
         }
-        (Arc::new(Fabric { net, inboxes }), rxs)
+        let fabric = Fabric {
+            net,
+            inboxes,
+            counters: Arc::new(FabricCounters::default()),
+            copy_per_recipient: dp.copy_per_recipient,
+        };
+        (Arc::new(fabric), rxs)
+    }
+
+    /// Delivery counters (shared across all dispatches).
+    pub fn counters(&self) -> &Arc<FabricCounters> {
+        &self.counters
     }
 
     /// Dispatches one transmission from `from` to everyone it reaches.
+    /// The frame is encoded exactly once (by the sender, into the
+    /// `Transmit`); recipients share the allocation.
     pub fn dispatch(&self, from: Entity, t: &Transmit) {
         match self.medium_of(from, t.iface) {
             Some(Attachment::Lan(lan)) => {
@@ -125,10 +226,20 @@ impl Fabric {
         }
     }
 
-    fn deliver(&self, to: Entity, iface: IfIndex, link_src: cbt_wire::Addr, frame: &[u8]) {
-        if let Some(tx) = self.inboxes.get(&to) {
+    fn deliver(&self, to: Entity, iface: IfIndex, link_src: cbt_wire::Addr, frame: &Bytes) {
+        let Some(tx) = self.inboxes.get(&to) else { return };
+        // Fast path: clone the refcounted handle. Legacy path: deep
+        // copy per recipient, as the pre-batching fabric did.
+        let frame = if self.copy_per_recipient {
+            Bytes::from(frame.to_vec())
+        } else {
+            frame.clone()
+        };
+        match tx.try_send(RxFrame { iface, link_src, frame }) {
+            Ok(()) => self.counters.count_delivered(),
+            Err(mpsc::error::TrySendError::Full(_)) => self.counters.count_dropped(),
             // A closed inbox means that node shut down; fine.
-            let _ = tx.send(RxFrame { iface, link_src, frame: frame.to_vec() });
+            Err(mpsc::error::TrySendError::Closed(_)) => {}
         }
     }
 }
@@ -150,11 +261,15 @@ mod tests {
         (Arc::new(b.build()), r0, r1, h)
     }
 
+    fn frame(bytes: &[u8]) -> Bytes {
+        Bytes::from(bytes.to_vec())
+    }
+
     #[tokio::test]
     async fn lan_broadcast_reaches_everyone() {
         let (net, r0, r1, h) = lan_pair();
         let (fabric, mut rxs) = Fabric::new(net);
-        let t = Transmit { iface: IfIndex(0), link_dst: None, frame: vec![1, 2, 3] };
+        let t = Transmit { iface: IfIndex(0), link_dst: None, frame: frame(&[1, 2, 3]) };
         fabric.dispatch(Entity::Router(r0), &t);
         assert!(rxs.get_mut(&Entity::Router(r1)).unwrap().try_recv().is_ok());
         assert!(rxs.get_mut(&Entity::Host(h)).unwrap().try_recv().is_ok());
@@ -162,6 +277,7 @@ mod tests {
             rxs.get_mut(&Entity::Router(r0)).unwrap().try_recv().is_err(),
             "no self-delivery"
         );
+        assert_eq!(fabric.counters().snapshot().delivered, 2);
     }
 
     #[tokio::test]
@@ -169,7 +285,7 @@ mod tests {
         let (net, r0, r1, h) = lan_pair();
         let r1_addr = net.routers[r1.0 as usize].ifaces[0].addr;
         let (fabric, mut rxs) = Fabric::new(net);
-        let t = Transmit { iface: IfIndex(0), link_dst: Some(r1_addr), frame: vec![9] };
+        let t = Transmit { iface: IfIndex(0), link_dst: Some(r1_addr), frame: frame(&[9]) };
         fabric.dispatch(Entity::Router(r0), &t);
         assert!(rxs.get_mut(&Entity::Router(r1)).unwrap().try_recv().is_ok());
         assert!(rxs.get_mut(&Entity::Host(h)).unwrap().try_recv().is_err(), "filtered");
@@ -183,7 +299,7 @@ mod tests {
         b.link(r0, r1, 1);
         let net = Arc::new(b.build());
         let (fabric, mut rxs) = Fabric::new(net);
-        let t = Transmit { iface: IfIndex(0), link_dst: None, frame: vec![7] };
+        let t = Transmit { iface: IfIndex(0), link_dst: None, frame: frame(&[7]) };
         fabric.dispatch(Entity::Router(r0), &t);
         let got = rxs.get_mut(&Entity::Router(r1)).unwrap().try_recv().unwrap();
         assert_eq!(got.iface, IfIndex(0));
@@ -194,8 +310,56 @@ mod tests {
     async fn unknown_iface_is_silently_dropped() {
         let (net, r0, ..) = lan_pair();
         let (fabric, _rxs) = Fabric::new(net);
-        let t = Transmit { iface: IfIndex(42), link_dst: None, frame: vec![0] };
+        let t = Transmit { iface: IfIndex(42), link_dst: None, frame: frame(&[0]) };
         fabric.dispatch(Entity::Router(r0), &t); // must not panic
         let _ = Addr::NULL;
+    }
+
+    /// LAN fan-out shares one allocation across recipients instead of
+    /// copying the frame per inbox.
+    #[tokio::test]
+    async fn fanout_shares_the_frame_allocation() {
+        let (net, r0, r1, h) = lan_pair();
+        let (fabric, mut rxs) = Fabric::new(net);
+        let t = Transmit { iface: IfIndex(0), link_dst: None, frame: frame(&[5; 64]) };
+        fabric.dispatch(Entity::Router(r0), &t);
+        let a = rxs.get_mut(&Entity::Router(r1)).unwrap().try_recv().unwrap();
+        let b = rxs.get_mut(&Entity::Host(h)).unwrap().try_recv().unwrap();
+        assert!(a.frame.shares_allocation_with(&t.frame), "handle, not copy");
+        assert!(b.frame.shares_allocation_with(&t.frame), "handle, not copy");
+    }
+
+    /// Legacy mode really does copy (the measurable baseline).
+    #[tokio::test]
+    async fn legacy_mode_copies_per_recipient() {
+        let (net, r0, r1, _) = lan_pair();
+        let (fabric, mut rxs) = Fabric::with_config(net, DataPlaneConfig::legacy());
+        let t = Transmit { iface: IfIndex(0), link_dst: None, frame: frame(&[5; 64]) };
+        fabric.dispatch(Entity::Router(r0), &t);
+        let a = rxs.get_mut(&Entity::Router(r1)).unwrap().try_recv().unwrap();
+        assert_eq!(a.frame, t.frame);
+        assert!(!a.frame.shares_allocation_with(&t.frame), "legacy copies");
+    }
+
+    /// A full bounded inbox sheds frames and counts the overflow.
+    #[tokio::test]
+    async fn overflow_is_dropped_and_counted() {
+        let (net, r0, r1, _) = lan_pair();
+        let r1_addr = net.routers[r1.0 as usize].ifaces[0].addr;
+        let dp = DataPlaneConfig { inbox_capacity: 4, ..Default::default() };
+        let (fabric, mut rxs) = Fabric::with_config(net, dp);
+        let t = Transmit { iface: IfIndex(0), link_dst: Some(r1_addr), frame: frame(&[1]) };
+        for _ in 0..10 {
+            fabric.dispatch(Entity::Router(r0), &t);
+        }
+        let stats = fabric.counters().snapshot();
+        assert_eq!(stats.delivered, 4, "inbox capacity");
+        assert_eq!(stats.dropped_overflow, 6, "excess counted, not queued");
+        // The receiver still drains the accepted frames.
+        let rx = rxs.get_mut(&Entity::Router(r1)).unwrap();
+        for _ in 0..4 {
+            assert!(rx.try_recv().is_ok());
+        }
+        assert!(rx.try_recv().is_err());
     }
 }

@@ -1,9 +1,15 @@
 //! The live deployment: one tokio task per router/host, wall-clock
 //! timers, command/query channels for the application layer.
+//!
+//! The node task loops are the live data plane's hot path: each wakeup
+//! drains up to [`DataPlaneConfig::rx_batch`] queued frames through
+//! the engine before flushing the outbox, and the outbox is drained
+//! into a reused scratch buffer ([`Outbox::drain_into`]) so steady
+//! state forwards without per-wakeup allocations.
 
-use crate::fabric::{Fabric, RxFrame};
+use crate::fabric::{DataPlaneConfig, Fabric, FabricCounters, FabricStats, RxFrame};
 use cbt::{CbtConfig, HostApp, RouterNode, SharedRib};
-use cbt_netsim::{Entity, Outbox, SimNode, SimTime};
+use cbt_netsim::{Entity, Outbox, SimNode, SimTime, Transmit};
 use cbt_topology::{HostId, NetworkSpec, RouterId};
 use cbt_wire::{Addr, GroupId};
 use std::collections::HashMap;
@@ -17,7 +23,9 @@ enum HostCmd {
     Join { group: GroupId, cores: Vec<Addr> },
     Leave { group: GroupId },
     Send { group: GroupId, payload: Vec<u8>, ttl: u8 },
+    SendBurst { group: GroupId, payloads: Vec<Vec<u8>>, ttl: u8 },
     Received { resp: oneshot::Sender<Vec<cbt::Delivery>> },
+    ReceivedCount { resp: oneshot::Sender<usize> },
 }
 
 /// Queries for a router task.
@@ -38,6 +46,32 @@ pub struct RouterSnapshot {
     pub stats: cbt::RouterStats,
 }
 
+/// Why a [`LiveNet`] query could not be answered.
+///
+/// A query hitting a dead task is a real failure (the router or host
+/// task panicked or was shut down) and must surface as an error — the
+/// old API swallowed it into an empty answer, which made panicked
+/// router tasks look like healthy silent ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LiveError {
+    /// The deployment has no node with that id.
+    UnknownNode,
+    /// The node's task is gone: it panicked, or the deployment was
+    /// shut down.
+    NodeDead,
+}
+
+impl std::fmt::Display for LiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LiveError::UnknownNode => write!(f, "no such node in this deployment"),
+            LiveError::NodeDead => write!(f, "node task is dead (panicked or shut down)"),
+        }
+    }
+}
+
+impl std::error::Error for LiveError {}
+
 /// A running multi-node CBT deployment.
 pub struct LiveNet {
     /// The network being run.
@@ -45,16 +79,26 @@ pub struct LiveNet {
     epoch: Instant,
     host_cmds: HashMap<HostId, mpsc::UnboundedSender<HostCmd>>,
     router_cmds: HashMap<RouterId, mpsc::UnboundedSender<RouterCmd>>,
+    counters: Arc<FabricCounters>,
     tasks: Vec<JoinHandle<()>>,
 }
 
 impl LiveNet {
-    /// Spawns every router and host of `net` as tokio tasks.
+    /// Spawns every router and host of `net` as tokio tasks, with the
+    /// default (batched, zero-copy) data plane.
     pub fn spawn(net: NetworkSpec, cfg: CbtConfig) -> LiveNet {
+        LiveNet::spawn_with(net, cfg, DataPlaneConfig::default())
+    }
+
+    /// Spawns with explicit data-plane tuning (the `dataplane`
+    /// experiment uses this to measure legacy vs batched in the same
+    /// harness).
+    pub fn spawn_with(net: NetworkSpec, cfg: CbtConfig, dp: DataPlaneConfig) -> LiveNet {
         let net = Arc::new(net);
         let epoch = Instant::now();
         let (_rib, make_rib) = SharedRib::build(net.clone());
-        let (fabric, mut rxs) = Fabric::new(net.clone());
+        let (fabric, mut rxs) = Fabric::with_config(net.clone(), dp);
+        let counters = fabric.counters().clone();
 
         let mut tasks = Vec::new();
         let mut router_cmds = HashMap::new();
@@ -71,6 +115,7 @@ impl LiveNet {
                 rx,
                 cmd_rx,
                 epoch,
+                dp,
             )));
         }
         let mut host_cmds = HashMap::new();
@@ -87,9 +132,10 @@ impl LiveNet {
                 rx,
                 cmd_rx,
                 epoch,
+                dp,
             )));
         }
-        LiveNet { net, epoch, host_cmds, router_cmds, tasks }
+        LiveNet { net, epoch, host_cmds, router_cmds, counters, tasks }
     }
 
     /// Tells a host application to join a group.
@@ -107,18 +153,52 @@ impl LiveNet {
         let _ = self.host_cmds[&h].send(HostCmd::Send { group, payload: payload.into(), ttl });
     }
 
-    /// Fetches everything a host has received so far.
-    pub async fn host_received(&self, h: HostId) -> Vec<cbt::Delivery> {
-        let (tx, rx) = oneshot::channel();
-        let _ = self.host_cmds[&h].send(HostCmd::Received { resp: tx });
-        rx.await.unwrap_or_default()
+    /// Tells a host to transmit a burst of multicast payloads as one
+    /// coalesced command: the host task queues them all, then pays one
+    /// timer dispatch and one outbox flush for the whole burst instead
+    /// of one per packet.
+    pub fn host_send_burst(&self, h: HostId, group: GroupId, payloads: Vec<Vec<u8>>, ttl: u8) {
+        let _ = self.host_cmds[&h].send(HostCmd::SendBurst { group, payloads, ttl });
     }
 
-    /// Snapshots a router's per-group protocol state.
-    pub async fn router_snapshot(&self, r: RouterId, group: GroupId) -> Option<RouterSnapshot> {
+    /// Fetches everything a host has received so far. Errs when the
+    /// host is unknown or its task has died.
+    pub async fn host_received(&self, h: HostId) -> Result<Vec<cbt::Delivery>, LiveError> {
+        let cmds = self.host_cmds.get(&h).ok_or(LiveError::UnknownNode)?;
         let (tx, rx) = oneshot::channel();
-        self.router_cmds.get(&r)?.send(RouterCmd::Snapshot { group, resp: tx }).ok()?;
-        rx.await.ok()
+        cmds.send(HostCmd::Received { resp: tx }).map_err(|_| LiveError::NodeDead)?;
+        rx.await.map_err(|_| LiveError::NodeDead)
+    }
+
+    /// How many deliveries a host has received so far — O(1) on the
+    /// host task, unlike [`host_received`](LiveNet::host_received)
+    /// which clones the whole delivery log (load generators poll this
+    /// in a loop; cloning megabytes through the receiving task would
+    /// perturb the very data plane being measured).
+    pub async fn host_received_count(&self, h: HostId) -> Result<usize, LiveError> {
+        let cmds = self.host_cmds.get(&h).ok_or(LiveError::UnknownNode)?;
+        let (tx, rx) = oneshot::channel();
+        cmds.send(HostCmd::ReceivedCount { resp: tx }).map_err(|_| LiveError::NodeDead)?;
+        rx.await.map_err(|_| LiveError::NodeDead)
+    }
+
+    /// Snapshots a router's per-group protocol state. Errs when the
+    /// router is unknown or its task has died.
+    pub async fn router_snapshot(
+        &self,
+        r: RouterId,
+        group: GroupId,
+    ) -> Result<RouterSnapshot, LiveError> {
+        let cmds = self.router_cmds.get(&r).ok_or(LiveError::UnknownNode)?;
+        let (tx, rx) = oneshot::channel();
+        cmds.send(RouterCmd::Snapshot { group, resp: tx }).map_err(|_| LiveError::NodeDead)?;
+        rx.await.map_err(|_| LiveError::NodeDead)
+    }
+
+    /// Fabric delivery counters (frames enqueued / dropped on
+    /// overflow), cumulative over the deployment's lifetime.
+    pub fn fabric_stats(&self) -> FabricStats {
+        self.counters.snapshot()
     }
 
     /// Time since the deployment started, as the nodes' virtual clock.
@@ -127,7 +207,7 @@ impl LiveNet {
     }
 
     /// Stops every task.
-    pub fn shutdown(self) {
+    pub fn shutdown(&self) {
         for t in &self.tasks {
             t.abort();
         }
@@ -146,11 +226,13 @@ async fn router_task(
     mut node: RouterNode,
     me: Entity,
     fabric: Arc<Fabric>,
-    mut rx: mpsc::UnboundedReceiver<RxFrame>,
+    mut rx: mpsc::Receiver<RxFrame>,
     mut cmds: mpsc::UnboundedReceiver<RouterCmd>,
     epoch: Instant,
+    dp: DataPlaneConfig,
 ) {
     let mut out = Outbox::new();
+    let mut txs: Vec<Transmit> = Vec::new();
     loop {
         let wake = node.next_wakeup().map(|t| sim_to_instant(epoch, t));
         tokio::select! {
@@ -173,13 +255,23 @@ async fn router_task(
                 let Some(f) = frame else { break };
                 let now = instant_to_sim(epoch, Instant::now());
                 node.on_packet(now, f.iface, f.link_src, &f.frame, &mut out);
+                // Batch: run every frame already queued through the
+                // engine before flushing, so a burst pays one wakeup
+                // and one outbox flush, not one per packet.
+                let mut n = 1;
+                while n < dp.rx_batch {
+                    let Ok(f) = rx.try_recv() else { break };
+                    node.on_packet(now, f.iface, f.link_src, &f.frame, &mut out);
+                    n += 1;
+                }
             }
             _ = sleep_maybe(wake) => {
                 let now = instant_to_sim(epoch, Instant::now());
                 node.on_timer(now, &mut out);
             }
         }
-        for t in out.drain() {
+        out.drain_into(&mut txs);
+        for t in txs.drain(..) {
             fabric.dispatch(me, &t);
         }
     }
@@ -189,11 +281,13 @@ async fn host_task(
     mut app: HostApp,
     me: Entity,
     fabric: Arc<Fabric>,
-    mut rx: mpsc::UnboundedReceiver<RxFrame>,
+    mut rx: mpsc::Receiver<RxFrame>,
     mut cmds: mpsc::UnboundedReceiver<HostCmd>,
     epoch: Instant,
+    dp: DataPlaneConfig,
 ) {
     let mut out = Outbox::new();
+    let mut txs: Vec<Transmit> = Vec::new();
     loop {
         let wake = app.next_wakeup().map(|t| sim_to_instant(epoch, t));
         tokio::select! {
@@ -214,8 +308,17 @@ async fn host_task(
                         app.send_at(now, group, payload, ttl);
                         app.on_timer(now, &mut out);
                     }
+                    HostCmd::SendBurst { group, payloads, ttl } => {
+                        for payload in payloads {
+                            app.send_at(now, group, payload, ttl);
+                        }
+                        app.on_timer(now, &mut out);
+                    }
                     HostCmd::Received { resp } => {
                         let _ = resp.send(app.received().to_vec());
+                    }
+                    HostCmd::ReceivedCount { resp } => {
+                        let _ = resp.send(app.received().len());
                     }
                 }
             }
@@ -223,13 +326,20 @@ async fn host_task(
                 let Some(f) = frame else { break };
                 let now = instant_to_sim(epoch, Instant::now());
                 app.on_packet(now, f.iface, f.link_src, &f.frame, &mut out);
+                let mut n = 1;
+                while n < dp.rx_batch {
+                    let Ok(f) = rx.try_recv() else { break };
+                    app.on_packet(now, f.iface, f.link_src, &f.frame, &mut out);
+                    n += 1;
+                }
             }
             _ = sleep_maybe(wake) => {
                 let now = instant_to_sim(epoch, Instant::now());
                 app.on_timer(now, &mut out);
             }
         }
-        for t in out.drain() {
+        out.drain_into(&mut txs);
+        for t in txs.drain(..) {
             fabric.dispatch(me, &t);
         }
     }
@@ -283,9 +393,11 @@ mod tests {
 
         live.host_send(bb, group, b"live!".to_vec(), 16);
         tokio::time::sleep(Duration::from_secs(1)).await;
-        let got = live.host_received(a).await;
+        let got = live.host_received(a).await.expect("host alive");
         assert_eq!(got.len(), 1, "{got:?}");
         assert_eq!(got[0].payload, b"live!");
+        assert!(live.fabric_stats().delivered > 0);
+        assert_eq!(live.fabric_stats().dropped_overflow, 0);
         live.shutdown();
     }
 
@@ -322,5 +434,45 @@ mod tests {
         assert!(snap.stats.echo_requests_sent >= 2, "{snap:?}");
         assert_eq!(snap.stats.parent_failures, 0, "parent stayed alive");
         live.shutdown();
+    }
+
+    /// The legacy (copy-per-recipient, wake-per-packet) data plane is
+    /// still a correct data plane — the experiment baseline must pass
+    /// the same end-to-end delivery check as the batched one.
+    #[tokio::test(start_paused = true)]
+    async fn legacy_data_plane_still_delivers() {
+        let (net, _r0, r1, _r2, a, bb) = chain();
+        let core = net.router_addr(r1);
+        let group = GroupId::numbered(8);
+        let live = LiveNet::spawn_with(net, CbtConfig::fast(), DataPlaneConfig::legacy());
+        live.host_join(a, group, vec![core]);
+        live.host_join(bb, group, vec![core]);
+        tokio::time::sleep(Duration::from_secs(3)).await;
+        live.host_send(bb, group, b"legacy".to_vec(), 16);
+        tokio::time::sleep(Duration::from_secs(1)).await;
+        let got = live.host_received(a).await.expect("host alive");
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].payload, b"legacy");
+        live.shutdown();
+    }
+
+    /// Dead tasks surface as errors instead of empty answers — a
+    /// panicked router must not look like a healthy silent one.
+    #[tokio::test(start_paused = true)]
+    async fn queries_after_shutdown_fail_loudly() {
+        let (net, r0, r1, _r2, a, _bb) = chain();
+        let _ = r1;
+        let group = GroupId::numbered(9);
+        let live = LiveNet::spawn(net, CbtConfig::fast());
+        tokio::time::sleep(Duration::from_millis(10)).await;
+        live.shutdown();
+        tokio::task::yield_now().await;
+        assert_eq!(live.host_received(a).await, Err(LiveError::NodeDead));
+        assert_eq!(live.router_snapshot(r0, group).await, Err(LiveError::NodeDead));
+        // Unknown ids are distinguished from dead tasks.
+        assert_eq!(
+            live.router_snapshot(RouterId(99), group).await,
+            Err(LiveError::UnknownNode)
+        );
     }
 }

@@ -6,12 +6,20 @@
 //!   hdr | data`, used across tunnels and mixed clouds. The inner IP
 //!   header is untouched until final native delivery, when its TTL is
 //!   set to one (§5).
+//!
+//! Payloads are refcounted [`Bytes`]: cloning a packet for per-branch
+//! fan-out shares the application bytes instead of copying them, and
+//! [`DataPacket::decode_bytes`] parses straight out of a received frame
+//! without copying the payload at all.
 
 use crate::addr::{Addr, GroupId};
+use crate::checksum::internet_checksum;
 use crate::error::WireError;
 use crate::header::{CbtDataHeader, CBT_DATA_HEADER_LEN};
-use crate::ipv4::{build_datagram, split_datagram, IpProto, Ipv4Header, MAX_TTL};
+use crate::ipv4::{split_datagram, IpProto, Ipv4Header, IPV4_HEADER_LEN, MAX_TTL};
+use crate::udp::{UdpHeader, UDP_HEADER_LEN};
 use crate::Result;
+use bytes::Bytes;
 
 /// UDP port multicast application payloads ride on in examples, tests
 /// and the simulator (any non-CBT port would do).
@@ -35,13 +43,13 @@ pub struct DataPacket {
     pub group: GroupId,
     /// Remaining time-to-live.
     pub ttl: u8,
-    /// Application payload.
-    pub payload: Vec<u8>,
+    /// Application payload (refcounted; clones share the allocation).
+    pub payload: Bytes,
 }
 
 impl DataPacket {
     /// Builds a fresh multicast datagram as an end-system would.
-    pub fn new(src: Addr, group: GroupId, ttl: u8, payload: impl Into<Vec<u8>>) -> Self {
+    pub fn new(src: Addr, group: GroupId, ttl: u8, payload: impl Into<Bytes>) -> Self {
         DataPacket { src, group, ttl, payload: payload.into() }
     }
 
@@ -50,19 +58,65 @@ impl DataPacket {
     /// what applications send, but carrying honest headers end-to-end
     /// lets the trace classify every frame unambiguously.
     pub fn encode(&self) -> Vec<u8> {
-        let udp = crate::udp::UdpHeader::wrap(APP_PORT, APP_PORT, &self.payload);
-        build_datagram(self.src, self.group.addr(), IpProto::Udp, self.ttl, &udp)
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
     }
 
-    /// Parses a native multicast datagram.
-    pub fn decode(bytes: &[u8]) -> Result<Self> {
+    /// Serializes into `buf`, replacing its contents — IP header, UDP
+    /// shell and payload in one pass, with no intermediate buffers.
+    /// Hot send paths keep one scratch buffer alive and call this per
+    /// packet instead of allocating twice via [`DataPacket::encode`].
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.clear();
+        let udp_len = UDP_HEADER_LEN + self.payload.len();
+        let hdr = Ipv4Header::new(self.src, self.group.addr(), IpProto::Udp, self.ttl, udp_len);
+        buf.reserve(IPV4_HEADER_LEN + udp_len);
+        buf.extend_from_slice(&hdr.encode());
+        let u = buf.len();
+        buf.extend_from_slice(&APP_PORT.to_be_bytes());
+        buf.extend_from_slice(&APP_PORT.to_be_bytes());
+        buf.extend_from_slice(&(udp_len as u16).to_be_bytes());
+        buf.extend_from_slice(&[0, 0]); // checksum, patched below
+        buf.extend_from_slice(&self.payload);
+        let ck = internet_checksum(&buf[u..]);
+        buf[u + 6..u + 8].copy_from_slice(&ck.to_be_bytes());
+    }
+
+    /// Parses and validates a native multicast datagram, returning the
+    /// header plus the payload as a subslice of `bytes`.
+    fn decode_parts(bytes: &[u8]) -> Result<(Ipv4Header, GroupId, &[u8])> {
         let (hdr, body) = split_datagram(bytes)?;
         let group = GroupId::new(hdr.dst).ok_or(WireError::BadField {
             what: "native data packet",
             why: "destination is not a multicast group",
         })?;
-        let (_, payload) = crate::udp::UdpHeader::unwrap(body)?;
-        Ok(DataPacket { src: hdr.src, group, ttl: hdr.ttl, payload: payload.to_vec() })
+        let (_, payload) = UdpHeader::unwrap(body)?;
+        Ok((hdr, group, payload))
+    }
+
+    /// Parses a native multicast datagram (copies the payload).
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let (hdr, group, payload) = Self::decode_parts(bytes)?;
+        Ok(DataPacket {
+            src: hdr.src,
+            group,
+            ttl: hdr.ttl,
+            payload: Bytes::copy_from_slice(payload),
+        })
+    }
+
+    /// Parses a native multicast datagram out of a refcounted frame:
+    /// the payload is a zero-copy view into `frame`'s allocation.
+    pub fn decode_bytes(frame: &Bytes) -> Result<Self> {
+        let (hdr, group, payload) = Self::decode_parts(frame)?;
+        let off = payload.as_ptr() as usize - frame.as_ptr() as usize;
+        Ok(DataPacket {
+            src: hdr.src,
+            group,
+            ttl: hdr.ttl,
+            payload: frame.slice(off..off + payload.len()),
+        })
     }
 }
 
@@ -73,8 +127,9 @@ pub struct CbtDataPacket {
     /// The CBT header (Fig. 7) — carries group, origin, core and the
     /// on-tree flag.
     pub cbt: CbtDataHeader,
-    /// The untouched original datagram (inner IP header + data).
-    pub inner: Vec<u8>,
+    /// The untouched original datagram (inner IP header + data),
+    /// refcounted so per-branch clones share one allocation.
+    pub inner: Bytes,
 }
 
 impl CbtDataPacket {
@@ -83,15 +138,15 @@ impl CbtDataPacket {
     /// header; the packet starts off-tree.
     pub fn encapsulate(native: &DataPacket, core: Addr) -> Self {
         let cbt = CbtDataHeader::new(native.group, core, native.src, native.ttl);
-        CbtDataPacket { cbt, inner: native.encode() }
+        CbtDataPacket { cbt, inner: Bytes::from(native.encode()) }
     }
 
     /// Recovers the original native packet for final delivery, setting
     /// the inner TTL to one as §5 requires ("the TTL value of the
     /// original IP header is set to one before forwarding" onto member
-    /// subnets).
+    /// subnets). Zero-copy: the returned payload views `self.inner`.
     pub fn decapsulate_for_delivery(&self) -> Result<DataPacket> {
-        let mut native = DataPacket::decode(&self.inner)?;
+        let mut native = DataPacket::decode_bytes(&self.inner)?;
         native.ttl = 1;
         Ok(native)
     }
@@ -105,33 +160,56 @@ impl CbtDataPacket {
         out
     }
 
-    /// Parses a CBT-mode payload (CBT header + inner datagram).
+    /// Parses a CBT-mode payload (CBT header + inner datagram), copying
+    /// the inner datagram out of `bytes`.
     pub fn decode_payload(bytes: &[u8]) -> Result<Self> {
+        let cbt = Self::decode_payload_header(bytes)?;
+        Ok(CbtDataPacket {
+            cbt,
+            inner: Bytes::copy_from_slice(&bytes[CBT_DATA_HEADER_LEN..]),
+        })
+    }
+
+    /// Parses a CBT-mode payload out of a refcounted buffer: the inner
+    /// datagram is a zero-copy view into `payload`'s allocation.
+    pub fn decode_payload_bytes(payload: &Bytes) -> Result<Self> {
+        let cbt = Self::decode_payload_header(payload)?;
+        Ok(CbtDataPacket { cbt, inner: payload.slice(CBT_DATA_HEADER_LEN..) })
+    }
+
+    /// Shared validation: CBT header plus eager inner-datagram checks so
+    /// corruption is caught at the first CBT router, not at delivery.
+    fn decode_payload_header(bytes: &[u8]) -> Result<CbtDataHeader> {
         let cbt = CbtDataHeader::decode(bytes)?;
-        let inner = bytes[CBT_DATA_HEADER_LEN..].to_vec();
-        // Validate the inner datagram eagerly so corruption is caught at
-        // the first CBT router, not at delivery time.
-        let (inner_hdr, _) = split_datagram(&inner)?;
+        let (inner_hdr, _) = split_datagram(&bytes[CBT_DATA_HEADER_LEN..])?;
         if GroupId::new(inner_hdr.dst) != Some(cbt.group) {
             return Err(WireError::BadField {
                 what: "cbt data packet",
                 why: "inner destination group disagrees with CBT header",
             });
         }
-        Ok(CbtDataPacket { cbt, inner })
+        Ok(cbt)
     }
 
     /// Wraps in the outer IP header for one unicast hop or tunnel
     /// (CBT unicasting, §5). `tunnel_ttl` is the configured tunnel
     /// length, or `MAX_TTL` when unknown.
     pub fn wrap_unicast(&self, src: Addr, dst: Addr, tunnel_ttl: Option<u8>) -> Vec<u8> {
-        build_datagram(
-            src,
-            dst,
-            IpProto::Cbt,
-            tunnel_ttl.unwrap_or(MAX_TTL),
-            &self.encode_payload(),
-        )
+        let mut out = Vec::new();
+        self.wrap_unicast_into(src, dst, tunnel_ttl, &mut out);
+        out
+    }
+
+    /// [`Self::wrap_unicast`] into a reusable buffer: outer IP header,
+    /// CBT header and inner datagram written in one pass.
+    pub fn wrap_unicast_into(
+        &self,
+        src: Addr,
+        dst: Addr,
+        tunnel_ttl: Option<u8>,
+        buf: &mut Vec<u8>,
+    ) {
+        self.wrap_into(src, dst, tunnel_ttl.unwrap_or(MAX_TTL), buf);
     }
 
     /// Wraps in an outer IP header addressed to the *group* (CBT
@@ -139,7 +217,24 @@ impl CbtDataPacket {
     /// one multi-access interface. Hosts discard these because the outer
     /// protocol is CBT, not UDP.
     pub fn wrap_multicast(&self, src: Addr) -> Vec<u8> {
-        build_datagram(src, self.cbt.group.addr(), IpProto::Cbt, 1, &self.encode_payload())
+        let mut out = Vec::new();
+        self.wrap_multicast_into(src, &mut out);
+        out
+    }
+
+    /// [`Self::wrap_multicast`] into a reusable buffer.
+    pub fn wrap_multicast_into(&self, src: Addr, buf: &mut Vec<u8>) {
+        self.wrap_into(src, self.cbt.group.addr(), 1, buf);
+    }
+
+    fn wrap_into(&self, src: Addr, dst: Addr, ttl: u8, buf: &mut Vec<u8>) {
+        buf.clear();
+        let payload_len = CBT_DATA_HEADER_LEN + self.inner.len();
+        let hdr = Ipv4Header::new(src, dst, IpProto::Cbt, ttl, payload_len);
+        buf.reserve(IPV4_HEADER_LEN + payload_len);
+        buf.extend_from_slice(&hdr.encode());
+        buf.extend_from_slice(&self.cbt.encode());
+        buf.extend_from_slice(&self.inner);
     }
 
     /// Unwraps an outer datagram produced by [`Self::wrap_unicast`] or
@@ -160,6 +255,7 @@ impl CbtDataPacket {
 mod tests {
     use super::*;
     use crate::header::{OFF_TREE, ON_TREE};
+    use crate::ipv4::build_datagram;
 
     fn native() -> DataPacket {
         DataPacket::new(Addr::from_octets(192, 168, 10, 7), GroupId::numbered(3), 64, b"hi".to_vec())
@@ -169,6 +265,37 @@ mod tests {
     fn native_round_trip() {
         let p = native();
         assert_eq!(DataPacket::decode(&p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn encode_into_matches_encode_and_reuses_the_buffer() {
+        // One scratch buffer across packets of shrinking size: every
+        // call must leave exactly the bytes `encode` would, with no
+        // stale tail from the previous, longer packet.
+        let mut buf = Vec::new();
+        for len in [900usize, 64, 3, 0] {
+            let p = DataPacket::new(
+                Addr::from_octets(10, 0, 0, 1),
+                GroupId::numbered(7),
+                9,
+                vec![0xabu8; len],
+            );
+            p.encode_into(&mut buf);
+            assert_eq!(buf, p.encode());
+            assert_eq!(DataPacket::decode(&buf).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn decode_bytes_is_zero_copy() {
+        let p = native();
+        let frame = Bytes::from(p.encode());
+        let back = DataPacket::decode_bytes(&frame).unwrap();
+        assert_eq!(back, p);
+        assert!(
+            back.payload.shares_allocation_with(&frame),
+            "payload must view the frame, not copy it"
+        );
     }
 
     #[test]
@@ -201,6 +328,30 @@ mod tests {
         let enc = CbtDataPacket::encapsulate(&native(), Addr::from_octets(10, 0, 0, 4));
         let back = CbtDataPacket::decode_payload(&enc.encode_payload()).unwrap();
         assert_eq!(back, enc);
+    }
+
+    #[test]
+    fn decode_payload_bytes_is_zero_copy() {
+        let enc = CbtDataPacket::encapsulate(&native(), Addr::from_octets(10, 0, 0, 4));
+        let payload = Bytes::from(enc.encode_payload());
+        let back = CbtDataPacket::decode_payload_bytes(&payload).unwrap();
+        assert_eq!(back, enc);
+        assert!(back.inner.shares_allocation_with(&payload));
+        // And delivery out of that view allocates nothing either.
+        let delivered = back.decapsulate_for_delivery().unwrap();
+        assert!(delivered.payload.shares_allocation_with(&payload));
+    }
+
+    #[test]
+    fn wrap_into_matches_wrap_and_reuses_the_buffer() {
+        let enc = CbtDataPacket::encapsulate(&native(), Addr::from_octets(10, 0, 0, 4));
+        let a = Addr::from_octets(10, 1, 0, 1);
+        let b = Addr::from_octets(10, 2, 0, 1);
+        let mut buf = vec![0xee; 2000]; // dirty, oversized scratch
+        enc.wrap_unicast_into(a, b, Some(3), &mut buf);
+        assert_eq!(buf, enc.wrap_unicast(a, b, Some(3)));
+        enc.wrap_multicast_into(a, &mut buf);
+        assert_eq!(buf, enc.wrap_multicast(a));
     }
 
     #[test]

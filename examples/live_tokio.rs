@@ -62,7 +62,7 @@ async fn main() {
     tokio::time::sleep(Duration::from_secs(1)).await;
 
     for (name, h) in [("A", a), ("C", c)] {
-        let got = live.host_received(h).await;
+        let got = live.host_received(h).await.expect("host alive");
         println!(
             "  host {name} received {}: {:?}",
             got.len(),

@@ -174,6 +174,16 @@ impl PartialEq<Bytes> for [u8] {
         self == other.as_ref()
     }
 }
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_ref() == other
+    }
+}
+impl<const N: usize> PartialEq<&[u8; N]> for Bytes {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self.as_ref() == *other
+    }
+}
 
 impl PartialOrd for Bytes {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {

@@ -1,0 +1,124 @@
+//! Offline stand-in for `tokio-macros`.
+//!
+//! Provides the two attribute macros this workspace uses —
+//! `#[tokio::main]` and `#[tokio::test]` (including
+//! `#[tokio::test(start_paused = true)]`) — by rewriting the annotated
+//! `async fn` into a plain `fn` that builds a vendored-tokio runtime
+//! and `block_on`s the body. Like the vendored `serde_derive`, this is
+//! written directly against `proc_macro::TokenStream` (no `syn`, no
+//! `quote`): the attribute arguments are scanned as text and the item
+//! is rewritten token-by-token, which is enough for the argument-less
+//! `async fn` signatures the runtime entry points actually use.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Options recognised in the attribute argument list.
+struct Opts {
+    /// `flavor = "multi_thread"` (anything else → current thread).
+    multi_thread: bool,
+    /// `worker_threads = N`.
+    workers: Option<usize>,
+    /// `start_paused = true` — virtual time from the first poll.
+    start_paused: bool,
+}
+
+fn parse_opts(attr: TokenStream, default_multi: bool) -> Opts {
+    let text = attr.to_string();
+    let mut opts = Opts { multi_thread: default_multi, workers: None, start_paused: false };
+    for clause in text.split(',') {
+        let mut kv = clause.splitn(2, '=');
+        let key = kv.next().unwrap_or("").trim();
+        let val = kv.next().unwrap_or("").trim().trim_matches('"');
+        match key {
+            "flavor" => opts.multi_thread = val == "multi_thread",
+            "worker_threads" => opts.workers = val.parse().ok(),
+            "start_paused" => opts.start_paused = val == "true",
+            _ => {}
+        }
+    }
+    // start_paused implies a current-thread scheduler (as in real tokio).
+    if opts.start_paused {
+        opts.multi_thread = false;
+    }
+    opts
+}
+
+/// Rewrites `async fn name(..) { body }` (with any leading attributes)
+/// into a synchronous fn that runs `body` on a fresh runtime.
+fn rewrite(item: TokenStream, opts: &Opts, is_test: bool) -> TokenStream {
+    let tokens: Vec<TokenTree> = item.into_iter().collect();
+
+    // Locate the `async` keyword introducing the fn and the trailing
+    // brace group that is its body.
+    let async_at = tokens.iter().enumerate().position(|(i, t)| {
+        matches!(t, TokenTree::Ident(id) if id.to_string() == "async")
+            && matches!(tokens.get(i + 1), Some(TokenTree::Ident(id2)) if id2.to_string() == "fn")
+    });
+    let Some(async_at) = async_at else {
+        return compile_error("#[tokio::main]/#[tokio::test] requires an `async fn`");
+    };
+    let body_at = tokens.len() - 1;
+    let is_body = matches!(
+        tokens.get(body_at),
+        Some(TokenTree::Group(g)) if g.delimiter() == proc_macro::Delimiter::Brace
+    );
+    if !is_body {
+        return compile_error("expected a braced fn body");
+    }
+
+    let mut out = String::new();
+    if is_test {
+        out.push_str("#[::core::prelude::v1::test] ");
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        if i == async_at {
+            continue; // drop `async`
+        }
+        if i == body_at {
+            break;
+        }
+        out.push_str(&t.to_string());
+        out.push(' ');
+    }
+    let body = tokens[body_at].to_string();
+    let builder = if opts.multi_thread {
+        "::tokio::runtime::Builder::new_multi_thread()"
+    } else {
+        "::tokio::runtime::Builder::new_current_thread()"
+    };
+    out.push_str("{ let __tokio_body = async move ");
+    out.push_str(&body);
+    out.push_str("; let mut __tokio_builder = ");
+    out.push_str(builder);
+    out.push(';');
+    out.push_str("__tokio_builder.enable_all();");
+    if opts.start_paused {
+        out.push_str("__tokio_builder.start_paused(true);");
+    }
+    if let Some(n) = opts.workers {
+        out.push_str(&format!("__tokio_builder.worker_threads({n});"));
+    }
+    out.push_str(
+        "__tokio_builder.build().expect(\"failed to build the vendored tokio runtime\")\
+         .block_on(__tokio_body) }",
+    );
+    out.parse().expect("generated runtime entry point must parse")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// `#[tokio::main]` — multi-thread flavor by default, like real tokio.
+#[proc_macro_attribute]
+pub fn main(attr: TokenStream, item: TokenStream) -> TokenStream {
+    let opts = parse_opts(attr, true);
+    rewrite(item, &opts, false)
+}
+
+/// `#[tokio::test]` — current-thread flavor, `start_paused` supported.
+#[proc_macro_attribute]
+pub fn test(attr: TokenStream, item: TokenStream) -> TokenStream {
+    let opts = parse_opts(attr, false);
+    rewrite(item, &opts, true)
+}

@@ -1,0 +1,153 @@
+//! Async UDP for the vendored tokio stand-in.
+//!
+//! Each `UdpSocket` wraps a blocking `std::net::UdpSocket` plus one
+//! reader thread that parks in `recv_from` (with a short timeout so
+//! shutdown is prompt), queues complete datagrams, and wakes the
+//! pending receiver task. Sends go straight to the socket — UDP sends
+//! on loopback do not block meaningfully — so `send_to`/`try_send_to`
+//! are cheap and callable from any task.
+
+use crate::runtime::lock;
+use std::collections::VecDeque;
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::task::{Poll, Waker};
+use std::time::Duration;
+
+/// Received datagrams queued by the reader thread, capped so a stalled
+/// receiver sheds load the way a kernel socket buffer would.
+const RX_QUEUE_CAP: usize = 8192;
+
+struct RxState {
+    queue: VecDeque<(Vec<u8>, SocketAddr)>,
+    waker: Option<Waker>,
+    /// Reader thread hit a fatal error (socket gone).
+    dead: Option<io::ErrorKind>,
+}
+
+/// A UDP socket usable from async tasks.
+pub struct UdpSocket {
+    sock: Arc<std::net::UdpSocket>,
+    rx: Arc<Mutex<RxState>>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl UdpSocket {
+    /// Binds to `addr` and starts the reader thread.
+    pub async fn bind<A: std::net::ToSocketAddrs>(addr: A) -> io::Result<UdpSocket> {
+        let sock = Arc::new(std::net::UdpSocket::bind(addr)?);
+        sock.set_read_timeout(Some(Duration::from_millis(50)))?;
+        let rx = Arc::new(Mutex::new(RxState { queue: VecDeque::new(), waker: None, dead: None }));
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let t_sock = sock.clone();
+        let t_rx = rx.clone();
+        let t_shutdown = shutdown.clone();
+        std::thread::Builder::new().name("tokio-udp-reader".into()).spawn(move || {
+            let mut buf = vec![0u8; 65536];
+            loop {
+                if t_shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                match t_sock.recv_from(&mut buf) {
+                    Ok((len, from)) => {
+                        let mut state = lock(&t_rx);
+                        if state.queue.len() < RX_QUEUE_CAP {
+                            state.queue.push_back((buf[..len].to_vec(), from));
+                        }
+                        let w = state.waker.take();
+                        drop(state);
+                        if let Some(w) = w {
+                            w.wake();
+                        }
+                    }
+                    Err(e)
+                        if e.kind() == io::ErrorKind::WouldBlock
+                            || e.kind() == io::ErrorKind::TimedOut
+                            || e.kind() == io::ErrorKind::Interrupted =>
+                    {
+                        continue;
+                    }
+                    Err(e) => {
+                        let mut state = lock(&t_rx);
+                        state.dead = Some(e.kind());
+                        let w = state.waker.take();
+                        drop(state);
+                        if let Some(w) = w {
+                            w.wake();
+                        }
+                        break;
+                    }
+                }
+            }
+        })?;
+
+        Ok(UdpSocket { sock, rx, shutdown })
+    }
+
+    /// The bound local address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.sock.local_addr()
+    }
+
+    /// Receives one datagram, waiting until one arrives.
+    pub async fn recv_from(&self, buf: &mut [u8]) -> io::Result<(usize, SocketAddr)> {
+        std::future::poll_fn(|cx| {
+            let mut state = lock(&self.rx);
+            if let Some((dgram, from)) = state.queue.pop_front() {
+                let n = dgram.len().min(buf.len());
+                buf[..n].copy_from_slice(&dgram[..n]);
+                return Poll::Ready(Ok((n, from)));
+            }
+            if let Some(kind) = state.dead {
+                return Poll::Ready(Err(io::Error::from(kind)));
+            }
+            state.waker = Some(cx.waker().clone());
+            Poll::Pending
+        })
+        .await
+    }
+
+    /// Receives one datagram without waiting (`WouldBlock` when none
+    /// is buffered).
+    pub fn try_recv_from(&self, buf: &mut [u8]) -> io::Result<(usize, SocketAddr)> {
+        let mut state = lock(&self.rx);
+        if let Some((dgram, from)) = state.queue.pop_front() {
+            let n = dgram.len().min(buf.len());
+            buf[..n].copy_from_slice(&dgram[..n]);
+            return Ok((n, from));
+        }
+        if let Some(kind) = state.dead {
+            return Err(io::Error::from(kind));
+        }
+        Err(io::Error::from(io::ErrorKind::WouldBlock))
+    }
+
+    /// Sends one datagram to `target`.
+    pub async fn send_to<A: std::net::ToSocketAddrs>(
+        &self,
+        buf: &[u8],
+        target: A,
+    ) -> io::Result<usize> {
+        self.sock.send_to(buf, target)
+    }
+
+    /// Sends one datagram without waiting. UDP sends complete
+    /// immediately here, so this never reports `WouldBlock`.
+    pub fn try_send_to<A: std::net::ToSocketAddrs>(
+        &self,
+        buf: &[u8],
+        target: A,
+    ) -> io::Result<usize> {
+        self.sock.send_to(buf, target)
+    }
+}
+
+impl Drop for UdpSocket {
+    fn drop(&mut self) {
+        // The reader thread exits on its next timeout tick.
+        self.shutdown.store(true, Ordering::Release);
+    }
+}

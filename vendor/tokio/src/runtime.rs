@@ -1,0 +1,621 @@
+//! The cooperative executor at the heart of the vendored tokio
+//! stand-in.
+//!
+//! One shared run queue of `Arc<Task>`s, woken via the standard
+//! `std::task::Wake` machinery. Two flavors:
+//!
+//! - **current thread** — `block_on` interleaves polling the root
+//!   future with draining the run queue on the calling thread. This is
+//!   the only flavor that supports `start_paused` virtual time: when
+//!   nothing is runnable, the clock jumps to the earliest pending
+//!   timer deadline (tokio's auto-advance semantics).
+//! - **multi thread** — `build` spawns worker threads that drain the
+//!   same queue; `block_on` parks until the root future is woken.
+//!
+//! Timers live in a binary heap serviced opportunistically: whichever
+//! thread goes idle parks no longer than the earliest deadline and
+//! fires due wakers when it comes back. Cross-thread wakes (worker
+//! threads, UDP reader threads) push onto the queue under its mutex
+//! and signal one shared condvar, so no wakeup can be lost.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::marker::PhantomData;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Weak};
+use std::task::{Context, Poll, Wake, Waker};
+use std::time::Duration;
+
+use crate::time::{Clock, Timers};
+
+/// Locks ignoring poisoning: a panicking *task* is already captured as
+/// a `JoinError`, and runtime bookkeeping must keep working afterwards.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+const IDLE: u8 = 0;
+const QUEUED: u8 = 1;
+const RUNNING: u8 = 2;
+const NOTIFIED: u8 = 3;
+const DONE: u8 = 4;
+
+type ErasedFuture = Pin<Box<dyn Future<Output = Box<dyn Any + Send>> + Send>>;
+
+/// State shared by every handle into one runtime.
+pub(crate) struct Shared {
+    queue: Mutex<VecDeque<Arc<Task>>>,
+    /// Parked workers and the `block_on` thread wait here.
+    idle: Condvar,
+    pub(crate) clock: Clock,
+    pub(crate) timers: Timers,
+    root_woken: AtomicBool,
+    shutdown: AtomicBool,
+    multi: bool,
+    /// Weak refs to every live task, aborted wholesale on shutdown so
+    /// task-owned resources (sockets, channels) drop deterministically.
+    tasks: Mutex<Vec<Weak<Task>>>,
+}
+
+impl Shared {
+    fn new(multi: bool, paused: bool) -> Shared {
+        Shared {
+            queue: Mutex::new(VecDeque::new()),
+            idle: Condvar::new(),
+            clock: Clock::new(paused),
+            timers: Timers::new(),
+            root_woken: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            multi,
+            tasks: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn push_task(&self, t: Arc<Task>) {
+        let mut q = lock(&self.queue);
+        q.push_back(t);
+        self.idle.notify_all();
+    }
+
+    fn wake_root(&self) {
+        self.root_woken.store(true, Ordering::Release);
+        // Take the queue lock so the store cannot race past a parked
+        // thread's empty-check, then signal.
+        let _q = lock(&self.queue);
+        self.idle.notify_all();
+    }
+
+    fn fire_due_timers(&self) {
+        for w in self.timers.take_due(self.clock.now_nanos()) {
+            w.wake();
+        }
+    }
+
+    /// Paused mode only: jump the clock to the earliest pending timer.
+    fn advance_to_next_timer(&self) -> bool {
+        let Some(n) = self.timers.earliest() else { return false };
+        self.clock.set_nanos(n);
+        self.fire_due_timers();
+        true
+    }
+
+    fn real_time_until_next_timer(&self) -> Option<Duration> {
+        let n = self.timers.earliest()?;
+        let now = self.clock.now_nanos();
+        Some(Duration::from_nanos(n.saturating_sub(now).min(u64::MAX as u128) as u64))
+    }
+
+    pub(crate) fn spawn_on<F>(self: &Arc<Self>, fut: F) -> JoinHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        let erased = async move { Box::new(fut.await) as Box<dyn Any + Send> };
+        let task = Arc::new(Task {
+            shared: Arc::downgrade(self),
+            state: AtomicU8::new(QUEUED),
+            future: Mutex::new(Some(Box::pin(erased))),
+            join: Mutex::new(Join { result: None, waker: None, abort: false }),
+        });
+        lock(&self.tasks).push(Arc::downgrade(&task));
+        self.push_task(task.clone());
+        JoinHandle { task, _out: PhantomData }
+    }
+}
+
+/// One spawned future plus its scheduling and join state.
+pub(crate) struct Task {
+    shared: Weak<Shared>,
+    state: AtomicU8,
+    future: Mutex<Option<ErasedFuture>>,
+    join: Mutex<Join>,
+}
+
+struct Join {
+    result: Option<Result<Box<dyn Any + Send>, JoinError>>,
+    waker: Option<Waker>,
+    abort: bool,
+}
+
+impl Wake for Task {
+    fn wake(self: Arc<Self>) {
+        Task::schedule(&self);
+    }
+    fn wake_by_ref(self: &Arc<Self>) {
+        Task::schedule(self);
+    }
+}
+
+impl Task {
+    fn schedule(this: &Arc<Task>) {
+        loop {
+            match this.state.load(Ordering::Acquire) {
+                IDLE => {
+                    if this
+                        .state
+                        .compare_exchange(IDLE, QUEUED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        if let Some(sh) = this.shared.upgrade() {
+                            sh.push_task(this.clone());
+                        }
+                        return;
+                    }
+                }
+                RUNNING => {
+                    if this
+                        .state
+                        .compare_exchange(RUNNING, NOTIFIED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        return;
+                    }
+                }
+                _ => return, // QUEUED, NOTIFIED, DONE: nothing to do
+            }
+        }
+    }
+
+    fn run(this: &Arc<Task>) {
+        if this
+            .state
+            .compare_exchange(QUEUED, RUNNING, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return; // aborted while queued
+        }
+        if lock(&this.join).abort {
+            *lock(&this.future) = None;
+            Task::finish(this, Err(JoinError::cancelled()));
+            return;
+        }
+        let waker = Waker::from(this.clone());
+        let mut cx = Context::from_waker(&waker);
+        let mut guard = lock(&this.future);
+        let Some(fut) = guard.as_mut() else {
+            drop(guard);
+            this.state.store(DONE, Ordering::Release);
+            return;
+        };
+        let polled =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| fut.as_mut().poll(&mut cx)));
+        match polled {
+            Ok(Poll::Ready(v)) => {
+                *guard = None;
+                drop(guard);
+                Task::finish(this, Ok(v));
+            }
+            Ok(Poll::Pending) => {
+                drop(guard);
+                if lock(&this.join).abort {
+                    *lock(&this.future) = None;
+                    Task::finish(this, Err(JoinError::cancelled()));
+                    return;
+                }
+                if this
+                    .state
+                    .compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire)
+                    .is_err()
+                {
+                    // NOTIFIED while polling: run again.
+                    this.state.store(QUEUED, Ordering::Release);
+                    if let Some(sh) = this.shared.upgrade() {
+                        sh.push_task(this.clone());
+                    }
+                }
+            }
+            Err(panic) => {
+                *guard = None;
+                drop(guard);
+                Task::finish(this, Err(JoinError::panicked(panic)));
+            }
+        }
+    }
+
+    fn finish(this: &Arc<Task>, result: Result<Box<dyn Any + Send>, JoinError>) {
+        this.state.store(DONE, Ordering::Release);
+        let mut j = lock(&this.join);
+        if j.result.is_none() {
+            j.result = Some(result);
+        }
+        if let Some(w) = j.waker.take() {
+            drop(j);
+            w.wake();
+        }
+    }
+
+    /// Cancels the task unless it already completed. Safe to call from
+    /// any thread; a concurrently-running poll finishes first and the
+    /// runner then observes the abort flag.
+    pub(crate) fn abort_task(this: &Arc<Task>) {
+        {
+            let mut j = lock(&this.join);
+            if j.result.is_some() {
+                return;
+            }
+            j.abort = true;
+        }
+        let s = this.state.load(Ordering::Acquire);
+        if s == IDLE || s == QUEUED {
+            if let Ok(mut g) = this.future.try_lock() {
+                if g.take().is_some() {
+                    drop(g);
+                    Task::finish(this, Err(JoinError::cancelled()));
+                }
+            }
+        }
+    }
+}
+
+/// An owned permission to join on a spawned task (awaiting its output
+/// or aborting it), mirroring `tokio::task::JoinHandle`.
+pub struct JoinHandle<T> {
+    task: Arc<Task>,
+    _out: PhantomData<fn() -> T>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Cancels the task; its future is dropped at the next opportunity.
+    pub fn abort(&self) {
+        Task::abort_task(&self.task);
+    }
+
+    /// Has the task completed (including by cancellation)?
+    pub fn is_finished(&self) -> bool {
+        self.task.state.load(Ordering::Acquire) == DONE
+    }
+}
+
+impl<T: 'static> Future for JoinHandle<T> {
+    type Output = Result<T, JoinError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut j = lock(&self.task.join);
+        match j.result.take() {
+            Some(Ok(v)) => {
+                Poll::Ready(Ok(*v.downcast::<T>().expect("join handle output type")))
+            }
+            Some(Err(e)) => Poll::Ready(Err(e)),
+            None => {
+                j.waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+/// Why a joined task produced no output.
+pub struct JoinError {
+    repr: JoinRepr,
+}
+
+enum JoinRepr {
+    Cancelled,
+    Panic(Box<dyn Any + Send>),
+}
+
+impl JoinError {
+    fn cancelled() -> JoinError {
+        JoinError { repr: JoinRepr::Cancelled }
+    }
+    fn panicked(p: Box<dyn Any + Send>) -> JoinError {
+        JoinError { repr: JoinRepr::Panic(p) }
+    }
+    /// Was the task cancelled via `abort`?
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self.repr, JoinRepr::Cancelled)
+    }
+    /// Did the task panic?
+    pub fn is_panic(&self) -> bool {
+        matches!(self.repr, JoinRepr::Panic(_))
+    }
+    /// Consumes the error, yielding the panic payload.
+    pub fn into_panic(self) -> Box<dyn Any + Send> {
+        match self.repr {
+            JoinRepr::Panic(p) => p,
+            JoinRepr::Cancelled => panic!("JoinError was cancellation, not a panic"),
+        }
+    }
+}
+
+impl std::fmt::Debug for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.repr {
+            JoinRepr::Cancelled => write!(f, "JoinError::Cancelled"),
+            JoinRepr::Panic(_) => write!(f, "JoinError::Panic(..)"),
+        }
+    }
+}
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.repr {
+            JoinRepr::Cancelled => write!(f, "task was cancelled"),
+            JoinRepr::Panic(_) => write!(f, "task panicked"),
+        }
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+/// The per-thread runtime context (which `Shared` do `spawn`, timers
+/// and `Instant::now` bind to).
+pub(crate) mod context {
+    use super::Shared;
+    use std::cell::RefCell;
+    use std::sync::Arc;
+
+    thread_local! {
+        static STACK: RefCell<Vec<Arc<Shared>>> = const { RefCell::new(Vec::new()) };
+    }
+
+    pub(crate) struct EnterGuard;
+
+    impl Drop for EnterGuard {
+        fn drop(&mut self) {
+            STACK.with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
+    }
+
+    pub(crate) fn enter(shared: Arc<Shared>) -> EnterGuard {
+        STACK.with(|s| s.borrow_mut().push(shared));
+        EnterGuard
+    }
+
+    pub(crate) fn try_current() -> Option<Arc<Shared>> {
+        STACK.with(|s| s.borrow().last().cloned())
+    }
+
+    pub(crate) fn current() -> Arc<Shared> {
+        try_current()
+            .expect("there is no reactor running, must be called from the context of a Tokio 1.x runtime")
+    }
+}
+
+/// Builds runtimes with a chosen flavor, mirroring
+/// `tokio::runtime::Builder`.
+pub struct Builder {
+    multi: bool,
+    paused: bool,
+    workers: Option<usize>,
+}
+
+impl Builder {
+    /// Single-threaded scheduler driven by `block_on`.
+    pub fn new_current_thread() -> Builder {
+        Builder { multi: false, paused: false, workers: None }
+    }
+
+    /// Worker-thread pool scheduler.
+    pub fn new_multi_thread() -> Builder {
+        Builder { multi: true, paused: false, workers: None }
+    }
+
+    /// Accepted for API compatibility; every driver is always enabled.
+    pub fn enable_all(&mut self) -> &mut Builder {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn enable_time(&mut self) -> &mut Builder {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn enable_io(&mut self) -> &mut Builder {
+        self
+    }
+
+    /// Number of worker threads (multi-thread flavor only).
+    pub fn worker_threads(&mut self, n: usize) -> &mut Builder {
+        self.workers = Some(n.max(1));
+        self
+    }
+
+    /// Starts the runtime with time paused (current-thread only):
+    /// `Instant::now` is virtual and auto-advances to the earliest
+    /// pending timer whenever the scheduler has nothing runnable.
+    pub fn start_paused(&mut self, paused: bool) -> &mut Builder {
+        self.paused = paused;
+        self
+    }
+
+    /// Builds the runtime.
+    pub fn build(&mut self) -> std::io::Result<Runtime> {
+        if self.paused && self.multi {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "start_paused requires the current-thread flavor",
+            ));
+        }
+        let shared = Arc::new(Shared::new(self.multi, self.paused));
+        let mut workers = Vec::new();
+        if self.multi {
+            let n = self.workers.unwrap_or_else(|| {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8)
+            });
+            for i in 0..n {
+                let sh = shared.clone();
+                workers.push(
+                    std::thread::Builder::new()
+                        .name(format!("tokio-worker-{i}"))
+                        .spawn(move || worker_loop(sh))?,
+                );
+            }
+        }
+        Ok(Runtime { shared, workers })
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    let _guard = context::enter(shared.clone());
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        shared.fire_due_timers();
+        let task = lock(&shared.queue).pop_front();
+        if let Some(t) = task {
+            Task::run(&t);
+            continue;
+        }
+        let wait = shared.real_time_until_next_timer().unwrap_or(Duration::from_millis(100));
+        let q = lock(&shared.queue);
+        if !q.is_empty() || shared.shutdown.load(Ordering::Acquire) {
+            continue;
+        }
+        let _ = shared.idle.wait_timeout(q, wait);
+    }
+}
+
+/// A handle to one runtime instance.
+pub struct Runtime {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+struct RootWake {
+    shared: Arc<Shared>,
+}
+
+impl Wake for RootWake {
+    fn wake(self: Arc<Self>) {
+        self.shared.wake_root();
+    }
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.shared.wake_root();
+    }
+}
+
+impl Runtime {
+    /// A multi-thread runtime with default worker count.
+    pub fn new() -> std::io::Result<Runtime> {
+        Builder::new_multi_thread().build()
+    }
+
+    /// Spawns a future onto this runtime.
+    pub fn spawn<F>(&self, fut: F) -> JoinHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        self.shared.spawn_on(fut)
+    }
+
+    /// Runs `fut` to completion, driving spawned tasks meanwhile.
+    pub fn block_on<F: Future>(&self, fut: F) -> F::Output {
+        let shared = &self.shared;
+        let _guard = context::enter(shared.clone());
+        let mut fut = std::pin::pin!(fut);
+        let root_waker = Waker::from(Arc::new(RootWake { shared: shared.clone() }));
+        let mut cx = Context::from_waker(&root_waker);
+        shared.root_woken.store(true, Ordering::Release);
+        loop {
+            if shared.root_woken.swap(false, Ordering::AcqRel) {
+                if let Poll::Ready(v) = fut.as_mut().poll(&mut cx) {
+                    return v;
+                }
+                continue; // the poll may have spawned tasks or armed timers
+            }
+            if !shared.multi {
+                shared.fire_due_timers();
+                let task = lock(&shared.queue).pop_front();
+                if let Some(t) = task {
+                    Task::run(&t);
+                    continue;
+                }
+                if shared.clock.is_paused() && shared.advance_to_next_timer() {
+                    continue;
+                }
+            }
+            self.park_until_activity();
+        }
+    }
+
+    fn park_until_activity(&self) {
+        let shared = &self.shared;
+        let paused = shared.clock.is_paused();
+        let wait = if paused {
+            // Nothing runnable, no timer to advance to: only an
+            // external thread can unblock us. Bound the wait so a true
+            // deadlock fails loudly instead of hanging forever.
+            Duration::from_secs(10)
+        } else {
+            shared.real_time_until_next_timer().unwrap_or(Duration::from_millis(100))
+        };
+        let q = lock(&shared.queue);
+        if !q.is_empty() || shared.root_woken.load(Ordering::Acquire) {
+            return;
+        }
+        let (q, res) = shared
+            .idle
+            .wait_timeout(q, wait)
+            .unwrap_or_else(|e| e.into_inner());
+        if paused
+            && res.timed_out()
+            && q.is_empty()
+            && !shared.root_woken.load(Ordering::Acquire)
+            && shared.timers.is_empty()
+        {
+            panic!(
+                "vendored tokio: paused runtime idled {wait:?} with no runnable task and no \
+                 pending timer — the test has deadlocked"
+            );
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let _q = lock(&self.shared.queue);
+            self.shared.idle.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // Drop every remaining task's future so owned resources are
+        // released now, not at process exit.
+        let tasks: Vec<_> = std::mem::take(&mut *lock(&self.shared.tasks));
+        for t in tasks {
+            if let Some(t) = t.upgrade() {
+                Task::abort_task(&t);
+            }
+        }
+        lock(&self.shared.queue).clear();
+    }
+}
+
+/// Spawns onto the runtime the calling context belongs to.
+pub(crate) fn spawn_current<F>(fut: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    context::current().spawn_on(fut)
+}

@@ -1,0 +1,457 @@
+//! Channel primitives for the vendored tokio stand-in: bounded and
+//! unbounded mpsc plus oneshot, with tokio's signatures and error
+//! types (the subset this workspace uses).
+
+/// Multi-producer, single-consumer channels.
+pub mod mpsc {
+    use crate::runtime::lock;
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+    use std::task::{Context, Poll, Waker};
+
+    /// Channel error types.
+    pub mod error {
+        /// The receiver was dropped.
+        #[derive(PartialEq, Eq)]
+        pub struct SendError<T>(pub T);
+
+        impl<T> std::fmt::Debug for SendError<T> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "SendError(..)")
+            }
+        }
+        impl<T> std::fmt::Display for SendError<T> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "channel closed")
+            }
+        }
+        impl<T> std::error::Error for SendError<T> {}
+
+        /// A `try_send` that could not complete.
+        #[derive(PartialEq, Eq)]
+        pub enum TrySendError<T> {
+            /// The channel is at capacity.
+            Full(T),
+            /// The receiver was dropped.
+            Closed(T),
+        }
+
+        impl<T> TrySendError<T> {
+            /// Recovers the value that could not be sent.
+            pub fn into_inner(self) -> T {
+                match self {
+                    TrySendError::Full(v) | TrySendError::Closed(v) => v,
+                }
+            }
+        }
+
+        impl<T> std::fmt::Debug for TrySendError<T> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                match self {
+                    TrySendError::Full(_) => write!(f, "TrySendError::Full(..)"),
+                    TrySendError::Closed(_) => write!(f, "TrySendError::Closed(..)"),
+                }
+            }
+        }
+        impl<T> std::fmt::Display for TrySendError<T> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                match self {
+                    TrySendError::Full(_) => write!(f, "no available capacity"),
+                    TrySendError::Closed(_) => write!(f, "channel closed"),
+                }
+            }
+        }
+        impl<T> std::error::Error for TrySendError<T> {}
+
+        /// A `try_recv` on an empty or dead channel.
+        #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+        pub enum TryRecvError {
+            /// Nothing buffered right now.
+            Empty,
+            /// Every sender is gone and the buffer is drained.
+            Disconnected,
+        }
+
+        impl std::fmt::Display for TryRecvError {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                match self {
+                    TryRecvError::Empty => write!(f, "receiving on an empty channel"),
+                    TryRecvError::Disconnected => write!(f, "receiving on a closed channel"),
+                }
+            }
+        }
+        impl std::error::Error for TryRecvError {}
+    }
+
+    use error::{SendError, TryRecvError, TrySendError};
+
+    struct Chan<T> {
+        inner: Mutex<ChanInner<T>>,
+    }
+
+    struct ChanInner<T> {
+        queue: VecDeque<T>,
+        cap: Option<usize>,
+        senders: usize,
+        rx_alive: bool,
+        rx_waker: Option<Waker>,
+        /// Bounded senders waiting for capacity.
+        tx_wakers: Vec<Waker>,
+    }
+
+    impl<T> Chan<T> {
+        fn new(cap: Option<usize>) -> Arc<Chan<T>> {
+            Arc::new(Chan {
+                inner: Mutex::new(ChanInner {
+                    queue: VecDeque::new(),
+                    cap,
+                    senders: 1,
+                    rx_alive: true,
+                    rx_waker: None,
+                    tx_wakers: Vec::new(),
+                }),
+            })
+        }
+
+        fn wake_rx(inner: &mut ChanInner<T>) -> Option<Waker> {
+            inner.rx_waker.take()
+        }
+
+        fn try_send(&self, v: T) -> Result<(), TrySendError<T>> {
+            let mut inner = lock(&self.inner);
+            if !inner.rx_alive {
+                return Err(TrySendError::Closed(v));
+            }
+            if inner.cap.is_some_and(|c| inner.queue.len() >= c) {
+                return Err(TrySendError::Full(v));
+            }
+            inner.queue.push_back(v);
+            let w = Chan::wake_rx(&mut inner);
+            drop(inner);
+            if let Some(w) = w {
+                w.wake();
+            }
+            Ok(())
+        }
+
+        fn poll_recv(&self, cx: &mut Context<'_>) -> Poll<Option<T>> {
+            let mut inner = lock(&self.inner);
+            if let Some(v) = inner.queue.pop_front() {
+                // A slot freed: let every waiting sender retry.
+                let txs = std::mem::take(&mut inner.tx_wakers);
+                drop(inner);
+                for w in txs {
+                    w.wake();
+                }
+                return Poll::Ready(Some(v));
+            }
+            if inner.senders == 0 {
+                return Poll::Ready(None);
+            }
+            inner.rx_waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+
+        fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = lock(&self.inner);
+            if let Some(v) = inner.queue.pop_front() {
+                let txs = std::mem::take(&mut inner.tx_wakers);
+                drop(inner);
+                for w in txs {
+                    w.wake();
+                }
+                return Ok(v);
+            }
+            if inner.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+
+        fn add_sender(&self) {
+            lock(&self.inner).senders += 1;
+        }
+
+        fn drop_sender(&self) {
+            let mut inner = lock(&self.inner);
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                let w = Chan::wake_rx(&mut inner);
+                drop(inner);
+                if let Some(w) = w {
+                    w.wake();
+                }
+            }
+        }
+
+        fn drop_receiver(&self) {
+            let mut inner = lock(&self.inner);
+            inner.rx_alive = false;
+            let txs = std::mem::take(&mut inner.tx_wakers);
+            drop(inner);
+            for w in txs {
+                w.wake();
+            }
+        }
+    }
+
+    /// Creates a bounded channel with `cap` buffered messages.
+    pub fn channel<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap > 0, "mpsc bounded channel requires capacity > 0");
+        let chan = Chan::new(Some(cap));
+        (Sender { chan: chan.clone() }, Receiver { chan })
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded_channel<T>() -> (UnboundedSender<T>, UnboundedReceiver<T>) {
+        let chan = Chan::new(None);
+        (UnboundedSender { chan: chan.clone() }, UnboundedReceiver { chan })
+    }
+
+    /// Bounded sender.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> Sender<T> {
+        /// Sends, waiting for capacity.
+        pub async fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut slot = Some(value);
+            std::future::poll_fn(move |cx| {
+                let v = slot.take().expect("polled after completion");
+                match self.chan.try_send(v) {
+                    Ok(()) => Poll::Ready(Ok(())),
+                    Err(TrySendError::Closed(v)) => Poll::Ready(Err(SendError(v))),
+                    Err(TrySendError::Full(v)) => {
+                        slot = Some(v);
+                        lock(&self.chan.inner).tx_wakers.push(cx.waker().clone());
+                        // Re-check: the receiver may have drained between
+                        // the failed try_send and the waker registration.
+                        let v = slot.take().expect("just stored");
+                        match self.chan.try_send(v) {
+                            Ok(()) => Poll::Ready(Ok(())),
+                            Err(TrySendError::Closed(v)) => Poll::Ready(Err(SendError(v))),
+                            Err(TrySendError::Full(v)) => {
+                                slot = Some(v);
+                                Poll::Pending
+                            }
+                        }
+                    }
+                }
+            })
+            .await
+        }
+
+        /// Sends without waiting.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            self.chan.try_send(value)
+        }
+
+        /// Is the receive half gone?
+        pub fn is_closed(&self) -> bool {
+            !lock(&self.chan.inner).rx_alive
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.chan.add_sender();
+            Sender { chan: self.chan.clone() }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            self.chan.drop_sender();
+        }
+    }
+
+    /// Bounded receiver.
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives the next message; `None` once every sender is gone.
+        pub async fn recv(&mut self) -> Option<T> {
+            std::future::poll_fn(|cx| self.chan.poll_recv(cx)).await
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&mut self) -> Result<T, TryRecvError> {
+            self.chan.try_recv()
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.chan.drop_receiver();
+        }
+    }
+
+    /// Unbounded sender.
+    pub struct UnboundedSender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> UnboundedSender<T> {
+        /// Sends; only fails when the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match self.chan.try_send(value) {
+                Ok(()) => Ok(()),
+                Err(e) => Err(SendError(e.into_inner())),
+            }
+        }
+
+        /// Is the receive half gone?
+        pub fn is_closed(&self) -> bool {
+            !lock(&self.chan.inner).rx_alive
+        }
+    }
+
+    impl<T> Clone for UnboundedSender<T> {
+        fn clone(&self) -> UnboundedSender<T> {
+            self.chan.add_sender();
+            UnboundedSender { chan: self.chan.clone() }
+        }
+    }
+
+    impl<T> Drop for UnboundedSender<T> {
+        fn drop(&mut self) {
+            self.chan.drop_sender();
+        }
+    }
+
+    /// Unbounded receiver.
+    pub struct UnboundedReceiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> UnboundedReceiver<T> {
+        /// Receives the next message; `None` once every sender is gone.
+        pub async fn recv(&mut self) -> Option<T> {
+            std::future::poll_fn(|cx| self.chan.poll_recv(cx)).await
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&mut self) -> Result<T, TryRecvError> {
+            self.chan.try_recv()
+        }
+    }
+
+    impl<T> Drop for UnboundedReceiver<T> {
+        fn drop(&mut self) {
+            self.chan.drop_receiver();
+        }
+    }
+}
+
+/// One-shot value channels.
+pub mod oneshot {
+    use crate::runtime::lock;
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::sync::{Arc, Mutex};
+    use std::task::{Context, Poll, Waker};
+
+    /// Oneshot error types.
+    pub mod error {
+        /// The sender was dropped without sending.
+        #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+        pub struct RecvError(pub(crate) ());
+
+        impl std::fmt::Display for RecvError {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "channel closed")
+            }
+        }
+        impl std::error::Error for RecvError {}
+    }
+
+    pub use error::RecvError;
+
+    struct Slot<T> {
+        inner: Mutex<SlotInner<T>>,
+    }
+
+    struct SlotInner<T> {
+        value: Option<T>,
+        tx_alive: bool,
+        rx_alive: bool,
+        rx_waker: Option<Waker>,
+    }
+
+    /// Creates a oneshot channel.
+    pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+        let slot = Arc::new(Slot {
+            inner: Mutex::new(SlotInner {
+                value: None,
+                tx_alive: true,
+                rx_alive: true,
+                rx_waker: None,
+            }),
+        });
+        (Sender { slot: slot.clone() }, Receiver { slot })
+    }
+
+    /// The sending half.
+    pub struct Sender<T> {
+        slot: Arc<Slot<T>>,
+    }
+
+    impl<T> Sender<T> {
+        /// Delivers `value`; returns it back if the receiver is gone.
+        pub fn send(self, value: T) -> Result<(), T> {
+            let mut inner = lock(&self.slot.inner);
+            if !inner.rx_alive {
+                return Err(value);
+            }
+            inner.value = Some(value);
+            let w = inner.rx_waker.take();
+            drop(inner);
+            if let Some(w) = w {
+                w.wake();
+            }
+            Ok(())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = lock(&self.slot.inner);
+            inner.tx_alive = false;
+            let w = inner.rx_waker.take();
+            drop(inner);
+            if let Some(w) = w {
+                w.wake();
+            }
+        }
+    }
+
+    /// The receiving half: a future of the sent value.
+    pub struct Receiver<T> {
+        slot: Arc<Slot<T>>,
+    }
+
+    impl<T> Future for Receiver<T> {
+        type Output = Result<T, RecvError>;
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let mut inner = lock(&self.slot.inner);
+            if let Some(v) = inner.value.take() {
+                return Poll::Ready(Ok(v));
+            }
+            if !inner.tx_alive {
+                return Poll::Ready(Err(RecvError(())));
+            }
+            inner.rx_waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            lock(&self.slot.inner).rx_alive = false;
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Task utilities: `spawn`, `JoinHandle`, `yield_now`.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+
+pub use crate::runtime::{JoinError, JoinHandle};
+
+/// Spawns `fut` onto the runtime the caller is running on.
+pub fn spawn<F>(fut: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    crate::runtime::spawn_current(fut)
+}
+
+/// Yields once back to the scheduler.
+pub async fn yield_now() {
+    struct YieldNow {
+        yielded: bool,
+    }
+    impl Future for YieldNow {
+        type Output = ();
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            if self.yielded {
+                Poll::Ready(())
+            } else {
+                self.yielded = true;
+                cx.waker().wake_by_ref();
+                Poll::Pending
+            }
+        }
+    }
+    YieldNow { yielded: false }.await
+}

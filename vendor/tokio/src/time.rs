@@ -1,0 +1,332 @@
+//! Timers for the vendored tokio stand-in: a paused/real dual clock, a
+//! binary-heap timer queue, `sleep`/`sleep_until`/`timeout`, and the
+//! runtime-bound `Instant`.
+
+use crate::runtime::{context, lock};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+pub use std::time::Duration;
+
+/// The runtime clock: wall time normally, frozen virtual time when
+/// paused (`start_paused` / `time::pause`).
+pub(crate) struct Clock {
+    paused: AtomicBool,
+    inner: Mutex<ClockInner>,
+}
+
+struct ClockInner {
+    origin: std::time::Instant,
+    frozen_nanos: u128,
+}
+
+impl Clock {
+    pub(crate) fn new(paused: bool) -> Clock {
+        Clock {
+            paused: AtomicBool::new(paused),
+            inner: Mutex::new(ClockInner { origin: std::time::Instant::now(), frozen_nanos: 0 }),
+        }
+    }
+
+    pub(crate) fn is_paused(&self) -> bool {
+        self.paused.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn now_nanos(&self) -> u128 {
+        let inner = lock(&self.inner);
+        if self.is_paused() {
+            inner.frozen_nanos
+        } else {
+            inner.origin.elapsed().as_nanos()
+        }
+    }
+
+    /// Paused mode: move the clock forward (never backward).
+    pub(crate) fn set_nanos(&self, nanos: u128) {
+        let mut inner = lock(&self.inner);
+        if nanos > inner.frozen_nanos {
+            inner.frozen_nanos = nanos;
+        }
+    }
+
+    pub(crate) fn pause(&self) {
+        let mut inner = lock(&self.inner);
+        if !self.is_paused() {
+            inner.frozen_nanos = inner.origin.elapsed().as_nanos();
+            self.paused.store(true, Ordering::Release);
+        }
+    }
+
+    pub(crate) fn resume(&self) {
+        let mut inner = lock(&self.inner);
+        if self.is_paused() {
+            let frozen = inner.frozen_nanos;
+            let offset = Duration::from_nanos(frozen.min(u64::MAX as u128) as u64);
+            inner.origin = std::time::Instant::now()
+                .checked_sub(offset)
+                .unwrap_or_else(std::time::Instant::now);
+            self.paused.store(false, Ordering::Release);
+        }
+    }
+
+    pub(crate) fn advance_nanos(&self, nanos: u128) {
+        let mut inner = lock(&self.inner);
+        inner.frozen_nanos += nanos;
+    }
+}
+
+/// The pending-timer heap: deadlines plus cancellable waker slots.
+pub(crate) struct Timers {
+    inner: Mutex<TimerHeap>,
+}
+
+struct TimerHeap {
+    heap: BinaryHeap<Reverse<(u128, u64)>>,
+    wakers: HashMap<u64, Waker>,
+    next_id: u64,
+}
+
+impl Timers {
+    pub(crate) fn new() -> Timers {
+        Timers {
+            inner: Mutex::new(TimerHeap {
+                heap: BinaryHeap::new(),
+                wakers: HashMap::new(),
+                next_id: 0,
+            }),
+        }
+    }
+
+    pub(crate) fn register(&self, deadline_nanos: u128, waker: Waker) -> u64 {
+        let mut t = lock(&self.inner);
+        let id = t.next_id;
+        t.next_id += 1;
+        t.heap.push(Reverse((deadline_nanos, id)));
+        t.wakers.insert(id, waker);
+        id
+    }
+
+    pub(crate) fn update_waker(&self, id: u64, waker: Waker) {
+        let mut t = lock(&self.inner);
+        if let Some(slot) = t.wakers.get_mut(&id) {
+            *slot = waker;
+        }
+    }
+
+    pub(crate) fn cancel(&self, id: u64) {
+        lock(&self.inner).wakers.remove(&id);
+    }
+
+    /// Earliest live deadline, compacting cancelled heap heads.
+    pub(crate) fn earliest(&self) -> Option<u128> {
+        let mut t = lock(&self.inner);
+        while let Some(Reverse((at, id))) = t.heap.peek().copied() {
+            if t.wakers.contains_key(&id) {
+                return Some(at);
+            }
+            t.heap.pop();
+        }
+        None
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.earliest().is_none()
+    }
+
+    /// Pops every timer due at `now_nanos` and returns their wakers.
+    pub(crate) fn take_due(&self, now_nanos: u128) -> Vec<Waker> {
+        let mut due = Vec::new();
+        let mut t = lock(&self.inner);
+        while let Some(Reverse((at, id))) = t.heap.peek().copied() {
+            if at > now_nanos {
+                break;
+            }
+            t.heap.pop();
+            if let Some(w) = t.wakers.remove(&id) {
+                due.push(w);
+            }
+        }
+        due
+    }
+}
+
+/// A measurement of the runtime's clock, opaque and monotonic.
+/// Nanoseconds since the runtime's epoch; meaningful only within one
+/// runtime, which is how the workspace uses it.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Instant {
+    nanos: u128,
+}
+
+impl Instant {
+    /// The current instant of the active runtime's clock (virtual when
+    /// time is paused).
+    pub fn now() -> Instant {
+        Instant { nanos: context::current().clock.now_nanos() }
+    }
+
+    /// Saturating difference, like tokio's (panics never).
+    pub fn duration_since(&self, earlier: Instant) -> Duration {
+        let d = self.nanos.saturating_sub(earlier.nanos);
+        Duration::from_nanos(d.min(u64::MAX as u128) as u64)
+    }
+
+    /// Saturating difference against now.
+    pub fn elapsed(&self) -> Duration {
+        Instant::now().duration_since(*self)
+    }
+
+    /// Checked addition.
+    pub fn checked_add(&self, d: Duration) -> Option<Instant> {
+        self.nanos.checked_add(d.as_nanos()).map(|nanos| Instant { nanos })
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(&self, d: Duration) -> Option<Instant> {
+        self.nanos.checked_sub(d.as_nanos()).map(|nanos| Instant { nanos })
+    }
+}
+
+impl std::ops::Add<Duration> for Instant {
+    type Output = Instant;
+    fn add(self, d: Duration) -> Instant {
+        Instant { nanos: self.nanos + d.as_nanos() }
+    }
+}
+
+impl std::ops::AddAssign<Duration> for Instant {
+    fn add_assign(&mut self, d: Duration) {
+        self.nanos += d.as_nanos();
+    }
+}
+
+impl std::ops::Sub<Duration> for Instant {
+    type Output = Instant;
+    fn sub(self, d: Duration) -> Instant {
+        Instant { nanos: self.nanos.saturating_sub(d.as_nanos()) }
+    }
+}
+
+impl std::ops::Sub<Instant> for Instant {
+    type Output = Duration;
+    fn sub(self, other: Instant) -> Duration {
+        self.duration_since(other)
+    }
+}
+
+/// Future returned by `sleep`/`sleep_until`.
+pub struct Sleep {
+    deadline: Instant,
+    registration: Option<(Arc<crate::runtime::Shared>, u64)>,
+}
+
+impl Sleep {
+    /// The instant this sleep completes.
+    pub fn deadline(&self) -> Instant {
+        self.deadline
+    }
+
+    /// Has the deadline passed?
+    pub fn is_elapsed(&self) -> bool {
+        match &self.registration {
+            Some((shared, _)) => shared.clock.now_nanos() >= self.deadline.nanos,
+            None => false,
+        }
+    }
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        let shared = match &this.registration {
+            Some((s, _)) => s.clone(),
+            None => context::current(),
+        };
+        if shared.clock.now_nanos() >= this.deadline.nanos {
+            if let Some((s, id)) = this.registration.take() {
+                s.timers.cancel(id);
+            }
+            return Poll::Ready(());
+        }
+        match &this.registration {
+            Some((s, id)) => s.timers.update_waker(*id, cx.waker().clone()),
+            None => {
+                let id = shared.timers.register(this.deadline.nanos, cx.waker().clone());
+                this.registration = Some((shared, id));
+            }
+        }
+        Poll::Pending
+    }
+}
+
+impl Drop for Sleep {
+    fn drop(&mut self) {
+        if let Some((s, id)) = self.registration.take() {
+            s.timers.cancel(id);
+        }
+    }
+}
+
+/// Completes `duration` from now.
+pub fn sleep(duration: Duration) -> Sleep {
+    Sleep { deadline: Instant::now() + duration, registration: None }
+}
+
+/// Completes at `deadline`.
+pub fn sleep_until(deadline: Instant) -> Sleep {
+    Sleep { deadline, registration: None }
+}
+
+/// The error of a future that outran its `timeout` budget.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Elapsed(());
+
+impl std::fmt::Display for Elapsed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deadline has elapsed")
+    }
+}
+
+impl std::error::Error for Elapsed {}
+
+/// Limits `fut` to `duration`, biased toward the future at ties.
+pub async fn timeout<F: Future>(duration: Duration, fut: F) -> Result<F::Output, Elapsed> {
+    let mut sleep = std::pin::pin!(sleep(duration));
+    let mut fut = std::pin::pin!(fut);
+    std::future::poll_fn(move |cx| {
+        if let Poll::Ready(v) = fut.as_mut().poll(cx) {
+            return Poll::Ready(Ok(v));
+        }
+        if sleep.as_mut().poll(cx).is_ready() {
+            return Poll::Ready(Err(Elapsed(())));
+        }
+        Poll::Pending
+    })
+    .await
+}
+
+/// Freezes the active runtime's clock at its current reading.
+pub fn pause() {
+    context::current().clock.pause();
+}
+
+/// Unfreezes a paused clock back onto wall time.
+pub fn resume() {
+    context::current().clock.resume();
+}
+
+/// Moves a paused clock forward by `duration` and yields so due timers
+/// fire before the caller resumes.
+pub async fn advance(duration: Duration) {
+    let shared = context::current();
+    assert!(shared.clock.is_paused(), "time::advance requires a paused clock");
+    shared.clock.advance_nanos(duration.as_nanos());
+    crate::task::yield_now().await;
+}
