@@ -67,8 +67,7 @@ mod tests {
         // only in degenerate cases.
         let g = generate::waxman(Default::default(), 3);
         let members: Vec<NodeId> = (10..30).map(NodeId).collect();
-        let star_total: u64 =
-            unicast_star_loads(&g, NodeId(0), &members).values().sum();
+        let star_total: u64 = unicast_star_loads(&g, NodeId(0), &members).values().sum();
         let tree = crate::spt::source_tree(&g, NodeId(0), &members);
         assert!(star_total >= tree.total_weight());
     }

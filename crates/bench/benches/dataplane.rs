@@ -88,7 +88,10 @@ fn on_tree_engine(mode: ForwardingMode) -> CbtRouter {
     b.link(me, down, 1);
     let net = b.build();
     let mut routes = BTreeMap::new();
-    routes.insert(core(), Hop { iface: IfIndex(1), router: RouterId(1), addr: parent_addr(), dist: 1 });
+    routes.insert(
+        core(),
+        Hop { iface: IfIndex(1), router: RouterId(1), addr: parent_addr(), dist: 1 },
+    );
     let mut e = CbtRouter::new(
         &net,
         me,
@@ -170,7 +173,13 @@ fn bench_dataplane(c: &mut Criterion) {
         let per = steady_state_allocs(
             || {
                 act.clear();
-                e.handle_native_data(SimTime::from_secs(2), IfIndex(1), parent_addr(), pkt.clone(), &mut act);
+                e.handle_native_data(
+                    SimTime::from_secs(2),
+                    IfIndex(1),
+                    parent_addr(),
+                    pkt.clone(),
+                    &mut act,
+                );
             },
             10_000,
         );
@@ -187,7 +196,13 @@ fn bench_dataplane(c: &mut Criterion) {
         let per = steady_state_allocs(
             || {
                 act.clear();
-                e.handle_native_data(SimTime::from_secs(2), IfIndex(0), host_src, pkt.clone(), &mut act);
+                e.handle_native_data(
+                    SimTime::from_secs(2),
+                    IfIndex(0),
+                    host_src,
+                    pkt.clone(),
+                    &mut act,
+                );
             },
             10_000,
         );
@@ -208,7 +223,13 @@ fn bench_dataplane(c: &mut Criterion) {
         let per = steady_state_allocs(
             || {
                 act.clear();
-                e.handle_cbt_data(SimTime::from_secs(2), IfIndex(1), parent_addr(), enc.clone(), &mut act);
+                e.handle_cbt_data(
+                    SimTime::from_secs(2),
+                    IfIndex(1),
+                    parent_addr(),
+                    enc.clone(),
+                    &mut act,
+                );
             },
             10_000,
         );
@@ -226,7 +247,13 @@ fn bench_dataplane(c: &mut Criterion) {
         let per = steady_state_allocs(
             || {
                 act.clear();
-                e.handle_native_data(SimTime::from_secs(2), IfIndex(0), host_src, pkt.clone(), &mut act);
+                e.handle_native_data(
+                    SimTime::from_secs(2),
+                    IfIndex(0),
+                    host_src,
+                    pkt.clone(),
+                    &mut act,
+                );
             },
             10_000,
         );

@@ -34,7 +34,12 @@ fn engine_with_routes() -> CbtRouter {
     let mut routes = BTreeMap::new();
     routes.insert(
         core(),
-        Hop { iface: IfIndex(1), router: RouterId(1), addr: Addr::from_octets(172, 31, 0, 2), dist: 1 },
+        Hop {
+            iface: IfIndex(1),
+            router: RouterId(1),
+            addr: Addr::from_octets(172, 31, 0, 2),
+            dist: 1,
+        },
     );
     CbtRouter::new(&net, me, CbtConfig::default(), Box::new(FixedRoutes(routes)), SimTime::ZERO)
 }

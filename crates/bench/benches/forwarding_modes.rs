@@ -39,7 +39,12 @@ fn on_tree_engine(mode: ForwardingMode) -> CbtRouter {
     let mut routes = BTreeMap::new();
     routes.insert(
         core(),
-        Hop { iface: IfIndex(1), router: RouterId(1), addr: Addr::from_octets(172, 31, 0, 2), dist: 1 },
+        Hop {
+            iface: IfIndex(1),
+            router: RouterId(1),
+            addr: Addr::from_octets(172, 31, 0, 2),
+            dist: 1,
+        },
     );
     let mut e = CbtRouter::new(
         &net,
@@ -96,8 +101,7 @@ fn on_tree_engine(mode: ForwardingMode) -> CbtRouter {
 }
 
 fn bench_modes(c: &mut Criterion) {
-    for (name, mode) in
-        [("native", ForwardingMode::Native), ("cbt_mode", ForwardingMode::CbtMode)]
+    for (name, mode) in [("native", ForwardingMode::Native), ("cbt_mode", ForwardingMode::CbtMode)]
     {
         let mut engine = on_tree_engine(mode);
         let pkt = DataPacket::new(Addr::from_octets(10, 1, 0, 100), group(), 32, vec![0u8; 512]);
@@ -106,7 +110,13 @@ fn bench_modes(c: &mut Criterion) {
         // the wire.
         let host_src = Addr::from_octets(10, 1, 0, 100);
         let mut actions = Vec::new();
-        engine.handle_native_data(SimTime::from_secs(2), IfIndex(0), host_src, pkt.clone(), &mut actions);
+        engine.handle_native_data(
+            SimTime::from_secs(2),
+            IfIndex(0),
+            host_src,
+            pkt.clone(),
+            &mut actions,
+        );
         let wire_bytes: usize = actions
             .iter()
             .map(|a| match a {

@@ -9,10 +9,7 @@ fn bench_waxman(c: &mut Criterion) {
     for n in [50usize, 200] {
         c.bench_function(&format!("graph/waxman_n{n}"), |b| {
             b.iter(|| {
-                generate::waxman(
-                    generate::WaxmanParams { n, ..Default::default() },
-                    black_box(42),
-                )
+                generate::waxman(generate::WaxmanParams { n, ..Default::default() }, black_box(42))
             })
         });
     }

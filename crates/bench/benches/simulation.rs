@@ -24,8 +24,18 @@ fn bench_figure1_walkthrough(c: &mut Criterion) {
                 WorldConfig { record_trace: false, ..Default::default() },
             );
             for h in [
-                fig.hosts.a, fig.hosts.b, fig.hosts.c, fig.hosts.d, fig.hosts.e, fig.hosts.f,
-                fig.hosts.g, fig.hosts.h, fig.hosts.i, fig.hosts.j, fig.hosts.k, fig.hosts.l,
+                fig.hosts.a,
+                fig.hosts.b,
+                fig.hosts.c,
+                fig.hosts.d,
+                fig.hosts.e,
+                fig.hosts.f,
+                fig.hosts.g,
+                fig.hosts.h,
+                fig.hosts.i,
+                fig.hosts.j,
+                fig.hosts.k,
+                fig.hosts.l,
             ] {
                 cw.host(h).join_at(SimTime::from_secs(1), group, cores.clone());
             }
@@ -42,8 +52,7 @@ fn bench_figure1_walkthrough(c: &mut Criterion) {
 fn bench_waxman_convergence(c: &mut Criterion) {
     c.bench_function("sim/waxman30_converge", |b| {
         b.iter(|| {
-            let graph =
-                generate::waxman(generate::WaxmanParams { n: 30, ..Default::default() }, 3);
+            let graph = generate::waxman(generate::WaxmanParams { n: 30, ..Default::default() }, 3);
             let net = NetworkSpec::from_graph_with_stub_lans(&graph);
             let core = net.router_addr(cbt_topology::RouterId(0));
             let group = GroupId::numbered(1);

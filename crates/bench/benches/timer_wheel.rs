@@ -102,7 +102,12 @@ fn loaded_engine(cfg: CbtConfig, groups: usize) -> CbtRouter {
     let mut routes = BTreeMap::new();
     routes.insert(
         core(),
-        Hop { iface: IfIndex(1), router: RouterId(1), addr: Addr::from_octets(172, 31, 0, 2), dist: 1 },
+        Hop {
+            iface: IfIndex(1),
+            router: RouterId(1),
+            addr: Addr::from_octets(172, 31, 0, 2),
+            dist: 1,
+        },
     );
     let mut e = CbtRouter::new(&net, me, cfg, Box::new(FixedRoutes(routes)), SimTime::ZERO);
     for n in 0..groups {

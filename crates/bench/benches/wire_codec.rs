@@ -1,11 +1,11 @@
 //! Spec-E7 bench: wire-format encode/decode throughput for every CBT
 //! packet format (§8).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use cbt_wire::{
     Addr, CbtDataHeader, CbtDataPacket, ControlMessage, DataPacket, GroupId, IgmpMessage,
     JoinSubcode,
 };
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
 fn sample_join() -> ControlMessage {
     ControlMessage::JoinRequest {
@@ -19,10 +19,10 @@ fn sample_join() -> ControlMessage {
 
 fn bench_control(c: &mut Criterion) {
     let msg = sample_join();
-    let bytes = msg.encode();
+    let bytes = msg.encode().unwrap();
     let mut g = c.benchmark_group("control");
     g.throughput(Throughput::Bytes(bytes.len() as u64));
-    g.bench_function("encode_join", |b| b.iter(|| black_box(&msg).encode()));
+    g.bench_function("encode_join", |b| b.iter(|| black_box(&msg).encode().unwrap()));
     g.bench_function("decode_join", |b| {
         b.iter(|| ControlMessage::decode(black_box(&bytes)).unwrap())
     });
@@ -65,8 +65,11 @@ fn bench_full_datagram(c: &mut Criterion) {
             vec![0xab; size],
         );
         let enc = CbtDataPacket::encapsulate(&native, Addr::from_octets(10, 255, 0, 4));
-        let wire =
-            enc.wrap_unicast(Addr::from_octets(172, 31, 0, 1), Addr::from_octets(172, 31, 0, 2), None);
+        let wire = enc.wrap_unicast(
+            Addr::from_octets(172, 31, 0, 1),
+            Addr::from_octets(172, 31, 0, 2),
+            None,
+        );
         let mut g = c.benchmark_group(format!("datagram_{size}B"));
         g.throughput(Throughput::Bytes(wire.len() as u64));
         g.bench_function("unwrap_outer", |b| {

@@ -165,9 +165,7 @@ mod tests {
     fn builder_helpers() {
         let g = GroupId::numbered(1);
         let cores = vec![Addr::from_octets(10, 255, 0, 3)];
-        let c = CbtConfig::fast()
-            .with_mapping(g, cores.clone())
-            .with_mode(ForwardingMode::CbtMode);
+        let c = CbtConfig::fast().with_mapping(g, cores.clone()).with_mode(ForwardingMode::CbtMode);
         assert_eq!(c.managed_mappings[&g], cores);
         assert_eq!(c.mode, ForwardingMode::CbtMode);
         assert_eq!(CbtConfig::cbt_mode().mode, ForwardingMode::CbtMode);

@@ -13,6 +13,7 @@ use crate::pending::PendingJoins;
 use crate::timers::TimerService;
 use cbt_igmp::{GroupPresence, IgmpOut, PresenceEvent, QuerierElection};
 use cbt_netsim::SimTime;
+use cbt_obs::{CtlKind, ObsSnapshot, RouterObs};
 use cbt_routing::{FailureSet, Hop, Rib};
 use cbt_topology::{Attachment, IfIndex, LanId, NetworkSpec, RouterId};
 use cbt_wire::{Addr, ControlMessage, GroupId, IgmpMessage};
@@ -148,8 +149,8 @@ impl EngineTimers {
         }
     }
 
-    fn pop_due(&mut self, now: SimTime) -> Vec<TimerKind> {
-        self.svc.pop_due(now)
+    fn pop_due_with_deadline(&mut self, now: SimTime) -> Vec<(TimerKind, SimTime)> {
+        self.svc.pop_due_with_deadline(now)
     }
 
     fn peek(&self) -> Option<SimTime> {
@@ -210,6 +211,10 @@ pub struct CbtRouter {
     /// tuples for removed children are harmless.
     pub(crate) child_expiry: BTreeSet<(SimTime, GroupId, Addr)>,
     pub(crate) stats: RouterStats,
+    /// Observability counters: the drop-reason taxonomy, per-group
+    /// protocol counters and latency histograms every path reports
+    /// into. Plain data — bumping is hot-path safe.
+    pub(crate) obs: RouterObs,
     /// Data-plane memo: the last group's dense FIB slot plus the FIB
     /// generation it was resolved at. A burst of packets to one group
     /// pays the ordered FIB lookup once (see [`Fib::slot`]).
@@ -283,6 +288,7 @@ impl CbtRouter {
             parent_index: BTreeMap::new(),
             child_expiry: BTreeSet::new(),
             stats: RouterStats::default(),
+            obs: RouterObs::new(),
             data_slot_memo: None,
             scratch_ifaces: Vec::new(),
             scratch_neighbors: Vec::new(),
@@ -373,27 +379,59 @@ impl CbtRouter {
         self.stats
     }
 
+    /// Observability counters (drop taxonomy, per-group protocol
+    /// counters, latency histograms).
+    pub fn obs(&self) -> &RouterObs {
+        &self.obs
+    }
+
+    /// Mutable observability access, for host layers (the simulator
+    /// node, the live plane) that classify drops the engine never sees
+    /// — decode failures, checksum rejections.
+    pub fn obs_mut(&mut self) -> &mut RouterObs {
+        &mut self.obs
+    }
+
+    /// Exportable snapshot of this router's counters, labelled with
+    /// its router address.
+    pub fn obs_snapshot(&self) -> ObsSnapshot {
+        self.obs.snapshot(&self.id_addr.to_string())
+    }
+
     /// The configuration in force.
     pub fn config(&self) -> &CbtConfig {
         &self.cfg
     }
 
     /// Cores known for `group`: learned knowledge first, then managed
-    /// mappings (§2.4).
+    /// mappings (§2.4). Never longer than [`cbt_wire::header::MAX_CORES`]
+    /// — anything past the encodable bound is dropped here so the
+    /// engine can never construct a control message the wire rejects.
     pub fn cores_for(&self, group: GroupId) -> Option<Vec<Addr>> {
         self.core_knowledge
             .get(&group)
             .cloned()
             .or_else(|| self.cfg.managed_mappings.get(&group).cloned())
+            .map(|mut c| {
+                c.truncate(cbt_wire::header::MAX_CORES);
+                c
+            })
             .filter(|c| !c.is_empty())
     }
 
     /// Records a core list for a group, as the engine does when any
     /// message carrying one arrives. Public because harnesses use it to
     /// model out-of-band `<core, group>` advertisement (§2.1).
+    ///
+    /// Lists longer than [`cbt_wire::header::MAX_CORES`] are truncated
+    /// (primary first, so the highest-ranked cores survive): the wire
+    /// format cannot carry them, and rejecting here keeps every later
+    /// encode infallible. Lists arriving off the wire already satisfy
+    /// the bound — decode enforces it.
     pub fn learn_cores(&mut self, group: GroupId, cores: &[Addr]) {
         if !cores.is_empty() {
-            self.core_knowledge.insert(group, cores.to_vec());
+            let keep = cores.len().min(cbt_wire::header::MAX_CORES);
+            self.core_knowledge.insert(group, cores[..keep].to_vec());
         }
     }
 
@@ -436,14 +474,33 @@ impl CbtRouter {
         if self.is_my_addr(src) {
             return act;
         }
+        self.obs.ctl_received(msg.group().addr().0, ctl_kind(msg.control_type()));
         match msg {
             ControlMessage::JoinRequest { subcode, group, origin, target_core, cores } => {
                 self.on_join_request(
-                    now, iface, src, subcode, group, origin, target_core, &cores, &mut act,
+                    now,
+                    iface,
+                    src,
+                    subcode,
+                    group,
+                    origin,
+                    target_core,
+                    &cores,
+                    &mut act,
                 );
             }
             ControlMessage::JoinAck { subcode, group, origin, target_core, cores } => {
-                self.on_join_ack(now, iface, src, subcode, group, origin, target_core, &cores, &mut act);
+                self.on_join_ack(
+                    now,
+                    iface,
+                    src,
+                    subcode,
+                    group,
+                    origin,
+                    target_core,
+                    &cores,
+                    &mut act,
+                );
             }
             ControlMessage::JoinNack { group, .. } => {
                 self.on_join_nack(now, iface, src, group, &mut act);
@@ -499,10 +556,7 @@ impl CbtRouter {
         // already live (the earlier RP/Core-Report was lost): join now
         // instead of waiting for the IFF-scan safety net.
         if let IgmpMessage::RpCore(r) = &msg {
-            let live = self
-                .lans
-                .get(&iface)
-                .is_some_and(|l| l.presence.has_members(r.group));
+            let live = self.lans.get(&iface).is_some_and(|l| l.presence.has_members(r.group));
             let handled = self.fib.on_tree(r.group)
                 || self.pending.contains(r.group)
                 || self.proxy_handled.contains_key(&(iface, r.group));
@@ -612,7 +666,12 @@ impl CbtRouter {
         let mut quit_due: BTreeSet<GroupId> = BTreeSet::new();
         let mut sweep_due = false;
         let mut scan_due = false;
-        for kind in self.timers.pop_due(now) {
+        for (kind, deadline) in self.timers.pop_due_with_deadline(now) {
+            // Wakeup lag: how far past its armed deadline each timer
+            // actually fired. In the simulator this is 0 unless wakes
+            // coalesce; under the live runtime it measures scheduling
+            // latency.
+            self.obs.timer_lag_us.record(now.since(deadline).micros());
             match kind {
                 TimerKind::Lan(i) => {
                     lan_due.insert(i);
@@ -819,7 +878,22 @@ impl CbtRouter {
             cbt_wire::ControlType::EchoReply => self.stats.echo_replies_sent += 1,
             cbt_wire::ControlType::QuitAck => {}
         }
+        self.obs.ctl_sent(msg.group().addr().0, ctl_kind(msg.control_type()));
         act.push(RouterAction::SendControl { iface, dst, msg });
+    }
+}
+
+/// Maps a wire-level control type onto its observability class.
+pub(crate) fn ctl_kind(t: cbt_wire::ControlType) -> CtlKind {
+    match t {
+        cbt_wire::ControlType::JoinRequest => CtlKind::JoinRequest,
+        cbt_wire::ControlType::JoinAck => CtlKind::JoinAck,
+        cbt_wire::ControlType::JoinNack => CtlKind::JoinNack,
+        cbt_wire::ControlType::QuitRequest => CtlKind::QuitRequest,
+        cbt_wire::ControlType::QuitAck => CtlKind::QuitAck,
+        cbt_wire::ControlType::FlushTree => CtlKind::FlushTree,
+        cbt_wire::ControlType::EchoRequest => CtlKind::EchoRequest,
+        cbt_wire::ControlType::EchoReply => CtlKind::EchoReply,
     }
 }
 

@@ -69,9 +69,8 @@ impl RouterAction {
                 IgmpMessage::RpCore(r) => Some(r.group),
             },
             RouterAction::SendNativeData { pkt, .. } => Some(pkt.group),
-            RouterAction::SendCbtUnicast { pkt, .. } | RouterAction::SendCbtMulticast { pkt, .. } => {
-                Some(pkt.cbt.group)
-            }
+            RouterAction::SendCbtUnicast { pkt, .. }
+            | RouterAction::SendCbtMulticast { pkt, .. } => Some(pkt.cbt.group),
         }
     }
 }

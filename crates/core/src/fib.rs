@@ -213,9 +213,7 @@ impl Fib {
 
     /// All (group, entry) pairs, sorted by group.
     pub fn iter(&self) -> impl Iterator<Item = (GroupId, &FibEntry)> {
-        self.index
-            .iter()
-            .map(|(g, &s)| (*g, self.slots[s].as_ref().expect("indexed slot is live")))
+        self.index.iter().map(|(g, &s)| (*g, self.slots[s].as_ref().expect("indexed slot is live")))
     }
 
     /// Mutable iteration, sorted by group. (Control-plane only — the
@@ -223,9 +221,7 @@ impl Fib {
     pub fn iter_mut(&mut self) -> impl Iterator<Item = (GroupId, &mut FibEntry)> {
         let mut refs: Vec<Option<&mut FibEntry>> =
             self.slots.iter_mut().map(|o| o.as_mut()).collect();
-        self.index
-            .iter()
-            .map(move |(g, &s)| (*g, refs[s].take().expect("indexed slot is live")))
+        self.index.iter().map(move |(g, &s)| (*g, refs[s].take().expect("indexed slot is live")))
     }
 
     /// Number of entries — the "state per router" metric of experiment
@@ -310,7 +306,12 @@ mod tests {
     #[test]
     fn tree_iface_and_parent_tests() {
         let mut e = FibEntry {
-            parent: Some(Parent { addr: a(9), iface: IfIndex(3), last_reply: t(0), next_echo: t(30) }),
+            parent: Some(Parent {
+                addr: a(9),
+                iface: IfIndex(3),
+                last_reply: t(0),
+                next_echo: t(30),
+            }),
             ..Default::default()
         };
         e.add_child(a(1), IfIndex(0), t(0));

@@ -12,6 +12,7 @@ use crate::config::ForwardingMode;
 use crate::engine::CbtRouter;
 use crate::events::RouterAction;
 use cbt_netsim::SimTime;
+use cbt_obs::DropReason;
 use cbt_topology::IfIndex;
 use cbt_wire::header::{OFF_TREE, ON_TREE};
 use cbt_wire::{Addr, CbtDataPacket, DataPacket, GroupId};
@@ -31,6 +32,7 @@ impl CbtRouter {
     ) {
         if pkt.ttl == 0 {
             self.stats.data_discarded += 1;
+            self.obs.drop_packet(DropReason::TtlExpired);
             return;
         }
         let group = pkt.group;
@@ -55,8 +57,7 @@ impl CbtRouter {
             //
             // Everyone else discards, or the tree carries duplicates.
             let responsible = self.is_gdr(iface, group)
-                || (self.i_am_dr(iface, now)
-                    && !self.proxy_handled.contains_key(&(iface, group)));
+                || (self.i_am_dr(iface, now) && !self.proxy_handled.contains_key(&(iface, group)));
             let arrival_is_tree = slot.is_some_and(|s| self.fib.at(s).is_tree_iface(iface));
             if slot.is_some() && (responsible || arrival_is_tree) {
                 self.forward_over_tree(now, group, &pkt, Some(iface), None, act);
@@ -66,6 +67,14 @@ impl CbtRouter {
                 self.send_toward_core(group, &pkt, act);
             } else {
                 self.stats.data_discarded += 1;
+                // A responsible router with no tree has no FIB state to
+                // forward with; an unresponsible one is outside its
+                // scope — another router owns this LAN's attachment.
+                self.obs.drop_packet(if responsible {
+                    DropReason::NoFibEntry
+                } else {
+                    DropReason::ScopeBoundary
+                });
             }
             return;
         }
@@ -85,6 +94,7 @@ impl CbtRouter {
             self.forward_over_tree(now, group, &pkt, Some(iface), None, act);
         } else {
             self.stats.data_discarded += 1;
+            self.obs.drop_packet(DropReason::ScopeBoundary);
         }
     }
 
@@ -112,6 +122,7 @@ impl CbtRouter {
             });
             if !valid {
                 self.stats.data_discarded += 1;
+                self.obs.drop_packet(DropReason::ScopeBoundary);
                 return;
             }
             self.span_cbt(now, group, pkt, Some(outer_src), Some(arrival), act);
@@ -125,6 +136,7 @@ impl CbtRouter {
                 // We are the target core but have no tree (no members
                 // ever joined): nowhere to deliver.
                 self.stats.data_discarded += 1;
+                self.obs.drop_packet(DropReason::NoFibEntry);
             }
         }
     }
@@ -134,6 +146,7 @@ impl CbtRouter {
     fn send_toward_core(&mut self, group: GroupId, pkt: &DataPacket, act: &mut Vec<RouterAction>) {
         let Some(cores) = self.cores_for(group) else {
             self.stats.data_discarded += 1;
+            self.obs.drop_packet(DropReason::NoFibEntry);
             return;
         };
         // First reachable core wins.
@@ -142,11 +155,13 @@ impl CbtRouter {
                 let mut enc = CbtDataPacket::encapsulate(pkt, core);
                 enc.cbt.on_tree = OFF_TREE;
                 self.stats.data_forwarded += 1;
+                self.obs.data_forwarded += 1;
                 act.push(RouterAction::SendCbtUnicast { iface: hop.iface, dst: core, pkt: enc });
                 return;
             }
         }
         self.stats.data_discarded += 1;
+        self.obs.drop_packet(DropReason::NoFibEntry);
     }
 
     /// Spans the tree with a packet that is on it, in the configured
@@ -188,10 +203,20 @@ impl CbtRouter {
         skip_iface: Option<IfIndex>,
         act: &mut Vec<RouterAction>,
     ) {
-        let Some(slot) = self.fib_slot_cached(group) else { return };
-        if pkt.ttl <= 1 {
-            // Decrementing would kill it; nothing to forward.
+        let Some(slot) = self.fib_slot_cached(group) else {
+            // Unreachable from the guarded call sites (they check the
+            // slot first), but a FIB miss here must never be silent.
             self.stats.data_discarded += 1;
+            self.obs.drop_packet(DropReason::NoFibEntry);
+            return;
+        };
+        if pkt.ttl <= 1 {
+            // §5 boundary, unified with the CBT path: every native
+            // re-send decrements, so a ttl=1 packet cannot travel
+            // further — its LAN of arrival already heard the original
+            // broadcast, which is the §4 local delivery.
+            self.stats.data_discarded += 1;
+            self.obs.drop_packet(DropReason::TtlExpired);
             return;
         }
         let mut ifaces = std::mem::take(&mut self.scratch_ifaces);
@@ -225,6 +250,15 @@ impl CbtRouter {
         self.scratch_ifaces = ifaces;
         if sent > 0 {
             self.stats.data_forwarded += 1;
+            self.obs.data_forwarded += 1;
+            // Member-LAN sends among the fan-out count as deliveries.
+            let delivered = self.scratch_ifaces.iter().any(|i| {
+                self.lans.get(i).is_some_and(|l| l.presence.has_members(group))
+                    && self.is_gdr(*i, group)
+            });
+            if delivered {
+                self.obs.data_delivered += 1;
+            }
         }
     }
 
@@ -242,13 +276,28 @@ impl CbtRouter {
         act: &mut Vec<RouterAction>,
     ) {
         // §5/§8.1: the CBT header TTL is decremented by every CBT hop.
+        // A packet arriving with ttl <= 1 has no hop left to spend: it
+        // neither transits nor reaches local member LANs, exactly as a
+        // native packet expiring at this router would not — the TTL
+        // radius is hop-for-hop identical in both modes (pinned by
+        // tests/ttl_scoping.rs). §5's "inner TTL forced to 1" applies
+        // to the decapsulated copy of a packet that still has hops, not
+        // to one that already expired in flight. The same `ttl <= 1 ⇒
+        // expired` boundary governs native transit; both count the loss.
         if pkt.cbt.ip_ttl <= 1 {
+            self.obs.drop_packet(DropReason::TtlExpired);
             self.stats.data_discarded += 1;
             return;
         }
         pkt.cbt.ip_ttl -= 1;
-        let Some(slot) = self.fib_slot_cached(group) else { return };
+        let Some(slot) = self.fib_slot_cached(group) else {
+            // Unreachable from the guarded call sites, but never silent.
+            self.stats.data_discarded += 1;
+            self.obs.drop_packet(DropReason::NoFibEntry);
+            return;
+        };
 
+        let mut forwarded = false;
         // Collect tree neighbours, then group by interface (ascending,
         // matching the order of the BTreeMap this replaced).
         let mut neighbors = std::mem::take(&mut self.scratch_neighbors);
@@ -268,7 +317,6 @@ impl CbtRouter {
         }
         neighbors.sort_unstable_by_key(|(iface, _)| *iface);
 
-        let mut forwarded = false;
         let mut i = 0;
         while i < neighbors.len() {
             let iface = neighbors[i].0;
@@ -283,8 +331,8 @@ impl CbtRouter {
                     pkt: pkt.clone(),
                 });
             } else {
-                // §5 "CBT multicasting": several tree neighbours behind
-                // one interface.
+                // §5 "CBT multicasting": several tree neighbours
+                // behind one interface.
                 act.push(RouterAction::SendCbtMulticast { iface, pkt: pkt.clone() });
             }
             forwarded = true;
@@ -295,16 +343,17 @@ impl CbtRouter {
         // Member subnets: decapsulate, inner TTL forced to 1 (§5).
         // Zero-copy: the delivered payload views the encapsulated inner
         // datagram's refcounted buffer.
+        let mut delivered = false;
         if let Ok(native) = pkt.decapsulate_for_delivery() {
             for (&lan, l) in &self.lans {
                 if l.presence.has_members(group) && self.is_gdr(lan, group) {
                     // Never send the packet back onto its source subnet
                     // ("S10 received the IP style packet already from
                     // the originator", §5).
-                    let src_is_here =
-                        self.iface(lan).is_some_and(|i| i.contains(native.src));
+                    let src_is_here = self.iface(lan).is_some_and(|i| i.contains(native.src));
                     if !src_is_here {
                         act.push(RouterAction::SendNativeData { iface: lan, pkt: native.clone() });
+                        delivered = true;
                         forwarded = true;
                     }
                 }
@@ -312,6 +361,10 @@ impl CbtRouter {
         }
         if forwarded {
             self.stats.data_forwarded += 1;
+            self.obs.data_forwarded += 1;
+            if delivered {
+                self.obs.data_delivered += 1;
+            }
         }
     }
 }
@@ -415,7 +468,8 @@ mod tests {
     #[test]
     fn local_packet_fans_up_and_down_but_not_back() {
         let mut e = full_tree_engine(CbtConfig::default());
-        let act = native_data(&mut e, t(5), IfIndex(0), Addr::from_octets(10, 1, 0, 100), host_pkt(16));
+        let act =
+            native_data(&mut e, t(5), IfIndex(0), Addr::from_octets(10, 1, 0, 100), host_pkt(16));
         let ifaces: Vec<IfIndex> = act
             .iter()
             .filter_map(|a| match a {
@@ -461,10 +515,22 @@ mod tests {
         // Callers drain one reusable buffer; the handler must append.
         let mut e = full_tree_engine(CbtConfig::default());
         let mut act = Vec::new();
-        e.handle_native_data(t(5), IfIndex(0), Addr::from_octets(10, 1, 0, 100), host_pkt(16), &mut act);
+        e.handle_native_data(
+            t(5),
+            IfIndex(0),
+            Addr::from_octets(10, 1, 0, 100),
+            host_pkt(16),
+            &mut act,
+        );
         let first = act.len();
         assert!(first >= 2);
-        e.handle_native_data(t(6), IfIndex(0), Addr::from_octets(10, 1, 0, 100), host_pkt(16), &mut act);
+        e.handle_native_data(
+            t(6),
+            IfIndex(0),
+            Addr::from_octets(10, 1, 0, 100),
+            host_pkt(16),
+            &mut act,
+        );
         assert_eq!(act.len(), first * 2, "second packet appends after the first");
     }
 
@@ -499,9 +565,17 @@ mod tests {
     #[test]
     fn ttl_expiry_discards() {
         let mut e = full_tree_engine(CbtConfig::default());
-        let act = native_data(&mut e, t(5), IfIndex(0), Addr::from_octets(10, 1, 0, 100), host_pkt(1));
+        let act =
+            native_data(&mut e, t(5), IfIndex(0), Addr::from_octets(10, 1, 0, 100), host_pkt(1));
         assert!(act.is_empty(), "TTL 1 cannot be forwarded");
-        assert!(native_data(&mut e, t(5), IfIndex(0), Addr::from_octets(10, 1, 0, 100), host_pkt(0)).is_empty());
+        assert!(native_data(
+            &mut e,
+            t(5),
+            IfIndex(0),
+            Addr::from_octets(10, 1, 0, 100),
+            host_pkt(0)
+        )
+        .is_empty());
         assert_eq!(e.stats().data_discarded, 2);
     }
 
@@ -509,7 +583,8 @@ mod tests {
     fn unknown_group_from_host_without_dr_role_is_dropped() {
         let mut e = engine(CbtConfig::default());
         // No cores known, but we are the DR: nothing can be done.
-        let act = native_data(&mut e, t(5), IfIndex(0), Addr::from_octets(10, 1, 0, 100), host_pkt(16));
+        let act =
+            native_data(&mut e, t(5), IfIndex(0), Addr::from_octets(10, 1, 0, 100), host_pkt(16));
         assert!(act.is_empty());
         assert_eq!(e.stats().data_discarded, 1);
     }
@@ -523,7 +598,8 @@ mod tests {
         e.learn_cores(g(), &[core_a()]);
         // Off-tree, D-DR of if0, host sends to a group with no local
         // members: §5.1/§5.3.
-        let act = native_data(&mut e, t(5), IfIndex(0), Addr::from_octets(10, 1, 0, 100), host_pkt(16));
+        let act =
+            native_data(&mut e, t(5), IfIndex(0), Addr::from_octets(10, 1, 0, 100), host_pkt(16));
         assert_eq!(act.len(), 1);
         match &act[0] {
             RouterAction::SendCbtUnicast { iface, dst, pkt } => {
@@ -545,14 +621,16 @@ mod tests {
         set_routes(&mut e, map);
         e.learn_cores(g(), &[core_a()]);
         e.proxy_handled.insert((IfIndex(0), g()), Addr::from_octets(10, 1, 0, 2));
-        let act = native_data(&mut e, t(5), IfIndex(0), Addr::from_octets(10, 1, 0, 100), host_pkt(16));
+        let act =
+            native_data(&mut e, t(5), IfIndex(0), Addr::from_octets(10, 1, 0, 100), host_pkt(16));
         assert!(act.is_empty(), "the G-DR on the LAN forwards; we must not duplicate");
     }
 
     #[test]
     fn cbt_mode_local_packet_spans_with_unicasts() {
         let mut e = full_tree_engine(CbtConfig::cbt_mode());
-        let act = native_data(&mut e, t(5), IfIndex(0), Addr::from_octets(10, 1, 0, 100), host_pkt(16));
+        let act =
+            native_data(&mut e, t(5), IfIndex(0), Addr::from_octets(10, 1, 0, 100), host_pkt(16));
         let unicasts: Vec<(&IfIndex, &Addr)> = act
             .iter()
             .filter_map(|a| match a {
@@ -585,15 +663,17 @@ mod tests {
                 cores: vec![core_a()],
             },
         );
-        let act = native_data(&mut e, t(5), IfIndex(0), Addr::from_octets(10, 1, 0, 100), host_pkt(16));
-        assert!(act.iter().any(|a| matches!(
-            a,
-            RouterAction::SendCbtMulticast { iface: IfIndex(2), .. }
-        )), "two children on if2 ⇒ CBT multicast (§5)");
-        assert!(act.iter().any(|a| matches!(
-            a,
-            RouterAction::SendCbtUnicast { iface: IfIndex(1), .. }
-        )), "parent alone on if1 ⇒ CBT unicast");
+        let act =
+            native_data(&mut e, t(5), IfIndex(0), Addr::from_octets(10, 1, 0, 100), host_pkt(16));
+        assert!(
+            act.iter()
+                .any(|a| matches!(a, RouterAction::SendCbtMulticast { iface: IfIndex(2), .. })),
+            "two children on if2 ⇒ CBT multicast (§5)"
+        );
+        assert!(
+            act.iter().any(|a| matches!(a, RouterAction::SendCbtUnicast { iface: IfIndex(1), .. })),
+            "parent alone on if1 ⇒ CBT unicast"
+        );
     }
 
     #[test]
@@ -603,20 +683,21 @@ mod tests {
         let mut enc = CbtDataPacket::encapsulate(&native, core_a());
         enc.cbt.on_tree = ON_TREE;
         let act = cbt_data(&mut e, t(5), IfIndex(1), up_hop().addr, enc);
-        assert!(act.iter().any(|a| matches!(
-            a,
-            RouterAction::SendCbtUnicast { iface: IfIndex(2), .. }
-        )), "down to the child");
+        assert!(
+            act.iter().any(|a| matches!(a, RouterAction::SendCbtUnicast { iface: IfIndex(2), .. })),
+            "down to the child"
+        );
         let member_delivery = act.iter().find_map(|a| match a {
             RouterAction::SendNativeData { iface: IfIndex(0), pkt } => Some(pkt),
             _ => None,
         });
         let delivered = member_delivery.expect("member LAN gets native delivery");
         assert_eq!(delivered.ttl, 1, "§5: inner TTL set to one");
-        assert!(!act.iter().any(|a| matches!(
-            a,
-            RouterAction::SendCbtUnicast { iface: IfIndex(1), .. }
-        )), "not back to the parent");
+        assert!(
+            !act.iter()
+                .any(|a| matches!(a, RouterAction::SendCbtUnicast { iface: IfIndex(1), .. })),
+            "not back to the parent"
+        );
     }
 
     #[test]
@@ -636,8 +717,8 @@ mod tests {
         let mut e = full_tree_engine(CbtConfig::cbt_mode());
         let native = DataPacket::new(Addr::from_octets(10, 77, 0, 5), g(), 16, b"ns".to_vec());
         let enc = CbtDataPacket::encapsulate(&native, core_a()); // OFF_TREE
-        // Arrives over a non-tree path (unicast toward the core crossed
-        // us first).
+                                                                 // Arrives over a non-tree path (unicast toward the core crossed
+                                                                 // us first).
         let act = cbt_data(&mut e, t(5), IfIndex(2), Addr::from_octets(172, 31, 0, 9), enc);
         assert!(!act.is_empty(), "we are on-tree: the packet spans from here");
         for a in &act {
@@ -685,7 +766,8 @@ mod tests {
         enc.cbt.on_tree = ON_TREE;
         let act = cbt_data(&mut e, t(5), IfIndex(1), up_hop().addr, enc);
         assert!(
-            act.iter().any(|a| matches!(a, RouterAction::SendCbtMulticast { iface: IfIndex(0), .. })),
+            act.iter()
+                .any(|a| matches!(a, RouterAction::SendCbtMulticast { iface: IfIndex(0), .. })),
             "two children behind if0 ⇒ one CBT multicast on the subnet"
         );
         assert!(
@@ -696,12 +778,80 @@ mod tests {
 
     #[test]
     fn cbt_ttl_expiry() {
+        // Unified TTL rule: a CBT packet arriving with ip_ttl == 1 has no
+        // hop left — it neither transits nor reaches this router's member
+        // LANs, exactly as a native packet expiring here would not. The
+        // TTL radius is hop-for-hop identical across forwarding modes
+        // (the composition is pinned end-to-end by tests/ttl_scoping.rs).
         let mut e = full_tree_engine(CbtConfig::cbt_mode());
         let native = DataPacket::new(Addr::from_octets(10, 9, 0, 100), g(), 1, b"x".to_vec());
         let mut enc = CbtDataPacket::encapsulate(&native, core_a());
         enc.cbt.on_tree = ON_TREE;
         assert_eq!(enc.cbt.ip_ttl, 1);
         let act = cbt_data(&mut e, t(5), IfIndex(1), up_hop().addr, enc);
-        assert!(act.is_empty(), "CBT header TTL exhausted (§5)");
+        assert!(
+            act.is_empty(),
+            "an expired CBT packet is dropped whole: no transit, no member delivery"
+        );
+        assert_eq!(e.obs().drops.get(DropReason::TtlExpired), 1, "expiry lands in the taxonomy");
+        assert_eq!(e.stats().data_discarded, 1, "the packet died here");
+    }
+
+    #[test]
+    fn cbt_ttl_expiry_without_members_discards() {
+        // Same expired packet at a router with no local members: transit is
+        // suppressed and there is no member LAN to deliver to, so the
+        // packet dies here and is counted once under TtlExpired.
+        let mut e = engine(CbtConfig::cbt_mode());
+        let mut map = BTreeMap::new();
+        map.insert(core_a(), up_hop());
+        set_routes(&mut e, map);
+        e.learn_cores(g(), &[core_a()]);
+        // A child's join (no local IGMP members), acked by the parent.
+        e.handle_control(
+            t(0),
+            IfIndex(2),
+            down_addr(),
+            ControlMessage::JoinRequest {
+                subcode: JoinSubcode::ActiveJoin,
+                group: g(),
+                origin: Addr::from_octets(10, 9, 0, 1),
+                target_core: core_a(),
+                cores: vec![core_a()],
+            },
+        );
+        e.handle_control(
+            t(1),
+            IfIndex(1),
+            up_hop().addr,
+            ControlMessage::JoinAck {
+                subcode: AckSubcode::Normal,
+                group: g(),
+                origin: Addr::from_octets(10, 9, 0, 1),
+                target_core: core_a(),
+                cores: vec![core_a()],
+            },
+        );
+        assert!(e.is_on_tree(g()));
+        let native = DataPacket::new(Addr::from_octets(10, 9, 0, 100), g(), 1, b"x".to_vec());
+        let mut enc = CbtDataPacket::encapsulate(&native, core_a());
+        enc.cbt.on_tree = ON_TREE;
+        let act = cbt_data(&mut e, t(5), IfIndex(1), up_hop().addr, enc);
+        assert!(act.is_empty(), "no members and no viable transit: packet dies here");
+        assert_eq!(e.obs().drops.get(DropReason::TtlExpired), 1);
+        assert_eq!(e.stats().data_discarded, 1);
+    }
+
+    #[test]
+    fn native_transit_ttl_one_is_dropped_symmetrically() {
+        // Satellite fix: native-mode transit used to forward a ttl==1
+        // packet with ttl 0 on the wire while CBT mode dropped it. Both
+        // paths now apply `ttl <= 1 ⇒ expired` and count TtlExpired.
+        let mut e = full_tree_engine(CbtConfig::default());
+        let pkt = DataPacket::new(Addr::from_octets(10, 9, 0, 100), g(), 1, b"x".to_vec());
+        let act = native_data(&mut e, t(5), IfIndex(1), up_hop().addr, pkt);
+        assert!(act.is_empty(), "ttl=1 transit packet must not be forwarded (§4)");
+        assert_eq!(e.obs().drops.get(DropReason::TtlExpired), 1);
+        assert_eq!(e.stats().data_discarded, 1);
     }
 }

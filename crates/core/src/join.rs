@@ -52,8 +52,7 @@ impl CbtRouter {
             return;
         }
 
-        let origin =
-            self.iface(iface).map(|i| i.addr).unwrap_or(self.id_addr());
+        let origin = self.iface(iface).map(|i| i.addr).unwrap_or(self.id_addr());
         let target_core_index = target_core_index.min(cores.len() - 1);
         self.launch_join(
             now,
@@ -265,10 +264,7 @@ impl CbtRouter {
         // Waiting for our own ack: cache (§2.5).
         if self.pending.contains(group) {
             let p = self.pending.get_mut(group).expect("pending");
-            let dup = p
-                .cached
-                .iter()
-                .any(|c| c.from_addr == src && c.origin == origin)
+            let dup = p.cached.iter().any(|c| c.from_addr == src && c.origin == origin)
                 || (p.upstream.1 == src);
             if !dup {
                 p.cached.push(CachedJoin { from_iface: iface, from_addr: src, origin, subcode });
@@ -309,8 +305,7 @@ impl CbtRouter {
                         core_index: cores.iter().position(|c| *c == target_core).unwrap_or(0),
                     },
                 );
-                self.timers
-                    .arm(TimerKind::PendingJoin(group), now + self.cfg.pend_join_interval);
+                self.timers.arm(TimerKind::PendingJoin(group), now + self.cfg.pend_join_interval);
             }
             _ => {
                 // Unreachable core, or routing points straight back:
@@ -405,8 +400,7 @@ impl CbtRouter {
     ) {
         let affiliation =
             self.fib.get(group).and_then(|e| e.primary_core()).unwrap_or(self.id_addr());
-        let cores =
-            self.fib.get(group).map(|e| e.cores.clone()).unwrap_or_default();
+        let cores = self.fib.get(group).map(|e| e.cores.clone()).unwrap_or_default();
 
         // §2.6 proxy test: the previous hop *is* the join's origin and
         // sits on the subnet we are about to ack over — the origin is a
@@ -454,11 +448,8 @@ impl CbtRouter {
             self.child_expiry.insert((now + expire, group, join.from_addr));
         }
         if full {
-            let nack = ControlMessage::JoinNack {
-                group,
-                origin: join.origin,
-                target_core: affiliation,
-            };
+            let nack =
+                ControlMessage::JoinNack { group, origin: join.origin, target_core: affiliation };
             self.send_control(act, join.from_iface, join.from_addr, nack);
             return;
         }
@@ -501,6 +492,7 @@ impl CbtRouter {
             return;
         }
         self.timers.cancel(TimerKind::PendingJoin(group));
+        self.obs.join_rtt_us.record(now.since(p.started).micros());
 
         let old_parent = self.fib.get(group).and_then(|e| e.parent.map(|pp| pp.addr));
         match (&p.reason, subcode) {
@@ -701,19 +693,13 @@ impl CbtRouter {
     ) {
         // Downstream waiters get nacks.
         if let JoinReason::Forwarded { from_iface, from_addr, .. } = p.reason {
-            let nack = ControlMessage::JoinNack {
-                group,
-                origin: p.origin,
-                target_core: p.target_core,
-            };
+            let nack =
+                ControlMessage::JoinNack { group, origin: p.origin, target_core: p.target_core };
             self.send_control(act, from_iface, from_addr, nack);
         }
         for c in &p.cached {
-            let nack = ControlMessage::JoinNack {
-                group,
-                origin: c.origin,
-                target_core: p.target_core,
-            };
+            let nack =
+                ControlMessage::JoinNack { group, origin: c.origin, target_core: p.target_core };
             self.send_control(act, c.from_iface, c.from_addr, nack);
         }
         if matches!(p.reason, JoinReason::Reattach) {
@@ -803,8 +789,7 @@ impl CbtRouter {
         entry.parent = None;
         let entry_cores = entry.cores.clone();
         self.reindex_parent(group, old_parent);
-        let cores =
-            if entry_cores.is_empty() { self.cores_for(group) } else { Some(entry_cores) };
+        let cores = if entry_cores.is_empty() { self.cores_for(group) } else { Some(entry_cores) };
         let Some(cores) = cores else { return };
         if self.i_am_primary(&cores) {
             self.reattach_started.remove(&group);
@@ -1329,22 +1314,26 @@ mod tests {
         );
         let acks: Vec<_> = act
             .iter()
-            .filter(|a| matches!(a, RouterAction::SendControl { msg: ControlMessage::JoinAck { .. }, .. }))
+            .filter(|a| {
+                matches!(a, RouterAction::SendControl { msg: ControlMessage::JoinAck { .. }, .. })
+            })
             .collect();
         assert_eq!(acks.len(), 1);
         let rejoins: Vec<_> = act
             .iter()
-            .filter(|a| matches!(
-                a,
-                RouterAction::SendControl {
-                    msg: ControlMessage::JoinRequest {
-                        subcode: JoinSubcode::RejoinActive,
-                        target_core,
+            .filter(|a| {
+                matches!(
+                    a,
+                    RouterAction::SendControl {
+                        msg: ControlMessage::JoinRequest {
+                            subcode: JoinSubcode::RejoinActive,
+                            target_core,
+                            ..
+                        },
                         ..
-                    },
-                    ..
-                } if *target_core == core_a()
-            ))
+                    } if *target_core == core_a()
+                )
+            })
             .collect();
         assert_eq!(rejoins.len(), 1, "core tree built on demand (§1)");
         assert!(e.has_pending_join(g()));
@@ -1424,14 +1413,17 @@ mod tests {
                 cores: vec![core_a(), core_b()],
             },
         );
-        assert!(act.iter().any(|a| matches!(
-            a,
-            RouterAction::SendControl {
-                iface: IfIndex(1),
-                msg: ControlMessage::QuitRequest { .. },
-                ..
-            }
-        )), "§6.3: quit to the newly-established parent");
+        assert!(
+            act.iter().any(|a| matches!(
+                a,
+                RouterAction::SendControl {
+                    iface: IfIndex(1),
+                    msg: ControlMessage::QuitRequest { .. },
+                    ..
+                }
+            )),
+            "§6.3: quit to the newly-established parent"
+        );
         assert_eq!(e.stats().loops_broken, 1);
         assert_eq!(e.parent_of(g()), None);
     }
@@ -1470,14 +1462,17 @@ mod tests {
                 cores: vec![my_id],
             },
         );
-        assert!(matches!(
-            &act[0],
-            RouterAction::SendControl {
-                iface: IfIndex(1),
-                dst,
-                msg: ControlMessage::JoinAck { subcode: AckSubcode::RejoinNactive, .. },
-            } if *dst == up_hop().addr
-        ), "unicast directly toward the converting router (§8.3.1)");
+        assert!(
+            matches!(
+                &act[0],
+                RouterAction::SendControl {
+                    iface: IfIndex(1),
+                    dst,
+                    msg: ControlMessage::JoinAck { subcode: AckSubcode::RejoinNactive, .. },
+                } if *dst == up_hop().addr
+            ),
+            "unicast directly toward the converting router (§8.3.1)"
+        );
     }
 
     #[test]
@@ -1512,13 +1507,16 @@ mod tests {
         assert_eq!(e.children_of(g()).len(), 1);
         let mut act = Vec::new();
         e.start_reattach(t(3), g(), 0, &mut act);
-        assert!(act.iter().any(|a| matches!(
-            a,
-            RouterAction::SendControl {
-                msg: ControlMessage::JoinRequest { subcode: JoinSubcode::RejoinActive, .. },
-                ..
-            }
-        )), "§6.1: subcode ACTIVE_REJOIN when a child is attached");
+        assert!(
+            act.iter().any(|a| matches!(
+                a,
+                RouterAction::SendControl {
+                    msg: ControlMessage::JoinRequest { subcode: JoinSubcode::RejoinActive, .. },
+                    ..
+                }
+            )),
+            "§6.1: subcode ACTIVE_REJOIN when a child is attached"
+        );
     }
 
     #[test]

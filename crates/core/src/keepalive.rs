@@ -163,8 +163,7 @@ impl CbtRouter {
             }
         }
         if refreshed_any {
-            let reply =
-                ControlMessage::EchoReply { group, origin: self.id_addr(), group_mask };
+            let reply = ControlMessage::EchoReply { group, origin: self.id_addr(), group_mask };
             self.send_control(act, iface, src, reply);
         }
         // An echo from a router we do not consider a child gets no
@@ -413,13 +412,16 @@ mod tests {
         e.on_timer(t(60));
         let act = e.on_timer(t(90));
         assert_eq!(e.stats().parent_failures, 1);
-        assert!(act.iter().any(|a| matches!(
-            a,
-            RouterAction::SendControl {
-                msg: ControlMessage::JoinRequest { subcode: JoinSubcode::ActiveJoin, .. },
-                ..
-            }
-        )), "no children ⇒ plain ACTIVE_JOIN (§6.1)");
+        assert!(
+            act.iter().any(|a| matches!(
+                a,
+                RouterAction::SendControl {
+                    msg: ControlMessage::JoinRequest { subcode: JoinSubcode::ActiveJoin, .. },
+                    ..
+                }
+            )),
+            "no children ⇒ plain ACTIVE_JOIN (§6.1)"
+        );
         assert!(e.has_pending_join(g(1)));
         assert_eq!(e.parent_of(g(1)), None);
     }
@@ -434,11 +436,7 @@ mod tests {
                 t(s),
                 IfIndex(1),
                 up_hop().addr,
-                ControlMessage::EchoReply {
-                    group: g(1),
-                    origin: up_hop().addr,
-                    group_mask: None,
-                },
+                ControlMessage::EchoReply { group: g(1), origin: up_hop().addr, group_mask: None },
             );
         }
         assert_eq!(e.stats().parent_failures, 0);
@@ -545,11 +543,7 @@ mod tests {
             t(31),
             IfIndex(1),
             up_hop().addr,
-            ControlMessage::EchoReply {
-                group: low,
-                origin: up_hop().addr,
-                group_mask: Some(mask),
-            },
+            ControlMessage::EchoReply { group: low, origin: up_hop().addr, group_mask: Some(mask) },
         );
         // Neither parent may time out at t=90 (last_reply was t=31).
         e.on_timer(t(60));
@@ -617,9 +611,8 @@ mod tests {
             })
             .count();
         assert_eq!(echoes, 1, "only the upstream parent's groups were due");
-        let next_echo = |e: &CbtRouter, n: u16| {
-            e.fib().get(g(n)).unwrap().parent.unwrap().next_echo
-        };
+        let next_echo =
+            |e: &CbtRouter, n: u16| e.fib().get(g(n)).unwrap().parent.unwrap().next_echo;
         assert_eq!(next_echo(&e, 1), t(60), "covered group re-clocked");
         assert_eq!(next_echo(&e, 2), t(60), "covered group re-clocked");
         assert_eq!(next_echo(&e, 3), t(40), "other parent's group left alone");
@@ -631,9 +624,7 @@ mod tests {
             .iter()
             .filter_map(|a| match a {
                 RouterAction::SendControl {
-                    dst,
-                    msg: ControlMessage::EchoRequest { .. },
-                    ..
+                    dst, msg: ControlMessage::EchoRequest { .. }, ..
                 } => Some(*dst),
                 _ => None,
             })

@@ -10,11 +10,12 @@ use crate::engine::{CbtRouter, RouteLookup, SharedRib};
 use crate::events::RouterAction;
 use cbt_igmp::{HostMembership, IgmpTimers};
 use cbt_netsim::{Bytes, Outbox, SimNode, SimTime};
+use cbt_obs::DropReason;
 use cbt_topology::IfIndex;
 use cbt_wire::ipv4::{build_datagram, split_datagram};
 use cbt_wire::{
     Addr, CbtDataPacket, ControlMessage, DataPacket, GroupId, IgmpMessage, IpProto, Ipv4Header,
-    UdpHeader, CBT_AUX_PORT, CBT_PRIMARY_PORT,
+    UdpHeader, WireError, CBT_AUX_PORT, CBT_PRIMARY_PORT,
 };
 use std::any::Any;
 
@@ -70,7 +71,14 @@ impl RouterNode {
             match a {
                 RouterAction::SendControl { iface, dst, msg } => {
                     let port = if msg.is_primary() { CBT_PRIMARY_PORT } else { CBT_AUX_PORT };
-                    msg.encode_into(&mut self.ctl_buf);
+                    if msg.encode_into(&mut self.ctl_buf).is_err() {
+                        // Unreachable for engine-built messages (core
+                        // lists are clamped at ingestion), but an
+                        // unencodable message must be counted, not
+                        // silently skipped.
+                        self.engine.obs.drop_packet(DropReason::DecodeError);
+                        continue;
+                    }
                     let udp = UdpHeader::wrap(port, port, &self.ctl_buf);
                     let src = self.iface_addr(iface);
                     let frame = build_datagram(src, dst, IpProto::Udp, 64, &udp);
@@ -149,6 +157,16 @@ impl RouterNode {
         let off = sub.as_ptr() as usize - frame.as_ptr() as usize;
         frame.slice(off..off + sub.len())
     }
+
+    /// Classifies a parse failure into the drop taxonomy: checksum
+    /// rejections are distinguished from every other malformation.
+    fn count_decode_failure(&mut self, e: &WireError) {
+        let reason = match e {
+            WireError::BadChecksum { .. } => DropReason::ChecksumBad,
+            _ => DropReason::DecodeError,
+        };
+        self.engine.obs.drop_packet(reason);
+    }
 }
 
 impl SimNode for RouterNode {
@@ -160,25 +178,36 @@ impl SimNode for RouterNode {
         frame: &Bytes,
         out: &mut Outbox,
     ) {
-        let Ok((hdr, body)) = split_datagram(frame) else { return };
+        let hdr_body = match split_datagram(frame) {
+            Ok(v) => v,
+            Err(e) => {
+                self.count_decode_failure(&e);
+                return;
+            }
+        };
+        let (hdr, body) = hdr_body;
         let mine = self.engine.is_my_addr(hdr.dst);
         match hdr.proto {
-            IpProto::Igmp => {
-                if let Ok(msg) = IgmpMessage::decode(body) {
+            IpProto::Igmp => match IgmpMessage::decode(body) {
+                Ok(msg) => {
                     let mut actions = self.engine.handle_igmp(now, iface, hdr.src, msg);
                     self.emit(&mut actions, out);
                 }
-            }
+                Err(e) => self.count_decode_failure(&e),
+            },
             IpProto::Udp => {
                 match UdpHeader::unwrap(body) {
                     Ok((udp, payload))
                         if udp.dst_port == CBT_PRIMARY_PORT || udp.dst_port == CBT_AUX_PORT =>
                     {
                         if mine {
-                            if let Ok(msg) = ControlMessage::decode(payload) {
-                                let mut actions =
-                                    self.engine.handle_control(now, iface, hdr.src, msg);
-                                self.emit(&mut actions, out);
+                            match ControlMessage::decode(payload) {
+                                Ok(msg) => {
+                                    let mut actions =
+                                        self.engine.handle_control(now, iface, hdr.src, msg);
+                                    self.emit(&mut actions, out);
+                                }
+                                Err(e) => self.count_decode_failure(&e),
                             }
                         } else if !hdr.dst.is_multicast() {
                             self.ip_forward(hdr, body, out);
@@ -188,28 +217,39 @@ impl SimNode for RouterNode {
                         if hdr.dst.is_multicast() {
                             // Zero-copy parse: the packet's payload is
                             // a refcounted view into the frame.
-                            if let Ok(pkt) = DataPacket::decode_bytes(frame) {
-                                let mut actions = std::mem::take(&mut self.act_buf);
-                                self.engine
-                                    .handle_native_data(now, iface, link_src, pkt, &mut actions);
-                                self.emit(&mut actions, out);
-                                self.act_buf = actions;
+                            match DataPacket::decode_bytes(frame) {
+                                Ok(pkt) => {
+                                    let mut actions = std::mem::take(&mut self.act_buf);
+                                    self.engine.handle_native_data(
+                                        now,
+                                        iface,
+                                        link_src,
+                                        pkt,
+                                        &mut actions,
+                                    );
+                                    self.emit(&mut actions, out);
+                                    self.act_buf = actions;
+                                }
+                                Err(e) => self.count_decode_failure(&e),
                             }
                         } else if !mine {
                             self.ip_forward(hdr, body, out);
                         }
                     }
-                    Err(_) => {} // corrupted in flight
+                    Err(e) => self.count_decode_failure(&e), // corrupted in flight
                 }
             }
             IpProto::Cbt => {
                 let payload = Self::subslice(frame, body);
                 if mine || hdr.dst.is_multicast() {
-                    if let Ok(pkt) = CbtDataPacket::decode_payload_bytes(&payload) {
-                        let mut actions = std::mem::take(&mut self.act_buf);
-                        self.engine.handle_cbt_data(now, iface, hdr.src, pkt, &mut actions);
-                        self.emit(&mut actions, out);
-                        self.act_buf = actions;
+                    match CbtDataPacket::decode_payload_bytes(&payload) {
+                        Ok(pkt) => {
+                            let mut actions = std::mem::take(&mut self.act_buf);
+                            self.engine.handle_cbt_data(now, iface, hdr.src, pkt, &mut actions);
+                            self.emit(&mut actions, out);
+                            self.act_buf = actions;
+                        }
+                        Err(e) => self.count_decode_failure(&e),
                     }
                 } else {
                     // §7: an off-tree encapsulated packet travelling
@@ -500,9 +540,7 @@ impl CbtWorld {
     /// follow up with [`CbtWorld::touch_host`] so the world learns the
     /// new wakeup.
     pub fn host(&mut self, h: cbt_topology::HostId) -> &mut HostApp {
-        self.world
-            .node_mut::<HostApp>(cbt_netsim::Entity::Host(h))
-            .expect("host exists")
+        self.world.node_mut::<HostApp>(cbt_netsim::Entity::Host(h)).expect("host exists")
     }
 
     /// Re-arms a host's timer after post-start schedule changes.
@@ -512,9 +550,7 @@ impl CbtWorld {
 
     /// Router handle.
     pub fn router(&mut self, r: cbt_topology::RouterId) -> &mut RouterNode {
-        self.world
-            .node_mut::<RouterNode>(cbt_netsim::Entity::Router(r))
-            .expect("router exists")
+        self.world.node_mut::<RouterNode>(cbt_netsim::Entity::Router(r)).expect("router exists")
     }
 
     /// Fails a router and recomputes routing, as a converged IGP would.
@@ -601,16 +637,19 @@ mod tests {
 
         // A's DR joined the tree...
         assert!(cw.router(r0).engine().is_on_tree(group));
-        assert_eq!(cw.router(r0).engine().parent_of(group), Some({
-            // R0's parent is R1 via the p2p link.
-            let net = cw.net.clone();
-            net.routers[r1.0 as usize]
-                .ifaces
-                .iter()
-                .find(|i| i.subnet == net.routers[r0.0 as usize].ifaces[1].subnet)
-                .unwrap()
-                .addr
-        }));
+        assert_eq!(
+            cw.router(r0).engine().parent_of(group),
+            Some({
+                // R0's parent is R1 via the p2p link.
+                let net = cw.net.clone();
+                net.routers[r1.0 as usize]
+                    .ifaces
+                    .iter()
+                    .find(|i| i.subnet == net.routers[r0.0 as usize].ifaces[1].subnet)
+                    .unwrap()
+                    .addr
+            })
+        );
         // ...the host heard the §2.5 notification...
         assert!(!cw.host(a).tree_joined_events().is_empty());
         // ...and B's data arrived at A exactly once.

@@ -192,16 +192,12 @@ impl CbtRouter {
             self.send_control(act, child_iface, addr, flush);
         }
         // Remember which LANs we served, then drop all state.
-        let served: Vec<IfIndex> = self
-            .lan_ifaces()
-            .into_iter()
-            .filter(|l| self.is_gdr(*l, group))
-            .collect();
+        let served: Vec<IfIndex> =
+            self.lan_ifaces().into_iter().filter(|l| self.is_gdr(*l, group)).collect();
         self.drop_group_state(group);
         // Re-establish for subnets with live membership.
         for lan in served {
-            let has_members =
-                self.lans.get(&lan).is_some_and(|l| l.presence.has_members(group));
+            let has_members = self.lans.get(&lan).is_some_and(|l| l.presence.has_members(group));
             if has_members {
                 self.trigger_join(now, lan, group, 0, act);
             }
@@ -241,11 +237,8 @@ impl CbtRouter {
         // Re-join safety net.
         let lans = self.lan_ifaces();
         for lan in lans {
-            let groups: Vec<GroupId> = self
-                .lans
-                .get(&lan)
-                .map(|l| l.presence.groups().collect())
-                .unwrap_or_default();
+            let groups: Vec<GroupId> =
+                self.lans.get(&lan).map(|l| l.presence.groups().collect()).unwrap_or_default();
             for g in groups {
                 let handled = self.fib.on_tree(g)
                     || self.pending.contains(g)
@@ -350,16 +343,23 @@ mod tests {
         // Ack downstream + our own quit upstream.
         assert!(act.iter().any(|a| matches!(
             a,
-            RouterAction::SendControl { iface: IfIndex(2), msg: ControlMessage::QuitAck { .. }, .. }
-        )));
-        assert!(act.iter().any(|a| matches!(
-            a,
             RouterAction::SendControl {
-                iface: IfIndex(1),
-                msg: ControlMessage::QuitRequest { .. },
+                iface: IfIndex(2),
+                msg: ControlMessage::QuitAck { .. },
                 ..
             }
-        )), "§2.7: R3-style cascade");
+        )));
+        assert!(
+            act.iter().any(|a| matches!(
+                a,
+                RouterAction::SendControl {
+                    iface: IfIndex(1),
+                    msg: ControlMessage::QuitRequest { .. },
+                    ..
+                }
+            )),
+            "§2.7: R3-style cascade"
+        );
         assert!(!e.is_on_tree(g()), "state dropped immediately");
     }
 
@@ -437,7 +437,10 @@ mod tests {
             quit_count += act
                 .iter()
                 .filter(|a| {
-                    matches!(a, RouterAction::SendControl { msg: ControlMessage::QuitRequest { .. }, .. })
+                    matches!(
+                        a,
+                        RouterAction::SendControl { msg: ControlMessage::QuitRequest { .. }, .. }
+                    )
                 })
                 .count();
         }
@@ -453,14 +456,17 @@ mod tests {
             up_hop().addr,
             ControlMessage::FlushTree { group: g(), origin: up_hop().addr },
         );
-        assert!(act.iter().any(|a| matches!(
-            a,
-            RouterAction::SendControl {
-                iface: IfIndex(2),
-                msg: ControlMessage::FlushTree { .. },
-                ..
-            }
-        )), "forwarded to children");
+        assert!(
+            act.iter().any(|a| matches!(
+                a,
+                RouterAction::SendControl {
+                    iface: IfIndex(2),
+                    msg: ControlMessage::FlushTree { .. },
+                    ..
+                }
+            )),
+            "forwarded to children"
+        );
         // We had members on if0? No report was fed, so no re-join.
         assert!(!e.is_on_tree(g()));
         assert!(!e.is_gdr(IfIndex(0), g()));
@@ -491,13 +497,16 @@ mod tests {
             up_hop().addr,
             ControlMessage::FlushTree { group: g(), origin: up_hop().addr },
         );
-        assert!(act.iter().any(|a| matches!(
-            a,
-            RouterAction::SendControl {
-                msg: ControlMessage::JoinRequest { subcode: JoinSubcode::ActiveJoin, .. },
-                ..
-            }
-        )), "§2.7: flushed routers with member subnets re-establish themselves");
+        assert!(
+            act.iter().any(|a| matches!(
+                a,
+                RouterAction::SendControl {
+                    msg: ControlMessage::JoinRequest { subcode: JoinSubcode::ActiveJoin, .. },
+                    ..
+                }
+            )),
+            "§2.7: flushed routers with member subnets re-establish themselves"
+        );
         assert!(e.has_pending_join(g()));
     }
 
@@ -516,10 +525,13 @@ mod tests {
             ControlMessage::EchoReply { group: g(), origin: up_hop().addr, group_mask: None },
         );
         let act = e.on_timer(t(300));
-        assert!(act.iter().any(|a| matches!(
-            a,
-            RouterAction::SendControl { msg: ControlMessage::QuitRequest { .. }, .. }
-        )), "IFF-SCAN catches it");
+        assert!(
+            act.iter().any(|a| matches!(
+                a,
+                RouterAction::SendControl { msg: ControlMessage::QuitRequest { .. }, .. }
+            )),
+            "IFF-SCAN catches it"
+        );
         assert!(!e.is_on_tree(g()));
     }
 

@@ -231,14 +231,14 @@ impl<T> TimerWheel<T> {
         if !self.far.is_empty() {
             let moved: Vec<Entry<T>> = {
                 let cur = self.cur;
-                let (near, far): (Vec<_>, Vec<_>) = std::mem::take(&mut self.far)
-                    .into_iter()
-                    .partition(|e| (e.deadline.micros() >> TICK_SHIFT).saturating_sub(cur) < SPAN_TICKS);
+                let (near, far): (Vec<_>, Vec<_>) =
+                    std::mem::take(&mut self.far).into_iter().partition(|e| {
+                        (e.deadline.micros() >> TICK_SHIFT).saturating_sub(cur) < SPAN_TICKS
+                    });
                 self.far = far;
                 near
             };
-            self.far_min_us =
-                self.far.iter().map(|e| e.deadline.micros()).min().unwrap_or(NO_MIN);
+            self.far_min_us = self.far.iter().map(|e| e.deadline.micros()).min().unwrap_or(NO_MIN);
             for e in moved {
                 self.place(e);
             }
@@ -266,7 +266,11 @@ impl<T> TimerWheel<T> {
     pub fn peek_entry(&self) -> Option<(SimTime, &T)> {
         let best = self.peek()?.micros();
         if self.far_min_us == best {
-            return self.far.iter().find(|e| e.deadline.micros() == best).map(|e| (e.deadline, &e.token));
+            return self
+                .far
+                .iter()
+                .find(|e| e.deadline.micros() == best)
+                .map(|e| (e.deadline, &e.token));
         }
         for level in 0..LEVELS {
             let mut occ = self.occ[level];
@@ -287,6 +291,21 @@ impl<T> TimerWheel<T> {
     }
 }
 
+/// Per-key bookkeeping for [`TimerService`].
+#[derive(Debug, Clone, Copy, Default)]
+struct KeyState {
+    /// Current generation. Wheel entries carrying an older generation
+    /// are stale.
+    gen: u64,
+    /// Physical entries (valid + stale) still sitting in the wheel for
+    /// this key. The key's state can be dropped only once this reaches
+    /// zero — otherwise a later re-arm could restart the generation at
+    /// a value an old in-wheel entry still carries.
+    in_wheel: u32,
+    /// Whether a valid (not superseded, not fired) deadline exists.
+    armed: bool,
+}
+
 /// Keyed timer service with O(1) logical cancellation.
 ///
 /// At most one *valid* deadline exists per key. `arm` supersedes any
@@ -296,34 +315,54 @@ impl<T> TimerWheel<T> {
 /// drains, at which point `pop_due` discards them; `peek` may therefore
 /// report a stale (always conservative, never late) wakeup, which a
 /// deadline-driven engine treats as a no-op wake.
+///
+/// Key state is reclaimed: once a key has fired or been cancelled *and*
+/// its last physical wheel entry has drained, its map entry is removed,
+/// so long-running churn over many keys (groups joining and tearing
+/// down for the lifetime of a router) holds state proportional to the
+/// *live* key set, not to every key ever seen. [`tracked_keys`]
+/// (Self::tracked_keys) exposes the table size for regression tests.
 #[derive(Debug, Clone)]
 pub struct TimerService<K: Ord + Copy> {
     wheel: TimerWheel<(K, u64)>,
-    /// Current generation per key. Entries carrying an older
-    /// generation are stale. Entries are never removed: a key's
-    /// generation only grows for the lifetime of the service.
-    gens: BTreeMap<K, u64>,
+    keys: BTreeMap<K, KeyState>,
 }
 
 impl<K: Ord + Copy> TimerService<K> {
     /// New service positioned at `now`.
     pub fn new(now: SimTime) -> Self {
-        TimerService { wheel: TimerWheel::new(now), gens: BTreeMap::new() }
+        TimerService { wheel: TimerWheel::new(now), keys: BTreeMap::new() }
     }
 
     /// Arms (or re-arms) `key` to fire at `deadline`, superseding any
     /// previously armed deadline for the key.
     pub fn arm(&mut self, key: K, deadline: SimTime) {
-        let gen = self.gens.entry(key).or_insert(0);
-        *gen += 1;
-        self.wheel.schedule(deadline, (key, *gen));
+        let st = self.keys.entry(key).or_default();
+        st.gen += 1;
+        st.armed = true;
+        st.in_wheel += 1;
+        self.wheel.schedule(deadline, (key, st.gen));
     }
 
     /// Disarms `key` in O(log K): any in-wheel entry for it becomes
     /// stale and is discarded when its slot drains.
     pub fn cancel(&mut self, key: K) {
-        if let Some(gen) = self.gens.get_mut(&key) {
-            *gen += 1;
+        if let Some(st) = self.keys.get_mut(&key) {
+            st.gen += 1;
+            st.armed = false;
+            if st.in_wheel == 0 {
+                self.keys.remove(&key);
+            }
+        }
+    }
+
+    /// Drops `key`'s state if it is fully drained: nothing armed and no
+    /// physical entry left in the wheel.
+    fn reclaim_if_drained(&mut self, key: K) {
+        if let Some(st) = self.keys.get(&key) {
+            if st.in_wheel == 0 && !st.armed {
+                self.keys.remove(&key);
+            }
         }
     }
 
@@ -331,12 +370,33 @@ impl<K: Ord + Copy> TimerService<K> {
     /// `(deadline, arm order)`. Stale entries encountered along the
     /// way are dropped for good (the wheel self-compacts).
     pub fn pop_due(&mut self, now: SimTime) -> Vec<K> {
-        self.wheel
-            .pop_due(now)
-            .into_iter()
-            .filter(|(_, (k, gen))| self.gens.get(k) == Some(gen))
-            .map(|(_, (k, _))| k)
-            .collect()
+        self.pop_due_with_deadline(now).into_iter().map(|(k, _)| k).collect()
+    }
+
+    /// Like [`pop_due`](Self::pop_due), but pairs each fired key with
+    /// the deadline it was armed for, so callers can measure wakeup lag
+    /// (`now - deadline`).
+    pub fn pop_due_with_deadline(&mut self, now: SimTime) -> Vec<(K, SimTime)> {
+        let mut out = Vec::new();
+        for (deadline, (k, gen)) in self.wheel.pop_due(now) {
+            let Some(st) = self.keys.get_mut(&k) else { continue };
+            st.in_wheel -= 1;
+            if st.gen == gen {
+                // Each generation has exactly one physical entry, so a
+                // matching pop consumes the key's armed deadline.
+                st.armed = false;
+                out.push((k, deadline));
+            }
+            self.reclaim_if_drained(k);
+        }
+        out
+    }
+
+    /// Keys with live state (armed, or awaiting drain of stale wheel
+    /// entries). Bounded by the live key set plus in-flight staleness —
+    /// *not* monotone over the service's lifetime.
+    pub fn tracked_keys(&self) -> usize {
+        self.keys.len()
     }
 
     /// Earliest possibly-due instant. May be stale — i.e. earlier than
@@ -356,15 +416,20 @@ impl<K: Ord + Copy> TimerService<K> {
     pub fn compact(&mut self) {
         loop {
             let Some((t, &(k, gen))) = self.wheel.peek_entry() else { return };
-            if self.gens.get(&k) == Some(&gen) {
+            if self.keys.get(&k).is_some_and(|st| st.gen == gen) {
                 return;
             }
             // The head is stale: drain every entry at its instant and
             // re-file the valid ones (their exact deadlines and the
             // engine's sorted service order are unaffected).
             for (td, e) in self.wheel.pop_due(t) {
-                if self.gens.get(&e.0) == Some(&e.1) {
+                if self.keys.get(&e.0).is_some_and(|st| st.gen == e.1) {
                     self.wheel.schedule(td, e);
+                } else {
+                    if let Some(st) = self.keys.get_mut(&e.0) {
+                        st.in_wheel -= 1;
+                    }
+                    self.reclaim_if_drained(e.0);
                 }
             }
         }
@@ -431,11 +496,11 @@ mod tests {
         // exact deadline and never early, regardless of how many
         // cascades it crosses on the way down.
         let bands = [
-            us(50 << TICK_SHIFT),          // level 0
-            us(1_000 << TICK_SHIFT),       // level 1
-            us(100_000 << TICK_SHIFT),     // level 2
-            us(10_000_000 << TICK_SHIFT),  // level 3
-            us(20_000_000 << TICK_SHIFT),  // far list (> 64^4 ticks)
+            us(50 << TICK_SHIFT),         // level 0
+            us(1_000 << TICK_SHIFT),      // level 1
+            us(100_000 << TICK_SHIFT),    // level 2
+            us(10_000_000 << TICK_SHIFT), // level 3
+            us(20_000_000 << TICK_SHIFT), // far list (> 64^4 ticks)
         ];
         let mut w = TimerWheel::new(SimTime::ZERO);
         for (i, &d) in bands.iter().enumerate() {
@@ -527,6 +592,62 @@ mod tests {
         s.arm(1u8, t(5));
         s.arm(2u8, t(4));
         assert_eq!(s.pop_due(t(5)), vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn service_key_table_is_reclaimed_after_churn() {
+        // The regression this pins: key state used to be immortal
+        // ("entries are never removed"), so arming a timer for every
+        // group ever seen leaked a map entry per group forever. After
+        // fire-and-drain, the table must return to empty.
+        let mut s = TimerService::new(SimTime::ZERO);
+        for i in 0..10_000u64 {
+            s.arm(i, t(i + 1));
+            assert_eq!(s.pop_due(t(i + 1)), vec![i]);
+        }
+        assert_eq!(s.tracked_keys(), 0, "fired keys must not linger");
+        assert!(s.is_empty());
+
+        // Cancelled key: state persists only while its stale physical
+        // entry is still in the wheel, and drains with it.
+        s.arm(7u64, t(20_000));
+        s.cancel(7u64);
+        assert!(s.pop_due(t(30_000)).is_empty());
+        assert_eq!(s.tracked_keys(), 0, "cancelled keys must drain with their wheel entries");
+
+        // Heavy supersede churn on one key: one fire clears everything
+        // once the stale entries' shared slot drains.
+        for n in 0..100u64 {
+            s.arm(3u64, t(40_000 + n));
+        }
+        assert_eq!(s.pop_due(t(50_000)), vec![3u64]);
+        assert_eq!(s.tracked_keys(), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn service_reclaim_is_safe_across_generation_restart() {
+        // After reclamation a re-armed key restarts at generation 1.
+        // That must never validate a leftover physical entry — which is
+        // exactly why reclamation requires in_wheel == 0.
+        let mut s = TimerService::new(SimTime::ZERO);
+        s.arm("k", t(10));
+        assert_eq!(s.pop_due(t(10)), vec!["k"]); // gen 1 fired + drained
+        s.arm("k", t(20)); // fresh state, gen 1 again
+        s.cancel("k");
+        assert!(s.pop_due(t(30)).is_empty(), "stale gen-1 entry of the new life must not fire");
+        s.arm("k", t(40));
+        assert_eq!(s.pop_due(t(40)), vec!["k"]);
+        assert_eq!(s.tracked_keys(), 0);
+    }
+
+    #[test]
+    fn service_pop_with_deadline_reports_armed_instants() {
+        let mut s = TimerService::new(SimTime::ZERO);
+        s.arm(1u8, t(10));
+        s.arm(2u8, t(15));
+        // Woken late: both fire, each tagged with its own deadline.
+        assert_eq!(s.pop_due_with_deadline(t(30)), vec![(1u8, t(10)), (2u8, t(15))]);
     }
 
     #[test]

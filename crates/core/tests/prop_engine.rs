@@ -10,8 +10,8 @@ use cbt_netsim::SimTime;
 use cbt_routing::Hop;
 use cbt_topology::{IfIndex, NetworkBuilder, RouterId};
 use cbt_wire::{
-    AckSubcode, Addr, CbtDataPacket, ControlMessage, DataPacket, GroupId, IgmpMessage,
-    JoinSubcode, RpCoreReport,
+    AckSubcode, Addr, CbtDataPacket, ControlMessage, DataPacket, GroupId, IgmpMessage, JoinSubcode,
+    RpCoreReport,
 };
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -139,13 +139,22 @@ fn arb_igmp() -> impl Strategy<Value = IgmpMessage> {
 
 fn arb_input() -> impl Strategy<Value = Input> {
     prop_oneof![
-        (0u8..3, 1u8..120, arb_control())
-            .prop_map(|(iface, src_last, msg)| Input::Control { iface, src_last, msg }),
+        (0u8..3, 1u8..120, arb_control()).prop_map(|(iface, src_last, msg)| Input::Control {
+            iface,
+            src_last,
+            msg
+        }),
         (1u8..120, arb_igmp()).prop_map(|(src_last, msg)| Input::Igmp { src_last, msg }),
-        (0u8..3, 1u8..120, 0u8..64)
-            .prop_map(|(iface, src_last, ttl)| Input::NativeData { iface, src_last, ttl }),
-        (0u8..3, any::<bool>(), 0u8..64)
-            .prop_map(|(iface, on_tree, ttl)| Input::CbtData { iface, on_tree, ttl }),
+        (0u8..3, 1u8..120, 0u8..64).prop_map(|(iface, src_last, ttl)| Input::NativeData {
+            iface,
+            src_last,
+            ttl
+        }),
+        (0u8..3, any::<bool>(), 0u8..64).prop_map(|(iface, on_tree, ttl)| Input::CbtData {
+            iface,
+            on_tree,
+            ttl
+        }),
         (1u32..5_000).prop_map(|advance_ms| Input::Tick { advance_ms }),
     ]
 }

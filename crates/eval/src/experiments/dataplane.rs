@@ -227,8 +227,7 @@ fn drive(n: usize, per_sender: usize, payload_len: usize, dp: DataPlaneConfig) -
             start = end.min(stamps.len());
         }
         wave_rates.sort_by(f64::total_cmp);
-        let wave_rate =
-            if wave_rates.is_empty() { 0.0 } else { wave_rates[wave_rates.len() / 2] };
+        let wave_rate = if wave_rates.is_empty() { 0.0 } else { wave_rates[wave_rates.len() / 2] };
         lat_us.sort_unstable();
         let pct = |p: usize| -> u64 {
             if lat_us.is_empty() {
@@ -259,7 +258,13 @@ fn drive(n: usize, per_sender: usize, payload_len: usize, dp: DataPlaneConfig) -
 
 /// Runs `trials` independent deployments and returns the one with the
 /// median goodput.
-fn drive_median(n: usize, per_sender: usize, payload_len: usize, dp: DataPlaneConfig, trials: usize) -> RunStats {
+fn drive_median(
+    n: usize,
+    per_sender: usize,
+    payload_len: usize,
+    dp: DataPlaneConfig,
+    trials: usize,
+) -> RunStats {
     let mut runs: Vec<RunStats> =
         (0..trials.max(1)).map(|_| drive(n, per_sender, payload_len, dp)).collect();
     runs.sort_by(|a, b| a.pkts_per_s.total_cmp(&b.pkts_per_s));
@@ -285,8 +290,10 @@ pub fn run(p: &Params) -> Report {
 
     for &n in &p.senders {
         let per_sender = (p.total_packets / n).max(1);
-        let batched = drive_median(n, per_sender, p.payload_len, DataPlaneConfig::default(), p.trials);
-        let legacy = drive_median(n, per_sender, p.payload_len, DataPlaneConfig::legacy(), p.trials);
+        let batched =
+            drive_median(n, per_sender, p.payload_len, DataPlaneConfig::default(), p.trials);
+        let legacy =
+            drive_median(n, per_sender, p.payload_len, DataPlaneConfig::legacy(), p.trials);
         for (mode, s) in [("batched", &batched), ("legacy", &legacy)] {
             table.row([
                 n.to_string(),
@@ -319,9 +326,10 @@ pub fn run(p: &Params) -> Report {
         ),
         table,
     );
-    let mut fig =
-        cbt_metrics::BarChart::new("Figure Impl-2: batched/legacy goodput ratio vs senders".to_string())
-            .unit("x");
+    let mut fig = cbt_metrics::BarChart::new(
+        "Figure Impl-2: batched/legacy goodput ratio vs senders".to_string(),
+    )
+    .unit("x");
     for (n, ratio) in &speedups {
         fig.bar(format!("N={n}"), *ratio);
     }

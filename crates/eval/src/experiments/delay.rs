@@ -60,10 +60,7 @@ pub fn run(p: &Params) -> Report {
         let mut direct_ds = Vec::new();
         // One independent trial per seed; merged back in seed order.
         let trials = crate::parallel::run_trials(&p.seeds, |&seed| {
-            let g = generate::waxman(
-                generate::WaxmanParams { n: p.n, ..Default::default() },
-                seed,
-            );
+            let g = generate::waxman(generate::WaxmanParams { n: p.n, ..Default::default() }, seed);
             let ap = AllPairs::compute(&g);
             let mut wl = Workload::new(&g, seed.wrapping_add(3000));
             let members = wl.members(m);
@@ -102,10 +99,7 @@ pub fn run(p: &Params) -> Report {
     ))
     .unit("x");
     for row in &rows_json {
-        fig.bar(
-            format!("|G|={}", row["group_size"]),
-            row["mean_ratio"].as_f64().unwrap_or(0.0),
-        );
+        fig.bar(format!("|G|={}", row["group_size"]), row["mean_ratio"].as_f64().unwrap_or(0.0));
     }
     report.chart(fig);
     report.json = json!({

@@ -186,29 +186,20 @@ fn drive(n: usize, wheel: bool, measure_secs: u64) -> RunStats {
 /// Runs the experiment.
 pub fn run(p: &Params) -> Report {
     let mut report = Report::new("Impl-1", "timer service: wheel vs per-tick full-state scan");
-    let mut table = Table::new([
-        "groups",
-        "mode",
-        "wakeups",
-        "timer ms",
-        "µs/wakeup",
-        "timer events/s",
-    ]);
+    let mut table =
+        Table::new(["groups", "mode", "wakeups", "timer ms", "µs/wakeup", "timer events/s"]);
     let mut rows_json = Vec::new();
     let mut per_size = Vec::new();
 
     for &n in &p.sizes {
         let wheel = drive(n, true, p.measure_secs);
         let scan = drive(n, false, p.measure_secs);
-        assert_eq!(
-            shape(&wheel),
-            shape(&scan),
-            "n={n}: modes must replay the identical schedule"
-        );
+        assert_eq!(shape(&wheel), shape(&scan), "n={n}: modes must replay the identical schedule");
         let mut us_per_wakeup = [0.0f64; 2];
         for (slot, (mode, s)) in [("wheel", &wheel), ("scan", &scan)].iter().enumerate() {
             let ms = s.timer_ns as f64 / 1.0e6;
-            let us = if s.wakeups == 0 { 0.0 } else { s.timer_ns as f64 / 1.0e3 / s.wakeups as f64 };
+            let us =
+                if s.wakeups == 0 { 0.0 } else { s.timer_ns as f64 / 1.0e3 / s.wakeups as f64 };
             let eps = if ms == 0.0 { 0.0 } else { s.timer_actions as f64 / (ms / 1.0e3) };
             us_per_wakeup[slot] = us;
             table.row([
@@ -239,10 +230,9 @@ pub fn run(p: &Params) -> Report {
         ),
         table,
     );
-    let mut fig = cbt_metrics::BarChart::new(
-        "Figure Impl-1: µs per timer wakeup vs group count".to_string(),
-    )
-    .unit(" µs");
+    let mut fig =
+        cbt_metrics::BarChart::new("Figure Impl-1: µs per timer wakeup vs group count".to_string())
+            .unit(" µs");
     for (n, wheel_us, scan_us) in &per_size {
         fig.bar(format!("wheel G={n}"), *wheel_us);
         fig.bar(format!("scan  G={n}"), *scan_us);

@@ -52,8 +52,7 @@ pub fn run(p: &Params) -> Report {
     // returns its raw samples and the merge below happens in seed
     // order, so the aggregate is independent of worker count.
     let trials = crate::parallel::run_trials(&p.seeds, |&seed| {
-        let graph =
-            generate::waxman(generate::WaxmanParams { n: p.n, ..Default::default() }, seed);
+        let graph = generate::waxman(generate::WaxmanParams { n: p.n, ..Default::default() }, seed);
         let ap = AllPairs::compute(&graph);
         let mut wl = Workload::new(&graph, seed.wrapping_add(7000));
         let members = wl.members(p.group_size);
@@ -91,14 +90,16 @@ pub fn run(p: &Params) -> Report {
                 }
             }
         }
-        (samples, first, later)
+        (samples, first, later, setup.obs_fleet())
     });
-    for (samples, first, later) in trials {
+    let mut fleet_obs = cbt_obs::ObsSnapshot { router: "fleet".into(), ..Default::default() };
+    for (samples, first, later, obs) in trials {
         for (dist, latency_ms) in samples {
             by_distance.entry(dist).or_default().push(latency_ms);
         }
         first_vs_later.0.extend(first);
         first_vs_later.1.extend(later);
+        fleet_obs.merge(&obs);
     }
 
     let mut table = Table::new(["hops to core", "joins", "mean ms", "p95 ms", "max ms"]);
@@ -123,6 +124,7 @@ pub fn run(p: &Params) -> Report {
         "first_per_hop_ms": first.mean,
         "later_per_hop_ms": later.mean,
     });
+    report.attach_obs(&fleet_obs);
     report.finding(
         "Join latency is one control round-trip along the unicast path (grows with hop count); \
          later joiners terminate at the nearest on-tree router and attach faster than the \

@@ -132,8 +132,8 @@ fn scenario(n: usize, group_size: usize, seed: u64, core_count: usize) -> Outcom
             .count()
     };
 
-    let worked_before = probe(&mut setup, "pre".into(), SimDuration::from_secs(2))
-        == listeners.len();
+    let worked_before =
+        probe(&mut setup, "pre".into(), SimDuration::from_secs(2)) == listeners.len();
 
     // Kill the primary; probe every 2 s of simulated time. (The tree
     // below the dead core keeps delivering for a while — bidirectional

@@ -66,8 +66,7 @@ impl Params {
 
 /// Runs the experiment.
 pub fn run(p: &Params) -> Report {
-    let mut report =
-        Report::new("S93-T3", "control overhead: explicit join vs flood-and-prune");
+    let mut report = Report::new("S93-T3", "control overhead: explicit join vs flood-and-prune");
     let mut table = Table::new([
         "group size",
         "cbt setup msgs",
@@ -76,6 +75,7 @@ pub fn run(p: &Params) -> Report {
         "dvmrp steady msgs/min",
     ]);
     let mut rows_json = Vec::new();
+    let mut fleet_obs = cbt_obs::ObsSnapshot { router: "fleet".into(), ..Default::default() };
 
     for &m in &p.group_sizes {
         if m > p.n {
@@ -93,15 +93,9 @@ pub fn run(p: &Params) -> Report {
             let mut wl = Workload::new(&graph, seed.wrapping_add(6000));
             let members = wl.members(m);
             let senders = wl.senders_from(&members, p.senders);
-            let core = cbt_topology::AllPairs::compute(&graph)
-                .medoid(&members)
-                .expect("connected");
+            let core = cbt_topology::AllPairs::compute(&graph).medoid(&members).expect("connected");
             let mut setup = SimSetup::from_graph(graph.clone(), CbtConfig::fast(), &[core]);
-            setup.join_members(
-                &members,
-                SimTime::from_secs(1),
-                SimDuration::from_millis(100),
-            );
+            setup.join_members(&members, SimTime::from_secs(1), SimDuration::from_millis(100));
             setup.cw.world.start();
             // Setup phase: everything until all members are attached
             // (bounded at 10 s fast-timer time).
@@ -113,8 +107,7 @@ pub fn run(p: &Params) -> Report {
             // Steady phase: echoes over the window.
             setup.cw.world.run_for(p.window);
             let total_msgs = setup.cw.world.trace().cbt_control_frames() as f64;
-            let per_min =
-                (total_msgs - setup_msgs) * 60.0 / p.window.as_secs_f64();
+            let per_min = (total_msgs - setup_msgs) * 60.0 / p.window.as_secs_f64();
             // --- DVMRP, measured on the message-accounted baseline. ---
             let mut cycle_msgs = 0u64;
             let distinct: std::collections::BTreeSet<_> = senders.iter().copied().collect();
@@ -122,9 +115,10 @@ pub fn run(p: &Params) -> Report {
                 let out = flood_and_prune(&graph, src, &members);
                 cycle_msgs += out.total_messages();
             }
-            (setup_msgs, per_min, cycle_msgs as f64)
+            (setup_msgs, per_min, cycle_msgs as f64, setup.obs_fleet())
         });
-        for (setup_msgs, per_min, cycle_msgs) in trials {
+        for (setup_msgs, per_min, cycle_msgs, obs) in trials {
+            fleet_obs.merge(&obs);
             // CbtConfig::fast() compresses timers 10×, so a real
             // deployment sends 10× fewer steady-state messages.
             cbt_setup += setup_msgs;
@@ -160,6 +154,7 @@ pub fn run(p: &Params) -> Report {
         "params": {"n": p.n, "group_sizes": p.group_sizes, "senders": p.senders},
         "rows": rows_json,
     });
+    report.attach_obs(&fleet_obs);
     report.finding(
         "CBT setup cost tracks membership (a join/ack pair per new tree hop); flood-and-prune \
          setup tracks the whole topology times the sender count, and repeats every prune \
@@ -181,6 +176,31 @@ mod tests {
             first["cbt_setup"].as_f64().unwrap() < first["dvmrp_setup"].as_f64().unwrap(),
             "explicit join must beat topology-wide flooding for sparse groups: {first:?}"
         );
+    }
+
+    /// The embedded counter snapshot follows the exporter schema: all
+    /// six drop reasons present (zeros included), traffic counters and
+    /// both latency histograms alongside.
+    #[test]
+    fn obs_snapshot_covers_all_drop_reasons() {
+        let r = run(&Params::quick());
+        let drops = r.obs["drops"].as_object().expect("obs.drops object");
+        for reason in [
+            "TtlExpired",
+            "NoFibEntry",
+            "InboxOverflow",
+            "ChecksumBad",
+            "DecodeError",
+            "ScopeBoundary",
+        ] {
+            assert!(drops.contains_key(reason), "missing drop reason {reason}");
+        }
+        assert!(
+            r.obs["join_rtt_us"]["count"].as_u64().unwrap() > 0,
+            "join round-trips were recorded"
+        );
+        assert!(r.obs["data_forwarded"].as_u64().is_some());
+        assert!(r.obs["timer_lag_us"]["count"].as_u64().is_some());
     }
 
     #[test]

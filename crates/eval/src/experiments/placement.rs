@@ -38,8 +38,7 @@ impl Params {
 /// Runs the ablation.
 pub fn run(p: &Params) -> Report {
     let mut report = Report::new("Abl-1", "core placement: random vs center vs medoid");
-    let mut table =
-        Table::new(["placement", "mean delay ratio", "max delay ratio", "tree cost"]);
+    let mut table = Table::new(["placement", "mean delay ratio", "max delay ratio", "tree cost"]);
     let mut rows_json = Vec::new();
 
     for placement in [CorePlacement::Random, CorePlacement::Center, CorePlacement::Medoid] {
@@ -49,10 +48,7 @@ pub fn run(p: &Params) -> Report {
         let mut counted = 0usize;
         // One trial per seed, fanned out; summed below in seed order.
         let trials = crate::parallel::run_trials(&p.seeds, |&seed| {
-            let g = generate::waxman(
-                generate::WaxmanParams { n: p.n, ..Default::default() },
-                seed,
-            );
+            let g = generate::waxman(generate::WaxmanParams { n: p.n, ..Default::default() }, seed);
             let ap = AllPairs::compute(&g);
             let mut wl = Workload::new(&g, seed.wrapping_add(5000));
             let members = wl.members(p.group_size);
@@ -69,12 +65,7 @@ pub fn run(p: &Params) -> Report {
             counted += 1;
         }
         let k = counted.max(1) as f64;
-        table.row([
-            placement.name().to_string(),
-            f(mean_r / k),
-            f(max_r / k),
-            f(cost / k),
-        ]);
+        table.row([placement.name().to_string(), f(mean_r / k), f(max_r / k), f(cost / k)]);
         rows_json.push(json!({
             "placement": placement.name(),
             "mean_ratio": mean_r / k,
@@ -83,10 +74,8 @@ pub fn run(p: &Params) -> Report {
         }));
     }
 
-    report.table(
-        format!("placement quality, Waxman n={}, group size {}", p.n, p.group_size),
-        table,
-    );
+    report
+        .table(format!("placement quality, Waxman n={}, group size {}", p.n, p.group_size), table);
     report.json = json!({
         "params": {"n": p.n, "group_size": p.group_size, "seeds": p.seeds.len()},
         "rows": rows_json,
@@ -108,11 +97,7 @@ mod tests {
         let r = run(&Params::quick());
         let rows = r.json["rows"].as_array().unwrap();
         let get = |name: &str, field: &str| -> f64 {
-            rows.iter()
-                .find(|row| row["placement"] == name)
-                .unwrap()[field]
-                .as_f64()
-                .unwrap()
+            rows.iter().find(|row| row["placement"] == name).unwrap()[field].as_f64().unwrap()
         };
         assert!(get("medoid", "mean_ratio") <= get("random", "mean_ratio") + 1e-9);
     }

@@ -18,10 +18,7 @@ fn t(s: u64) -> SimTime {
 }
 
 fn cores(fig: &Figure1) -> Vec<Addr> {
-    vec![
-        fig.net.router_addr(fig.primary_core()),
-        fig.net.router_addr(fig.secondary_core()),
-    ]
+    vec![fig.net.router_addr(fig.primary_core()), fig.net.router_addr(fig.secondary_core())]
 }
 
 /// Renders the control-plane ledger from the world's trace.
@@ -143,8 +140,18 @@ pub fn e4() -> Report {
         WorldConfig::default(),
     );
     let all = [
-        fig.hosts.a, fig.hosts.b, fig.hosts.c, fig.hosts.d, fig.hosts.e, fig.hosts.f,
-        fig.hosts.g, fig.hosts.h, fig.hosts.i, fig.hosts.j, fig.hosts.k, fig.hosts.l,
+        fig.hosts.a,
+        fig.hosts.b,
+        fig.hosts.c,
+        fig.hosts.d,
+        fig.hosts.e,
+        fig.hosts.f,
+        fig.hosts.g,
+        fig.hosts.h,
+        fig.hosts.i,
+        fig.hosts.j,
+        fig.hosts.k,
+        fig.hosts.l,
     ];
     for h in all {
         cw.host(h).join_at(t(1), GROUP, cores(&fig));
@@ -227,7 +234,9 @@ pub fn e5() -> Report {
         t2
     });
     let loops = cw.router(r(3)).engine().stats().loops_broken;
-    report.finding(format!("R3 detected and broke the loop {loops} time(s) via its own NACTIVE rejoin"));
+    report.finding(format!(
+        "R3 detected and broke the loop {loops} time(s) via its own NACTIVE rejoin"
+    ));
     report.json = json!({"loops_broken": loops});
     report
 }

@@ -64,10 +64,7 @@ pub fn run(p: &Params) -> Report {
         let mut dv_max = 0.0;
         // One trial per seed, fanned out; summed below in seed order.
         let trials = crate::parallel::run_trials(&p.seeds, |&seed| {
-            let g = generate::waxman(
-                generate::WaxmanParams { n: p.n, ..Default::default() },
-                seed,
-            );
+            let g = generate::waxman(generate::WaxmanParams { n: p.n, ..Default::default() }, seed);
             let ap = AllPairs::compute(&g);
             let mut wl = Workload::new(&g, seed.wrapping_add(1000));
             let members = wl.members(p.group_size);
@@ -124,7 +121,12 @@ pub fn run(p: &Params) -> Report {
     }
 
     report.table(
-        format!("FIB/state entries, n={}, group size {}, {} seeds", p.n, p.group_size, p.seeds.len()),
+        format!(
+            "FIB/state entries, n={}, group size {}, {} seeds",
+            p.n,
+            p.group_size,
+            p.seeds.len()
+        ),
         table,
     );
     let mut fig = cbt_metrics::BarChart::new(format!(
@@ -176,8 +178,7 @@ mod tests {
         let rows = r.json["rows"].as_array().unwrap();
         // Prune state makes even S=1 more expensive than CBT's tree.
         assert!(
-            rows[0]["dvmrp_total"].as_f64().unwrap()
-                > rows[0]["cbt_total"].as_f64().unwrap(),
+            rows[0]["dvmrp_total"].as_f64().unwrap() > rows[0]["cbt_total"].as_f64().unwrap(),
             "flood touches everything"
         );
     }

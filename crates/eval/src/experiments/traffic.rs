@@ -42,8 +42,7 @@ impl Params {
 
 /// Runs the experiment.
 pub fn run(p: &Params) -> Report {
-    let mut report =
-        Report::new("S93-F2", "traffic concentration: max link load as senders grow");
+    let mut report = Report::new("S93-F2", "traffic concentration: max link load as senders grow");
     let mut table = Table::new([
         "senders",
         "cbt max link",
@@ -64,10 +63,7 @@ pub fn run(p: &Params) -> Report {
         let mut star_tot = 0.0;
         // One trial per seed, fanned out; summed below in seed order.
         let trials = crate::parallel::run_trials(&p.seeds, |&seed| {
-            let g = generate::waxman(
-                generate::WaxmanParams { n: p.n, ..Default::default() },
-                seed,
-            );
+            let g = generate::waxman(generate::WaxmanParams { n: p.n, ..Default::default() }, seed);
             let ap = AllPairs::compute(&g);
             let mut wl = Workload::new(&g, seed.wrapping_add(4000));
             let members = wl.members(p.group_size);
@@ -79,8 +75,7 @@ pub fn run(p: &Params) -> Report {
             let cbt = linkload::shared_tree_loads(&shared, s);
 
             // Source trees: one SPT per sender transmission.
-            let trees: Vec<_> =
-                senders.iter().map(|src| source_tree(&g, *src, &members)).collect();
+            let trees: Vec<_> = senders.iter().map(|src| source_tree(&g, *src, &members)).collect();
             let spt = linkload::source_tree_loads(&trees);
 
             // Unicast star per sender transmission.
@@ -118,24 +113,15 @@ pub fn run(p: &Params) -> Report {
         }));
     }
 
-    report.table(
-        format!("per-link load, Waxman n={}, group size {}", p.n, p.group_size),
-        table,
-    );
+    report.table(format!("per-link load, Waxman n={}, group size {}", p.n, p.group_size), table);
     let mut fig = cbt_metrics::BarChart::new(format!(
         "Figure S93-F2: hottest-link load vs senders (Waxman n={}, |G|={})",
         p.n, p.group_size
     ))
     .unit(" pkts");
     for row in &rows_json {
-        fig.bar(
-            format!("cbt  S={}", row["senders"]),
-            row["cbt_max"].as_f64().unwrap_or(0.0),
-        );
-        fig.bar(
-            format!("spt  S={}", row["senders"]),
-            row["spt_max"].as_f64().unwrap_or(0.0),
-        );
+        fig.bar(format!("cbt  S={}", row["senders"]), row["cbt_max"].as_f64().unwrap_or(0.0));
+        fig.bar(format!("spt  S={}", row["senders"]), row["spt_max"].as_f64().unwrap_or(0.0));
     }
     report.chart(fig);
     report.json = json!({

@@ -67,10 +67,7 @@ pub fn run(p: &Params) -> Report {
             // One trial per seed, fanned out; summed below in seed
             // order.
             let trials = crate::parallel::run_trials(&p.seeds, |&seed| {
-                let g = generate::waxman(
-                    generate::WaxmanParams { n, ..Default::default() },
-                    seed,
-                );
+                let g = generate::waxman(generate::WaxmanParams { n, ..Default::default() }, seed);
                 let ap = AllPairs::compute(&g);
                 let mut wl = Workload::new(&g, seed.wrapping_add(2000));
                 let members = wl.members(m);
@@ -90,11 +87,7 @@ pub fn run(p: &Params) -> Report {
                         union.add_edge(a, b, w);
                     }
                 }
-                (
-                    tree_cost(&shared) as f64,
-                    tree_cost(&t0) as f64,
-                    tree_cost(&union) as f64,
-                )
+                (tree_cost(&shared) as f64, tree_cost(&t0) as f64, tree_cost(&union) as f64)
             });
             for (c, s0, u) in trials {
                 cbt_c += c;

@@ -208,6 +208,7 @@ fn write_json(name: &str, report: &Report) {
         "title": report.title,
         "findings": report.findings,
         "data": report.json,
+        "obs": report.obs,
         "tables": report
             .tables
             .iter()

@@ -15,6 +15,11 @@ pub struct Report {
     pub charts: Vec<BarChart>,
     /// Everything again, machine-readable.
     pub json: serde_json::Value,
+    /// Fleet-wide observability snapshot (drop-reason taxonomy,
+    /// per-group protocol counters, latency histograms) for experiments
+    /// that run the packet simulator; `Null` otherwise. Exported under
+    /// `"obs"` in the JSON written next to the tables.
+    pub obs: serde_json::Value,
     /// Free-form findings: the "shape" statements EXPERIMENTS.md quotes.
     pub findings: Vec<String>,
 }
@@ -28,8 +33,18 @@ impl Report {
             tables: Vec::new(),
             charts: Vec::new(),
             json: serde_json::Value::Null,
+            obs: serde_json::Value::Null,
             findings: Vec::new(),
         }
+    }
+
+    /// Attaches a counter snapshot (usually the fleet aggregate from
+    /// [`crate::simrun::SimSetup::obs_fleet`]). The snapshot's own JSON
+    /// exporter is the schema authority; this just re-parses it into
+    /// the report's machine-readable value.
+    pub fn attach_obs(&mut self, snap: &cbt_obs::ObsSnapshot) -> &mut Self {
+        self.obs = serde_json::from_str(&snap.to_json()).unwrap_or(serde_json::Value::Null);
+        self
     }
 
     /// Adds a table.
@@ -61,6 +76,9 @@ impl Report {
         for c in &self.charts {
             out.push('\n');
             out.push_str(&c.render(40));
+        }
+        if let Some(drops) = self.obs.get("drops") {
+            out.push_str(&format!("\nFleet drop counters: {drops}\n"));
         }
         if !self.findings.is_empty() {
             out.push_str("\nFindings:\n");

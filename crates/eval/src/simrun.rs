@@ -33,11 +33,8 @@ impl SimSetup {
         let net = NetworkSpec::from_graph_with_stub_lans(&graph);
         let core_ids: Vec<RouterId> = cores.iter().map(|c| RouterId(c.0)).collect();
         let core_addrs: Vec<Addr> = core_ids.iter().map(|c| net.router_addr(*c)).collect();
-        let cw = CbtWorld::build(
-            net,
-            cfg,
-            WorldConfig { record_trace: true, ..Default::default() },
-        );
+        let cw =
+            CbtWorld::build(net, cfg, WorldConfig { record_trace: true, ..Default::default() });
         SimSetup { cw, graph, group: GroupId::numbered(1), cores: core_ids, core_addrs }
     }
 
@@ -75,6 +72,18 @@ impl SimSetup {
             let r = RouterId(m.0);
             self.cw.router(r).engine().is_on_tree(group)
         })
+    }
+
+    /// Fleet-wide observability aggregate: every router's counter
+    /// snapshot (drop taxonomy, protocol counters, latency histograms)
+    /// merged into one. Deterministic for a deterministic run — safe to
+    /// embed in byte-compared experiment output.
+    pub fn obs_fleet(&mut self) -> cbt_obs::ObsSnapshot {
+        let mut fleet = cbt_obs::ObsSnapshot { router: "fleet".into(), ..Default::default() };
+        for i in 0..self.graph.node_count() {
+            fleet.merge(&self.cw.router(RouterId(i as u32)).engine().obs_snapshot());
+        }
+        fleet
     }
 
     /// Count of member DRs currently on-tree.

@@ -37,10 +37,7 @@ impl Workload {
 
     /// A random core choice.
     pub fn random_core(&mut self) -> NodeId {
-        *self
-            .nodes
-            .choose(&mut self.rng)
-            .expect("graph has nodes")
+        *self.nodes.choose(&mut self.rng).expect("graph has nodes")
     }
 }
 
@@ -57,12 +54,7 @@ pub enum CorePlacement {
 
 impl CorePlacement {
     /// Resolves the strategy to a concrete router.
-    pub fn place(
-        self,
-        ap: &AllPairs,
-        members: &[NodeId],
-        wl: &mut Workload,
-    ) -> NodeId {
+    pub fn place(self, ap: &AllPairs, members: &[NodeId], wl: &mut Workload) -> NodeId {
         match self {
             CorePlacement::Random => wl.random_core(),
             CorePlacement::Center => ap.center().expect("connected graph"),

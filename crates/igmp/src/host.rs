@@ -259,8 +259,7 @@ mod tests {
         assert!(h.poll(now).is_empty() || due == now);
         // ...and everything fires by the end of the window.
         let out = h.poll(now + SimDuration::from_secs(10));
-        let reports =
-            out.iter().filter(|o| matches!(o.msg, IgmpMessage::Report { .. })).count();
+        let reports = out.iter().filter(|o| matches!(o.msg, IgmpMessage::Report { .. })).count();
         assert_eq!(reports, 2);
     }
 

@@ -53,11 +53,8 @@ impl BarChart {
         let max = self.rows.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
         let label_w = self.rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
         for (label, value) in &self.rows {
-            let filled = if max > 0.0 {
-                ((value / max) * width as f64).round() as usize
-            } else {
-                0
-            };
+            let filled =
+                if max > 0.0 { ((value / max) * width as f64).round() as usize } else { 0 };
             let _ = writeln!(
                 out,
                 "  {label:>label_w$}  {}{}  {value:.2}{}",

@@ -8,8 +8,8 @@
 
 use bytes::Bytes;
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 /// Probabilities for the fault injector, in [0, 1].
 #[derive(Debug, Clone, Copy, Default)]
@@ -51,7 +51,13 @@ pub struct FaultInjector {
 impl FaultInjector {
     /// New injector with the given plan and seed.
     pub fn new(plan: FaultPlan, seed: u64) -> Self {
-        FaultInjector { plan, rng: ChaCha8Rng::seed_from_u64(seed), dropped: 0, corrupted: 0, passed: 0 }
+        FaultInjector {
+            plan,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            dropped: 0,
+            corrupted: 0,
+            passed: 0,
+        }
     }
 
     /// Applies the plan to a frame in flight. Returns `None` if the
@@ -124,8 +130,7 @@ mod tests {
         for _ in 0..50 {
             let original = Bytes::from(vec![0u8; 32]);
             let out = inj.apply(original.clone()).unwrap();
-            let flipped: u32 =
-                out.iter().zip(&original).map(|(a, b)| (a ^ b).count_ones()).sum();
+            let flipped: u32 = out.iter().zip(&original).map(|(a, b)| (a ^ b).count_ones()).sum();
             assert_eq!(flipped, 1);
         }
     }

@@ -142,9 +142,13 @@ mod tests {
     #[test]
     fn round_trip_preserves_frames_and_timestamps() {
         let mut cap = Capture::new();
-        let f1 =
-            DataPacket::new(Addr::from_octets(10, 1, 0, 100), GroupId::numbered(1), 9, b"a".to_vec())
-                .encode();
+        let f1 = DataPacket::new(
+            Addr::from_octets(10, 1, 0, 100),
+            GroupId::numbered(1),
+            9,
+            b"a".to_vec(),
+        )
+        .encode();
         let f2 = vec![0x45u8; 40];
         cap.record(SimTime::from_micros(1_500_000), f1.clone());
         cap.record(SimTime::from_micros(2_000_001), f2.clone());

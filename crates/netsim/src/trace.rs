@@ -7,8 +7,11 @@
 
 use crate::node::Entity;
 use crate::time::SimTime;
+use cbt_obs::{DropCounters, DropReason};
 use cbt_topology::{IfIndex, LanId, LinkId};
-use cbt_wire::{ControlMessage, ControlType, IgmpMessage, IgmpType, IpProto, Ipv4Header, UdpHeader};
+use cbt_wire::{
+    ControlMessage, ControlType, IgmpMessage, IgmpType, IpProto, Ipv4Header, UdpHeader,
+};
 use std::collections::HashMap;
 
 /// Protocol classification of one frame.
@@ -102,6 +105,7 @@ pub struct Trace {
     frames_by_medium: HashMap<Medium, u64>,
     total_frames: u64,
     total_bytes: u64,
+    drops: DropCounters,
 }
 
 impl Trace {
@@ -124,7 +128,20 @@ impl Trace {
             frames_by_medium: HashMap::new(),
             total_frames: 0,
             total_bytes: 0,
+            drops: DropCounters::default(),
         }
+    }
+
+    /// Records a frame the world refused to carry, under the shared
+    /// drop-reason taxonomy (e.g. a transmission out of an interface
+    /// the topology does not know).
+    pub fn record_drop(&mut self, reason: DropReason) {
+        self.drops.bump(reason);
+    }
+
+    /// Frames the world refused to carry, by reason.
+    pub fn drop_counts(&self) -> &DropCounters {
+        &self.drops
     }
 
     /// Records one transmission.
@@ -223,7 +240,11 @@ mod tests {
             target_core: Addr::from_octets(10, 255, 0, 3),
             cores: vec![Addr::from_octets(10, 255, 0, 3)],
         };
-        let udp = UdpHeader::wrap(cbt_wire::CBT_PRIMARY_PORT, cbt_wire::CBT_PRIMARY_PORT, &msg.encode());
+        let udp = UdpHeader::wrap(
+            cbt_wire::CBT_PRIMARY_PORT,
+            cbt_wire::CBT_PRIMARY_PORT,
+            &msg.encode().unwrap(),
+        );
         cbt_wire::ipv4::build_datagram(
             Addr::from_octets(10, 1, 0, 1),
             Addr::from_octets(172, 31, 0, 2),
@@ -256,15 +277,26 @@ mod tests {
 
     #[test]
     fn classify_native_data() {
-        let p = DataPacket::new(Addr::from_octets(10, 1, 0, 100), GroupId::numbered(2), 16, b"x".to_vec());
+        let p = DataPacket::new(
+            Addr::from_octets(10, 1, 0, 100),
+            GroupId::numbered(2),
+            16,
+            b"x".to_vec(),
+        );
         assert_eq!(PacketKind::classify(&p.encode()), PacketKind::DataNative);
     }
 
     #[test]
     fn classify_cbt_data() {
-        let p = DataPacket::new(Addr::from_octets(10, 1, 0, 100), GroupId::numbered(2), 16, b"x".to_vec());
+        let p = DataPacket::new(
+            Addr::from_octets(10, 1, 0, 100),
+            GroupId::numbered(2),
+            16,
+            b"x".to_vec(),
+        );
         let enc = cbt_wire::CbtDataPacket::encapsulate(&p, Addr::from_octets(10, 255, 0, 3));
-        let frame = enc.wrap_unicast(Addr::from_octets(1, 1, 1, 1), Addr::from_octets(2, 2, 2, 2), None);
+        let frame =
+            enc.wrap_unicast(Addr::from_octets(1, 1, 1, 1), Addr::from_octets(2, 2, 2, 2), None);
         assert_eq!(PacketKind::classify(&frame), PacketKind::DataCbt);
     }
 
@@ -289,7 +321,12 @@ mod tests {
         };
         t.record(e.clone());
         t.record(TraceEntry { kind: PacketKind::DataNative, bytes: 50, ..e.clone() });
-        t.record(TraceEntry { kind: PacketKind::DataCbt, bytes: 90, medium: Medium::Lan(LanId(1)), ..e });
+        t.record(TraceEntry {
+            kind: PacketKind::DataCbt,
+            bytes: 90,
+            medium: Medium::Lan(LanId(1)),
+            ..e
+        });
         assert_eq!(t.control_frames(), 1);
         assert_eq!(t.data_frames(), 2);
         assert_eq!(t.count(PacketKind::Control(ControlType::JoinRequest)), 1);
@@ -297,6 +334,17 @@ mod tests {
         assert_eq!(t.data_bytes_by_medium()[&Medium::Lan(LanId(1))], 90);
         assert_eq!(t.entries().len(), 3);
         assert_eq!(t.totals().0, 3);
+    }
+
+    #[test]
+    fn drop_taxonomy_accumulates() {
+        let mut t = Trace::counters_only();
+        t.record_drop(DropReason::NoFibEntry);
+        t.record_drop(DropReason::NoFibEntry);
+        t.record_drop(DropReason::TtlExpired);
+        assert_eq!(t.drop_counts().get(DropReason::NoFibEntry), 2);
+        assert_eq!(t.drop_counts().get(DropReason::TtlExpired), 1);
+        assert_eq!(t.drop_counts().total(), 3);
     }
 
     #[test]

@@ -402,7 +402,10 @@ impl World {
                         .and_then(|p| p.get(t.iface.0 as usize))
                         .copied()
                     else {
-                        continue; // unknown interface: silently dropped
+                        // Unknown interface: the world has no plan to
+                        // carry this frame anywhere.
+                        self.trace.record_drop(cbt_obs::DropReason::NoFibEntry);
+                        continue;
                     };
                     match plan {
                         IfacePlan::Lan { lan, src_addr } => {
@@ -417,9 +420,11 @@ impl World {
                 }
                 Entity::Host(h) => {
                     if t.iface != IfIndex(0) {
+                        self.trace.record_drop(cbt_obs::DropReason::NoFibEntry);
                         continue;
                     }
                     let Some(&(lan, src_addr)) = self.host_plans.get(h.0 as usize) else {
+                        self.trace.record_drop(cbt_obs::DropReason::NoFibEntry);
                         continue;
                     };
                     self.emit_lan(from, t.iface, lan, src_addr, t.link_dst, t.frame);
@@ -510,7 +515,12 @@ impl World {
         let Some(peer_iface) = peer_iface else { return };
         self.queue.push(
             self.now + self.cfg.link_latency,
-            Event::Arrive { to: Entity::Router(peer), iface: peer_iface, link_src: src_addr, frame },
+            Event::Arrive {
+                to: Entity::Router(peer),
+                iface: peer_iface,
+                link_src: src_addr,
+                frame,
+            },
         );
     }
 
@@ -628,6 +638,48 @@ mod tests {
         let (at, iface) = n1.received[0];
         assert_eq!(at, SimTime::from_secs(1) + SimDuration::from_millis(1));
         assert_eq!(iface, IfIndex(0));
+    }
+
+    /// A transmission out of an interface the topology does not know is
+    /// counted in the trace's drop taxonomy instead of vanishing.
+    #[test]
+    fn unknown_iface_drop_is_counted() {
+        struct Misfire;
+        impl SimNode for Misfire {
+            fn on_packet(
+                &mut self,
+                _now: SimTime,
+                _iface: IfIndex,
+                _link_src: cbt_wire::Addr,
+                _frame: &Bytes,
+                _out: &mut Outbox,
+            ) {
+            }
+            fn on_timer(&mut self, _now: SimTime, out: &mut Outbox) {
+                let pkt = DataPacket::new(
+                    Addr::from_octets(10, 1, 0, 1),
+                    GroupId::numbered(1),
+                    4,
+                    b"x".to_vec(),
+                );
+                out.send(IfIndex(7), pkt.encode());
+            }
+            fn next_wakeup(&self) -> Option<SimTime> {
+                None
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+        let (spec, r0, ..) = two_routers_one_lan();
+        let mut w = World::new(spec, WorldConfig::default());
+        w.set_node(Entity::Router(r0), Box::new(Misfire));
+        w.start();
+        assert_eq!(w.trace().drop_counts().get(cbt_obs::DropReason::NoFibEntry), 1);
+        assert_eq!(w.trace().totals().0, 0, "nothing was carried");
     }
 
     #[test]

@@ -86,18 +86,43 @@ async fn main() {
     println!("\ntree state after {duration}s:");
     let mut names: Vec<_> = built.routers.keys().cloned().collect();
     names.sort();
+    let mut fleet = cbt_obs::ObsSnapshot { router: "fleet".into(), ..Default::default() };
+    let mut per_router = Vec::new();
     for name in names {
         let r = built.routers[&name];
         match live.router_snapshot(r, group).await {
-            Ok(snap) => println!(
-                "  {name}: on_tree={} parent={} children={}",
-                snap.on_tree,
-                snap.parent.map(|a| a.to_string()).unwrap_or_else(|| "—".into()),
-                snap.children.len(),
-            ),
+            Ok(snap) => {
+                println!(
+                    "  {name}: on_tree={} parent={} children={}",
+                    snap.on_tree,
+                    snap.parent.map(|a| a.to_string()).unwrap_or_else(|| "—".into()),
+                    snap.children.len(),
+                );
+                let mut obs = snap.obs;
+                obs.router = name.clone();
+                fleet.merge(&obs);
+                per_router.push(obs);
+            }
             Err(e) => println!("  {name}: unavailable ({e})"),
         }
     }
+
+    println!("\ncounters:");
+    for obs in &per_router {
+        for line in obs.to_text().lines() {
+            println!("  {line}");
+        }
+    }
+    println!("\ncounters (json):");
+    print!("[");
+    for (i, obs) in per_router.iter().enumerate() {
+        if i > 0 {
+            print!(",");
+        }
+        print!("{}", obs.to_json());
+    }
+    println!("]");
+    println!("fleet: {}", fleet.to_json());
     println!("\ndeliveries:");
     let mut hnames: Vec<_> = built.hosts.keys().cloned().collect();
     hnames.sort();

@@ -18,11 +18,21 @@
 //!   not OOM).
 
 use cbt_netsim::{Bytes, Entity, Transmit};
+use cbt_obs::{AtomicDropCounters, DropCounters, DropReason};
 use cbt_topology::{Attachment, HostId, IfIndex, NetworkSpec, RouterId};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use tokio::sync::mpsc;
+
+/// Enumerates every entity of a network, in the fabric's canonical
+/// order (routers first, then hosts).
+pub(crate) fn entities_of(net: &NetworkSpec) -> Vec<Entity> {
+    (0..net.routers.len())
+        .map(|i| Entity::Router(RouterId(i as u32)))
+        .chain((0..net.hosts.len()).map(|i| Entity::Host(HostId(i as u32))))
+        .collect()
+}
 
 /// A frame as delivered to a node: which interface it arrived on and
 /// who (at the link layer) sent it. The frame bytes are a refcounted
@@ -68,10 +78,14 @@ impl DataPlaneConfig {
 }
 
 /// Live counters for fabric delivery. All counters are cumulative.
+/// Drops are tallied **per receiving node** under the shared
+/// [`DropReason`] taxonomy rather than as one fabric-wide
+/// `dropped_overflow` total, so a single overwhelmed inbox is
+/// attributable.
 #[derive(Default)]
 pub struct FabricCounters {
     delivered: AtomicU64,
-    dropped_overflow: AtomicU64,
+    node_drops: HashMap<Entity, AtomicDropCounters>,
 }
 
 /// A point-in-time snapshot of [`FabricCounters`].
@@ -79,22 +93,47 @@ pub struct FabricCounters {
 pub struct FabricStats {
     /// Frames enqueued into recipient inboxes.
     pub delivered: u64,
-    /// Frames dropped because a recipient's bounded inbox was full.
+    /// Frames dropped because a recipient's bounded inbox was full
+    /// (sum of [`DropReason::InboxOverflow`] over every node).
     pub dropped_overflow: u64,
 }
 
 impl FabricCounters {
+    /// Builds the counter set with one taxonomy row per entity.
+    pub(crate) fn for_net(net: &NetworkSpec) -> Self {
+        FabricCounters {
+            delivered: AtomicU64::new(0),
+            node_drops: entities_of(net)
+                .into_iter()
+                .map(|e| (e, AtomicDropCounters::default()))
+                .collect(),
+        }
+    }
     pub(crate) fn count_delivered(&self) {
         self.delivered.fetch_add(1, Ordering::Relaxed);
     }
-    pub(crate) fn count_dropped(&self) {
-        self.dropped_overflow.fetch_add(1, Ordering::Relaxed);
+    pub(crate) fn count_dropped(&self, to: Entity) {
+        if let Some(d) = self.node_drops.get(&to) {
+            d.bump(DropReason::InboxOverflow);
+        }
+    }
+    /// One node's transport-level drop taxonomy.
+    pub fn node_drops(&self, e: Entity) -> DropCounters {
+        self.node_drops.get(&e).map(|d| d.snapshot()).unwrap_or_default()
+    }
+    /// The fleet-wide drop taxonomy (sum over every node).
+    pub fn drops_total(&self) -> DropCounters {
+        let mut out = DropCounters::default();
+        for d in self.node_drops.values() {
+            out.merge(&d.snapshot());
+        }
+        out
     }
     /// Snapshots the counters.
     pub fn snapshot(&self) -> FabricStats {
         FabricStats {
             delivered: self.delivered.load(Ordering::Relaxed),
-            dropped_overflow: self.dropped_overflow.load(Ordering::Relaxed),
+            dropped_overflow: self.drops_total().get(DropReason::InboxOverflow),
         }
     }
 }
@@ -133,12 +172,8 @@ impl Fabric {
             inboxes.insert(Entity::Host(HostId(i as u32)), tx);
             rxs.insert(Entity::Host(HostId(i as u32)), rx);
         }
-        let fabric = Fabric {
-            net,
-            inboxes,
-            counters: Arc::new(FabricCounters::default()),
-            copy_per_recipient: dp.copy_per_recipient,
-        };
+        let counters = Arc::new(FabricCounters::for_net(&net));
+        let fabric = Fabric { net, inboxes, counters, copy_per_recipient: dp.copy_per_recipient };
         (Arc::new(fabric), rxs)
     }
 
@@ -202,10 +237,9 @@ impl Fabric {
                     .and_then(|s| s.iface(t.iface))
                     .map(|i| i.addr)
                     .unwrap_or(cbt_wire::Addr::NULL);
-                let peer_iface = self.net.routers[peer.0 as usize]
-                    .ifaces
-                    .iter()
-                    .position(|pi| matches!(pi.attachment, Attachment::Link { link: l, .. } if l == link));
+                let peer_iface = self.net.routers[peer.0 as usize].ifaces.iter().position(
+                    |pi| matches!(pi.attachment, Attachment::Link { link: l, .. } if l == link),
+                );
                 if let Some(idx) = peer_iface {
                     self.deliver(Entity::Router(peer), IfIndex(idx as u32), link_src, &t.frame);
                 }
@@ -216,9 +250,7 @@ impl Fabric {
 
     fn medium_of(&self, from: Entity, iface: IfIndex) -> Option<Attachment> {
         match from {
-            Entity::Router(r) => {
-                Some(self.net.routers.get(r.0 as usize)?.iface(iface)?.attachment)
-            }
+            Entity::Router(r) => Some(self.net.routers.get(r.0 as usize)?.iface(iface)?.attachment),
             Entity::Host(h) => {
                 let spec = self.net.hosts.get(h.0 as usize)?;
                 (iface == IfIndex(0)).then_some(Attachment::Lan(spec.lan))
@@ -230,14 +262,11 @@ impl Fabric {
         let Some(tx) = self.inboxes.get(&to) else { return };
         // Fast path: clone the refcounted handle. Legacy path: deep
         // copy per recipient, as the pre-batching fabric did.
-        let frame = if self.copy_per_recipient {
-            Bytes::from(frame.to_vec())
-        } else {
-            frame.clone()
-        };
+        let frame =
+            if self.copy_per_recipient { Bytes::from(frame.to_vec()) } else { frame.clone() };
         match tx.try_send(RxFrame { iface, link_src, frame }) {
             Ok(()) => self.counters.count_delivered(),
-            Err(mpsc::error::TrySendError::Full(_)) => self.counters.count_dropped(),
+            Err(mpsc::error::TrySendError::Full(_)) => self.counters.count_dropped(to),
             // A closed inbox means that node shut down; fine.
             Err(mpsc::error::TrySendError::Closed(_)) => {}
         }
@@ -273,10 +302,7 @@ mod tests {
         fabric.dispatch(Entity::Router(r0), &t);
         assert!(rxs.get_mut(&Entity::Router(r1)).unwrap().try_recv().is_ok());
         assert!(rxs.get_mut(&Entity::Host(h)).unwrap().try_recv().is_ok());
-        assert!(
-            rxs.get_mut(&Entity::Router(r0)).unwrap().try_recv().is_err(),
-            "no self-delivery"
-        );
+        assert!(rxs.get_mut(&Entity::Router(r0)).unwrap().try_recv().is_err(), "no self-delivery");
         assert_eq!(fabric.counters().snapshot().delivered, 2);
     }
 
@@ -355,6 +381,12 @@ mod tests {
         let stats = fabric.counters().snapshot();
         assert_eq!(stats.delivered, 4, "inbox capacity");
         assert_eq!(stats.dropped_overflow, 6, "excess counted, not queued");
+        // The drops are attributed to the overwhelmed node, under the
+        // right taxonomy bucket — not smeared over the fabric.
+        let r1_drops = fabric.counters().node_drops(Entity::Router(r1));
+        assert_eq!(r1_drops.get(DropReason::InboxOverflow), 6);
+        assert_eq!(r1_drops.total(), 6, "nothing else counted against R1");
+        assert_eq!(fabric.counters().node_drops(Entity::Router(r0)).total(), 0);
         // The receiver still drains the accepted frames.
         let rx = rxs.get_mut(&Entity::Router(r1)).unwrap();
         for _ in 0..4 {

@@ -44,6 +44,11 @@ pub struct RouterSnapshot {
     pub children: Vec<Addr>,
     /// Behaviour counters.
     pub stats: cbt::RouterStats,
+    /// Full observability snapshot: drop taxonomy, per-group protocol
+    /// counters, latency histograms. [`LiveNet::router_snapshot`] folds
+    /// the fabric's transport-level drops for this node (inbox
+    /// overflow) into `obs.drops` so one snapshot covers both layers.
+    pub obs: cbt_obs::ObsSnapshot,
 }
 
 /// Why a [`LiveNet`] query could not be answered.
@@ -192,7 +197,12 @@ impl LiveNet {
         let cmds = self.router_cmds.get(&r).ok_or(LiveError::UnknownNode)?;
         let (tx, rx) = oneshot::channel();
         cmds.send(RouterCmd::Snapshot { group, resp: tx }).map_err(|_| LiveError::NodeDead)?;
-        rx.await.map_err(|_| LiveError::NodeDead)
+        let mut snap = rx.await.map_err(|_| LiveError::NodeDead)?;
+        // Transport-level drops (bounded-inbox overflow) happen in the
+        // fabric, outside the engine; fold this node's row in so the
+        // snapshot covers every layer.
+        snap.obs.drops.merge(&self.counters.node_drops(Entity::Router(r)));
+        Ok(snap)
     }
 
     /// Fabric delivery counters (frames enqueued / dropped on
@@ -247,6 +257,7 @@ async fn router_task(
                             parent: e.parent_of(group),
                             children: e.children_of(group),
                             stats: e.stats(),
+                            obs: e.obs_snapshot(),
                         });
                     }
                 }
@@ -470,9 +481,6 @@ mod tests {
         assert_eq!(live.host_received(a).await, Err(LiveError::NodeDead));
         assert_eq!(live.router_snapshot(r0, group).await, Err(LiveError::NodeDead));
         // Unknown ids are distinguished from dead tasks.
-        assert_eq!(
-            live.router_snapshot(RouterId(99), group).await,
-            Err(LiveError::UnknownNode)
-        );
+        assert_eq!(live.router_snapshot(RouterId(99), group).await, Err(LiveError::UnknownNode));
     }
 }

@@ -23,9 +23,10 @@
 //!   malformed datagrams shorter than the 8-byte preamble are counted
 //!   in [`UdpStats::short_datagrams`] instead of vanishing silently.
 
-use crate::fabric::{DataPlaneConfig, RxFrame};
+use crate::fabric::{entities_of, DataPlaneConfig, RxFrame};
 use cbt_netsim::{Bytes, Entity, Transmit};
-use cbt_topology::{Attachment, HostId, IfIndex, NetworkSpec, RouterId};
+use cbt_obs::{AtomicDropCounters, DropCounters, DropReason};
+use cbt_topology::{Attachment, IfIndex, NetworkSpec};
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -38,11 +39,14 @@ use tokio::task::JoinHandle;
 const PUMP_BATCH: usize = 64;
 
 /// Cumulative transport counters, shared by every pump of a fabric.
+/// Drops are attributed to the **receiving node** under the shared
+/// [`DropReason`] taxonomy: a truncated preamble counts as
+/// [`DropReason::DecodeError`], a full inbox as
+/// [`DropReason::InboxOverflow`].
 #[derive(Default)]
 pub struct UdpCounters {
     datagrams_rx: AtomicU64,
-    short_datagrams: AtomicU64,
-    dropped_overflow: AtomicU64,
+    node_drops: HashMap<Entity, AtomicDropCounters>,
 }
 
 /// A point-in-time snapshot of [`UdpCounters`].
@@ -51,20 +55,44 @@ pub struct UdpStats {
     /// Well-formed datagrams delivered into node inboxes.
     pub datagrams_rx: u64,
     /// Datagrams shorter than the 8-byte `[iface|link_src]` preamble
-    /// (including zero-length), dropped at the pump.
+    /// (including zero-length), dropped at the pump (sum of
+    /// [`DropReason::DecodeError`] over every node).
     pub short_datagrams: u64,
     /// Well-formed datagrams dropped because the node's bounded inbox
-    /// was full.
+    /// was full (sum of [`DropReason::InboxOverflow`] over every node).
     pub dropped_overflow: u64,
 }
 
 impl UdpCounters {
+    /// Builds the counter set with one taxonomy row per entity.
+    fn for_net(net: &NetworkSpec) -> Self {
+        UdpCounters {
+            datagrams_rx: AtomicU64::new(0),
+            node_drops: entities_of(net)
+                .into_iter()
+                .map(|e| (e, AtomicDropCounters::default()))
+                .collect(),
+        }
+    }
+    /// One node's transport-level drop taxonomy.
+    pub fn node_drops(&self, e: Entity) -> DropCounters {
+        self.node_drops.get(&e).map(|d| d.snapshot()).unwrap_or_default()
+    }
+    /// The fleet-wide drop taxonomy (sum over every node).
+    pub fn drops_total(&self) -> DropCounters {
+        let mut out = DropCounters::default();
+        for d in self.node_drops.values() {
+            out.merge(&d.snapshot());
+        }
+        out
+    }
     /// Snapshots the counters.
     pub fn snapshot(&self) -> UdpStats {
+        let drops = self.drops_total();
         UdpStats {
             datagrams_rx: self.datagrams_rx.load(Ordering::Relaxed),
-            short_datagrams: self.short_datagrams.load(Ordering::Relaxed),
-            dropped_overflow: self.dropped_overflow.load(Ordering::Relaxed),
+            short_datagrams: drops.get(DropReason::DecodeError),
+            dropped_overflow: drops.get(DropReason::InboxOverflow),
         }
     }
 }
@@ -99,17 +127,13 @@ impl UdpFabric {
         let mut peers = HashMap::new();
         let mut rxs = HashMap::new();
         let mut pumps = Vec::new();
-        let counters = Arc::new(UdpCounters::default());
-        let entities: Vec<Entity> = (0..net.routers.len())
-            .map(|i| Entity::Router(RouterId(i as u32)))
-            .chain((0..net.hosts.len()).map(|i| Entity::Host(HostId(i as u32))))
-            .collect();
-        for e in entities {
+        let counters = Arc::new(UdpCounters::for_net(&net));
+        for e in entities_of(&net) {
             let socket = Arc::new(UdpSocket::bind("127.0.0.1:0").await?);
             peers.insert(e, socket.local_addr()?);
             let (tx, rx) = mpsc::channel(dp.inbox_capacity.max(1));
             rxs.insert(e, rx);
-            pumps.push(tokio::spawn(pump(socket.clone(), tx, counters.clone())));
+            pumps.push(tokio::spawn(pump(socket.clone(), tx, counters.clone(), e)));
             sockets.insert(e, socket);
         }
         Ok((Arc::new(UdpFabric { net, sockets, peers, counters, pumps }), rxs))
@@ -169,12 +193,9 @@ impl UdpFabric {
                 .and_then(|s| s.iface(iface))
                 .map(|i| i.addr)
                 .unwrap_or(cbt_wire::Addr::NULL),
-            Entity::Host(h) => self
-                .net
-                .hosts
-                .get(h.0 as usize)
-                .map(|s| s.addr)
-                .unwrap_or(cbt_wire::Addr::NULL),
+            Entity::Host(h) => {
+                self.net.hosts.get(h.0 as usize).map(|s| s.addr).unwrap_or(cbt_wire::Addr::NULL)
+            }
         }
     }
 
@@ -182,9 +203,12 @@ impl UdpFabric {
     fn recipients(&self, from: Entity, t: &Transmit) -> Vec<(Entity, IfIndex)> {
         let mut out = Vec::new();
         let medium = match from {
-            Entity::Router(r) => {
-                self.net.routers.get(r.0 as usize).and_then(|s| s.iface(t.iface)).map(|i| i.attachment)
-            }
+            Entity::Router(r) => self
+                .net
+                .routers
+                .get(r.0 as usize)
+                .and_then(|s| s.iface(t.iface))
+                .map(|i| i.attachment),
             Entity::Host(h) => self
                 .net
                 .hosts
@@ -219,10 +243,9 @@ impl UdpFabric {
                 }
             }
             Some(Attachment::Link { link, peer }) => {
-                let peer_iface = self.net.routers[peer.0 as usize]
-                    .ifaces
-                    .iter()
-                    .position(|pi| matches!(pi.attachment, Attachment::Link { link: l, .. } if l == link));
+                let peer_iface = self.net.routers[peer.0 as usize].ifaces.iter().position(
+                    |pi| matches!(pi.attachment, Attachment::Link { link: l, .. } if l == link),
+                );
                 if let Some(idx) = peer_iface {
                     out.push((Entity::Router(peer), IfIndex(idx as u32)));
                 }
@@ -248,11 +271,13 @@ async fn pump(
     socket: Arc<UdpSocket>,
     tx: mpsc::Sender<RxFrame>,
     counters: Arc<UdpCounters>,
+    me: Entity,
 ) {
+    let drops = counters.node_drops.get(&me).expect("every entity has a taxonomy row");
     let mut buf = vec![0u8; 65536];
     'outer: loop {
         let Ok((len, _)) = socket.recv_from(&mut buf).await else { break };
-        if !pump_one(&buf[..len], &tx, &counters) {
+        if !pump_one(&buf[..len], &tx, &counters.datagrams_rx, drops) {
             break;
         }
         // Batch: drain whatever else already arrived, without paying a
@@ -261,7 +286,7 @@ async fn pump(
         while drained < PUMP_BATCH {
             let Ok((len, _)) = socket.try_recv_from(&mut buf) else { break };
             drained += 1;
-            if !pump_one(&buf[..len], &tx, &counters) {
+            if !pump_one(&buf[..len], &tx, &counters.datagrams_rx, drops) {
                 break 'outer;
             }
         }
@@ -270,22 +295,26 @@ async fn pump(
 
 /// Parses and enqueues one received datagram. Returns false when the
 /// inbox receiver is gone (pump should exit).
-fn pump_one(dgram: &[u8], tx: &mpsc::Sender<RxFrame>, counters: &UdpCounters) -> bool {
+fn pump_one(
+    dgram: &[u8],
+    tx: &mpsc::Sender<RxFrame>,
+    rx_total: &AtomicU64,
+    drops: &AtomicDropCounters,
+) -> bool {
     if dgram.len() < 8 {
-        counters.short_datagrams.fetch_add(1, Ordering::Relaxed);
+        drops.bump(DropReason::DecodeError);
         return true;
     }
     let iface = IfIndex(u32::from_be_bytes([dgram[0], dgram[1], dgram[2], dgram[3]]));
-    let link_src =
-        cbt_wire::Addr(u32::from_be_bytes([dgram[4], dgram[5], dgram[6], dgram[7]]));
+    let link_src = cbt_wire::Addr(u32::from_be_bytes([dgram[4], dgram[5], dgram[6], dgram[7]]));
     let frame = Bytes::from(dgram[8..].to_vec());
     match tx.try_send(RxFrame { iface, link_src, frame }) {
         Ok(()) => {
-            counters.datagrams_rx.fetch_add(1, Ordering::Relaxed);
+            rx_total.fetch_add(1, Ordering::Relaxed);
             true
         }
         Err(mpsc::error::TrySendError::Full(_)) => {
-            counters.dropped_overflow.fetch_add(1, Ordering::Relaxed);
+            drops.bump(DropReason::InboxOverflow);
             true
         }
         Err(mpsc::error::TrySendError::Closed(_)) => false,
@@ -295,7 +324,7 @@ fn pump_one(dgram: &[u8], tx: &mpsc::Sender<RxFrame>, counters: &UdpCounters) ->
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cbt_topology::NetworkBuilder;
+    use cbt_topology::{NetworkBuilder, RouterId};
     use cbt_wire::{Addr, ControlMessage, GroupId, JoinSubcode, UdpHeader, CBT_PRIMARY_PORT};
 
     fn pair() -> Arc<NetworkSpec> {
@@ -326,7 +355,7 @@ mod tests {
         };
         // Wrap exactly as the router adapter does: §3 UDP shell inside
         // an IP datagram.
-        let udp = UdpHeader::wrap(CBT_PRIMARY_PORT, CBT_PRIMARY_PORT, &join.encode());
+        let udp = UdpHeader::wrap(CBT_PRIMARY_PORT, CBT_PRIMARY_PORT, &join.encode().unwrap());
         let frame = cbt_wire::ipv4::build_datagram(
             Addr::from_octets(172, 31, 0, 1),
             Addr::from_octets(172, 31, 0, 2),
@@ -393,7 +422,7 @@ mod tests {
         raw.send_to(&[], r1_peer).unwrap(); // zero-length
         raw.send_to(&[1, 2, 3], r1_peer).unwrap(); // 3 < 8
         raw.send_to(&[0; 7], r1_peer).unwrap(); // 7 < 8
-        // An 8-byte datagram is a valid (empty) frame and must pass.
+                                                // An 8-byte datagram is a valid (empty) frame and must pass.
         raw.send_to(&[0; 8], r1_peer).unwrap();
         let rx = rxs.get_mut(&Entity::Router(RouterId(1))).unwrap();
         let got = tokio::time::timeout(std::time::Duration::from_secs(5), rx.recv())
@@ -404,6 +433,53 @@ mod tests {
         let stats = fabric.counters().snapshot();
         assert_eq!(stats.short_datagrams, 3, "{stats:?}");
         assert_eq!(stats.datagrams_rx, 1);
+        fabric.shutdown();
+    }
+
+    /// Per-node drop taxonomy over real sockets: one node's inbox is
+    /// overwhelmed with well-formed datagrams while malformed ones
+    /// arrive interleaved. Every drop lands in **that node's** taxonomy
+    /// row with an exact per-reason count — 6 `InboxOverflow` (10 valid
+    /// datagrams into a capacity-4 inbox that nobody drains) and 3
+    /// `DecodeError` (truncated preambles) — and the other node's row
+    /// stays zero. The counts are deterministic regardless of how the
+    /// pump interleaves the two kinds: short datagrams never consume
+    /// inbox capacity, and loopback delivers in order.
+    #[tokio::test]
+    async fn per_node_overflow_has_exact_reason_counts() {
+        let net = pair();
+        let dp = DataPlaneConfig { inbox_capacity: 4, ..Default::default() };
+        let (fabric, _rxs) = UdpFabric::bind_with(net.clone(), dp).await.unwrap();
+        let r1 = Entity::Router(RouterId(1));
+        let r1_peer = fabric.peers[&r1];
+        let raw = std::net::UdpSocket::bind("127.0.0.1:0").unwrap();
+        for _ in 0..10 {
+            raw.send_to(&[0; 8], r1_peer).unwrap(); // valid (empty frame)
+        }
+        for _ in 0..3 {
+            raw.send_to(&[1, 2, 3], r1_peer).unwrap(); // 3 < 8: truncated
+        }
+        // Wait until the pump has accounted for all 13 datagrams.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            let accounted = fabric.counters().snapshot().datagrams_rx
+                + fabric.counters().node_drops(r1).total();
+            if accounted >= 13 {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "pump stalled at {accounted}/13");
+            tokio::time::sleep(std::time::Duration::from_millis(10)).await;
+        }
+        let drops = fabric.counters().node_drops(r1);
+        assert_eq!(drops.get(DropReason::InboxOverflow), 6, "exact overflow count");
+        assert_eq!(drops.get(DropReason::DecodeError), 3, "exact truncation count");
+        assert_eq!(drops.total(), 9, "no other reason was bumped");
+        assert_eq!(fabric.counters().snapshot().datagrams_rx, 4, "inbox capacity accepted");
+        assert_eq!(
+            fabric.counters().node_drops(Entity::Router(RouterId(0))).total(),
+            0,
+            "drops are attributed, not smeared fabric-wide"
+        );
         fabric.shutdown();
     }
 

@@ -1,0 +1,703 @@
+//! Observability layer for the CBT reproduction.
+//!
+//! Every layer of the stack — the sans-I/O engine in `cbt`, the live
+//! node runtime in `cbt-node`, the deterministic simulator in
+//! `cbt-netsim` — reports into the plain-data structures defined here:
+//!
+//! * a closed **drop-reason taxonomy** ([`DropReason`]) so a discarded
+//!   packet is never silent: every discard site names its reason and
+//!   bumps a counter;
+//! * per-router, per-group **protocol counters** ([`ProtocolCounters`],
+//!   keyed by [`CtlKind`]) for joins, acks, nacks, quits, echoes and
+//!   flush-tree traffic in both directions;
+//! * log2-bucketed **latency histograms** ([`Histogram`]) for join
+//!   round-trips and timer-wheel wakeup lag, in microseconds;
+//! * a cheap [`RouterObs::snapshot`] producing an [`ObsSnapshot`] with
+//!   text and JSON exporters that `cbt-eval` embeds in its reports and
+//!   `cbtd` prints on demand.
+//!
+//! Everything on the forward path is a fixed-size array add on a plain
+//! struct — no locks, no heap allocation — so the zero-allocs/packet
+//! invariant asserted by the `dataplane` bench holds with counters
+//! enabled. The per-group map is touched only on the control path.
+//! The live plane, which counts from multiple threads, uses
+//! [`AtomicDropCounters`] (relaxed adds on cache-resident atomics).
+//!
+//! This crate is dependency-free by design: the JSON exporter is
+//! hand-rolled (the output is validated against the vendored parser in
+//! `cbt-eval` and by the CI schema smoke step).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Why a data or control packet was discarded. Closed taxonomy: every
+/// discard site in the tree maps onto exactly one of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum DropReason {
+    /// TTL/hop-limit reached the boundary (§5: decremented to zero, or
+    /// arrived too low to travel further).
+    TtlExpired = 0,
+    /// No forwarding state for the packet's group (off-tree arrival at
+    /// an off-tree router, no route toward any core).
+    NoFibEntry = 1,
+    /// A bounded inbox/channel was full (live plane back-pressure).
+    InboxOverflow = 2,
+    /// The wire checksum did not verify.
+    ChecksumBad = 3,
+    /// The frame failed to parse for any reason other than checksum.
+    DecodeError = 4,
+    /// The packet violated a scope rule: a §7 parent/child arrival
+    /// check, or a locally originated packet this router is not
+    /// responsible for.
+    ScopeBoundary = 5,
+}
+
+impl DropReason {
+    /// Number of variants (array sizing).
+    pub const COUNT: usize = 6;
+
+    /// Every variant, in counter-index order.
+    pub const ALL: [DropReason; DropReason::COUNT] = [
+        DropReason::TtlExpired,
+        DropReason::NoFibEntry,
+        DropReason::InboxOverflow,
+        DropReason::ChecksumBad,
+        DropReason::DecodeError,
+        DropReason::ScopeBoundary,
+    ];
+
+    /// Stable name used by both exporters.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            DropReason::TtlExpired => "TtlExpired",
+            DropReason::NoFibEntry => "NoFibEntry",
+            DropReason::InboxOverflow => "InboxOverflow",
+            DropReason::ChecksumBad => "ChecksumBad",
+            DropReason::DecodeError => "DecodeError",
+            DropReason::ScopeBoundary => "ScopeBoundary",
+        }
+    }
+}
+
+/// Fixed-size drop counters for single-threaded owners (the engine,
+/// the simulator). Bumping is an array add — safe on the hot path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DropCounters([u64; DropReason::COUNT]);
+
+impl DropCounters {
+    pub const fn new() -> Self {
+        DropCounters([0; DropReason::COUNT])
+    }
+
+    #[inline]
+    pub fn bump(&mut self, reason: DropReason) {
+        self.0[reason as usize] += 1;
+    }
+
+    #[inline]
+    pub fn get(&self, reason: DropReason) -> u64 {
+        self.0[reason as usize]
+    }
+
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+
+    pub fn merge(&mut self, other: &DropCounters) {
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a += b;
+        }
+    }
+
+    /// `(reason, count)` pairs in taxonomy order, zeros included.
+    pub fn iter(&self) -> impl Iterator<Item = (DropReason, u64)> + '_ {
+        DropReason::ALL.iter().map(move |&r| (r, self.get(r)))
+    }
+}
+
+/// Drop counters shared across the live plane's threads. Relaxed adds:
+/// the values are monotone statistics, not synchronization.
+#[derive(Debug, Default)]
+pub struct AtomicDropCounters([AtomicU64; DropReason::COUNT]);
+
+impl AtomicDropCounters {
+    pub const fn new() -> Self {
+        AtomicDropCounters([
+            AtomicU64::new(0),
+            AtomicU64::new(0),
+            AtomicU64::new(0),
+            AtomicU64::new(0),
+            AtomicU64::new(0),
+            AtomicU64::new(0),
+        ])
+    }
+
+    #[inline]
+    pub fn bump(&self, reason: DropReason) {
+        self.0[reason as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, reason: DropReason, n: u64) {
+        self.0[reason as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self, reason: DropReason) -> u64 {
+        self.0[reason as usize].load(Ordering::Relaxed)
+    }
+
+    /// Plain-data copy of the current values.
+    pub fn snapshot(&self) -> DropCounters {
+        let mut out = DropCounters::new();
+        for r in DropReason::ALL {
+            out.0[r as usize] = self.get(r);
+        }
+        out
+    }
+}
+
+/// CBT control-message classes, for per-group protocol accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum CtlKind {
+    JoinRequest = 0,
+    JoinAck = 1,
+    JoinNack = 2,
+    QuitRequest = 3,
+    QuitAck = 4,
+    EchoRequest = 5,
+    EchoReply = 6,
+    FlushTree = 7,
+}
+
+impl CtlKind {
+    pub const COUNT: usize = 8;
+
+    pub const ALL: [CtlKind; CtlKind::COUNT] = [
+        CtlKind::JoinRequest,
+        CtlKind::JoinAck,
+        CtlKind::JoinNack,
+        CtlKind::QuitRequest,
+        CtlKind::QuitAck,
+        CtlKind::EchoRequest,
+        CtlKind::EchoReply,
+        CtlKind::FlushTree,
+    ];
+
+    /// Stable snake_case name used by both exporters.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            CtlKind::JoinRequest => "join_request",
+            CtlKind::JoinAck => "join_ack",
+            CtlKind::JoinNack => "join_nack",
+            CtlKind::QuitRequest => "quit_request",
+            CtlKind::QuitAck => "quit_ack",
+            CtlKind::EchoRequest => "echo_request",
+            CtlKind::EchoReply => "echo_reply",
+            CtlKind::FlushTree => "flush_tree",
+        }
+    }
+}
+
+/// Sent/received counts per control-message class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProtocolCounters {
+    sent: [u64; CtlKind::COUNT],
+    received: [u64; CtlKind::COUNT],
+}
+
+impl ProtocolCounters {
+    pub const fn new() -> Self {
+        ProtocolCounters { sent: [0; CtlKind::COUNT], received: [0; CtlKind::COUNT] }
+    }
+
+    #[inline]
+    pub fn bump_sent(&mut self, kind: CtlKind) {
+        self.sent[kind as usize] += 1;
+    }
+
+    #[inline]
+    pub fn bump_received(&mut self, kind: CtlKind) {
+        self.received[kind as usize] += 1;
+    }
+
+    pub fn sent(&self, kind: CtlKind) -> u64 {
+        self.sent[kind as usize]
+    }
+
+    pub fn received(&self, kind: CtlKind) -> u64 {
+        self.received[kind as usize]
+    }
+
+    pub fn total(&self) -> u64 {
+        self.sent.iter().chain(self.received.iter()).sum()
+    }
+
+    pub fn merge(&mut self, other: &ProtocolCounters) {
+        for (a, b) in self.sent.iter_mut().zip(other.sent.iter()) {
+            *a += b;
+        }
+        for (a, b) in self.received.iter_mut().zip(other.received.iter()) {
+            *a += b;
+        }
+    }
+}
+
+/// Log2-bucketed latency histogram (microseconds). Bucket `i` holds
+/// samples in `[2^(i-1), 2^i)` (bucket 0 holds zero); recording is a
+/// couple of integer ops, no allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; Histogram::BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    pub const BUCKETS: usize = 32;
+
+    pub const fn new() -> Self {
+        Histogram { buckets: [0; Histogram::BUCKETS], count: 0, sum: 0, max: 0 }
+    }
+
+    #[inline]
+    fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            ((64 - value.leading_zeros()) as usize).min(Histogram::BUCKETS - 1)
+        }
+    }
+
+    #[inline]
+    pub fn record(&mut self, value_us: u64) {
+        self.buckets[Self::bucket_index(value_us)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value_us);
+        self.max = self.max.max(value_us);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile sample
+    /// (`0.0..=1.0`); 0 when empty. Resolution is a factor of two —
+    /// good enough to spot orders of magnitude, which is what the
+    /// wakeup-lag and join-RTT questions need.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        self.max
+    }
+
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Per-router observability state: the single struct a router owns and
+/// bumps from its forward/control/timer paths.
+#[derive(Debug, Clone, Default)]
+pub struct RouterObs {
+    /// Data-plane discards by reason.
+    pub drops: DropCounters,
+    /// Data packets forwarded (transit or fan-out; one per handled
+    /// packet that produced at least one send).
+    pub data_forwarded: u64,
+    /// Data packets delivered to a locally attached member LAN.
+    pub data_delivered: u64,
+    /// Router-wide control counters (sum over groups).
+    pub ctl: ProtocolCounters,
+    /// Per-group control counters, keyed by the group address' u32.
+    /// Touched only on the control path.
+    pub groups: BTreeMap<u32, ProtocolCounters>,
+    /// JOIN_REQUEST → JOIN_ACK round-trip, µs, at the joining router.
+    pub join_rtt_us: Histogram,
+    /// Timer-wheel wakeup lag (fire time minus deadline), µs.
+    pub timer_lag_us: Histogram,
+}
+
+impl RouterObs {
+    pub fn new() -> Self {
+        RouterObs::default()
+    }
+
+    /// Counts a sent control message, router-wide and per-group.
+    pub fn ctl_sent(&mut self, group: u32, kind: CtlKind) {
+        self.ctl.bump_sent(kind);
+        self.groups.entry(group).or_default().bump_sent(kind);
+    }
+
+    /// Counts a received control message, router-wide and per-group.
+    pub fn ctl_received(&mut self, group: u32, kind: CtlKind) {
+        self.ctl.bump_received(kind);
+        self.groups.entry(group).or_default().bump_received(kind);
+    }
+
+    /// Counts a discard. Hot-path safe.
+    #[inline]
+    pub fn drop_packet(&mut self, reason: DropReason) {
+        self.drops.bump(reason);
+    }
+
+    /// Cheap plain-data snapshot for export.
+    pub fn snapshot(&self, router: &str) -> ObsSnapshot {
+        ObsSnapshot {
+            router: router.to_string(),
+            drops: self.drops,
+            data_forwarded: self.data_forwarded,
+            data_delivered: self.data_delivered,
+            ctl: self.ctl,
+            groups: self.groups.clone(),
+            join_rtt_us: self.join_rtt_us.clone(),
+            timer_lag_us: self.timer_lag_us.clone(),
+        }
+    }
+}
+
+/// Exportable snapshot of one router's counters — or, after
+/// [`ObsSnapshot::merge`], an aggregate over many routers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ObsSnapshot {
+    /// Label: a router name, or an aggregate tag like `"fleet"`.
+    pub router: String,
+    pub drops: DropCounters,
+    pub data_forwarded: u64,
+    pub data_delivered: u64,
+    pub ctl: ProtocolCounters,
+    pub groups: BTreeMap<u32, ProtocolCounters>,
+    pub join_rtt_us: Histogram,
+    pub timer_lag_us: Histogram,
+}
+
+/// Formats a group address u32 as a dotted quad.
+fn group_str(g: u32) -> String {
+    let b = g.to_be_bytes();
+    format!("{}.{}.{}.{}", b[0], b[1], b[2], b[3])
+}
+
+/// Minimal JSON string escaping (labels are router names, but be
+/// correct anyway).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_protocol(out: &mut String, p: &ProtocolCounters) {
+    out.push_str("{\"sent\":{");
+    for (i, k) in CtlKind::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", k.as_str(), p.sent(*k));
+    }
+    out.push_str("},\"received\":{");
+    for (i, k) in CtlKind::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", k.as_str(), p.received(*k));
+    }
+    out.push_str("}}");
+}
+
+fn json_histogram(out: &mut String, h: &Histogram) {
+    let _ = write!(
+        out,
+        "{{\"count\":{},\"sum\":{},\"mean\":{:.1},\"p50\":{},\"p99\":{},\"max\":{}}}",
+        h.count(),
+        h.sum(),
+        h.mean(),
+        h.quantile(0.50),
+        h.quantile(0.99),
+        h.max()
+    );
+}
+
+impl ObsSnapshot {
+    /// Folds another snapshot into this one (fleet-wide aggregation).
+    pub fn merge(&mut self, other: &ObsSnapshot) {
+        self.drops.merge(&other.drops);
+        self.data_forwarded += other.data_forwarded;
+        self.data_delivered += other.data_delivered;
+        self.ctl.merge(&other.ctl);
+        for (g, p) in &other.groups {
+            self.groups.entry(*g).or_default().merge(p);
+        }
+        self.join_rtt_us.merge(&other.join_rtt_us);
+        self.timer_lag_us.merge(&other.timer_lag_us);
+    }
+
+    /// JSON export. All six drop reasons are always present (zeros
+    /// included) so consumers never need existence checks; group keys
+    /// are dotted-quad strings.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        let _ = write!(out, "{{\"router\":\"{}\",\"drops\":{{", json_escape(&self.router));
+        for (i, (r, n)) in self.drops.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", r.as_str(), n);
+        }
+        let _ = write!(
+            out,
+            "}},\"data_forwarded\":{},\"data_delivered\":{},\"control\":",
+            self.data_forwarded, self.data_delivered
+        );
+        json_protocol(&mut out, &self.ctl);
+        out.push_str(",\"groups\":[");
+        for (i, (g, p)) in self.groups.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"group\":\"{}\",\"control\":", group_str(*g));
+            json_protocol(&mut out, p);
+            out.push('}');
+        }
+        out.push_str("],\"join_rtt_us\":");
+        json_histogram(&mut out, &self.join_rtt_us);
+        out.push_str(",\"timer_lag_us\":");
+        json_histogram(&mut out, &self.timer_lag_us);
+        out.push('}');
+        out
+    }
+
+    /// Human-readable export (`cbtd` prints this at shutdown).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "[obs] router {}", self.router);
+        let _ = writeln!(
+            out,
+            "  data: forwarded={} delivered={} dropped={}",
+            self.data_forwarded,
+            self.data_delivered,
+            self.drops.total()
+        );
+        for (r, n) in self.drops.iter() {
+            let _ = writeln!(out, "    drop {:<14} {}", r.as_str(), n);
+        }
+        let _ = writeln!(out, "  control ({} groups):", self.groups.len());
+        for k in CtlKind::ALL {
+            let _ = writeln!(
+                out,
+                "    {:<13} sent={} received={}",
+                k.as_str(),
+                self.ctl.sent(k),
+                self.ctl.received(k)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  join_rtt_us: count={} mean={:.1} p50={} p99={} max={}",
+            self.join_rtt_us.count(),
+            self.join_rtt_us.mean(),
+            self.join_rtt_us.quantile(0.50),
+            self.join_rtt_us.quantile(0.99),
+            self.join_rtt_us.max()
+        );
+        let _ = writeln!(
+            out,
+            "  timer_lag_us: count={} mean={:.1} p50={} p99={} max={}",
+            self.timer_lag_us.count(),
+            self.timer_lag_us.mean(),
+            self.timer_lag_us.quantile(0.50),
+            self.timer_lag_us.quantile(0.99),
+            self.timer_lag_us.max()
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_counters_roundtrip() {
+        let mut c = DropCounters::new();
+        c.bump(DropReason::TtlExpired);
+        c.bump(DropReason::TtlExpired);
+        c.bump(DropReason::ScopeBoundary);
+        assert_eq!(c.get(DropReason::TtlExpired), 2);
+        assert_eq!(c.get(DropReason::ScopeBoundary), 1);
+        assert_eq!(c.get(DropReason::ChecksumBad), 0);
+        assert_eq!(c.total(), 3);
+        let mut d = DropCounters::new();
+        d.bump(DropReason::TtlExpired);
+        d.merge(&c);
+        assert_eq!(d.get(DropReason::TtlExpired), 3);
+    }
+
+    #[test]
+    fn atomic_counters_snapshot() {
+        let a = AtomicDropCounters::new();
+        a.bump(DropReason::InboxOverflow);
+        a.add(DropReason::DecodeError, 5);
+        let s = a.snapshot();
+        assert_eq!(s.get(DropReason::InboxOverflow), 1);
+        assert_eq!(s.get(DropReason::DecodeError), 5);
+        assert_eq!(s.total(), 6);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        h.record(0);
+        h.record(1);
+        h.record(3);
+        h.record(1000);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1004);
+        assert_eq!(h.max(), 1000);
+        // p25 → the zero sample; p100 → bucket containing 1000.
+        assert_eq!(h.quantile(0.25), 0);
+        assert_eq!(h.quantile(1.0), 1024);
+        // Giant values clamp into the last bucket instead of indexing
+        // out of bounds.
+        h.record(u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(20);
+        b.record(30);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 60);
+        assert_eq!(a.max(), 30);
+    }
+
+    #[test]
+    fn per_group_counters() {
+        let mut o = RouterObs::new();
+        o.ctl_sent(0xE0000101, CtlKind::JoinRequest);
+        o.ctl_sent(0xE0000101, CtlKind::JoinRequest);
+        o.ctl_received(0xE0000101, CtlKind::JoinAck);
+        o.ctl_sent(0xE0000202, CtlKind::QuitRequest);
+        assert_eq!(o.ctl.sent(CtlKind::JoinRequest), 2);
+        assert_eq!(o.ctl.received(CtlKind::JoinAck), 1);
+        let g = o.groups.get(&0xE0000101).unwrap();
+        assert_eq!(g.sent(CtlKind::JoinRequest), 2);
+        assert_eq!(g.received(CtlKind::JoinAck), 1);
+        assert_eq!(g.sent(CtlKind::QuitRequest), 0);
+        assert_eq!(o.groups.len(), 2);
+    }
+
+    #[test]
+    fn snapshot_merge_aggregates() {
+        let mut a = RouterObs::new();
+        a.drop_packet(DropReason::TtlExpired);
+        a.ctl_sent(1, CtlKind::EchoRequest);
+        a.join_rtt_us.record(100);
+        let mut b = RouterObs::new();
+        b.drop_packet(DropReason::TtlExpired);
+        b.drop_packet(DropReason::NoFibEntry);
+        b.ctl_received(1, CtlKind::EchoRequest);
+        let mut fleet = a.snapshot("A");
+        fleet.router = "fleet".into();
+        fleet.merge(&b.snapshot("B"));
+        assert_eq!(fleet.drops.get(DropReason::TtlExpired), 2);
+        assert_eq!(fleet.drops.get(DropReason::NoFibEntry), 1);
+        let g = fleet.groups.get(&1).unwrap();
+        assert_eq!(g.sent(CtlKind::EchoRequest), 1);
+        assert_eq!(g.received(CtlKind::EchoRequest), 1);
+        assert_eq!(fleet.join_rtt_us.count(), 1);
+    }
+
+    #[test]
+    fn json_contains_all_drop_reasons_even_when_zero() {
+        let o = RouterObs::new();
+        let j = o.snapshot("R1").to_json();
+        for r in DropReason::ALL {
+            assert!(j.contains(&format!("\"{}\":0", r.as_str())), "missing {} in {j}", r.as_str());
+        }
+        assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+
+    #[test]
+    fn json_group_keys_are_dotted_quads() {
+        let mut o = RouterObs::new();
+        o.ctl_sent(0xE4000001, CtlKind::JoinRequest);
+        let j = o.snapshot("R1").to_json();
+        assert!(j.contains("\"group\":\"228.0.0.1\""), "{j}");
+        assert!(j.contains("\"join_request\":1"), "{j}");
+    }
+
+    #[test]
+    fn json_escapes_labels() {
+        let o = RouterObs::new();
+        let j = o.snapshot("r\"1\"\n").to_json();
+        assert!(j.contains("\"router\":\"r\\\"1\\\"\\n\""), "{j}");
+    }
+
+    #[test]
+    fn text_export_mentions_everything() {
+        let mut o = RouterObs::new();
+        o.drop_packet(DropReason::ChecksumBad);
+        o.timer_lag_us.record(7);
+        let t = o.snapshot("R9").to_text();
+        assert!(t.contains("router R9"));
+        assert!(t.contains("ChecksumBad"));
+        assert!(t.contains("timer_lag_us: count=1"));
+    }
+}

@@ -61,11 +61,7 @@ impl RankedTunnels {
     /// interface whose tunnel is up. `None` if the core has no ranking
     /// or every ranked tunnel is down.
     pub fn select(&self, core: Addr) -> Option<IfIndex> {
-        self.ranks
-            .get(&core)?
-            .iter()
-            .copied()
-            .find(|i| self.state(*i) == TunnelState::Up)
+        self.ranks.get(&core)?.iter().copied().find(|i| self.state(*i) == TunnelState::Up)
     }
 
     /// All configured interfaces for `core` in rank order.

@@ -71,10 +71,7 @@ impl Rib {
         if let Some(&via) = self.overrides.get(&(from, dst)) {
             return Some(via);
         }
-        self.trees
-            .get(dst.0 as usize)?
-            .toward_root(NodeId(from.0))
-            .map(|n| RouterId(n.0))
+        self.trees.get(dst.0 as usize)?.toward_root(NodeId(from.0)).map(|n| RouterId(n.0))
     }
 
     /// Distance (in routing metric) from `from` to router `dst`.
@@ -208,8 +205,7 @@ mod tests {
         let hop = rib.route(&f.net, f.router(6), f.net.router_addr(f.router(4))).unwrap();
         assert_eq!(hop.router, f.router(2));
         let s4 = f.subnet(4);
-        let (_, r2_on_s4) =
-            f.net.routers[f.router(2).0 as usize].iface_on_lan(s4).unwrap();
+        let (_, r2_on_s4) = f.net.routers[f.router(2).0 as usize].iface_on_lan(s4).unwrap();
         assert_eq!(hop.addr, r2_on_s4.addr, "next hop address is on the shared LAN");
     }
 

@@ -251,8 +251,7 @@ mod tests {
         let g = f.net.router_graph();
         let to_r4 = ShortestPaths::dijkstra(&g, NodeId(f.router(4).0));
         let path = to_r4.path_to_root(NodeId(f.router(1).0)).unwrap();
-        let names: Vec<_> =
-            path.iter().map(|n| f.net.routers[n.idx()].name.as_str()).collect();
+        let names: Vec<_> = path.iter().map(|n| f.net.routers[n.idx()].name.as_str()).collect();
         assert_eq!(names, ["R1", "R3", "R4"]);
     }
 
@@ -264,8 +263,7 @@ mod tests {
         let g = f.net.router_graph();
         let to_r4 = ShortestPaths::dijkstra(&g, NodeId(f.router(4).0));
         let path = to_r4.path_to_root(NodeId(f.router(6).0)).unwrap();
-        let names: Vec<_> =
-            path.iter().map(|n| f.net.routers[n.idx()].name.as_str()).collect();
+        let names: Vec<_> = path.iter().map(|n| f.net.routers[n.idx()].name.as_str()).collect();
         assert_eq!(names, ["R6", "R2", "R3", "R4"]);
         // And R2 really shares S4 with R6.
         let s4 = f.subnet(4);
@@ -278,9 +276,8 @@ mod tests {
     fn r6_is_lowest_addressed_on_s4() {
         let f = figure1();
         let s4 = f.subnet(4);
-        let addr_of = |n: usize| {
-            f.net.routers[f.router(n).0 as usize].iface_on_lan(s4).unwrap().1.addr
-        };
+        let addr_of =
+            |n: usize| f.net.routers[f.router(n).0 as usize].iface_on_lan(s4).unwrap().1.addr;
         assert!(addr_of(6) < addr_of(2));
         assert!(addr_of(6) < addr_of(5));
     }
@@ -292,10 +289,8 @@ mod tests {
         let f = figure1();
         let g = f.net.router_graph();
         let r8 = NodeId(f.router(8).0);
-        let neigh: Vec<_> = g
-            .neighbors(r8)
-            .map(|(n, _)| f.net.routers[n.idx()].name.clone())
-            .collect();
+        let neigh: Vec<_> =
+            g.neighbors(r8).map(|(n, _)| f.net.routers[n.idx()].name.clone()).collect();
         assert!(neigh.contains(&"R4".to_string()));
         assert!(neigh.contains(&"R9".to_string()));
         assert!(neigh.contains(&"R12".to_string()));

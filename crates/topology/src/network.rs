@@ -251,8 +251,7 @@ impl NetworkSpec {
     /// any router can have local group members.
     pub fn from_graph_with_stub_lans(g: &Graph) -> NetworkSpec {
         let mut b = NetworkBuilder::new();
-        let routers: Vec<RouterId> =
-            g.nodes().map(|n| b.router(format!("R{}", n.0))).collect();
+        let routers: Vec<RouterId> = g.nodes().map(|n| b.router(format!("R{}", n.0))).collect();
         for (a, bb, w) in g.edges() {
             b.link(routers[a.idx()], routers[bb.idx()], w);
         }
@@ -349,8 +348,7 @@ impl NetworkBuilder {
         assert!(self.lans.len() <= 65536, "too many LANs for the addressing plan");
         assert!(self.links.len() <= 16384, "too many links for the addressing plan");
         assert!(self.routers.len() <= 65536, "too many routers for the addressing plan");
-        let lan_subnet =
-            |k: usize| Addr::from_octets(10, (1 + k / 256) as u8, (k % 256) as u8, 0);
+        let lan_subnet = |k: usize| Addr::from_octets(10, (1 + k / 256) as u8, (k % 256) as u8, 0);
         let lan_mask = Addr::from_octets(255, 255, 255, 0);
         let link_subnet =
             |j: usize| Addr::from_octets(172, 31, (j / 64) as u8, ((j % 64) * 4) as u8);

@@ -133,7 +133,9 @@ impl AllPairs {
     /// Eccentricity of `n`: its largest distance to any node.
     pub fn eccentricity(&self, n: NodeId) -> Option<Dist> {
         let t = &self.trees[n.idx()];
-        (0..self.trees.len()).map(|i| t.dist(NodeId(i as u32))).collect::<Option<Vec<_>>>()?
+        (0..self.trees.len())
+            .map(|i| t.dist(NodeId(i as u32)))
+            .collect::<Option<Vec<_>>>()?
             .into_iter()
             .max()
     }
@@ -172,9 +174,9 @@ impl AllPairs {
 
     /// Graph diameter, if connected.
     pub fn diameter(&self) -> Option<Dist> {
-        (0..self.trees.len() as u32).map(|n| self.eccentricity(NodeId(n))).try_fold(0, |acc, e| {
-            Some(acc.max(e?))
-        })
+        (0..self.trees.len() as u32)
+            .map(|n| self.eccentricity(NodeId(n)))
+            .try_fold(0, |acc, e| Some(acc.max(e?)))
     }
 }
 

@@ -350,15 +350,23 @@ impl ControlMessage {
     }
 
     /// Serializes straight to bytes (header encode).
-    pub fn encode(&self) -> Vec<u8> {
+    ///
+    /// # Errors
+    /// Returns [`WireError::TooManyCores`] when the message's core
+    /// list exceeds [`crate::header::MAX_CORES`].
+    pub fn encode(&self) -> Result<Vec<u8>> {
         self.to_header().encode()
     }
 
     /// Serializes into `buf`, replacing its contents. Hot send paths
     /// keep one scratch buffer alive and call this per message instead
     /// of allocating a fresh `Vec` via [`ControlMessage::encode`].
-    pub fn encode_into(&self, buf: &mut Vec<u8>) {
-        self.to_header().encode_into(buf);
+    ///
+    /// # Errors
+    /// Returns [`WireError::TooManyCores`] (leaving `buf` empty) when
+    /// the message's core list exceeds [`crate::header::MAX_CORES`].
+    pub fn encode_into(&self, buf: &mut Vec<u8>) -> Result<()> {
+        self.to_header().encode_into(buf)
     }
 
     /// Parses straight from bytes (header decode + typing).
@@ -447,7 +455,7 @@ mod tests {
     #[test]
     fn every_message_round_trips() {
         for msg in all_samples() {
-            let bytes = msg.encode();
+            let bytes = msg.encode().unwrap();
             let back = ControlMessage::decode(&bytes).unwrap();
             assert_eq!(back, msg);
         }
@@ -462,10 +470,28 @@ mod tests {
         let mut samples = all_samples();
         samples.reverse(); // longest core lists first exercises shrink
         for msg in samples {
-            msg.encode_into(&mut buf);
-            assert_eq!(buf, msg.encode());
+            msg.encode_into(&mut buf).unwrap();
+            assert_eq!(buf, msg.encode().unwrap());
             assert_eq!(ControlMessage::decode(&buf).unwrap(), msg);
         }
+    }
+
+    #[test]
+    fn oversized_core_list_is_rejected_not_truncated() {
+        // Pin the >255-core hazard: the on-wire count is one octet, so
+        // a 300-core join would have wrapped to 44 before this became
+        // a typed error.
+        let msg = ControlMessage::JoinRequest {
+            subcode: JoinSubcode::ActiveJoin,
+            group: g(),
+            origin: Addr::from_octets(10, 1, 0, 1),
+            target_core: Addr::from_octets(10, 255, 0, 4),
+            cores: (0..300u32).map(Addr).collect(),
+        };
+        assert_eq!(msg.encode(), Err(WireError::TooManyCores { got: 300 }));
+        let mut buf = vec![0xaa; 4];
+        assert_eq!(msg.encode_into(&mut buf), Err(WireError::TooManyCores { got: 300 }));
+        assert!(buf.is_empty(), "a failed encode must not leave stale bytes behind");
     }
 
     #[test]
@@ -507,7 +533,7 @@ mod tests {
     fn unknown_type_rejected() {
         let mut h = ControlMessage::QuitRequest { group: g(), origin: Addr::NULL }.to_header();
         h.typ = 99;
-        let bytes = h.encode();
+        let bytes = h.encode().unwrap();
         assert!(matches!(
             ControlMessage::decode(&bytes),
             Err(WireError::UnknownType { got: 99, .. })
@@ -516,15 +542,12 @@ mod tests {
 
     #[test]
     fn unknown_subcode_rejected() {
-        let mut h = ControlMessage::JoinNack {
-            group: g(),
-            origin: Addr::NULL,
-            target_core: Addr::NULL,
-        }
-        .to_header();
+        let mut h =
+            ControlMessage::JoinNack { group: g(), origin: Addr::NULL, target_core: Addr::NULL }
+                .to_header();
         h.typ = ControlType::JoinRequest as u8;
         h.code = 7;
-        assert!(ControlMessage::decode(&h.encode()).is_err());
+        assert!(ControlMessage::decode(&h.encode().unwrap()).is_err());
     }
 
     #[test]

@@ -164,10 +164,7 @@ impl CbtDataPacket {
     /// the inner datagram out of `bytes`.
     pub fn decode_payload(bytes: &[u8]) -> Result<Self> {
         let cbt = Self::decode_payload_header(bytes)?;
-        Ok(CbtDataPacket {
-            cbt,
-            inner: Bytes::copy_from_slice(&bytes[CBT_DATA_HEADER_LEN..]),
-        })
+        Ok(CbtDataPacket { cbt, inner: Bytes::copy_from_slice(&bytes[CBT_DATA_HEADER_LEN..]) })
     }
 
     /// Parses a CBT-mode payload out of a refcounted buffer: the inner
@@ -258,7 +255,12 @@ mod tests {
     use crate::ipv4::build_datagram;
 
     fn native() -> DataPacket {
-        DataPacket::new(Addr::from_octets(192, 168, 10, 7), GroupId::numbered(3), 64, b"hi".to_vec())
+        DataPacket::new(
+            Addr::from_octets(192, 168, 10, 7),
+            GroupId::numbered(3),
+            64,
+            b"hi".to_vec(),
+        )
     }
 
     #[test]
@@ -357,8 +359,11 @@ mod tests {
     #[test]
     fn unicast_wrap_round_trip_uses_cbt_protocol() {
         let enc = CbtDataPacket::encapsulate(&native(), Addr::from_octets(10, 0, 0, 4));
-        let wire =
-            enc.wrap_unicast(Addr::from_octets(10, 1, 0, 1), Addr::from_octets(10, 2, 0, 1), Some(3));
+        let wire = enc.wrap_unicast(
+            Addr::from_octets(10, 1, 0, 1),
+            Addr::from_octets(10, 2, 0, 1),
+            Some(3),
+        );
         let (outer, back) = CbtDataPacket::unwrap_outer(&wire).unwrap();
         assert_eq!(outer.proto, IpProto::Cbt);
         assert_eq!(outer.ttl, 3, "outer TTL is the configured tunnel length (§5)");
@@ -395,7 +400,8 @@ mod tests {
     fn on_tree_flag_survives_the_wire() {
         let mut enc = CbtDataPacket::encapsulate(&native(), Addr::from_octets(10, 0, 0, 4));
         enc.cbt.on_tree = ON_TREE;
-        let wire = enc.wrap_unicast(Addr::from_octets(1, 1, 1, 1), Addr::from_octets(2, 2, 2, 2), None);
+        let wire =
+            enc.wrap_unicast(Addr::from_octets(1, 1, 1, 1), Addr::from_octets(2, 2, 2, 2), None);
         let (_, back) = CbtDataPacket::unwrap_outer(&wire).unwrap();
         assert!(back.cbt.is_on_tree());
     }

@@ -51,6 +51,13 @@ pub enum WireError {
         /// Human-readable description of the violation.
         why: &'static str,
     },
+    /// An encode was asked to carry more cores than the format's
+    /// 8-bit count field (and §8.2's bound) allows. Encode-side: the
+    /// wire never carries such a message.
+    TooManyCores {
+        /// The core-list length that was rejected.
+        got: usize,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -70,6 +77,9 @@ impl fmt::Display for WireError {
                 write!(f, "inconsistent length {got} in {what}")
             }
             WireError::BadField { what, why } => write!(f, "bad field in {what}: {why}"),
+            WireError::TooManyCores { got } => {
+                write!(f, "core list too long to encode: {got} cores")
+            }
         }
     }
 }

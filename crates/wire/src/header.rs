@@ -208,13 +208,14 @@ impl CbtControlHeader {
 
     /// Serializes the control message with a freshly computed checksum.
     ///
-    /// # Panics
-    /// Panics if `self.cores.len() > MAX_CORES`; construct messages via
-    /// the typed [`crate::ControlMessage`] API to avoid this.
-    pub fn encode(&self) -> Vec<u8> {
+    /// # Errors
+    /// Returns [`WireError::TooManyCores`] if `self.cores.len()`
+    /// exceeds [`MAX_CORES`] — the 8-bit on-wire count would otherwise
+    /// silently truncate the list.
+    pub fn encode(&self) -> Result<Vec<u8>> {
         let mut b = Vec::new();
-        self.encode_into(&mut b);
-        b
+        self.encode_into(&mut b)?;
+        Ok(b)
     }
 
     /// Serializes into `buf`, replacing its contents. The buffer's
@@ -222,11 +223,14 @@ impl CbtControlHeader {
     /// many messages through one scratch buffer allocates only until
     /// the buffer has grown to the largest message seen.
     ///
-    /// # Panics
-    /// Panics if `self.cores.len() > MAX_CORES`; construct messages via
-    /// the typed [`crate::ControlMessage`] API to avoid this.
-    pub fn encode_into(&self, buf: &mut Vec<u8>) {
-        assert!(self.cores.len() <= MAX_CORES, "too many cores: {}", self.cores.len());
+    /// # Errors
+    /// Returns [`WireError::TooManyCores`] (leaving `buf` empty) if
+    /// `self.cores.len()` exceeds [`MAX_CORES`].
+    pub fn encode_into(&self, buf: &mut Vec<u8>) -> Result<()> {
+        if self.cores.len() > MAX_CORES {
+            buf.clear();
+            return Err(WireError::TooManyCores { got: self.cores.len() });
+        }
         let len = Self::encoded_len(self.cores.len());
         buf.clear();
         buf.resize(len, 0);
@@ -247,6 +251,7 @@ impl CbtControlHeader {
         // Trailing 16 bytes: reservation + security, all-zero (T.B.D).
         let ck = internet_checksum(b);
         b[6..8].copy_from_slice(&ck.to_be_bytes());
+        Ok(())
     }
 
     /// Parses and validates a control message from `bytes`.
@@ -333,10 +338,7 @@ mod tests {
         let h = CbtDataHeader::new(group(), Addr::NULL, Addr::from_octets(1, 2, 3, 4), 9);
         let mut bytes = h.encode();
         bytes[9] ^= 0x40;
-        assert!(matches!(
-            CbtDataHeader::decode(&bytes),
-            Err(WireError::BadChecksum { .. })
-        ));
+        assert!(matches!(CbtDataHeader::decode(&bytes), Err(WireError::BadChecksum { .. })));
     }
 
     #[test]
@@ -358,10 +360,7 @@ mod tests {
         bytes[5] = 0;
         let ck = internet_checksum(&bytes);
         bytes[4..6].copy_from_slice(&ck.to_be_bytes());
-        assert!(matches!(
-            CbtDataHeader::decode(&bytes),
-            Err(WireError::BadVersion { got: 2, .. })
-        ));
+        assert!(matches!(CbtDataHeader::decode(&bytes), Err(WireError::BadVersion { got: 2, .. })));
     }
 
     #[test]
@@ -391,7 +390,7 @@ mod tests {
     fn control_round_trip_all_core_counts() {
         for n in 0..=MAX_CORES {
             let msg = sample_control(n);
-            let bytes = msg.encode();
+            let bytes = msg.encode().unwrap();
             assert_eq!(bytes.len(), CbtControlHeader::encoded_len(n));
             let back = CbtControlHeader::decode(&bytes).unwrap();
             assert_eq!(back, msg, "n_cores = {n}");
@@ -399,9 +398,20 @@ mod tests {
     }
 
     #[test]
+    fn control_encode_rejects_more_than_max_cores() {
+        // 9 cores (just over MAX_CORES) and 300 cores (past the 8-bit
+        // count field, where the old cast wrapped) both error.
+        for n in [MAX_CORES + 1, 300] {
+            let mut msg = sample_control(0);
+            msg.cores = (0..n as u32).map(Addr).collect();
+            assert_eq!(msg.encode(), Err(WireError::TooManyCores { got: n }));
+        }
+    }
+
+    #[test]
     fn control_rejects_core_count_mismatch() {
         let msg = sample_control(2);
-        let mut bytes = msg.encode();
+        let mut bytes = msg.encode().unwrap();
         bytes[3] = 3; // lie about the count; length now inconsistent
         bytes[6] = 0;
         bytes[7] = 0;
@@ -412,7 +422,7 @@ mod tests {
 
     #[test]
     fn control_rejects_flipped_bits_everywhere() {
-        let bytes = sample_control(3).encode();
+        let bytes = sample_control(3).encode().unwrap();
         for byte in 0..bytes.len() {
             let mut corrupted = bytes.clone();
             corrupted[byte] ^= 0x01;
@@ -428,7 +438,7 @@ mod tests {
         // Decoders take their length from the header so a UDP payload
         // with padding still parses.
         let msg = sample_control(1);
-        let mut bytes = msg.encode();
+        let mut bytes = msg.encode().unwrap();
         bytes.extend_from_slice(&[0xaa; 7]);
         assert_eq!(CbtControlHeader::decode(&bytes).unwrap(), msg);
     }

@@ -133,13 +133,7 @@ impl Ipv4Header {
 }
 
 /// Builds a complete datagram: header + payload.
-pub fn build_datagram(
-    src: Addr,
-    dst: Addr,
-    proto: IpProto,
-    ttl: u8,
-    payload: &[u8],
-) -> Vec<u8> {
+pub fn build_datagram(src: Addr, dst: Addr, proto: IpProto, ttl: u8, payload: &[u8]) -> Vec<u8> {
     let hdr = Ipv4Header::new(src, dst, proto, ttl, payload.len());
     let mut out = Vec::with_capacity(IPV4_HEADER_LEN + payload.len());
     out.extend_from_slice(&hdr.encode());

@@ -225,7 +225,11 @@ impl LegacyMessage {
     }
 
     /// Serialises over the standard control-header layout.
-    pub fn encode(&self) -> Vec<u8> {
+    ///
+    /// # Errors
+    /// Returns [`WireError::TooManyCores`] when a core-carrying
+    /// variant exceeds the header's [`crate::header::MAX_CORES`].
+    pub fn encode(&self) -> Result<Vec<u8>> {
         self.to_header().encode()
     }
 
@@ -272,9 +276,7 @@ impl LegacyMessage {
                 target_core: h.target_core,
                 cores: h.cores,
             },
-            LegacyType::PingReply => {
-                LegacyMessage::PingReply { group: h.group, origin: h.origin }
-            }
+            LegacyType::PingReply => LegacyMessage::PingReply { group: h.group, origin: h.origin },
         })
     }
 }
@@ -325,7 +327,7 @@ mod tests {
     #[test]
     fn all_legacy_messages_round_trip() {
         for msg in samples() {
-            let bytes = msg.encode();
+            let bytes = msg.encode().unwrap();
             assert_eq!(LegacyMessage::decode(&bytes).unwrap(), msg, "{msg:?}");
         }
     }
@@ -336,7 +338,7 @@ mod tests {
             let t = msg.legacy_type() as u8;
             assert!(t >= 16, "{t} clashes with the -03 range 1..=8");
             // And the -03 decoder rejects them rather than mis-typing.
-            assert!(crate::ControlMessage::decode(&msg.encode()).is_err());
+            assert!(crate::ControlMessage::decode(&msg.encode().unwrap()).is_err());
         }
     }
 
@@ -352,7 +354,7 @@ mod tests {
     fn core_notification_carries_ranked_list() {
         let msg = &samples()[0];
         let LegacyMessage::CoreNotification { cores, .. } =
-            LegacyMessage::decode(&msg.encode()).unwrap()
+            LegacyMessage::decode(&msg.encode().unwrap()).unwrap()
         else {
             panic!("wrong variant");
         };
@@ -362,7 +364,7 @@ mod tests {
 
     #[test]
     fn corruption_rejected() {
-        let bytes = samples()[0].encode();
+        let bytes = samples()[0].encode().unwrap();
         for i in 0..bytes.len() {
             let mut c = bytes.clone();
             c[i] ^= 0x04;

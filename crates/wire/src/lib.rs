@@ -45,7 +45,7 @@
 //!     target_core: Addr::from_octets(10, 255, 0, 4),
 //!     cores: vec![Addr::from_octets(10, 255, 0, 4)],
 //! };
-//! let bytes = join.encode(); // checksummed §8.2 layout
+//! let bytes = join.encode().unwrap(); // checksummed §8.2 layout
 //! assert_eq!(ControlMessage::decode(&bytes).unwrap(), join);
 //!
 //! // Corruption anywhere is caught by the one's-complement checksum.
@@ -74,8 +74,8 @@ pub use data::{CbtDataPacket, DataPacket, EncapMode};
 pub use error::WireError;
 pub use header::{CbtControlHeader, CbtDataHeader, CBT_VERSION};
 pub use igmp::{IgmpMessage, IgmpType, RpCoreReport};
-pub use legacy::{LegacyMessage, LegacyType};
 pub use ipv4::{IpProto, Ipv4Header};
+pub use legacy::{LegacyMessage, LegacyType};
 pub use udp::{UdpHeader, CBT_AUX_PORT, CBT_PRIMARY_PORT};
 
 /// Result alias used across the crate.

@@ -4,8 +4,8 @@
 //! injection relies on (experiment Spec-E7 in DESIGN.md).
 
 use cbt_wire::{
-    control::ECHO_AGGREGATE, igmp::RpCoreReport, Addr, AckSubcode, CbtControlHeader,
-    CbtDataHeader, CbtDataPacket, ControlMessage, DataPacket, GroupId, IgmpMessage, JoinSubcode,
+    control::ECHO_AGGREGATE, igmp::RpCoreReport, AckSubcode, Addr, CbtControlHeader, CbtDataHeader,
+    CbtDataPacket, ControlMessage, DataPacket, GroupId, IgmpMessage, JoinSubcode,
 };
 use proptest::prelude::*;
 
@@ -70,13 +70,13 @@ prop_compose! {
 proptest! {
     #[test]
     fn control_round_trips(msg in arb_control()) {
-        let bytes = msg.encode();
+        let bytes = msg.encode().unwrap();
         prop_assert_eq!(ControlMessage::decode(&bytes).unwrap(), msg);
     }
 
     #[test]
     fn control_rejects_any_corruption(msg in arb_control(), byte in 0usize..64, bit in 0u8..8) {
-        let bytes = msg.encode();
+        let bytes = msg.encode().unwrap();
         let byte = byte % bytes.len();
         let mut corrupted = bytes.clone();
         corrupted[byte] ^= 1 << bit;
@@ -125,7 +125,7 @@ proptest! {
         // Echo messages interpret code specially; restrict accordingly.
         let code = if typ >= 7 { if code == 1 { ECHO_AGGREGATE } else { 0 } } else { code };
         let h = CbtControlHeader { typ, code, group, origin, target_core: target, cores };
-        let bytes = h.encode();
+        let bytes = h.encode().unwrap();
         prop_assert_eq!(CbtControlHeader::decode(&bytes).unwrap(), h);
     }
 

@@ -27,10 +27,7 @@ fn main() {
     let secondary = ap.center().filter(|c| *c != primary).unwrap_or(NodeId(1));
     let members: Vec<NodeId> =
         members.into_iter().filter(|m| *m != primary && *m != secondary).collect();
-    let cores = vec![
-        net.router_addr(RouterId(primary.0)),
-        net.router_addr(RouterId(secondary.0)),
-    ];
+    let cores = vec![net.router_addr(RouterId(primary.0)), net.router_addr(RouterId(secondary.0))];
     let group = GroupId::numbered(1);
 
     println!("topology:  Waxman n=40 (seed 7), {} edges", graph.edge_count());
@@ -45,10 +42,7 @@ fn main() {
     cw.world.run_until(SimTime::from_secs(8));
 
     let on_tree = |cw: &mut CbtWorld| {
-        members
-            .iter()
-            .filter(|m| cw.router(RouterId(m.0)).engine().is_on_tree(group))
-            .count()
+        members.iter().filter(|m| cw.router(RouterId(m.0)).engine().is_on_tree(group)).count()
     };
     println!("t=8s   all joined: {}/{} member DRs on-tree", on_tree(&mut cw), members.len());
 
@@ -70,10 +64,8 @@ fn main() {
         cw.touch_host(sender);
         cw.world.run_until(kill_at + SimDuration::from_secs(3 * round));
         let delivered = cw.host(receiver).received().len() > receiver_start;
-        let failures: u64 = members
-            .iter()
-            .map(|m| cw.router(RouterId(m.0)).engine().stats().parent_failures)
-            .sum();
+        let failures: u64 =
+            members.iter().map(|m| cw.router(RouterId(m.0)).engine().stats().parent_failures).sum();
         println!(
             "t={:>2}s after crash: probe {} — {} ({} parent-failure events so far, {}/{} DRs attached)",
             3 * round,

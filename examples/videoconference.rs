@@ -20,10 +20,8 @@ use cbt_wire::GroupId;
 fn main() {
     let fig = figure1();
     let group = GroupId::numbered(1);
-    let cores = vec![
-        fig.net.router_addr(fig.primary_core()),
-        fig.net.router_addr(fig.secondary_core()),
-    ];
+    let cores =
+        vec![fig.net.router_addr(fig.primary_core()), fig.net.router_addr(fig.secondary_core())];
     println!("topology: draft-ietf-idmr-cbt-spec Figure 1 (11 routers, 15 subnets)");
     println!("cores:    R4 (primary), R9 (secondary)\n");
 
@@ -85,7 +83,9 @@ fn main() {
     let mut loads: Vec<(String, u64)> = cw
         .world
         .trace()
-        .frames_by_medium().keys().filter_map(|m| {
+        .frames_by_medium()
+        .keys()
+        .filter_map(|m| {
             let data = cw.world.trace().data_bytes_by_medium().get(m).copied().unwrap_or(0);
             if data == 0 {
                 return None;

@@ -20,10 +20,8 @@ use cbt_wire::GroupId;
 fn main() {
     let fig = figure1();
     let group = GroupId::numbered(1);
-    let cores = vec![
-        fig.net.router_addr(fig.primary_core()),
-        fig.net.router_addr(fig.secondary_core()),
-    ];
+    let cores =
+        vec![fig.net.router_addr(fig.primary_core()), fig.net.router_addr(fig.secondary_core())];
 
     let mut cw = CbtWorld::build(
         fig.net.clone(),

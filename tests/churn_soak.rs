@@ -45,8 +45,7 @@ fn random_script(n: usize, seed: u64) -> Script {
 #[test]
 fn churn_delivery_equals_membership() {
     for seed in 0..4u64 {
-        let graph =
-            generate::waxman(generate::WaxmanParams { n: 24, ..Default::default() }, seed);
+        let graph = generate::waxman(generate::WaxmanParams { n: 24, ..Default::default() }, seed);
         let net = NetworkSpec::from_graph_with_stub_lans(&graph);
         let core_addr = net.router_addr(RouterId(0));
         let group = GroupId::numbered(1);
@@ -92,10 +91,7 @@ fn churn_delivery_equals_membership() {
                         "seed {seed}: member {h:?} heard tag {tag} {copies} times"
                     );
                 } else if left_by_then {
-                    assert_eq!(
-                        copies, 0,
-                        "seed {seed}: departed host {h:?} still heard tag {tag}"
-                    );
+                    assert_eq!(copies, 0, "seed {seed}: departed host {h:?} still heard tag {tag}");
                 }
             }
         }
@@ -120,20 +116,15 @@ fn full_leave_cleans_all_state() {
     }
     cw.world.start();
     cw.world.run_until(SimTime::from_secs(8));
-    let attached = members
-        .iter()
-        .filter(|m| cw.router(RouterId(m.0)).engine().is_on_tree(group))
-        .count();
+    let attached =
+        members.iter().filter(|m| cw.router(RouterId(m.0)).engine().is_on_tree(group)).count();
     assert_eq!(attached, members.len(), "everyone joined first");
 
     // Leave + teardown, including the IFF-scan safety net (fast: 30 s).
     cw.world.run_until(SimTime::from_secs(60));
     for i in 0..20u32 {
         let engine = cw.router(RouterId(i)).engine();
-        assert!(
-            !engine.is_on_tree(group),
-            "router R{i} still holds state after universal leave"
-        );
+        assert!(!engine.is_on_tree(group), "router R{i} still holds state after universal leave");
         assert!(!engine.has_pending_join(group));
     }
 }

@@ -111,8 +111,7 @@ fn chain_of_simultaneous_joins_uses_the_pending_cache() {
 #[test]
 fn simultaneous_equals_staggered_tree() {
     for seed in 0..3u64 {
-        let graph =
-            generate::waxman(generate::WaxmanParams { n: 30, ..Default::default() }, seed);
+        let graph = generate::waxman(generate::WaxmanParams { n: 30, ..Default::default() }, seed);
         let members: Vec<NodeId> = (1..30).step_by(2).map(NodeId).collect();
         let group = GroupId::numbered(1);
 
@@ -141,10 +140,6 @@ fn simultaneous_equals_staggered_tree() {
             edges
         };
 
-        assert_eq!(
-            run(0),
-            run(300),
-            "seed {seed}: join timing must not change the converged tree"
-        );
+        assert_eq!(run(0), run(300), "seed {seed}: join timing must not change the converged tree");
     }
 }

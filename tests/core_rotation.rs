@@ -53,21 +53,16 @@ fn y_net() -> Y {
 /// rooted at the secondary core.
 fn join_send_and_check(mut cw: CbtWorld, yy: &Y, label: &str, expect_root: bool) {
     let group = GroupId::numbered(9);
-    let cores =
-        vec![cw.net.router_addr(yy.primary), cw.net.router_addr(yy.secondary)];
+    let cores = vec![cw.net.router_addr(yy.primary), cw.net.router_addr(yy.secondary)];
     cw.host(yy.x).join_at(SimTime::from_secs(1), group, cores.clone());
-    cw.host(yy.y)
-        .join_at(SimTime::from_secs(1) + SimDuration::from_millis(200), group, cores);
+    cw.host(yy.y).join_at(SimTime::from_secs(1) + SimDuration::from_millis(200), group, cores);
     // Leave room for pend-join timeouts + rotation before sending.
     cw.host(yy.x).send_at(SimTime::from_secs(20), group, b"from-x".to_vec(), 16);
     cw.host(yy.y).send_at(SimTime::from_secs(21), group, b"from-y".to_vec(), 16);
     cw.world.start();
     cw.world.run_until(SimTime::from_secs(25));
 
-    let sec = cw
-        .router(yy.secondary)
-        .engine()
-        .is_on_tree(group);
+    let sec = cw.router(yy.secondary).engine().is_on_tree(group);
     assert!(sec, "{label}: secondary core serves the tree");
     if expect_root {
         assert!(
@@ -90,15 +85,9 @@ fn join_send_and_check(mut cw: CbtWorld, yy: &Y, label: &str, expect_root: bool)
         );
     }
     let x_got = cw.host(yy.x).received();
-    assert!(
-        x_got.iter().any(|d| d.payload == b"from-y"),
-        "{label}: X heard Y, got {x_got:?}"
-    );
+    assert!(x_got.iter().any(|d| d.payload == b"from-y"), "{label}: X heard Y, got {x_got:?}");
     let y_got = cw.host(yy.y).received();
-    assert!(
-        y_got.iter().any(|d| d.payload == b"from-x"),
-        "{label}: Y heard X, got {y_got:?}"
-    );
+    assert!(y_got.iter().any(|d| d.payload == b"from-x"), "{label}: Y heard X, got {y_got:?}");
 }
 
 /// Primary down, routing knows: `launch_join` must skip straight to
@@ -161,11 +150,9 @@ fn revived_primary_reabsorbs_the_fragment_via_iff_scan() {
     let group = GroupId::numbered(9);
     let mut cw = CbtWorld::build(yy.net.clone(), CbtConfig::fast(), WorldConfig::default());
     cw.world.set_node(Entity::Router(yy.primary), Box::new(BlackHole));
-    let cores =
-        vec![cw.net.router_addr(yy.primary), cw.net.router_addr(yy.secondary)];
+    let cores = vec![cw.net.router_addr(yy.primary), cw.net.router_addr(yy.secondary)];
     cw.host(yy.x).join_at(SimTime::from_secs(1), group, cores.clone());
-    cw.host(yy.y)
-        .join_at(SimTime::from_secs(1) + SimDuration::from_millis(200), group, cores);
+    cw.host(yy.y).join_at(SimTime::from_secs(1) + SimDuration::from_millis(200), group, cores);
     // Let the fragment settle under the secondary (campaign gives up
     // by ~15 s fast), then revive the primary with empty state.
     cw.world.start();

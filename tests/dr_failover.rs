@@ -4,7 +4,7 @@
 
 use cbt::{CbtConfig, CbtWorld};
 use cbt_netsim::{SimDuration, SimTime, WorldConfig};
-use cbt_topology::{NetworkBuilder, NetworkSpec, HostId, RouterId};
+use cbt_topology::{HostId, NetworkBuilder, NetworkSpec, RouterId};
 use cbt_wire::GroupId;
 
 /// Two routers on one LAN, both uplinked to the core.

@@ -13,11 +13,8 @@ fn build(seed: u64, fault: FaultPlan) -> (CbtWorld, Vec<NodeId>, GroupId) {
     let core_addr = net.router_addr(RouterId(0));
     let group = GroupId::numbered(1);
     let members: Vec<NodeId> = (2..20).step_by(4).map(|i| NodeId(i as u32)).collect();
-    let mut cw = CbtWorld::build(
-        net,
-        CbtConfig::fast(),
-        WorldConfig { fault, seed, ..Default::default() },
-    );
+    let mut cw =
+        CbtWorld::build(net, CbtConfig::fast(), WorldConfig { fault, seed, ..Default::default() });
     for m in &members {
         cw.host(HostId(m.0)).join_at(SimTime::from_secs(1), group, vec![core_addr]);
     }
@@ -74,12 +71,7 @@ fn faulty_runs_replay_deterministically() {
         let (mut cw, members, group) =
             build(seed, FaultPlan { drop_chance: 0.15, corrupt_chance: 0.1 });
         // A data transmission mid-churn for extra coverage.
-        cw.host(HostId(members[0].0)).send_at(
-            SimTime::from_secs(12),
-            group,
-            b"probe".to_vec(),
-            64,
-        );
+        cw.host(HostId(members[0].0)).send_at(SimTime::from_secs(12), group, b"probe".to_vec(), 64);
         cw.world.start();
         cw.world.run_until(SimTime::from_secs(30));
         let states: Vec<(bool, Option<cbt_wire::Addr>)> = (0..20u32)

@@ -6,7 +6,7 @@
 
 use cbt::{CbtConfig, CbtWorld};
 use cbt_netsim::{SimDuration, SimTime, WorldConfig};
-use cbt_topology::{NetworkBuilder, NetworkSpec, HostId, LanId, RouterId};
+use cbt_topology::{HostId, LanId, NetworkBuilder, NetworkSpec, RouterId};
 use cbt_wire::GroupId;
 
 /// The core reaches Rleaf two ways: over transit LAN T (1 hop) or via
@@ -110,10 +110,7 @@ fn member_lan_outage_and_recovery() {
     // 22 s, then Rleaf quits.
     cw.fail_lan(member_lan);
     cw.world.run_until(SimTime::from_secs(40));
-    assert!(
-        !cw.router(r_leaf).engine().is_on_tree(group),
-        "presence expired, branch quit"
-    );
+    assert!(!cw.router(r_leaf).engine().is_on_tree(group), "presence expired, branch quit");
 
     // LAN restored: the host answers the next query; the DR re-joins.
     cw.restore_lan(member_lan);

@@ -30,7 +30,8 @@ fn run_scenario(seed: u64, mode: ForwardingMode) -> (BTreeSet<(u32, Vec<u8>)>, V
         .expect("spare router");
 
     let cfg = CbtConfig::fast().with_mode(mode).with_mapping(group, vec![core_addr]);
-    let mut cw = CbtWorld::build(net, cfg, WorldConfig { record_trace: false, ..Default::default() });
+    let mut cw =
+        CbtWorld::build(net, cfg, WorldConfig { record_trace: false, ..Default::default() });
     for (i, m) in members.iter().enumerate() {
         cw.host(HostId(m.0)).join_at(
             SimTime::from_secs(1) + SimDuration::from_millis(100 * i as u64),
@@ -47,12 +48,7 @@ fn run_scenario(seed: u64, mode: ForwardingMode) -> (BTreeSet<(u32, Vec<u8>)>, V
             64,
         );
     }
-    cw.host(HostId(non_member.0)).send_at(
-        SimTime::from_secs(7),
-        group,
-        b"outsider".to_vec(),
-        64,
-    );
+    cw.host(HostId(non_member.0)).send_at(SimTime::from_secs(7), group, b"outsider".to_vec(), 64);
     cw.world.start();
     cw.world.run_until(SimTime::from_secs(10));
 
@@ -73,10 +69,7 @@ fn native_and_cbt_mode_deliver_identically() {
     for seed in 0..4u64 {
         let (native, native_counts) = run_scenario(seed, ForwardingMode::Native);
         let (cbt, cbt_counts) = run_scenario(seed, ForwardingMode::CbtMode);
-        assert_eq!(
-            native, cbt,
-            "seed {seed}: the two §4/§5 data planes disagree on delivery"
-        );
+        assert_eq!(native, cbt, "seed {seed}: the two §4/§5 data planes disagree on delivery");
         assert_eq!(native_counts, cbt_counts, "seed {seed}: copy counts differ");
         // Sanity: the scenario is non-trivial — every member heard the
         // three member senders they did not originate plus the outsider.

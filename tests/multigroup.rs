@@ -89,9 +89,8 @@ fn echo_aggregation_reduces_keepalive_traffic() {
         // Join settle + several echo intervals (3 s fast).
         cw.world.run_until(SimTime::from_secs(32));
         let echoes = cw.world.trace().count(PacketKind::Control(ControlType::EchoRequest));
-        let failures: u64 = (0..2)
-            .map(|i| cw.router(RouterId(i)).engine().stats().parent_failures)
-            .sum();
+        let failures: u64 =
+            (0..2).map(|i| cw.router(RouterId(i)).engine().stats().parent_failures).sum();
         (echoes, failures)
     };
 

@@ -12,10 +12,8 @@ use cbt_wire::{ControlMessage, IpProto, JoinSubcode, UdpHeader, CBT_AUX_PORT, CB
 fn figure1_run_produces_a_parseable_capture() {
     let fig = figure1();
     let group = cbt_wire::GroupId::numbered(1);
-    let cores = vec![
-        fig.net.router_addr(fig.primary_core()),
-        fig.net.router_addr(fig.secondary_core()),
-    ];
+    let cores =
+        vec![fig.net.router_addr(fig.primary_core()), fig.net.router_addr(fig.secondary_core())];
     let mut cw = CbtWorld::build(
         fig.net.clone(),
         CbtConfig::fast(),

@@ -33,8 +33,7 @@ fn graph_tree_edges(tree: &Graph) -> BTreeSet<(u32, u32)> {
 #[test]
 fn protocol_tree_matches_graph_prediction_across_seeds() {
     for seed in 0..5u64 {
-        let graph =
-            generate::waxman(generate::WaxmanParams { n: 30, ..Default::default() }, seed);
+        let graph = generate::waxman(generate::WaxmanParams { n: 30, ..Default::default() }, seed);
         let ap = AllPairs::compute(&graph);
         // Deterministic member draw: every third router.
         let members: Vec<NodeId> = (0..30).step_by(3).map(|i| NodeId(i as u32)).collect();
@@ -49,7 +48,11 @@ fn protocol_tree_matches_graph_prediction_across_seeds() {
         let core_addr = net.router_addr(RouterId(core.0));
         let mut cw = CbtWorld::build(net, CbtConfig::fast(), WorldConfig::default());
         for m in &members {
-            cw.host(HostId(m.0)).join_at(SimTime::from_secs(1), GroupId::numbered(1), vec![core_addr]);
+            cw.host(HostId(m.0)).join_at(
+                SimTime::from_secs(1),
+                GroupId::numbered(1),
+                vec![core_addr],
+            );
         }
         cw.world.start();
         cw.world.run_until(SimTime::from_secs(10));
@@ -104,10 +107,7 @@ fn protocol_tree_invariants_under_staggered_joins() {
     // parent-pointer graph.
     let sp = cbt_topology::ShortestPaths::dijkstra(&tree, core);
     for m in &members {
-        assert!(
-            cw.router(RouterId(m.0)).engine().is_on_tree(group),
-            "member DR {m} attached"
-        );
+        assert!(cw.router(RouterId(m.0)).engine().is_on_tree(group), "member DR {m} attached");
         assert!(sp.dist(*m).is_some(), "member DR {m} reaches the core through the tree");
     }
     // The core has no parent; everyone else on-tree has exactly one.

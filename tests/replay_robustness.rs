@@ -4,7 +4,7 @@
 
 use cbt::{CbtConfig, CbtWorld};
 use cbt_netsim::{Entity, PacketKind, SimDuration, SimTime, WorldConfig};
-use cbt_topology::{NetworkBuilder, NetworkSpec, HostId, RouterId};
+use cbt_topology::{HostId, NetworkBuilder, NetworkSpec, RouterId};
 use cbt_wire::{ControlType, GroupId};
 
 fn chain() -> (NetworkSpec, [RouterId; 3], HostId, HostId) {
@@ -116,10 +116,8 @@ fn v02_narrative_e_leaves_r7_quits_r4_stays() {
     use cbt_topology::figure1;
     let fig = figure1();
     let group = GroupId::numbered(1);
-    let cores = vec![
-        fig.net.router_addr(fig.primary_core()),
-        fig.net.router_addr(fig.secondary_core()),
-    ];
+    let cores =
+        vec![fig.net.router_addr(fig.primary_core()), fig.net.router_addr(fig.secondary_core())];
     let mut cw = CbtWorld::build(fig.net.clone(), CbtConfig::fast(), WorldConfig::default());
     // Members: E on S9 (behind R7), D on S5 (directly on core R4), A on
     // S1 — so R4 keeps both a child (R3) and member subnets after E goes.

@@ -25,11 +25,7 @@ fn five_virtual_minutes_of_multigroup_churn() {
             (0..n).skip(k).step_by(group_count + 2).map(|i| NodeId(i as u32)).take(6).collect();
         let core = ap.medoid(&members).expect("connected");
         let members: Vec<NodeId> = members.into_iter().filter(|m| *m != core).collect();
-        plans.push((
-            GroupId::numbered(k as u16),
-            members,
-            net.router_addr(RouterId(core.0)),
-        ));
+        plans.push((GroupId::numbered(k as u16), members, net.router_addr(RouterId(core.0))));
     }
 
     let mut cw = CbtWorld::build(
@@ -46,7 +42,8 @@ fn five_virtual_minutes_of_multigroup_churn() {
     // Even-numbered groups live forever; odd ones fully depart mid-run.
     for (gi, (group, members, core)) in plans.iter().enumerate() {
         for (mi, m) in members.iter().enumerate() {
-            let join = SimTime::from_secs(1) + SimDuration::from_millis((gi * 700 + mi * 130) as u64);
+            let join =
+                SimTime::from_secs(1) + SimDuration::from_millis((gi * 700 + mi * 130) as u64);
             cw.host(HostId(m.0)).join_at(join, *group, vec![*core]);
             if gi % 2 == 1 {
                 let leave = SimTime::from_secs(120) + SimDuration::from_millis((mi * 500) as u64);

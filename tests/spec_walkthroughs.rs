@@ -23,10 +23,7 @@ fn figure1_world(cfg: CbtConfig) -> (CbtWorld, Figure1) {
 }
 
 fn cores(fig: &Figure1) -> Vec<Addr> {
-    vec![
-        fig.net.router_addr(fig.primary_core()),
-        fig.net.router_addr(fig.secondary_core()),
-    ]
+    vec![fig.net.router_addr(fig.primary_core()), fig.net.router_addr(fig.secondary_core())]
 }
 
 /// The address a parent/child relationship would use: `of`'s interface
@@ -91,10 +88,7 @@ fn e1_host_a_join_builds_r1_r3_r4_branch() {
     // No other router gained any state.
     for n in [2usize, 5, 6, 7, 8, 9, 10, 12] {
         let r = fig.router(n);
-        assert!(
-            !cw.router(r).engine().is_on_tree(GROUP),
-            "R{n} must hold no state for the group"
-        );
+        assert!(!cw.router(r).engine().is_on_tree(GROUP), "R{n} must hold no state for the group");
     }
 }
 
@@ -161,14 +155,9 @@ fn e3_teardown_quit_from_r2() {
     // R3 keeps its entry: R1 is still a child.
     let r3_engine = cw.router(r3).engine();
     assert!(r3_engine.is_on_tree(GROUP), "R3 cannot quit (§2.7: it has children)");
-    assert_eq!(
-        r3_engine.children_of(GROUP),
-        vec![link_addr_between(&fig, fig.router(1), r3)]
-    );
+    assert_eq!(r3_engine.children_of(GROUP), vec![link_addr_between(&fig, fig.router(1), r3)]);
     // The group-specific query went out on S4.
-    assert!(
-        cw.world.trace().count(PacketKind::Igmp(cbt_wire::IgmpType::MembershipQuery)) > 0
-    );
+    assert!(cw.world.trace().count(PacketKind::Igmp(cbt_wire::IgmpType::MembershipQuery)) > 0);
 }
 
 /// Joins all twelve Figure 1 member hosts.
@@ -256,7 +245,8 @@ fn e4_data_walkthrough_from_g_native_mode() {
 /// CBT-encapsulated packets (§5).
 #[test]
 fn e4_data_walkthrough_cbt_mode() {
-    let (mut cw, fig) = figure1_world(CbtConfig::fast().with_mode(cbt::config::ForwardingMode::CbtMode));
+    let (mut cw, fig) =
+        figure1_world(CbtConfig::fast().with_mode(cbt::config::ForwardingMode::CbtMode));
     join_everyone(&mut cw, &fig, t(1));
     cw.host(fig.hosts.g).send_at(t(5), GROUP, b"cbt".to_vec(), 32);
     cw.world.start();
@@ -408,11 +398,7 @@ fn e5_loop_detection_and_recovery() {
 }
 
 /// Helper for non-Figure1 networks.
-fn link_addr_between_net(
-    net: &cbt_topology::NetworkSpec,
-    of: RouterId,
-    toward: RouterId,
-) -> Addr {
+fn link_addr_between_net(net: &cbt_topology::NetworkSpec, of: RouterId, toward: RouterId) -> Addr {
     for (j, l) in net.links.iter().enumerate() {
         let pair = (l.a, l.b);
         if pair == (of, toward) || pair == (toward, of) {

@@ -79,11 +79,9 @@ fn t(s: u64) -> SimTime {
 
 fn join_sent_on(act: &[RouterAction]) -> Option<(IfIndex, Addr)> {
     act.iter().find_map(|a| match a {
-        RouterAction::SendControl {
-            iface,
-            dst,
-            msg: ControlMessage::JoinRequest { .. },
-        } => Some((*iface, *dst)),
+        RouterAction::SendControl { iface, dst, msg: ControlMessage::JoinRequest { .. } } => {
+            Some((*iface, *dst))
+        }
         _ => None,
     })
 }

@@ -19,7 +19,7 @@
 
 use cbt::{CbtConfig, CbtWorld};
 use cbt_netsim::{SimDuration, SimTime, WorldConfig};
-use cbt_topology::{NetworkBuilder, NetworkSpec, HostId, RouterId};
+use cbt_topology::{HostId, NetworkBuilder, NetworkSpec, RouterId};
 use cbt_wire::GroupId;
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
@@ -129,7 +129,9 @@ fn random_multiaccess_topologies_deliver_exactly_once() {
                 tags.len(),
                 hosts.len() - 1,
                 "seed {seed}: host {i} missed payloads, heard {:?}",
-                got.iter().map(|d| String::from_utf8_lossy(&d.payload).into_owned()).collect::<Vec<_>>()
+                got.iter()
+                    .map(|d| String::from_utf8_lossy(&d.payload).into_owned())
+                    .collect::<Vec<_>>()
             );
             // BOUNDED: at most one copy per on-tree forwarder on the
             // host's LAN (the generator attaches ≤3 routers per LAN).

@@ -113,8 +113,7 @@ impl BenchmarkGroup<'_> {
                 return self;
             }
         }
-        let mut b =
-            Bencher { samples: Vec::new(), sample_size: self.criterion.sample_size };
+        let mut b = Bencher { samples: Vec::new(), sample_size: self.criterion.sample_size };
         f(&mut b);
         report(&full, &b.samples, self.throughput.as_ref());
         self
@@ -234,22 +233,12 @@ fn report(id: &str, samples: &[f64], throughput: Option<&Throughput>) {
         (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
     };
     println!("{id}");
-    println!(
-        "{:24}time:   [{} {} {}]",
-        "",
-        format_ns(min),
-        format_ns(median),
-        format_ns(max)
-    );
+    println!("{:24}time:   [{} {} {}]", "", format_ns(min), format_ns(median), format_ns(max));
     if let Some(t) = throughput {
         let per_sec = |work: u64| work as f64 / (median / 1e9);
         match t {
             Throughput::Bytes(n) => {
-                println!(
-                    "{:24}thrpt:  {:.2} MiB/s",
-                    "",
-                    per_sec(*n) / (1024.0 * 1024.0)
-                );
+                println!("{:24}thrpt:  {:.2} MiB/s", "", per_sec(*n) / (1024.0 * 1024.0));
             }
             Throughput::Elements(n) => {
                 println!("{:24}thrpt:  {:.0} elem/s", "", per_sec(*n));
@@ -272,8 +261,8 @@ fn format_ns(ns: f64) -> String {
 }
 
 fn append_json(id: &str, min: f64, median: f64, max: f64) {
-    let path = std::env::var("CBT_BENCH_OUT")
-        .unwrap_or_else(|_| "target/bench-results.jsonl".to_string());
+    let path =
+        std::env::var("CBT_BENCH_OUT").unwrap_or_else(|_| "target/bench-results.jsonl".to_string());
     if let Some(dir) = std::path::Path::new(&path).parent() {
         let _ = std::fs::create_dir_all(dir);
     }

@@ -40,7 +40,9 @@ fn parse_shape(input: TokenStream) -> Result<Shape, String> {
                     i += 1;
                 }
             }
-            Some(TokenTree::Ident(id)) if id.to_string() == "struct" || id.to_string() == "enum" => {
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
                 break id.to_string();
             }
             Some(t) => return Err(format!("unexpected token before item keyword: {t}")),
@@ -102,10 +104,8 @@ fn read_serde_attr(group: &proc_macro::Group, field: &mut Field) {
             }
             TokenTree::Ident(opt) if opt.to_string() == "rename" => {
                 // rename = "literal"
-                if let (
-                    Some(TokenTree::Punct(eq)),
-                    Some(TokenTree::Literal(lit)),
-                ) = (args.get(j + 1), args.get(j + 2))
+                if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                    (args.get(j + 1), args.get(j + 2))
                 {
                     if eq.as_char() == '=' {
                         let s = lit.to_string();
@@ -231,10 +231,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             )
         }
         Shape::UnitEnum { name, variants } => {
-            let arms: String = variants
-                .iter()
-                .map(|v| format!("{name}::{v} => {v:?},\n"))
-                .collect();
+            let arms: String =
+                variants.iter().map(|v| format!("{name}::{v} => {v:?},\n")).collect();
             format!(
                 "impl serde::Serialize for {name} {{\n\
                      fn to_json_value(&self) -> serde::json::Value {{\n\
@@ -286,10 +284,8 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             )
         }
         Shape::UnitEnum { name, variants } => {
-            let arms: String = variants
-                .iter()
-                .map(|v| format!("{v:?} => Ok({name}::{v}),\n"))
-                .collect();
+            let arms: String =
+                variants.iter().map(|v| format!("{v:?} => Ok({name}::{v}),\n")).collect();
             format!(
                 "impl serde::Deserialize for {name} {{\n\
                      fn from_json_value(v: &serde::json::Value) -> Result<Self, serde::json::DeError> {{\n\

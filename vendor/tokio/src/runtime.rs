@@ -294,9 +294,7 @@ impl<T: 'static> Future for JoinHandle<T> {
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
         let mut j = lock(&self.task.join);
         match j.result.take() {
-            Some(Ok(v)) => {
-                Poll::Ready(Ok(*v.downcast::<T>().expect("join handle output type")))
-            }
+            Some(Ok(v)) => Poll::Ready(Ok(*v.downcast::<T>().expect("join handle output type"))),
             Some(Err(e)) => Poll::Ready(Err(e)),
             None => {
                 j.waker = Some(cx.waker().clone());
@@ -391,8 +389,9 @@ pub(crate) mod context {
     }
 
     pub(crate) fn current() -> Arc<Shared> {
-        try_current()
-            .expect("there is no reactor running, must be called from the context of a Tokio 1.x runtime")
+        try_current().expect(
+            "there is no reactor running, must be called from the context of a Tokio 1.x runtime",
+        )
     }
 }
 
@@ -571,10 +570,7 @@ impl Runtime {
         if !q.is_empty() || shared.root_woken.load(Ordering::Acquire) {
             return;
         }
-        let (q, res) = shared
-            .idle
-            .wait_timeout(q, wait)
-            .unwrap_or_else(|e| e.into_inner());
+        let (q, res) = shared.idle.wait_timeout(q, wait).unwrap_or_else(|e| e.into_inner());
         if paused
             && res.timed_out()
             && q.is_empty()
