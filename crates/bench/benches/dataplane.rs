@@ -12,7 +12,7 @@
 //! which must materialize the encapsulated datagram — is reported as
 //! allocations/packet instead.
 
-use cbt::{config::ForwardingMode, CbtConfig, CbtRouter, RouterAction};
+use cbt::{config::ForwardingMode, CbtConfig, CbtRouter, RouterAction, ShardedRouter};
 use cbt_netsim::SimTime;
 use cbt_routing::Hop;
 use cbt_topology::{IfIndex, NetworkBuilder, RouterId};
@@ -97,6 +97,80 @@ fn on_tree_engine(mode: ForwardingMode) -> CbtRouter {
         me,
         CbtConfig::default().with_mode(mode),
         Box::new(FixedRoutes(routes)),
+        SimTime::ZERO,
+    );
+    e.handle_igmp(
+        SimTime::ZERO,
+        IfIndex(0),
+        Addr::from_octets(10, 1, 0, 100),
+        cbt_wire::IgmpMessage::RpCore(cbt_wire::RpCoreReport {
+            group: group(),
+            code: cbt_wire::igmp::RP_CORE_CODE_CBT,
+            target_core_index: 0,
+            cores: vec![core()],
+        }),
+    );
+    e.handle_igmp(
+        SimTime::ZERO,
+        IfIndex(0),
+        Addr::from_octets(10, 1, 0, 100),
+        cbt_wire::IgmpMessage::Report { version: 3, group: group() },
+    );
+    e.handle_control(
+        SimTime::from_secs(1),
+        IfIndex(1),
+        parent_addr(),
+        ControlMessage::JoinAck {
+            subcode: AckSubcode::Normal,
+            group: group(),
+            origin: Addr::from_octets(10, 1, 0, 1),
+            target_core: core(),
+            cores: vec![core()],
+        },
+    );
+    e.handle_control(
+        SimTime::from_secs(1),
+        IfIndex(2),
+        Addr::from_octets(172, 31, 0, 6),
+        ControlMessage::JoinRequest {
+            subcode: JoinSubcode::ActiveJoin,
+            group: group(),
+            origin: Addr::from_octets(10, 9, 0, 1),
+            target_core: core(),
+            cores: vec![core()],
+        },
+    );
+    assert!(e.is_on_tree(group()));
+    e
+}
+
+/// The same on-tree shape fronted by a 4-way [`ShardedRouter`]: the
+/// packet passes shard steering (`shard_for_mut`) before the engine,
+/// so the zero-allocation claim covers the sharded forward path too.
+fn on_tree_sharded(mode: ForwardingMode) -> ShardedRouter {
+    let mut b = NetworkBuilder::new();
+    let me = b.router("ME");
+    let up = b.router("UP");
+    let down = b.router("DOWN");
+    let lan = b.lan("S0");
+    b.attach(lan, me);
+    b.host("H", lan);
+    b.link(me, up, 1);
+    b.link(me, down, 1);
+    let net = b.build();
+    let cfg = CbtConfig { shards: 4, ..CbtConfig::default().with_mode(mode) };
+    let mut e = ShardedRouter::new(
+        &net,
+        me,
+        cfg,
+        || {
+            let mut routes = BTreeMap::new();
+            routes.insert(
+                core(),
+                Hop { iface: IfIndex(1), router: RouterId(1), addr: parent_addr(), dist: 1 },
+            );
+            Box::new(FixedRoutes(routes))
+        },
         SimTime::ZERO,
     );
     e.handle_igmp(
@@ -238,6 +312,31 @@ fn bench_dataplane(c: &mut Criterion) {
         println!("[cbt_transit] steady-state heap allocations/packet: {per}");
     }
 
+    // Sharded forward path: the same native transit through a 4-way
+    // `ShardedRouter` front — steering (group → shard) plus the engine
+    // must stay allocation-free too.
+    {
+        let mut e = on_tree_sharded(ForwardingMode::Native);
+        let pkt = DataPacket::new(remote_src, group(), 32, vec![0u8; 512]);
+        let mut act = Vec::new();
+        let per = steady_state_allocs(
+            || {
+                act.clear();
+                e.handle_native_data(
+                    SimTime::from_secs(2),
+                    IfIndex(1),
+                    parent_addr(),
+                    pkt.clone(),
+                    &mut act,
+                );
+            },
+            10_000,
+        );
+        assert!(!act.is_empty(), "sharded transit packet must fan out");
+        assert_eq!(per, 0.0, "sharded native forward must not allocate in steady state");
+        println!("[sharded_native_transit] steady-state heap allocations/packet: {per}");
+    }
+
     // First-hop CBT encapsulation (§5.1) — the one path that must
     // materialize a new buffer. Reported, not asserted zero.
     {
@@ -295,6 +394,23 @@ fn bench_dataplane(c: &mut Criterion) {
                 IfIndex(1),
                 parent_addr(),
                 black_box(enc.clone()),
+                &mut act,
+            );
+            black_box(&mut act);
+        })
+    });
+
+    g.bench_function("sharded_native_transit_512B", |b| {
+        let mut e = on_tree_sharded(ForwardingMode::Native);
+        let pkt = DataPacket::new(remote_src, group(), 32, vec![0u8; 512]);
+        let mut act = Vec::new();
+        b.iter(|| {
+            act.clear();
+            e.handle_native_data(
+                black_box(SimTime::from_secs(2)),
+                IfIndex(1),
+                parent_addr(),
+                black_box(pkt.clone()),
                 &mut act,
             );
             black_box(&mut act);

@@ -69,6 +69,12 @@ pub struct CbtConfig {
     /// suite and the `groupscale` experiment can pit both paths against
     /// each other.
     pub timer_wheel: bool,
+    /// Group-space shards per router (see [`crate::shard`]). Defaults
+    /// to the `CBT_SHARDS` environment variable, or 1 when unset, so
+    /// the determinism suite can exercise sharded steering without code
+    /// changes (`CBT_SHARDS=2 cargo test`). At 1 the sharded front is a
+    /// transparent pass-through around a single engine.
+    pub shards: usize,
 }
 
 impl Default for CbtConfig {
@@ -90,6 +96,7 @@ impl Default for CbtConfig {
             igmp: IgmpTimers::default(),
             managed_mappings: HashMap::new(),
             timer_wheel: true,
+            shards: crate::parallelism::NODE_SHARDS.with_default(1).resolve_lenient(),
         }
     }
 }

@@ -109,6 +109,28 @@ pub struct RouterStats {
     pub joins_cached: u64,
 }
 
+impl RouterStats {
+    /// Folds another router's (or shard's) counters into this one.
+    /// Every field is a plain event count, so the fold is associative
+    /// and commutative — shard merge order cannot matter.
+    pub fn merge(&mut self, o: &RouterStats) {
+        self.joins_originated += o.joins_originated;
+        self.joins_forwarded += o.joins_forwarded;
+        self.acks_sent += o.acks_sent;
+        self.proxy_acks_sent += o.proxy_acks_sent;
+        self.nacks_sent += o.nacks_sent;
+        self.quits_sent += o.quits_sent;
+        self.flushes_sent += o.flushes_sent;
+        self.echo_requests_sent += o.echo_requests_sent;
+        self.echo_replies_sent += o.echo_replies_sent;
+        self.data_forwarded += o.data_forwarded;
+        self.data_discarded += o.data_discarded;
+        self.parent_failures += o.parent_failures;
+        self.loops_broken += o.loops_broken;
+        self.joins_cached += o.joins_cached;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -10,7 +10,8 @@
 use cbt_netsim::SimTime;
 use cbt_topology::IfIndex;
 use cbt_wire::{Addr, GroupId};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::hash::{BuildHasherDefault, Hasher};
 
 /// Maximum children per group entry. Fig. 4's field widths "assume a
 /// maximum of 16 directly connected neighbouring routers".
@@ -120,16 +121,57 @@ impl FibEntry {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GroupSlot(usize);
 
+/// Deterministic hasher for `GroupId` keys. The group address is
+/// already a well-mixed 32-bit value after the splitmix-style finisher,
+/// and — unlike std's randomly seeded SipHash — the same group hashes
+/// the same in every process, which the sharded engine's steering and
+/// the determinism suite both rely on.
+#[derive(Debug, Default)]
+pub struct GroupIdHasher(u64);
+
+impl Hasher for GroupIdHasher {
+    fn finish(&self) -> u64 {
+        // splitmix64 finisher: full avalanche on sequential addresses.
+        let mut z = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // FNV-1a fallback for non-u32 key parts (none today).
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn write_u32(&mut self, x: u32) {
+        self.0 ^= u64::from(x);
+    }
+}
+
+/// Hash map keyed by group with the deterministic [`GroupIdHasher`].
+pub type GroupIndex<V> = HashMap<GroupId, V, BuildHasherDefault<GroupIdHasher>>;
+
 /// The full FIB: group → entry.
 ///
-/// Entries live in a dense slot vector; a `BTreeMap` keyed by group
-/// maps to slot numbers and keeps iteration deterministic (sorted by
-/// group — the determinism suite depends on this order). The slot
-/// layer exists for the data plane: [`Fib::slot`] pays the ordered
-/// lookup once, after which [`Fib::at`] is a bounds-checked index.
+/// Entries live in a dense slot vector. Two indexes point into it:
+///
+/// * `index` — a hash map ([`GroupIndex`], deterministic hasher) giving
+///   the per-packet group → slot lookup in O(1); with a `BTreeMap` here
+///   the sharded hot path paid an ordered walk per burst.
+/// * `order` — a sorted group set kept in lockstep, so every iteration
+///   API stays deterministic (sorted by group — the determinism suite
+///   depends on this order). Insert/remove pay the O(log n) twice; both
+///   are control-plane operations.
+///
+/// The slot layer exists for the data plane: [`Fib::slot`] pays the
+/// hash lookup once per burst, after which [`Fib::at`] is a
+/// bounds-checked index.
 #[derive(Debug, Clone, Default)]
 pub struct Fib {
-    index: BTreeMap<GroupId, usize>,
+    index: GroupIndex<usize>,
+    order: BTreeSet<GroupId>,
     slots: Vec<Option<FibEntry>>,
     free: Vec<usize>,
     generation: u64,
@@ -187,6 +229,7 @@ impl Fib {
                     }
                 };
                 self.index.insert(group, s);
+                self.order.insert(group);
                 s
             }
         };
@@ -196,6 +239,7 @@ impl Fib {
     /// Deletes the entry for `group`; returns it if it existed.
     pub fn remove(&mut self, group: GroupId) -> Option<FibEntry> {
         let s = self.index.remove(&group)?;
+        self.order.remove(&group);
         self.generation += 1;
         self.free.push(s);
         Some(self.slots[s].take().expect("indexed slot is live"))
@@ -206,22 +250,26 @@ impl Fib {
         self.index.contains_key(&group)
     }
 
-    /// All on-tree groups.
+    /// All on-tree groups, sorted.
     pub fn groups(&self) -> impl Iterator<Item = GroupId> + '_ {
-        self.index.keys().copied()
+        self.order.iter().copied()
     }
 
-    /// All (group, entry) pairs, sorted by group.
+    /// All (group, entry) pairs, sorted by group. (The sorted `order`
+    /// set drives iteration — never the hash index, whose bucket order
+    /// is not part of the determinism contract.)
     pub fn iter(&self) -> impl Iterator<Item = (GroupId, &FibEntry)> {
-        self.index.iter().map(|(g, &s)| (*g, self.slots[s].as_ref().expect("indexed slot is live")))
+        self.order
+            .iter()
+            .map(|g| (*g, self.slots[self.index[g]].as_ref().expect("indexed slot is live")))
     }
 
     /// Mutable iteration, sorted by group. (Control-plane only — the
     /// per-call scatter vector is fine off the packet path.)
     pub fn iter_mut(&mut self) -> impl Iterator<Item = (GroupId, &mut FibEntry)> {
-        let mut refs: Vec<Option<&mut FibEntry>> =
-            self.slots.iter_mut().map(|o| o.as_mut()).collect();
-        self.index.iter().map(move |(g, &s)| (*g, refs[s].take().expect("indexed slot is live")))
+        let Fib { index, order, slots, .. } = self;
+        let mut refs: Vec<Option<&mut FibEntry>> = slots.iter_mut().map(|o| o.as_mut()).collect();
+        order.iter().map(move |g| (*g, refs[index[g]].take().expect("indexed slot is live")))
     }
 
     /// Number of entries — the "state per router" metric of experiment
@@ -367,6 +415,29 @@ mod tests {
         }
         assert_eq!(seen, vec![GroupId::numbered(1), GroupId::numbered(3), GroupId::numbered(5)]);
         assert!(fib.iter().all(|(_, e)| e.i_am_core));
+    }
+
+    #[test]
+    fn hash_index_and_order_stay_in_lockstep_under_churn() {
+        let mut fib = Fib::new();
+        let mut live = std::collections::BTreeSet::new();
+        let mut x: u32 = 1;
+        for _ in 0..2000 {
+            x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            let g = GroupId::numbered((x >> 16) as u16 % 64);
+            if live.remove(&g) {
+                assert!(fib.remove(g).is_some());
+            } else {
+                fib.entry(g);
+                live.insert(g);
+            }
+            assert_eq!(fib.len(), live.len());
+        }
+        let sorted: Vec<_> = live.iter().copied().collect();
+        assert_eq!(fib.groups().collect::<Vec<_>>(), sorted, "iteration stays sorted under churn");
+        for g in sorted {
+            assert!(fib.on_tree(g) && fib.get(g).is_some(), "hash index agrees with order set");
+        }
     }
 
     #[test]

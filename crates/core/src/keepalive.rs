@@ -141,12 +141,23 @@ impl CbtRouter {
         act: &mut Vec<RouterAction>,
     ) {
         let mut refreshed_any = false;
-        let matching: Vec<GroupId> = self
-            .fib
-            .iter()
-            .filter(|(g, e)| group_matches(*g, group, group_mask) && e.has_child(src))
-            .map(|(g, _)| g)
-            .collect();
+        // A point echo (no mask) names exactly one group: resolve it
+        // with one FIB lookup instead of scanning every entry — at
+        // 100k groups the scan made each keepalive O(n).
+        let matching: Vec<GroupId> = match group_mask {
+            None => self
+                .fib
+                .get(group)
+                .filter(|e| e.has_child(src))
+                .map(|_| vec![group])
+                .unwrap_or_default(),
+            Some(_) => self
+                .fib
+                .iter()
+                .filter(|(g, e)| group_matches(*g, group, group_mask) && e.has_child(src))
+                .map(|(g, _)| g)
+                .collect(),
+        };
         let wheel = self.timers.enabled;
         let expire = self.cfg.child_assert_expire;
         for g in matching {
@@ -180,12 +191,23 @@ impl CbtRouter {
         group: GroupId,
         group_mask: Option<Addr>,
     ) {
+        // Only groups parented on `src` can be refreshed, so resolve
+        // the candidates without touching the rest of the FIB: a point
+        // reply is one lookup, an aggregated reply is one
+        // `parent_index` fetch. (The old full-FIB scan made every
+        // reply O(groups) — quadratic keepalive cost per interval.)
+        let candidates: Vec<GroupId> = match group_mask {
+            None => vec![group],
+            Some(_) => {
+                self.parent_index.get(&src).map(|s| s.iter().copied().collect()).unwrap_or_default()
+            }
+        };
         let mut settled: Vec<GroupId> = Vec::new();
-        for (g, e) in self.fib.iter_mut() {
+        for g in candidates {
             if !group_matches(g, group, group_mask) {
                 continue;
             }
-            if let Some(p) = &mut e.parent {
+            if let Some(p) = self.fib.get_mut(g).and_then(|e| e.parent.as_mut()) {
                 if p.addr == src {
                     p.last_reply = now;
                     settled.push(g);
@@ -632,6 +654,25 @@ mod tests {
         assert_eq!(targets, vec![down_addr()]);
         assert_eq!(next_echo(&e, 1), t(60), "upstream clocks unaffected in return");
         assert_eq!(next_echo(&e, 3), t(70));
+    }
+
+    /// The point-reply fast path (no mask) refreshes exactly the named
+    /// group — a sibling group on the same parent keeps its clock, the
+    /// same answer the old full-FIB scan gave.
+    #[test]
+    fn point_reply_refreshes_only_its_group() {
+        let mut e = routed_engine(CbtConfig::default());
+        join_group(&mut e, 1, t(0));
+        join_group(&mut e, 2, t(0));
+        e.handle_control(
+            t(31),
+            IfIndex(1),
+            up_hop().addr,
+            ControlMessage::EchoReply { group: g(1), origin: up_hop().addr, group_mask: None },
+        );
+        let last = |e: &CbtRouter, n: u16| e.fib().get(g(n)).unwrap().parent.unwrap().last_reply;
+        assert_eq!(last(&e, 1), t(31), "named group refreshed");
+        assert!(last(&e, 2) < t(31), "sibling on the same parent untouched");
     }
 
     #[test]

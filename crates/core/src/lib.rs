@@ -84,7 +84,9 @@ pub mod fib;
 pub mod forward;
 pub mod join;
 pub mod keepalive;
+pub mod parallelism;
 pub mod pending;
+pub mod shard;
 pub mod sim;
 pub mod teardown;
 pub mod timers;
@@ -93,4 +95,6 @@ pub use config::CbtConfig;
 pub use engine::{CbtRouter, RouteLookup, SharedRib};
 pub use events::{RouterAction, RouterStats};
 pub use fib::{Fib, FibEntry, MAX_CHILDREN};
+pub use parallelism::Parallelism;
+pub use shard::{shard_of, ShardedRouter};
 pub use sim::{CbtWorld, Delivery, HostApp, RouterNode};

@@ -1,0 +1,159 @@
+//! Shared "parallelism config" resolution.
+//!
+//! Two knobs in this workspace pick a worker count: the eval runner's
+//! trial fan-out (`--jobs` / `CBT_EVAL_JOBS`) and the node's group-space
+//! sharding (`--shards` / `CBT_SHARDS`). Both resolve through this one
+//! helper so the precedence rules and the error messages are identical:
+//!
+//! 1. an explicit command-line flag wins,
+//! 2. otherwise the environment variable,
+//! 3. otherwise the configured default (available cores unless the call
+//!    site pins something else, e.g. `1` for deterministic simulation).
+//!
+//! Invalid values — non-numeric, zero, negative — are rejected with the
+//! same `"<name> expects a positive integer"` message whether they came
+//! from the flag or the environment.
+
+use std::thread;
+
+/// One parallelism knob: a flag name, its environment fallback, and the
+/// default used when neither is present.
+#[derive(Debug, Clone, Copy)]
+pub struct Parallelism {
+    flag: &'static str,
+    env: &'static str,
+    /// `None` means "available cores".
+    default: Option<usize>,
+}
+
+/// The eval runner's trial fan-out: `--jobs`, `CBT_EVAL_JOBS`, default
+/// available cores.
+pub const EVAL_JOBS: Parallelism = Parallelism::new("--jobs", "CBT_EVAL_JOBS");
+
+/// The node's group-space shard count: `--shards`, `CBT_SHARDS`,
+/// default available cores (`cbtd`); simulation configs pin the default
+/// to 1 via [`Parallelism::with_default`] so replay stays deterministic
+/// unless sharding is asked for.
+pub const NODE_SHARDS: Parallelism = Parallelism::new("--shards", "CBT_SHARDS");
+
+impl Parallelism {
+    /// A knob resolving `flag`, then `env`, then available cores.
+    pub const fn new(flag: &'static str, env: &'static str) -> Self {
+        Parallelism { flag, env, default: None }
+    }
+
+    /// Pins the fallback default instead of available cores.
+    pub const fn with_default(mut self, n: usize) -> Self {
+        self.default = Some(n);
+        self
+    }
+
+    /// The environment variable this knob reads.
+    pub const fn env_var(&self) -> &'static str {
+        self.env
+    }
+
+    /// The command-line flag this knob documents.
+    pub const fn flag_name(&self) -> &'static str {
+        self.flag
+    }
+
+    /// Parses a raw flag value (`--jobs 4` → `"4"`). Zero and garbage
+    /// are errors; flags demand an explicit, valid worker count.
+    pub fn parse_flag(&self, value: &str) -> Result<usize, String> {
+        match value.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(format!("{} expects a positive integer", self.flag)),
+        }
+    }
+
+    /// Reads the environment variable: `Ok(None)` when unset,
+    /// `Ok(Some(n))` when valid, and the same positive-integer error as
+    /// a bad flag when set to garbage.
+    pub fn from_env(&self) -> Result<Option<usize>, String> {
+        match std::env::var(self.env) {
+            Err(_) => Ok(None),
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => Ok(Some(n)),
+                _ => Err(format!("{} expects a positive integer", self.env)),
+            },
+        }
+    }
+
+    /// The default when neither flag nor environment decide: the pinned
+    /// default if one was configured, else available cores (min 1).
+    pub fn default_value(&self) -> usize {
+        self.default
+            .unwrap_or_else(|| thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+    }
+
+    /// Full precedence resolution: explicit flag value > environment >
+    /// default. Errors carry the offending knob's name.
+    pub fn resolve(&self, flag_value: Option<usize>) -> Result<usize, String> {
+        if let Some(n) = flag_value {
+            if n >= 1 {
+                return Ok(n);
+            }
+            return Err(format!("{} expects a positive integer", self.flag));
+        }
+        if let Some(n) = self.from_env()? {
+            return Ok(n);
+        }
+        Ok(self.default_value())
+    }
+
+    /// Like [`resolve`](Self::resolve) but for call sites that cannot
+    /// surface an error (e.g. `Default::default()` impls): an invalid
+    /// environment value silently falls back to the default.
+    pub fn resolve_lenient(&self) -> usize {
+        self.from_env().ok().flatten().unwrap_or_else(|| self.default_value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Knobs pointing at env vars no other test mutates: std::env is
+    // process-global, so each test owns a unique variable name.
+    const T1: Parallelism = Parallelism::new("--t1", "CBT_TEST_PAR_T1");
+    const T2: Parallelism = Parallelism::new("--t2", "CBT_TEST_PAR_T2");
+    const T3: Parallelism = Parallelism::new("--t3", "CBT_TEST_PAR_T3");
+
+    #[test]
+    fn flag_beats_env_beats_default() {
+        std::env::set_var("CBT_TEST_PAR_T1", "3");
+        assert_eq!(T1.resolve(Some(7)), Ok(7), "flag wins");
+        assert_eq!(T1.resolve(None), Ok(3), "env next");
+        std::env::remove_var("CBT_TEST_PAR_T1");
+        assert_eq!(T1.with_default(2).resolve(None), Ok(2), "pinned default last");
+        assert!(T1.resolve(None).unwrap() >= 1, "cores default is at least 1");
+    }
+
+    #[test]
+    fn flag_and_env_share_the_error_shape() {
+        assert_eq!(T2.parse_flag("0"), Err("--t2 expects a positive integer".into()));
+        assert_eq!(T2.parse_flag("lots"), Err("--t2 expects a positive integer".into()));
+        assert_eq!(T2.resolve(Some(0)), Err("--t2 expects a positive integer".into()));
+        std::env::set_var("CBT_TEST_PAR_T2", "-1");
+        assert_eq!(T2.resolve(None), Err("CBT_TEST_PAR_T2 expects a positive integer".into()));
+        std::env::remove_var("CBT_TEST_PAR_T2");
+    }
+
+    #[test]
+    fn lenient_resolution_never_fails() {
+        std::env::set_var("CBT_TEST_PAR_T3", "junk");
+        assert_eq!(T3.with_default(1).resolve_lenient(), 1, "bad env falls back");
+        std::env::set_var("CBT_TEST_PAR_T3", "5");
+        assert_eq!(T3.with_default(1).resolve_lenient(), 5);
+        std::env::remove_var("CBT_TEST_PAR_T3");
+    }
+
+    #[test]
+    fn real_knobs_are_wired_to_the_documented_names() {
+        assert_eq!(EVAL_JOBS.flag_name(), "--jobs");
+        assert_eq!(EVAL_JOBS.env_var(), "CBT_EVAL_JOBS");
+        assert_eq!(NODE_SHARDS.flag_name(), "--shards");
+        assert_eq!(NODE_SHARDS.env_var(), "CBT_SHARDS");
+    }
+}

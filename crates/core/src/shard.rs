@@ -1,0 +1,699 @@
+//! Group-space sharding: one router, N independent engines.
+//!
+//! CBT's scaling argument is that router state grows with *group*
+//! count, not sender count — which makes the group id a natural
+//! partition key. [`ShardedRouter`] fronts `N` fully independent
+//! [`CbtRouter`] shards for one node: every group hashes to exactly one
+//! shard ([`shard_of`]), and that shard owns the group's FIB entry,
+//! pending-join state, timer-wheel entries and observability counters
+//! outright. No state is shared between shards, so a deployment can pin
+//! one shard per core and the forward path crosses no locks.
+//!
+//! ## Steering rules
+//!
+//! * Control messages, group-specific IGMP, native data and CBT data
+//!   all carry a group — each goes to `shard_of(group)` alone.
+//! * IGMP **general** queries (`Query { group: None }`) carry no group
+//!   but drive the querier/DR election, whose outcome every shard needs
+//!   to agree on. They are broadcast to all shards, which keep
+//!   identical election replicas (same config, same boot instant, same
+//!   heard queries ⇒ same ranks). Redundant *emissions* — each replica
+//!   also wants to send its own general query — are suppressed for
+//!   every shard but the first, so the wire sees exactly what an
+//!   unsharded router would send.
+//! * Non-group housekeeping (decode-error drop counts, group-less
+//!   transit) lands on shard 0 by convention.
+//!
+//! `next_wakeup` is the min over per-shard wheel peeks; `on_timer`
+//! visits due shards in index order, which keeps multi-shard instants
+//! deterministic. Snapshots ([`ShardedRouter::stats`],
+//! [`ShardedRouter::obs_snapshot`]) merge across shards with the same
+//! associative/commutative folds the parallel eval runner uses across
+//! seeds.
+//!
+//! At `shards = 1` the front is a transparent pass-through around a
+//! single engine: same calls, same action vectors, no filtering — the
+//! determinism suite replays byte-identically.
+
+use crate::config::CbtConfig;
+use crate::engine::{CbtRouter, IfaceInfo, RouteLookup};
+use crate::events::{RouterAction, RouterStats};
+use cbt_netsim::SimTime;
+use cbt_obs::{ObsSnapshot, RouterObs};
+use cbt_topology::{IfIndex, NetworkSpec, RouterId};
+use cbt_wire::{Addr, CbtDataPacket, ControlMessage, DataPacket, GroupId, IgmpMessage};
+
+/// Maps a group to its owning shard: a splitmix-style avalanche of the
+/// group address, reduced mod `shards`.
+///
+/// Hand-written (not `std`'s SipHash) because steering must be stable
+/// across processes and runs — the same group must land on the same
+/// shard in the simulator, the live plane, and every restart, or
+/// per-shard state would be orphaned. The mixer gives a near-uniform
+/// spread even over sequential `239.x.y.z` allocations.
+pub fn shard_of(group: GroupId, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    // Murmur3/splitmix-style 32-bit finisher: full avalanche, so
+    // sequential group addresses spread uniformly.
+    let mut x = group.addr().0;
+    x = x.wrapping_add(0x9E37_79B9);
+    x ^= x >> 16;
+    x = x.wrapping_mul(0x21F0_AAAD);
+    x ^= x >> 15;
+    x = x.wrapping_mul(0x735A_2D97);
+    x ^= x >> 15;
+    (x as usize) % shards
+}
+
+/// Should a shard with global index `shard` emit `a`? Group-carrying
+/// actions are each produced by exactly one shard (the group's owner)
+/// and always pass. Group-less actions — only IGMP general queries —
+/// are produced by *every* shard's election replica; the first shard's
+/// copy is the one the wire sees.
+fn emits(shard: usize, a: &RouterAction) -> bool {
+    shard == 0 || a.group().is_some()
+}
+
+/// `N` independent [`CbtRouter`] shards behind one steering front.
+///
+/// Two deployment shapes share this type:
+///
+/// * **full** — all `N` shards in one value (the simulator, the eval
+///   harness): built by [`ShardedRouter::new`].
+/// * **slice** — one shard of a larger set (the live plane runs one
+///   task per shard, each owning a single-shard slice): built by
+///   [`ShardedRouter::slice`]. A slice steers with the *global* shard
+///   count so ownership agrees across tasks, and applies the same
+///   emission filtering by its global index.
+pub struct ShardedRouter {
+    shards: Vec<CbtRouter>,
+    /// Global index of `shards[0]`: 0 for a full set, `k` for a slice.
+    first_index: usize,
+    /// Global shard count used for steering (≥ `shards.len()`).
+    total: usize,
+}
+
+impl ShardedRouter {
+    /// Builds the full shard set for router `me`: `cfg.shards` engines
+    /// (min 1), each with its own route-table handle from
+    /// `make_routes`.
+    pub fn new(
+        net: &NetworkSpec,
+        me: RouterId,
+        cfg: CbtConfig,
+        mut make_routes: impl FnMut() -> Box<dyn RouteLookup>,
+        now: SimTime,
+    ) -> Self {
+        let total = cfg.shards.max(1);
+        let shards =
+            (0..total).map(|_| CbtRouter::new(net, me, cfg.clone(), make_routes(), now)).collect();
+        ShardedRouter { shards, first_index: 0, total }
+    }
+
+    /// Builds a one-shard slice: global shard `index` of `total`. The
+    /// caller (the live plane) must pre-steer inputs so only owned
+    /// groups arrive here — group-less broadcasts are fine, they are
+    /// what the slice's election replica exists for.
+    pub fn slice(
+        net: &NetworkSpec,
+        me: RouterId,
+        cfg: CbtConfig,
+        routes: Box<dyn RouteLookup>,
+        now: SimTime,
+        index: usize,
+        total: usize,
+    ) -> Self {
+        let total = total.max(1);
+        assert!(index < total, "shard index {index} out of range for {total} shards");
+        let shards = vec![CbtRouter::new(net, me, cfg, routes, now)];
+        ShardedRouter { shards, first_index: index, total }
+    }
+
+    /// Global shard count steering is computed against.
+    pub fn shard_count(&self) -> usize {
+        self.total
+    }
+
+    /// Number of engines held locally (equals `shard_count()` for a
+    /// full set, 1 for a slice).
+    pub fn local_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The global shard index owning `group`.
+    pub fn shard_index(&self, group: GroupId) -> usize {
+        shard_of(group, self.total)
+    }
+
+    /// Local vector index for `group`. For a full set this is simply
+    /// the owning shard; a slice resolves foreign groups to its one
+    /// engine (defensive — pre-steering should prevent that).
+    #[inline]
+    fn local_for(&self, group: GroupId) -> usize {
+        shard_of(group, self.total).wrapping_sub(self.first_index).min(self.shards.len() - 1)
+    }
+
+    /// Shard by local index.
+    pub fn shard(&self, k: usize) -> &CbtRouter {
+        &self.shards[k]
+    }
+
+    /// Mutable shard by local index.
+    pub fn shard_mut(&mut self, k: usize) -> &mut CbtRouter {
+        &mut self.shards[k]
+    }
+
+    /// The first local shard — the engine that owns group-less state.
+    /// Existing single-engine call sites read through this; at
+    /// `shards = 1` it *is* the whole router.
+    pub fn primary(&self) -> &CbtRouter {
+        &self.shards[0]
+    }
+
+    /// Mutable access to the first local shard.
+    pub fn primary_mut(&mut self) -> &mut CbtRouter {
+        &mut self.shards[0]
+    }
+
+    /// The shard owning `group`.
+    pub fn shard_for(&self, group: GroupId) -> &CbtRouter {
+        &self.shards[self.local_for(group)]
+    }
+
+    /// Mutable access to the shard owning `group`.
+    pub fn shard_for_mut(&mut self, group: GroupId) -> &mut CbtRouter {
+        let k = self.local_for(group);
+        &mut self.shards[k]
+    }
+
+    // ------------------------------------------------------------------
+    // Steered input dispatch — same signatures as `CbtRouter`.
+    // ------------------------------------------------------------------
+
+    /// Steers a control message to its group's shard.
+    pub fn handle_control(
+        &mut self,
+        now: SimTime,
+        iface: IfIndex,
+        src: Addr,
+        msg: ControlMessage,
+    ) -> Vec<RouterAction> {
+        let k = self.local_for(msg.group());
+        self.shards[k].handle_control(now, iface, src, msg)
+    }
+
+    /// Steers an IGMP message: group-carrying variants go to the owning
+    /// shard; general queries are broadcast to every shard (election
+    /// replicas) with redundant emissions filtered to the first shard.
+    pub fn handle_igmp(
+        &mut self,
+        now: SimTime,
+        iface: IfIndex,
+        src: Addr,
+        msg: IgmpMessage,
+    ) -> Vec<RouterAction> {
+        let group = match &msg {
+            IgmpMessage::Query { group, .. } => *group,
+            IgmpMessage::Report { group, .. }
+            | IgmpMessage::Leave { group }
+            | IgmpMessage::TreeJoined { group, .. } => Some(*group),
+            IgmpMessage::RpCore(r) => Some(r.group),
+        };
+        match group {
+            Some(g) => {
+                let k = self.local_for(g);
+                self.shards[k].handle_igmp(now, iface, src, msg)
+            }
+            None if self.shards.len() == 1 => {
+                let first = self.first_index;
+                let mut act = self.shards[0].handle_igmp(now, iface, src, msg);
+                if first > 0 {
+                    act.retain(|a| emits(first, a));
+                }
+                act
+            }
+            None => {
+                let first = self.first_index;
+                let mut out = Vec::new();
+                for (k, shard) in self.shards.iter_mut().enumerate() {
+                    let act = shard.handle_igmp(now, iface, src, msg.clone());
+                    out.extend(act.into_iter().filter(|a| emits(first + k, a)));
+                }
+                out
+            }
+        }
+    }
+
+    /// Steers a native-mode data packet to its group's shard. Pure
+    /// index arithmetic in front of the zero-allocation forward path.
+    #[inline]
+    pub fn handle_native_data(
+        &mut self,
+        now: SimTime,
+        iface: IfIndex,
+        link_src: Addr,
+        pkt: DataPacket,
+        act: &mut Vec<RouterAction>,
+    ) {
+        let k = self.local_for(pkt.group);
+        self.shards[k].handle_native_data(now, iface, link_src, pkt, act);
+    }
+
+    /// Steers a CBT-mode data packet to its group's shard.
+    #[inline]
+    pub fn handle_cbt_data(
+        &mut self,
+        now: SimTime,
+        arrival: IfIndex,
+        outer_src: Addr,
+        pkt: CbtDataPacket,
+        act: &mut Vec<RouterAction>,
+    ) {
+        let k = self.local_for(pkt.cbt.group);
+        self.shards[k].handle_cbt_data(now, arrival, outer_src, pkt, act);
+    }
+
+    /// Advances every due shard, in shard order (deterministic when
+    /// several shards share a wakeup instant). A single local shard is
+    /// driven unconditionally, exactly like an unsharded engine.
+    pub fn on_timer(&mut self, now: SimTime) -> Vec<RouterAction> {
+        let first = self.first_index;
+        if self.shards.len() == 1 {
+            let mut act = self.shards[0].on_timer(now);
+            if first > 0 {
+                act.retain(|a| emits(first, a));
+            }
+            return act;
+        }
+        let mut out = Vec::new();
+        for (k, shard) in self.shards.iter_mut().enumerate() {
+            if shard.next_wakeup().is_some_and(|w| w <= now) {
+                let act = shard.on_timer(now);
+                out.extend(act.into_iter().filter(|a| emits(first + k, a)));
+            }
+        }
+        out
+    }
+
+    /// Earliest wakeup across every local shard's wheel peek.
+    pub fn next_wakeup(&self) -> Option<SimTime> {
+        self.shards.iter().filter_map(|s| s.next_wakeup()).min()
+    }
+
+    // ------------------------------------------------------------------
+    // Queries and merged views.
+    // ------------------------------------------------------------------
+
+    /// This router's id in the network spec.
+    pub fn router_id(&self) -> RouterId {
+        self.shards[0].router_id()
+    }
+
+    /// The router-id address (identical across shards).
+    pub fn id_addr(&self) -> Addr {
+        self.shards[0].id_addr()
+    }
+
+    /// Is `a` one of this router's addresses?
+    pub fn is_my_addr(&self, a: Addr) -> bool {
+        self.shards[0].is_my_addr(a)
+    }
+
+    /// Interface info (identical across shards).
+    pub(crate) fn iface(&self, i: IfIndex) -> Option<&IfaceInfo> {
+        self.shards[0].iface(i)
+    }
+
+    /// Am I the D-DR on `i`? Every shard's election replica agrees;
+    /// the first answers.
+    pub fn i_am_dr(&self, i: IfIndex, now: SimTime) -> bool {
+        self.shards[0].i_am_dr(i, now)
+    }
+
+    /// Am I the G-DR for `group` on `i`? Asked of the owning shard.
+    pub fn is_gdr(&self, i: IfIndex, group: GroupId) -> bool {
+        self.shard_for(group).is_gdr(i, group)
+    }
+
+    /// Is this router on-tree for `group`?
+    pub fn is_on_tree(&self, group: GroupId) -> bool {
+        self.shard_for(group).is_on_tree(group)
+    }
+
+    /// Parent address for `group`, if any.
+    pub fn parent_of(&self, group: GroupId) -> Option<Addr> {
+        self.shard_for(group).parent_of(group)
+    }
+
+    /// Child addresses for `group`.
+    pub fn children_of(&self, group: GroupId) -> Vec<Addr> {
+        self.shard_for(group).children_of(group)
+    }
+
+    /// Is a join in flight for `group`?
+    pub fn has_pending_join(&self, group: GroupId) -> bool {
+        self.shard_for(group).has_pending_join(group)
+    }
+
+    /// Cores known for `group` (owning shard's knowledge).
+    pub fn cores_for(&self, group: GroupId) -> Option<Vec<Addr>> {
+        self.shard_for(group).cores_for(group)
+    }
+
+    /// Records a core list with the owning shard.
+    pub fn learn_cores(&mut self, group: GroupId, cores: &[Addr]) {
+        self.shard_for_mut(group).learn_cores(group, cores);
+    }
+
+    /// The configuration in force (identical across shards).
+    pub fn config(&self) -> &CbtConfig {
+        self.shards[0].config()
+    }
+
+    /// Total FIB entries across local shards.
+    pub fn fib_len(&self) -> usize {
+        self.shards.iter().map(|s| s.fib().len()).sum()
+    }
+
+    /// Observability of the first local shard — where host layers
+    /// classify drops that never reach a group (decode failures).
+    pub fn obs_mut(&mut self) -> &mut RouterObs {
+        self.shards[0].obs_mut()
+    }
+
+    /// Behaviour counters summed across local shards.
+    pub fn stats(&self) -> RouterStats {
+        let mut total = RouterStats::default();
+        for s in &self.shards {
+            total.merge(&s.stats());
+        }
+        total
+    }
+
+    /// Counter snapshot merged across local shards, labelled once with
+    /// the router address. Merge order is irrelevant — `ObsSnapshot`
+    /// merge is associative and commutative (see the obs crate's
+    /// property tests) — so full sets and slice-per-task deployments
+    /// aggregate to the same totals.
+    pub fn obs_snapshot(&self) -> ObsSnapshot {
+        let mut snap = self.shards[0].obs_snapshot();
+        for s in &self.shards[1..] {
+            snap.merge(&s.obs_snapshot());
+        }
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::testutil::ScriptRoutes;
+    use cbt_topology::NetworkBuilder;
+    use std::collections::BTreeMap;
+
+    fn test_net() -> (NetworkSpec, RouterId) {
+        // Same shape as engine::testutil: ME with a LAN (if0) and two
+        // p2p links (if1 up, if2 down).
+        let mut b = NetworkBuilder::new();
+        let me = b.router("ME");
+        let up = b.router("UP");
+        let down = b.router("DOWN");
+        let lan = b.lan("S0");
+        b.attach(lan, me);
+        b.host("H", lan);
+        b.link(me, up, 1);
+        b.link(me, down, 1);
+        (b.build(), me)
+    }
+
+    /// The upstream peer on if1, used as every group's core.
+    fn core() -> Addr {
+        Addr::from_octets(172, 31, 0, 2)
+    }
+
+    /// Routes reaching the core through if1 — so joins actually leave
+    /// the router instead of dying on "no route".
+    fn routes() -> Box<dyn RouteLookup> {
+        let hop =
+            cbt_routing::Hop { iface: IfIndex(1), router: RouterId(1), addr: core(), dist: 1 };
+        Box::new(ScriptRoutes([(core(), hop)].into_iter().collect()))
+    }
+
+    fn sharded(n: usize) -> ShardedRouter {
+        let (net, me) = test_net();
+        let cfg = CbtConfig { shards: n, ..CbtConfig::default() };
+        ShardedRouter::new(&net, me, cfg, routes, SimTime::ZERO)
+    }
+
+    #[test]
+    fn every_group_maps_to_exactly_one_shard() {
+        for n in [1usize, 2, 3, 4, 8] {
+            let mut per_shard = vec![0usize; n];
+            for i in 0..4096u16 {
+                let s = shard_of(GroupId::numbered(i), n);
+                assert!(s < n, "shard {s} out of range for {n}");
+                per_shard[s] += 1;
+            }
+            assert_eq!(per_shard.iter().sum::<usize>(), 4096, "total coverage");
+            // The mixer must spread sequential allocations roughly
+            // uniformly — no shard may be starved or overloaded.
+            if n > 1 {
+                let expect = 4096 / n;
+                for (s, &c) in per_shard.iter().enumerate() {
+                    assert!(
+                        c > expect / 2 && c < expect * 2,
+                        "shard {s}/{n} got {c} of 4096 (expected ≈{expect})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn steering_is_stable_across_runs() {
+        // Golden values: steering feeds persistent per-shard state, so
+        // it may never drift between builds or hosts. If this test
+        // fails, the hash function changed — that is a breaking change
+        // for any deployment with in-flight sharded state.
+        let golden: Vec<usize> = (0..16u16).map(|i| shard_of(GroupId::numbered(i), 4)).collect();
+        assert_eq!(golden, vec![1, 0, 3, 2, 2, 0, 2, 2, 3, 1, 1, 3, 1, 0, 2, 3]);
+        // And trivially: recomputing gives the same answer.
+        for i in 0..512u16 {
+            let g = GroupId::numbered(i);
+            assert_eq!(shard_of(g, 8), shard_of(g, 8));
+        }
+    }
+
+    #[test]
+    fn single_shard_is_a_transparent_pass_through() {
+        let (net, me) = test_net();
+        let cfg = CbtConfig::fast();
+        let mut plain = CbtRouter::new(
+            &net,
+            me,
+            cfg.clone(),
+            Box::new(ScriptRoutes(BTreeMap::new())),
+            SimTime::ZERO,
+        );
+        let mut front = ShardedRouter::new(
+            &net,
+            me,
+            CbtConfig { shards: 1, ..cfg },
+            || Box::new(ScriptRoutes(BTreeMap::new())),
+            SimTime::ZERO,
+        );
+        let host = Addr::from_octets(10, 1, 0, 77);
+        let g = GroupId::numbered(9);
+        let report = IgmpMessage::Report { version: 2, group: g };
+        let mut t = SimTime::ZERO;
+        for step in 0..200 {
+            let (a, b) = (
+                plain.handle_igmp(t, IfIndex(0), host, report.clone()),
+                front.handle_igmp(t, IfIndex(0), host, report.clone()),
+            );
+            assert_eq!(a, b, "igmp actions diverge at step {step}");
+            let (wa, wb) = (plain.next_wakeup(), front.next_wakeup());
+            assert_eq!(wa, wb, "wakeup diverges at step {step}");
+            t = wa.unwrap_or(t + cbt_netsim::SimDuration::from_secs(1));
+            assert_eq!(
+                plain.on_timer(t),
+                front.on_timer(t),
+                "timer actions diverge at step {step}"
+            );
+        }
+        assert_eq!(plain.stats(), front.stats());
+    }
+
+    #[test]
+    fn cross_shard_control_lands_on_the_right_shard() {
+        // A LAN hosting members of group B must not swallow control
+        // traffic for group A owned by a different shard: steering is
+        // by the *message's* group, never by port or LAN state.
+        let n = 4;
+        let mut r = sharded(n);
+        let host = Addr::from_octets(10, 1, 0, 77);
+        // Two groups owned by different shards (per the golden table:
+        // numbered(1) → shard 0, numbered(0) → shard 1 at n = 4).
+        let ga = GroupId::numbered(1);
+        let gb = GroupId::numbered(0);
+        assert_ne!(r.shard_index(ga), r.shard_index(gb), "test needs distinct owners");
+        // Group B becomes live on the LAN (if0): cores learned, member
+        // reported — B's owner shard originates the join upstream.
+        r.learn_cores(gb, &[core()]);
+        r.handle_igmp(
+            SimTime::ZERO,
+            IfIndex(0),
+            host,
+            IgmpMessage::Report { version: 2, group: gb },
+        );
+        // A JOIN for group A arrives on the downstream link (if2) —
+        // same router, same ports as B's traffic would use.
+        let child = Addr::from_octets(172, 31, 0, 6);
+        let join = ControlMessage::JoinRequest {
+            subcode: cbt_wire::control::JoinSubcode::ActiveJoin,
+            group: ga,
+            origin: child,
+            target_core: core(),
+            cores: vec![core()],
+        };
+        r.handle_control(SimTime::from_micros(10_000), IfIndex(2), child, join);
+        let (ka, kb) = (r.shard_index(ga), r.shard_index(gb));
+        for k in 0..n {
+            // Group A's join state (and its control counters) live on
+            // A's shard and nowhere else — B's LAN membership on the
+            // same router must not capture them.
+            assert_eq!(
+                r.shard(k).has_pending_join(ga),
+                k == ka,
+                "shard {k}: group A join state misplaced"
+            );
+            assert_eq!(
+                r.shard(k).obs().groups.contains_key(&ga.addr().0),
+                k == ka,
+                "shard {k}: group A counters misplaced"
+            );
+            assert_eq!(
+                r.shard(k).has_pending_join(gb) || r.shard(k).is_on_tree(gb),
+                k == kb,
+                "shard {k}: group B state misplaced"
+            );
+        }
+    }
+
+    #[test]
+    fn general_queries_broadcast_but_emit_once() {
+        let mut r = sharded(4);
+        // Boot instant: every shard's election wants to send its
+        // startup general query; exactly one may reach the wire.
+        let act = r.on_timer(SimTime::ZERO);
+        let queries = act
+            .iter()
+            .filter(|a| {
+                matches!(
+                    a,
+                    RouterAction::SendIgmp { msg: IgmpMessage::Query { group: None, .. }, .. }
+                )
+            })
+            .count();
+        assert_eq!(queries, 1, "exactly one general query on the wire");
+        // A foreign general query is heard by every shard's replica.
+        let rival = Addr::from_octets(10, 1, 0, 200);
+        let q = IgmpMessage::Query { group: None, max_resp_tenths: 100 };
+        r.handle_igmp(SimTime::from_micros(5_000), IfIndex(0), rival, q);
+        for k in 0..4 {
+            // The rival has a higher address than our 10.1.0.1 LAN
+            // iface, so our shards keep querier duty — but each replica
+            // must at least have *heard* the query identically; their
+            // wakeups stay in lockstep.
+            assert_eq!(
+                r.shard(k).next_wakeup(),
+                r.shard(0).next_wakeup(),
+                "shard {k} election replica diverged"
+            );
+        }
+    }
+
+    /// The shard-merged snapshot equals the single-engine snapshot for
+    /// the same (timer-free) event stream: joins, acks, data, leaves.
+    /// Timer-driven events are deliberately absent — each shard runs
+    /// its own LAN/election replica, so wheel-driven housekeeping
+    /// (general queries, sweeps) legitimately fires once per shard,
+    /// while every group-scoped counter lands on exactly one shard and
+    /// must sum back to the unsharded totals.
+    #[test]
+    fn shard_merged_snapshot_matches_single_engine() {
+        let (net, me) = test_net();
+        let cfg = CbtConfig::default();
+        let mut single = CbtRouter::new(&net, me, cfg.clone(), routes(), SimTime::ZERO);
+        let mut front =
+            ShardedRouter::new(&net, me, CbtConfig { shards: 4, ..cfg }, routes, SimTime::ZERO);
+        let host = Addr::from_octets(10, 1, 0, 77);
+        let origin = Addr::from_octets(10, 1, 0, 1);
+
+        for i in 0..24u16 {
+            let g = GroupId::numbered(i);
+            let t = SimTime::from_micros(1_000 + i as u64);
+            single.learn_cores(g, &[core()]);
+            front.learn_cores(g, &[core()]);
+            let report = IgmpMessage::Report { version: 2, group: g };
+            single.handle_igmp(t, IfIndex(0), host, report.clone());
+            front.handle_igmp(t, IfIndex(0), host, report);
+            let ack = ControlMessage::JoinAck {
+                subcode: cbt_wire::control::AckSubcode::Normal,
+                group: g,
+                origin,
+                target_core: core(),
+                cores: vec![core()],
+            };
+            let t2 = SimTime::from_micros(5_000 + 7 * i as u64);
+            single.handle_control(t2, IfIndex(1), core(), ack.clone());
+            front.handle_control(t2, IfIndex(1), core(), ack);
+        }
+        let mut act = Vec::new();
+        for i in 0..24u16 {
+            let g = GroupId::numbered(i);
+            let t3 = SimTime::from_micros(50_000 + i as u64);
+            let pkt = DataPacket::new(host, g, 16, vec![0u8; 8]);
+            single.handle_native_data(t3, IfIndex(0), host, pkt.clone(), &mut act);
+            act.clear();
+            front.handle_native_data(t3, IfIndex(0), host, pkt, &mut act);
+            act.clear();
+        }
+        for i in 0..6u16 {
+            let g = GroupId::numbered(i);
+            let t4 = SimTime::from_micros(90_000 + i as u64);
+            let leave = IgmpMessage::Leave { group: g };
+            single.handle_igmp(t4, IfIndex(0), host, leave.clone());
+            front.handle_igmp(t4, IfIndex(0), host, leave);
+        }
+
+        assert_eq!(single.obs_snapshot(), front.obs_snapshot());
+        assert!(front.obs_snapshot().data_forwarded >= 24, "data actually flowed");
+        assert_eq!(single.stats(), front.stats());
+    }
+
+    #[test]
+    fn merged_snapshot_totals_cover_all_shards() {
+        let mut r = sharded(4);
+        let host = Addr::from_octets(10, 1, 0, 77);
+        for i in 0..32u16 {
+            let g = GroupId::numbered(i);
+            r.learn_cores(g, &[core()]);
+            r.handle_igmp(
+                SimTime::ZERO,
+                IfIndex(0),
+                host,
+                IgmpMessage::Report { version: 2, group: g },
+            );
+        }
+        let merged = r.obs_snapshot();
+        let by_hand: usize = (0..4).map(|k| r.shard(k).obs().groups.len()).sum();
+        assert_eq!(merged.groups.len(), 32, "every group visible in the merged snapshot");
+        assert_eq!(by_hand, 32, "each group counted on exactly one shard");
+        let stats = r.stats();
+        let per_shard: u64 = (0..4).map(|k| r.shard(k).stats().joins_originated).sum();
+        assert_eq!(stats.joins_originated, per_shard);
+    }
+}

@@ -8,6 +8,7 @@
 
 use crate::engine::{CbtRouter, RouteLookup, SharedRib};
 use crate::events::RouterAction;
+use crate::shard::ShardedRouter;
 use cbt_igmp::{HostMembership, IgmpTimers};
 use cbt_netsim::{Bytes, Outbox, SimNode, SimTime};
 use cbt_obs::DropReason;
@@ -24,7 +25,7 @@ use std::any::Any;
 /// neighbour-to-neighbour, but off-tree data to a core and the direct
 /// REJOIN-NACTIVE ack cross several hops).
 pub struct RouterNode {
-    engine: CbtRouter,
+    engine: ShardedRouter,
     rib: SharedRib,
     /// Scratch buffer reused for every control-message encode on the
     /// send path — the hot path allocates once, not per message.
@@ -45,17 +46,47 @@ impl RouterNode {
         rib: SharedRib,
         now: SimTime,
     ) -> Self {
-        let engine = CbtRouter::new(net, me, cfg, Box::new(rib.clone()), now);
+        let engine = ShardedRouter::new(net, me, cfg, || Box::new(rib.clone()), now);
         RouterNode { engine, rib, ctl_buf: Vec::new(), act_buf: Vec::new() }
     }
 
-    /// The protocol engine (tests and metrics poke around in here).
+    /// Builds the node as shard `index` of an `total`-way sharded
+    /// router: it owns exactly one engine shard and expects its caller
+    /// (the live plane's steering fabric) to feed it only the frames
+    /// its shard owns — plus the broadcast ones, which it processes
+    /// with shard-0-only emission so the deployment sends each
+    /// group-less message once.
+    pub fn new_shard_slice(
+        net: &cbt_topology::NetworkSpec,
+        me: cbt_topology::RouterId,
+        cfg: crate::CbtConfig,
+        rib: SharedRib,
+        now: SimTime,
+        index: usize,
+        total: usize,
+    ) -> Self {
+        let engine = ShardedRouter::slice(net, me, cfg, Box::new(rib.clone()), now, index, total);
+        RouterNode { engine, rib, ctl_buf: Vec::new(), act_buf: Vec::new() }
+    }
+
+    /// The first shard's engine (tests and metrics poke around in
+    /// here; at the default `shards = 1` it is the whole router).
     pub fn engine(&self) -> &CbtRouter {
+        self.engine.primary()
+    }
+
+    /// Mutable first-shard access for harness-level operations.
+    pub fn engine_mut(&mut self) -> &mut CbtRouter {
+        self.engine.primary_mut()
+    }
+
+    /// The sharded steering front (all shards).
+    pub fn sharded(&self) -> &ShardedRouter {
         &self.engine
     }
 
-    /// Mutable engine access for harness-level operations.
-    pub fn engine_mut(&mut self) -> &mut CbtRouter {
+    /// Mutable access to the sharded steering front.
+    pub fn sharded_mut(&mut self) -> &mut ShardedRouter {
         &mut self.engine
     }
 
@@ -76,7 +107,7 @@ impl RouterNode {
                         // lists are clamped at ingestion), but an
                         // unencodable message must be counted, not
                         // silently skipped.
-                        self.engine.obs.drop_packet(DropReason::DecodeError);
+                        self.engine.obs_mut().drop_packet(DropReason::DecodeError);
                         continue;
                     }
                     let udp = UdpHeader::wrap(port, port, &self.ctl_buf);
@@ -165,7 +196,7 @@ impl RouterNode {
             WireError::BadChecksum { .. } => DropReason::ChecksumBad,
             _ => DropReason::DecodeError,
         };
-        self.engine.obs.drop_packet(reason);
+        self.engine.obs_mut().drop_packet(reason);
     }
 }
 

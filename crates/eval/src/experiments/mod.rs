@@ -9,6 +9,7 @@ pub mod latency;
 pub mod multicore;
 pub mod overhead;
 pub mod placement;
+pub mod shardscale;
 pub mod spec;
 pub mod state;
 pub mod traffic;

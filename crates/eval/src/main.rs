@@ -22,11 +22,15 @@ type Runner = (&'static str, Box<dyn Fn(bool) -> Report>);
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    if let Some(i) = args.iter().position(|a| a == "--jobs") {
-        match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
-            Some(n) if n >= 1 => cbt_eval::parallel::set_jobs(n),
-            _ => {
-                eprintln!("--jobs expects a positive integer");
+    // Parsed through the shared parallelism knob so `--jobs` and the
+    // node's `--shards` reject bad values with identical messages.
+    let jobs_knob = cbt::parallelism::EVAL_JOBS;
+    if let Some(i) = args.iter().position(|a| a == jobs_knob.flag_name()) {
+        let value = args.get(i + 1).map(String::as_str).unwrap_or("");
+        match jobs_knob.parse_flag(value) {
+            Ok(n) => cbt_eval::parallel::set_jobs(n),
+            Err(e) => {
+                eprintln!("{e}");
                 std::process::exit(2);
             }
         }
@@ -111,6 +115,12 @@ fn main() {
                 dataplane::run(&if q { dataplane::Params::quick() } else { Default::default() })
             }),
         ),
+        (
+            "shardscale",
+            Box::new(|q| {
+                shardscale::run(&if q { shardscale::Params::quick() } else { Default::default() })
+            }),
+        ),
     ];
 
     match which.as_str() {
@@ -131,6 +141,7 @@ fn main() {
             let mut timings = Vec::new();
             let mut timer_scaling = serde_json::Value::Null;
             let mut dataplane_rows = serde_json::Value::Null;
+            let mut shard_scaling = serde_json::Value::Null;
             for (name, run) in &runners {
                 let t0 = std::time::Instant::now();
                 let report = run(quick);
@@ -146,12 +157,15 @@ fn main() {
                 if *name == "dataplane" {
                     dataplane_rows = report.json.clone();
                 }
+                if *name == "shardscale" {
+                    shard_scaling = report.json.clone();
+                }
                 timings.push(serde_json::json!({
                     "experiment": *name,
                     "wall_ms": wall_ms,
                 }));
             }
-            write_bench(timings, timer_scaling, dataplane_rows, quick);
+            write_bench(timings, timer_scaling, dataplane_rows, shard_scaling, quick);
         }
         name => match runners.iter().find(|(n, _)| *n == name) {
             Some((_, run)) => {
@@ -174,6 +188,7 @@ fn write_bench(
     timings: Vec<serde_json::Value>,
     timer_scaling: serde_json::Value,
     dataplane: serde_json::Value,
+    shard_scaling: serde_json::Value,
     quick: bool,
 ) {
     let dir = PathBuf::from("target");
@@ -189,6 +204,7 @@ fn write_bench(
         "experiments": timings,
         "timer_scaling": timer_scaling,
         "dataplane": dataplane,
+        "shard_scaling": shard_scaling,
     });
     let path = dir.join("BENCH_eval.json");
     if let Ok(s) = serde_json::to_string_pretty(&payload) {

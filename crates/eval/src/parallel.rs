@@ -9,9 +9,11 @@
 //!
 //! Worker count, in precedence order: [`set_jobs`] (the `--jobs N`
 //! CLI flag), the `CBT_EVAL_JOBS` environment variable, then
-//! `std::thread::available_parallelism()`. With one job (or one
-//! trial) no threads are spawned at all — the sequential fallback is
-//! a plain in-order map.
+//! `std::thread::available_parallelism()` — resolved through the
+//! shared [`cbt::parallelism::EVAL_JOBS`] knob, so the precedence and
+//! error messages match the node's `--shards`/`CBT_SHARDS` exactly.
+//! With one job (or one trial) no threads are spawned at all — the
+//! sequential fallback is a plain in-order map.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, OnceLock};
@@ -27,13 +29,7 @@ pub fn set_jobs(n: usize) {
 
 /// The worker count trials fan out over.
 pub fn jobs() -> usize {
-    *JOBS.get_or_init(|| {
-        std::env::var("CBT_EVAL_JOBS")
-            .ok()
-            .and_then(|s| s.trim().parse::<usize>().ok())
-            .filter(|&n| n >= 1)
-            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
-    })
+    *JOBS.get_or_init(|| cbt::parallelism::EVAL_JOBS.resolve_lenient())
 }
 
 /// Runs `f` over every item, in parallel when [`jobs`] allows, and

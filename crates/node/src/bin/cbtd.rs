@@ -1,14 +1,20 @@
 //! `cbtd` — stand up a live CBT deployment from a JSON description.
 //!
 //! ```text
-//! cbtd <deployment.json> [--duration-secs N]
+//! cbtd <deployment.json> [--duration-secs N] [--shards N]
 //! ```
 //!
 //! Every router and host in the file becomes a tokio task; the script's
 //! joins/leaves/sends run at their wall-clock offsets; at the end the
 //! tool prints each router's tree state and each host's deliveries.
 //! See `examples/topologies/demo.json` for the schema.
+//!
+//! `--shards N` (or `CBT_SHARDS=N`; default: available cores) splits
+//! every router's group space over N engine shards, each its own tokio
+//! task — one `cbtd` node then scales with cores instead of serialising
+//! all groups through one task.
 
+use cbt::parallelism::NODE_SHARDS;
 use cbt::CbtConfig;
 use cbt_node::config::Deployment;
 use cbt_node::LiveNet;
@@ -19,7 +25,7 @@ use std::time::Duration;
 async fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
-        eprintln!("usage: cbtd <deployment.json> [--duration-secs N]");
+        eprintln!("usage: cbtd <deployment.json> [--duration-secs N] [--shards N]");
         std::process::exit(2);
     };
     let duration = args
@@ -28,6 +34,28 @@ async fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse::<u64>().ok())
         .unwrap_or(5);
+    let shards_flag = match args
+        .iter()
+        .position(|a| a == NODE_SHARDS.flag_name())
+        .map(|i| args.get(i + 1).map_or_else(String::new, |v| v.clone()))
+        .map(|v| NODE_SHARDS.parse_flag(&v))
+        .transpose()
+    {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    // Flag > CBT_SHARDS > available cores — same precedence and error
+    // shape as the eval runner's --jobs.
+    let shards = match NODE_SHARDS.resolve(shards_flag) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
 
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -48,14 +76,15 @@ async fn main() {
     let cores: Vec<_> =
         built.config.cores.iter().map(|c| built.net.router_addr(built.routers[c])).collect();
     println!(
-        "cbtd: {} routers, {} LANs, {} links, group {group}, cores {:?}",
+        "cbtd: {} routers, {} LANs, {} links, group {group}, cores {:?}, {shards} shard(s)",
         built.net.routers.len(),
         built.net.lans.len(),
         built.net.links.len(),
         built.config.cores,
     );
 
-    let live = LiveNet::spawn(built.net.clone(), CbtConfig::fast());
+    let cfg = CbtConfig { shards, ..CbtConfig::fast() };
+    let live = LiveNet::spawn(built.net.clone(), cfg);
 
     // Drive the script.
     let mut steps = built.config.script.clone();

@@ -78,12 +78,18 @@ impl std::fmt::Display for LiveError {
 impl std::error::Error for LiveError {}
 
 /// A running multi-node CBT deployment.
+///
+/// With `cfg.shards > 1` every router runs as N independent tokio
+/// tasks, each owning one engine shard ([`cbt::ShardedRouter`] slice);
+/// the fabric steers each frame to the shard owning its group, so the
+/// shard tasks never contend on engine state.
 pub struct LiveNet {
     /// The network being run.
     pub net: Arc<NetworkSpec>,
     epoch: Instant,
     host_cmds: HashMap<HostId, mpsc::UnboundedSender<HostCmd>>,
-    router_cmds: HashMap<RouterId, mpsc::UnboundedSender<RouterCmd>>,
+    /// One command channel per shard task, index = shard.
+    router_cmds: HashMap<RouterId, Vec<mpsc::UnboundedSender<RouterCmd>>>,
     counters: Arc<FabricCounters>,
     tasks: Vec<JoinHandle<()>>,
 }
@@ -99,35 +105,51 @@ impl LiveNet {
     /// experiment uses this to measure legacy vs batched in the same
     /// harness).
     pub fn spawn_with(net: NetworkSpec, cfg: CbtConfig, dp: DataPlaneConfig) -> LiveNet {
+        let shards = cfg.shards.max(1);
         let net = Arc::new(net);
         let epoch = Instant::now();
         let (_rib, make_rib) = SharedRib::build(net.clone());
-        let (fabric, mut rxs) = Fabric::with_config(net.clone(), dp);
+        let (fabric, mut rxs) = Fabric::with_shards(net.clone(), dp, shards);
         let counters = fabric.counters().clone();
 
         let mut tasks = Vec::new();
         let mut router_cmds = HashMap::new();
         for i in 0..net.routers.len() {
             let me = RouterId(i as u32);
-            let node = RouterNode::new(&net, me, cfg.clone(), make_rib(me), SimTime::ZERO);
-            let rx = rxs.remove(&Entity::Router(me)).expect("inbox");
-            let (cmd_tx, cmd_rx) = mpsc::unbounded_channel();
-            router_cmds.insert(me, cmd_tx);
-            tasks.push(tokio::spawn(router_task(
-                node,
-                Entity::Router(me),
-                fabric.clone(),
-                rx,
-                cmd_rx,
-                epoch,
-                dp,
-            )));
+            let shard_rxs = rxs.remove(&Entity::Router(me)).expect("inbox");
+            let mut cmd_txs = Vec::with_capacity(shards);
+            for (k, rx) in shard_rxs.into_iter().enumerate() {
+                let node = RouterNode::new_shard_slice(
+                    &net,
+                    me,
+                    cfg.clone(),
+                    make_rib(me),
+                    SimTime::ZERO,
+                    k,
+                    shards,
+                );
+                let (cmd_tx, cmd_rx) = mpsc::unbounded_channel();
+                cmd_txs.push(cmd_tx);
+                tasks.push(tokio::spawn(router_task(
+                    node,
+                    Entity::Router(me),
+                    fabric.clone(),
+                    rx,
+                    cmd_rx,
+                    epoch,
+                    dp,
+                )));
+            }
+            router_cmds.insert(me, cmd_txs);
         }
         let mut host_cmds = HashMap::new();
         for (i, h) in net.hosts.iter().enumerate() {
             let hid = HostId(i as u32);
             let app = HostApp::new(h.addr, 3, cfg.igmp);
-            let rx = rxs.remove(&Entity::Host(hid)).expect("inbox");
+            let rx = rxs
+                .remove(&Entity::Host(hid))
+                .and_then(|mut v| v.pop())
+                .expect("one inbox per host");
             let (cmd_tx, cmd_rx) = mpsc::unbounded_channel();
             host_cmds.insert(hid, cmd_tx);
             tasks.push(tokio::spawn(host_task(
@@ -188,16 +210,33 @@ impl LiveNet {
     }
 
     /// Snapshots a router's per-group protocol state. Errs when the
-    /// router is unknown or its task has died.
+    /// router is unknown or any of its shard tasks has died.
+    ///
+    /// Under sharding the per-group tree fields (`on_tree`, `parent`,
+    /// `children`) come from the shard that owns the group, while
+    /// `stats` and `obs` are merged across every shard — the answer is
+    /// indistinguishable from an unsharded router's for event-driven
+    /// counters.
     pub async fn router_snapshot(
         &self,
         r: RouterId,
         group: GroupId,
     ) -> Result<RouterSnapshot, LiveError> {
         let cmds = self.router_cmds.get(&r).ok_or(LiveError::UnknownNode)?;
-        let (tx, rx) = oneshot::channel();
-        cmds.send(RouterCmd::Snapshot { group, resp: tx }).map_err(|_| LiveError::NodeDead)?;
-        let mut snap = rx.await.map_err(|_| LiveError::NodeDead)?;
+        let owner = cbt::shard_of(group, cmds.len());
+        let mut snaps = Vec::with_capacity(cmds.len());
+        for cmd in cmds {
+            let (tx, rx) = oneshot::channel();
+            cmd.send(RouterCmd::Snapshot { group, resp: tx }).map_err(|_| LiveError::NodeDead)?;
+            snaps.push(rx.await.map_err(|_| LiveError::NodeDead)?);
+        }
+        // The owning shard's answer carries the tree fields; fold the
+        // other shards' counters in.
+        let mut snap = snaps.swap_remove(owner);
+        for other in &snaps {
+            snap.stats.merge(&other.stats);
+            snap.obs.merge(&other.obs);
+        }
         // Transport-level drops (bounded-inbox overflow) happen in the
         // fabric, outside the engine; fold this node's row in so the
         // snapshot covers every layer.
@@ -464,6 +503,78 @@ mod tests {
         let got = live.host_received(a).await.expect("host alive");
         assert_eq!(got.len(), 1, "{got:?}");
         assert_eq!(got[0].payload, b"legacy");
+        live.shutdown();
+    }
+
+    /// The sharded live plane — four shard tasks per router, frames
+    /// steered by group — reaches the same join/delivery fixpoint as
+    /// the single-task deployment.
+    #[tokio::test(start_paused = true)]
+    async fn sharded_live_join_and_delivery() {
+        let (net, r0, r1, _r2, a, bb) = chain();
+        let core = net.router_addr(r1);
+        let group = GroupId::numbered(5);
+        let cfg = CbtConfig { shards: 4, ..CbtConfig::fast() };
+        let live = LiveNet::spawn(net, cfg);
+
+        live.host_join(a, group, vec![core]);
+        live.host_join(bb, group, vec![core]);
+        tokio::time::sleep(Duration::from_secs(3)).await;
+
+        let snap = live.router_snapshot(r0, group).await.expect("snapshot");
+        assert!(snap.on_tree, "R0 joined across shard tasks: {snap:?}");
+        assert!(snap.parent.is_some());
+
+        live.host_send(bb, group, b"sharded".to_vec(), 16);
+        tokio::time::sleep(Duration::from_secs(1)).await;
+        let got = live.host_received(a).await.expect("host alive");
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].payload, b"sharded");
+        assert_eq!(live.fabric_stats().dropped_overflow, 0);
+        live.shutdown();
+    }
+
+    /// Groups owned by different shards join, deliver and tear down
+    /// independently, and the merged snapshot sees all of them.
+    #[tokio::test(start_paused = true)]
+    async fn sharded_groups_are_independent() {
+        let (net, r0, r1, _r2, a, bb) = chain();
+        let core = net.router_addr(r1);
+        // numbered(0) and numbered(1) live on different shards of 4
+        // (pinned by the shard.rs golden test).
+        let (ga, gb) = (GroupId::numbered(0), GroupId::numbered(1));
+        assert_ne!(cbt::shard_of(ga, 4), cbt::shard_of(gb, 4));
+        let cfg = CbtConfig { shards: 4, ..CbtConfig::fast() };
+        let live = LiveNet::spawn(net, cfg);
+
+        live.host_join(a, ga, vec![core]);
+        live.host_join(a, gb, vec![core]);
+        live.host_join(bb, ga, vec![core]);
+        live.host_join(bb, gb, vec![core]);
+        tokio::time::sleep(Duration::from_secs(3)).await;
+        for g in [ga, gb] {
+            let snap = live.router_snapshot(r0, g).await.expect("snapshot");
+            assert!(snap.on_tree, "{g}: {snap:?}");
+        }
+
+        live.host_send(bb, ga, b"to-a".to_vec(), 16);
+        live.host_send(bb, gb, b"to-b".to_vec(), 16);
+        tokio::time::sleep(Duration::from_secs(1)).await;
+        let got = live.host_received(a).await.expect("host alive");
+        assert_eq!(got.len(), 2, "both groups delivered: {got:?}");
+
+        // Leaving one group must not disturb the other shard's tree.
+        live.host_leave(a, ga);
+        live.host_leave(bb, ga);
+        tokio::time::sleep(Duration::from_secs(10)).await;
+        let snap_a = live.router_snapshot(r0, ga).await.unwrap();
+        let snap_b = live.router_snapshot(r0, gb).await.unwrap();
+        assert!(!snap_a.on_tree, "left group torn down: {snap_a:?}");
+        assert!(snap_b.on_tree, "other shard's tree untouched: {snap_b:?}");
+        // The merged stats see both shards' activity: the quit that
+        // tore ga down and the joins from both groups.
+        assert!(snap_b.stats.quits_sent >= 1, "merged stats span shards: {:?}", snap_b.stats);
+        assert!(snap_b.stats.joins_originated >= 2, "{:?}", snap_b.stats);
         live.shutdown();
     }
 

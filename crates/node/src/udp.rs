@@ -23,7 +23,7 @@
 //!   malformed datagrams shorter than the 8-byte preamble are counted
 //!   in [`UdpStats::short_datagrams`] instead of vanishing silently.
 
-use crate::fabric::{entities_of, DataPlaneConfig, RxFrame};
+use crate::fabric::{entities_of, steer_frame, DataPlaneConfig, RxFrame, Steer};
 use cbt_netsim::{Bytes, Entity, Transmit};
 use cbt_obs::{AtomicDropCounters, DropCounters, DropReason};
 use cbt_topology::{Attachment, IfIndex, NetworkSpec};
@@ -118,22 +118,44 @@ impl UdpFabric {
         UdpFabric::bind_with(net, DataPlaneConfig::default()).await
     }
 
-    /// Binds with explicit data-plane tuning.
+    /// Binds with explicit data-plane tuning (one inbox per entity —
+    /// the unsharded shape).
     pub async fn bind_with(
         net: Arc<NetworkSpec>,
         dp: DataPlaneConfig,
     ) -> std::io::Result<(Arc<Self>, HashMap<Entity, mpsc::Receiver<RxFrame>>)> {
+        let (fabric, rxs) = UdpFabric::bind_sharded(net, dp, 1).await?;
+        let rxs =
+            rxs.into_iter().map(|(e, mut v)| (e, v.pop().expect("one inbox per entity"))).collect();
+        Ok((fabric, rxs))
+    }
+
+    /// Binds with `shards` inboxes per **router** (hosts keep one);
+    /// each router still owns a single socket, whose pump steers every
+    /// datagram to the shard owning its group
+    /// ([`steer_frame`](crate::fabric::steer_frame)).
+    pub async fn bind_sharded(
+        net: Arc<NetworkSpec>,
+        dp: DataPlaneConfig,
+        shards: usize,
+    ) -> std::io::Result<(Arc<Self>, HashMap<Entity, Vec<mpsc::Receiver<RxFrame>>>)> {
+        let shards = shards.max(1);
         let mut sockets = HashMap::new();
         let mut peers = HashMap::new();
         let mut rxs = HashMap::new();
         let mut pumps = Vec::new();
         let counters = Arc::new(UdpCounters::for_net(&net));
         for e in entities_of(&net) {
+            let n = match e {
+                Entity::Router(_) => shards,
+                Entity::Host(_) => 1,
+            };
             let socket = Arc::new(UdpSocket::bind("127.0.0.1:0").await?);
             peers.insert(e, socket.local_addr()?);
-            let (tx, rx) = mpsc::channel(dp.inbox_capacity.max(1));
+            let (txs, rx): (Vec<_>, Vec<_>) =
+                (0..n).map(|_| mpsc::channel(dp.inbox_capacity.max(1))).unzip();
             rxs.insert(e, rx);
-            pumps.push(tokio::spawn(pump(socket.clone(), tx, counters.clone(), e)));
+            pumps.push(tokio::spawn(pump(socket.clone(), txs, counters.clone(), e)));
             sockets.insert(e, socket);
         }
         Ok((Arc::new(UdpFabric { net, sockets, peers, counters, pumps }), rxs))
@@ -269,7 +291,7 @@ impl UdpFabric {
 /// copied out at its exact size into a refcounted [`Bytes`].
 async fn pump(
     socket: Arc<UdpSocket>,
-    tx: mpsc::Sender<RxFrame>,
+    txs: Vec<mpsc::Sender<RxFrame>>,
     counters: Arc<UdpCounters>,
     me: Entity,
 ) {
@@ -277,7 +299,7 @@ async fn pump(
     let mut buf = vec![0u8; 65536];
     'outer: loop {
         let Ok((len, _)) = socket.recv_from(&mut buf).await else { break };
-        if !pump_one(&buf[..len], &tx, &counters.datagrams_rx, drops) {
+        if !pump_one(&buf[..len], &txs, &counters.datagrams_rx, drops) {
             break;
         }
         // Batch: drain whatever else already arrived, without paying a
@@ -286,18 +308,18 @@ async fn pump(
         while drained < PUMP_BATCH {
             let Ok((len, _)) = socket.try_recv_from(&mut buf) else { break };
             drained += 1;
-            if !pump_one(&buf[..len], &tx, &counters.datagrams_rx, drops) {
+            if !pump_one(&buf[..len], &txs, &counters.datagrams_rx, drops) {
                 break 'outer;
             }
         }
     }
 }
 
-/// Parses and enqueues one received datagram. Returns false when the
-/// inbox receiver is gone (pump should exit).
+/// Parses, steers and enqueues one received datagram. Returns false
+/// when every inbox receiver is gone (pump should exit).
 fn pump_one(
     dgram: &[u8],
-    tx: &mpsc::Sender<RxFrame>,
+    txs: &[mpsc::Sender<RxFrame>],
     rx_total: &AtomicU64,
     drops: &AtomicDropCounters,
 ) -> bool {
@@ -308,7 +330,29 @@ fn pump_one(
     let iface = IfIndex(u32::from_be_bytes([dgram[0], dgram[1], dgram[2], dgram[3]]));
     let link_src = cbt_wire::Addr(u32::from_be_bytes([dgram[4], dgram[5], dgram[6], dgram[7]]));
     let frame = Bytes::from(dgram[8..].to_vec());
-    match tx.try_send(RxFrame { iface, link_src, frame }) {
+    // Single-inbox entities (hosts, or shards = 1) skip the peek.
+    let steer = if txs.len() == 1 { Steer::One(0) } else { steer_frame(&frame, txs.len()) };
+    match steer {
+        Steer::One(k) => enqueue(&txs[k], RxFrame { iface, link_src, frame }, rx_total, drops),
+        Steer::All => {
+            let mut any_open = false;
+            for tx in txs {
+                let rx = RxFrame { iface, link_src, frame: frame.clone() };
+                any_open |= enqueue(tx, rx, rx_total, drops);
+            }
+            any_open
+        }
+    }
+}
+
+/// Enqueues into one shard inbox; false when that receiver is gone.
+fn enqueue(
+    tx: &mpsc::Sender<RxFrame>,
+    rx: RxFrame,
+    rx_total: &AtomicU64,
+    drops: &AtomicDropCounters,
+) -> bool {
+    match tx.try_send(rx) {
         Ok(()) => {
             rx_total.fetch_add(1, Ordering::Relaxed);
             true
@@ -564,6 +608,49 @@ mod tests {
             "≥90% accounted for (got {got}, overflow {}, total {total})",
             stats.dropped_overflow
         );
+        fabric.shutdown();
+    }
+
+    /// A sharded UDP bind steers each datagram to the inbox of the
+    /// shard owning its group, from a single socket per router.
+    #[tokio::test]
+    async fn sharded_bind_steers_datagrams_by_group() {
+        let net = pair();
+        let (fabric, mut rxs) =
+            UdpFabric::bind_sharded(net.clone(), DataPlaneConfig::default(), 4).await.unwrap();
+        let g = GroupId::numbered(9);
+        let own = cbt::shard_of(g, 4);
+        let join = ControlMessage::JoinRequest {
+            subcode: JoinSubcode::ActiveJoin,
+            group: g,
+            origin: Addr::from_octets(10, 1, 0, 1),
+            target_core: Addr::from_octets(10, 255, 0, 1),
+            cores: vec![Addr::from_octets(10, 255, 0, 1)],
+        };
+        let udp = UdpHeader::wrap(CBT_PRIMARY_PORT, CBT_PRIMARY_PORT, &join.encode().unwrap());
+        let frame = cbt_wire::ipv4::build_datagram(
+            Addr::from_octets(172, 31, 0, 1),
+            Addr::from_octets(172, 31, 0, 2),
+            cbt_wire::IpProto::Udp,
+            64,
+            &udp,
+        );
+        let t = Transmit { iface: IfIndex(0), link_dst: None, frame: Bytes::from(frame) };
+        fabric.dispatch(Entity::Router(RouterId(0)), &t).await;
+
+        let shard_rxs = rxs.get_mut(&Entity::Router(RouterId(1))).unwrap();
+        let got = tokio::time::timeout(std::time::Duration::from_secs(5), shard_rxs[own].recv())
+            .await
+            .expect("owner shard gets the datagram")
+            .expect("open");
+        let (_, body) = cbt_wire::ipv4::split_datagram(&got.frame).unwrap();
+        let (_, payload) = UdpHeader::unwrap(body).unwrap();
+        assert_eq!(ControlMessage::decode(payload).unwrap(), join);
+        for (k, rx) in shard_rxs.iter_mut().enumerate() {
+            if k != own {
+                assert!(rx.try_recv().is_err(), "shard {k} does not own group {g}");
+            }
+        }
         fabric.shutdown();
     }
 

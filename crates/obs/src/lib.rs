@@ -664,6 +664,99 @@ mod tests {
         assert_eq!(fleet.join_rtt_us.count(), 1);
     }
 
+    /// Deterministic xorshift64* — this crate is dependency-free, so
+    /// the property tests bring their own randomness.
+    struct XorShift(u64);
+
+    impl XorShift {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545F491_4F6CDD1D)
+        }
+    }
+
+    /// A randomized snapshot built through the same recording APIs the
+    /// engine uses. Histogram samples are raw u64s (saturation included
+    /// in the property), counter bumps are bounded so u64 sums cannot
+    /// overflow across three-way merges.
+    fn random_snapshot(rng: &mut XorShift) -> ObsSnapshot {
+        let mut o = RouterObs::new();
+        for _ in 0..(rng.next() % 24) {
+            let r = DropReason::ALL[(rng.next() % DropReason::COUNT as u64) as usize];
+            o.drop_packet(r);
+        }
+        o.data_forwarded = rng.next() % (1 << 32);
+        o.data_delivered = rng.next() % (1 << 32);
+        for _ in 0..(rng.next() % 16) {
+            let g = 0xE000_0000 | (rng.next() as u32 % 8);
+            let k = CtlKind::ALL[(rng.next() % CtlKind::COUNT as u64) as usize];
+            if rng.next().is_multiple_of(2) {
+                o.ctl_sent(g, k);
+            } else {
+                o.ctl_received(g, k);
+            }
+        }
+        for _ in 0..(rng.next() % 8) {
+            o.join_rtt_us.record(rng.next());
+            o.timer_lag_us.record(rng.next() % 1_000_000);
+        }
+        o.snapshot("agg")
+    }
+
+    /// Merged-then-compared with the `router` label held fixed: the
+    /// label names the aggregate and is deliberately not merged.
+    fn merged(a: &ObsSnapshot, b: &ObsSnapshot) -> ObsSnapshot {
+        let mut out = a.clone();
+        out.merge(b);
+        out
+    }
+
+    /// Shard/fleet aggregation folds snapshots in whatever order the
+    /// tasks answer, so `merge` must be commutative.
+    #[test]
+    fn merge_is_commutative() {
+        let mut rng = XorShift(0x1DEA_5EED_0BAD_F00D);
+        for _ in 0..64 {
+            let a = random_snapshot(&mut rng);
+            let b = random_snapshot(&mut rng);
+            assert_eq!(merged(&a, &b), merged(&b, &a));
+        }
+    }
+
+    /// ...and associative: folding shard-by-shard must equal folding
+    /// pre-merged halves (histogram `sum` saturates, but saturating
+    /// addition of unsigned values is `min(true sum, u64::MAX)`, which
+    /// keeps both properties).
+    #[test]
+    fn merge_is_associative() {
+        let mut rng = XorShift(0xFEED_FACE_CAFE_BEEF);
+        for _ in 0..64 {
+            let a = random_snapshot(&mut rng);
+            let b = random_snapshot(&mut rng);
+            let c = random_snapshot(&mut rng);
+            assert_eq!(merged(&merged(&a, &b), &c), merged(&a, &merged(&b, &c)));
+        }
+    }
+
+    /// Saturation edge explicitly: a histogram driven to the `sum`
+    /// ceiling merges to the same aggregate from either side.
+    #[test]
+    fn merge_saturated_histograms_stay_commutative() {
+        let mut a = ObsSnapshot { router: "agg".into(), ..Default::default() };
+        let mut b = a.clone();
+        a.join_rtt_us.record(u64::MAX);
+        a.join_rtt_us.record(u64::MAX);
+        b.join_rtt_us.record(7);
+        let ab = merged(&a, &b);
+        assert_eq!(ab, merged(&b, &a));
+        assert_eq!(ab.join_rtt_us.sum(), u64::MAX);
+        assert_eq!(ab.join_rtt_us.count(), 3);
+    }
+
     #[test]
     fn json_contains_all_drop_reasons_even_when_zero() {
         let o = RouterObs::new();
