@@ -168,6 +168,56 @@ impl EngineTimers {
     }
 }
 
+/// The protocol state a router is in for one group, as the exploration
+/// harness classifies it. Each reachable phase is a distinct place to
+/// inject a fault: the §6.1/§9 machinery behaves differently in every
+/// one of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum ProtocolPhase {
+    /// No state for the group at all.
+    Idle = 0,
+    /// A JOIN_REQUEST is in flight, awaiting its ack (§2.5, §9).
+    PendingJoin = 1,
+    /// On-tree with a live parent (or as a core), between keepalives.
+    Attached = 2,
+    /// On-tree but the parent's echo reply is overdue — the §6.1
+    /// failure-detection window before re-attachment starts.
+    EchoWait = 3,
+    /// Quit/flush teardown in progress (§2.7/§6.3).
+    Teardown = 4,
+    /// Re-attachment campaign running: the upstream is unreachable and
+    /// the router is between rejoin attempts (§6.1/§6.3).
+    CoreUnreachable = 5,
+}
+
+impl ProtocolPhase {
+    /// Number of variants (array sizing for coverage matrices).
+    pub const COUNT: usize = 6;
+
+    /// Every variant, in index order.
+    pub const ALL: [ProtocolPhase; ProtocolPhase::COUNT] = [
+        ProtocolPhase::Idle,
+        ProtocolPhase::PendingJoin,
+        ProtocolPhase::Attached,
+        ProtocolPhase::EchoWait,
+        ProtocolPhase::Teardown,
+        ProtocolPhase::CoreUnreachable,
+    ];
+
+    /// Stable name used by coverage reports.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            ProtocolPhase::Idle => "idle",
+            ProtocolPhase::PendingJoin => "pending-join",
+            ProtocolPhase::Attached => "attached",
+            ProtocolPhase::EchoWait => "echo-wait",
+            ProtocolPhase::Teardown => "teardown",
+            ProtocolPhase::CoreUnreachable => "core-unreachable",
+        }
+    }
+}
+
 /// The CBT protocol engine for one router.
 pub struct CbtRouter {
     pub(crate) me: RouterId,
@@ -372,6 +422,44 @@ impl CbtRouter {
     /// Is a join pending for `group`?
     pub fn has_pending_join(&self, group: GroupId) -> bool {
         self.pending.contains(group)
+    }
+
+    /// Classifies this router's per-group protocol state at `now` —
+    /// the state-labelling hook the exploration harness' search
+    /// frontier is built on. Precedence: active teardown and
+    /// re-attachment campaigns are reported even while a (re)join is
+    /// also pending, because those are the phases whose fault handling
+    /// is under test.
+    pub fn protocol_phase(&self, group: GroupId, now: SimTime) -> ProtocolPhase {
+        if self.pending_quits.contains_key(&group) {
+            return ProtocolPhase::Teardown;
+        }
+        if self.deferred_reattach.contains_key(&group) || self.reattach_started.contains_key(&group)
+        {
+            return ProtocolPhase::CoreUnreachable;
+        }
+        if self.pending.contains(group) {
+            return ProtocolPhase::PendingJoin;
+        }
+        match self.fib.get(group) {
+            Some(e) => match e.parent {
+                Some(p) if now >= p.last_reply + self.cfg.echo_interval => ProtocolPhase::EchoWait,
+                _ => ProtocolPhase::Attached,
+            },
+            None => ProtocolPhase::Idle,
+        }
+    }
+
+    /// Does this router hold any *transient* per-group state — a
+    /// pending join, an unacknowledged quit, or a re-attachment
+    /// campaign? The exploration harness waits for the whole fleet to
+    /// answer `false` before checking tree invariants, so legitimate
+    /// in-flight transitions are never misread as violations.
+    pub fn has_transient_state(&self, group: GroupId) -> bool {
+        self.pending.contains(group)
+            || self.pending_quits.contains_key(&group)
+            || self.deferred_reattach.contains_key(&group)
+            || self.reattach_started.contains_key(&group)
     }
 
     /// Behaviour counters.

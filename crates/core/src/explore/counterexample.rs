@@ -1,0 +1,233 @@
+//! Self-contained replayable counterexamples: the `cbt-cex v1` text
+//! format. A counterexample pins *everything* a re-run needs —
+//! scenario name, world seed, shard count, fault schedule — plus the
+//! verdict the original run produced, so `cargo test` can re-execute
+//! it verbatim and diff the verdicts byte-for-byte.
+
+use super::{execute, RunResult, Scenario, Schedule};
+use std::fmt;
+
+/// One minimized, replayable run: inputs + expected verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// Scenario name ([`Scenario::by_name`]).
+    pub scenario: String,
+    /// World seed.
+    pub seed: u64,
+    /// Shard count the verdict was recorded under. Replays under any
+    /// shard count must reproduce the same verdict (see the sharded
+    /// corpus test).
+    pub shards: usize,
+    /// The fault schedule.
+    pub schedule: Schedule,
+    /// Verdict lines: invariant violations, or the single line `ok`.
+    pub verdict: Vec<String>,
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "cbt-cex v1")?;
+        writeln!(f, "scenario: {}", self.scenario)?;
+        writeln!(f, "seed: {}", self.seed)?;
+        writeln!(f, "shards: {}", self.shards)?;
+        for fault in &self.schedule.faults {
+            writeln!(f, "fault: {fault}")?;
+        }
+        for v in &self.verdict {
+            writeln!(f, "verdict: {v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Counterexample {
+    /// Parses the text form back. `to_string()` of the result is
+    /// byte-identical to a well-formed input.
+    pub fn parse(text: &str) -> Result<Counterexample, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some("cbt-cex v1") => {}
+            other => return Err(format!("bad header {other:?}, expected \"cbt-cex v1\"")),
+        }
+        let mut scenario = None;
+        let mut seed = None;
+        let mut shards = None;
+        let mut faults = Vec::new();
+        let mut verdict = Vec::new();
+        for (n, line) in lines.enumerate() {
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) =
+                line.split_once(": ").ok_or_else(|| format!("line {}: no key", n + 2))?;
+            match key {
+                "scenario" => scenario = Some(value.to_string()),
+                "seed" => seed = Some(value.parse().map_err(|e| format!("line {}: {e}", n + 2))?),
+                "shards" => {
+                    shards = Some(value.parse().map_err(|e| format!("line {}: {e}", n + 2))?)
+                }
+                "fault" => faults.push(
+                    super::Fault::parse(value)
+                        .ok_or_else(|| format!("line {}: bad fault {value:?}", n + 2))?,
+                ),
+                "verdict" => verdict.push(value.to_string()),
+                other => return Err(format!("line {}: unknown key {other:?}", n + 2)),
+            }
+        }
+        let scenario = scenario.ok_or("missing scenario")?;
+        Scenario::by_name(&scenario).ok_or_else(|| format!("unknown scenario {scenario:?}"))?;
+        if verdict.is_empty() {
+            return Err("missing verdict".into());
+        }
+        Ok(Counterexample {
+            scenario,
+            seed: seed.ok_or("missing seed")?,
+            shards: shards.ok_or("missing shards")?,
+            schedule: Schedule { faults },
+            verdict,
+        })
+    }
+
+    /// Re-executes the run under the recorded shard count.
+    pub fn replay(&self) -> RunResult {
+        self.replay_with_shards(self.shards)
+    }
+
+    /// Re-executes the run under a chosen shard count (the sharded
+    /// corpus test replays every entry under 1 and 2 shards and
+    /// demands identical verdicts).
+    pub fn replay_with_shards(&self, shards: usize) -> RunResult {
+        let scn = Scenario::by_name(&self.scenario).expect("validated at parse/build time");
+        execute(&scn, &self.schedule, shards, self.seed)
+    }
+
+    /// Does a fresh replay reproduce the recorded verdict?
+    pub fn reproduces(&self) -> bool {
+        self.replay().verdict_lines() == self.verdict
+    }
+
+    /// Stable file name for a corpus entry.
+    pub fn file_name(&self, index: usize) -> String {
+        format!("{:03}-{}.cex", index, self.scenario)
+    }
+}
+
+/// Greedy delta-debugging: tries removing each fault (last first, so
+/// extensions shed before their depth-1 parents) and keeps any removal
+/// that preserves the verdict, looping until a fixpoint. Returns the
+/// minimized schedule — every remaining fault is necessary.
+pub fn minimize(
+    scenario: &Scenario,
+    schedule: &Schedule,
+    shards: usize,
+    seed: u64,
+    verdict: &[String],
+) -> Schedule {
+    let mut current = schedule.clone();
+    loop {
+        let mut shrunk = false;
+        let mut i = current.faults.len();
+        while i > 0 {
+            i -= 1;
+            if current.faults.len() == 1 {
+                break; // keep at least the fault itself
+            }
+            let mut candidate = current.clone();
+            candidate.faults.remove(i);
+            if execute(scenario, &candidate, shards, seed).verdict_lines() == verdict {
+                current = candidate;
+                shrunk = true;
+            }
+        }
+        if !shrunk {
+            return current;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbt_netsim::{SimDuration, SimTime};
+    use cbt_topology::RouterId;
+
+    fn sample() -> Counterexample {
+        Counterexample {
+            scenario: "chain".into(),
+            seed: 3,
+            shards: 2,
+            schedule: Schedule {
+                faults: vec![
+                    super::super::Fault::DropControl { seq: 17 },
+                    super::super::Fault::Crash {
+                        router: RouterId(1),
+                        at: SimTime::from_secs(9),
+                        down: SimDuration::from_secs(6),
+                    },
+                ],
+            },
+            verdict: vec!["ok".into()],
+        }
+    }
+
+    #[test]
+    fn text_roundtrip_is_byte_identical() {
+        let cex = sample();
+        let text = cex.to_string();
+        let parsed = Counterexample::parse(&text).unwrap();
+        assert_eq!(parsed, cex);
+        assert_eq!(parsed.to_string(), text);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(Counterexample::parse("nonsense").is_err());
+        assert!(Counterexample::parse("cbt-cex v1\nseed: 1\nshards: 1\nverdict: ok\n").is_err());
+        assert!(Counterexample::parse(
+            "cbt-cex v1\nscenario: no-such\nseed: 1\nshards: 1\nverdict: ok\n"
+        )
+        .is_err());
+        assert!(Counterexample::parse(
+            "cbt-cex v1\nscenario: chain\nseed: 1\nshards: 1\nfault: bogus 9\nverdict: ok\n"
+        )
+        .is_err());
+        assert!(
+            Counterexample::parse("cbt-cex v1\nscenario: chain\nseed: 1\nshards: 1\n").is_err(),
+            "verdict is mandatory"
+        );
+    }
+
+    #[test]
+    fn replay_reproduces_recorded_verdict() {
+        let scn = Scenario::by_name("dual-dr").unwrap();
+        let schedule = Schedule::single(super::super::Fault::DropControl { seq: 5 });
+        let run = execute(&scn, &schedule, 1, 0);
+        let cex = Counterexample {
+            scenario: "dual-dr".into(),
+            seed: 0,
+            shards: 1,
+            schedule,
+            verdict: run.verdict_lines(),
+        };
+        assert!(cex.reproduces());
+    }
+
+    #[test]
+    fn minimize_drops_irrelevant_faults() {
+        let scn = Scenario::by_name("chain").unwrap();
+        // A data drop on a quiet sequence number far past the traffic
+        // plus a control drop: the verdict (ok) survives either
+        // removal, so the minimizer shrinks to a single fault.
+        let schedule = Schedule {
+            faults: vec![
+                super::super::Fault::DropControl { seq: 2 },
+                super::super::Fault::DropData { seq: 9999 },
+            ],
+        };
+        let verdict = execute(&scn, &schedule, 1, 0).verdict_lines();
+        let min = minimize(&scn, &schedule, 1, 0, &verdict);
+        assert_eq!(min.faults.len(), 1);
+        assert_eq!(execute(&scn, &min, 1, 0).verdict_lines(), verdict);
+    }
+}

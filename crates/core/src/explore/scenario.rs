@@ -1,0 +1,211 @@
+//! The scenario library the search explores. Each scenario is a small
+//! named deployment whose host schedule walks the fleet through every
+//! protocol phase worth injecting faults into: pending joins (§2.5),
+//! steady-state keepalives (§6.1), teardown (§2.7), alternate-core
+//! fallback (§6.1) and dual-DR LANs (§2.3/§2.6). Scenarios are
+//! referenced *by name* from counterexample files, so their topologies
+//! and schedules are part of the replay contract — change one and the
+//! golden corpus must be regenerated.
+
+use super::Schedule;
+use crate::{CbtConfig, CbtWorld};
+use cbt_netsim::{FaultPlan, SimDuration, SimTime, WorldConfig};
+use cbt_topology::NetworkBuilder;
+use cbt_wire::GroupId;
+
+/// A named, fully-scripted deployment the exploration harness can run.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Stable name (the counterexample replay key).
+    pub name: &'static str,
+    /// Groups in play; invariants are checked for each.
+    pub groups: Vec<GroupId>,
+    /// End of the scripted portion; faults inject before this, healing
+    /// happens here.
+    pub horizon: SimTime,
+    /// Post-heal convergence time before the invariant check.
+    pub settle: SimDuration,
+}
+
+const G1: GroupId = GroupId::numbered(1);
+const G2: GroupId = GroupId::numbered(2);
+
+impl Scenario {
+    /// All scenario names, in a stable order.
+    pub fn names() -> &'static [&'static str] {
+        &["chain", "diamond", "dual-dr"]
+    }
+
+    /// Looks a scenario up by name.
+    pub fn by_name(name: &str) -> Option<Scenario> {
+        let (groups, horizon, settle) = match name {
+            // A—R0—R1(core)—R2—R3—B with a leaver C behind R2: joins,
+            // steady state, data both ways, and a full §2.7 teardown.
+            "chain" => (vec![G1, G2], 36, 48),
+            // Square with a diagonal and two listed cores: re-attachment
+            // has real alternate paths and an alternate core (§6.1).
+            "diamond" => (vec![G1], 30, 48),
+            // Two routers on the member LAN: D-DR election, G-DR
+            // proxying and DR takeover (§2.3/§2.6).
+            "dual-dr" => (vec![G1], 30, 48),
+            _ => return None,
+        };
+        Some(Scenario {
+            name: Self::names().iter().find(|n| **n == name)?,
+            groups,
+            horizon: SimTime::from_secs(horizon),
+            settle: SimDuration::from_secs(settle),
+        })
+    }
+
+    /// Builds the world for one run: topology + host schedule, with
+    /// `schedule`'s targeted drops installed in the fault plan.
+    /// `record_trace` is only needed by the baseline profiling run.
+    pub fn build(
+        &self,
+        shards: usize,
+        seed: u64,
+        schedule: &Schedule,
+        record_trace: bool,
+    ) -> CbtWorld {
+        let mut ctl = Vec::new();
+        let mut data = Vec::new();
+        for f in &schedule.faults {
+            match *f {
+                super::Fault::DropControl { seq } => ctl.push(seq),
+                super::Fault::DropData { seq } => data.push(seq),
+                _ => {}
+            }
+        }
+        let plan = FaultPlan::none().with_control_drops(ctl).with_data_drops(data);
+        let world_cfg = WorldConfig { fault: plan, seed, record_trace, ..WorldConfig::default() };
+        let mut cfg = CbtConfig::fast();
+        cfg.shards = shards;
+        match self.name {
+            "chain" => build_chain(cfg, world_cfg),
+            "diamond" => build_diamond(cfg, world_cfg),
+            "dual-dr" => build_dual_dr(cfg, world_cfg),
+            other => unreachable!("unknown scenario {other}"),
+        }
+    }
+}
+
+/// `A —[S0]— R0 —— R1(core) —— R2 —— R3 —[S1]— B`, plus `C` on S2
+/// behind R2. A and B are members of g1 and exchange data; C joins g2
+/// and leaves again, so the run contains a complete teardown whose
+/// QUIT/FLUSH exchange the search can interfere with.
+fn build_chain(cfg: CbtConfig, world_cfg: WorldConfig) -> CbtWorld {
+    let mut b = NetworkBuilder::new();
+    let r0 = b.router("R0");
+    let r1 = b.router("R1"); // core for both groups
+    let r2 = b.router("R2");
+    let r3 = b.router("R3");
+    b.link(r0, r1, 1);
+    b.link(r1, r2, 1);
+    b.link(r2, r3, 1);
+    let s0 = b.lan("S0");
+    b.attach(s0, r0);
+    let a = b.host("A", s0);
+    let s1 = b.lan("S1");
+    b.attach(s1, r3);
+    let bb = b.host("B", s1);
+    let s2 = b.lan("S2");
+    b.attach(s2, r2);
+    let c = b.host("C", s2);
+    let net = b.build();
+    let core = net.router_addr(r1);
+
+    let mut cw = CbtWorld::build(net, cfg, world_cfg);
+    cw.host(a).join_at(SimTime::from_secs(1), G1, vec![core]);
+    cw.host(bb).join_at(SimTime::from_micros(1_500_000), G1, vec![core]);
+    cw.host(c).join_at(SimTime::from_secs(2), G2, vec![core]);
+    cw.host(bb).send_at(SimTime::from_secs(10), G1, b"b->a first".to_vec(), 32);
+    cw.host(a).send_at(SimTime::from_secs(18), G1, b"a->b reply".to_vec(), 32);
+    cw.host(bb).send_at(SimTime::from_secs(20), G1, b"b->a again".to_vec(), 32);
+    cw.host(c).leave_at(SimTime::from_secs(24), G2);
+    cw
+}
+
+/// A square with a diagonal and **two listed cores**:
+///
+/// ```text
+///   R0 ---- R1
+///    |    /  |
+///   R2 ---- R3(core, alternate R2)
+/// ```
+///
+/// Crashing R3 forces the §6.1 alternate-core fallback to R2; the
+/// diagonal gives re-attachment a genuinely different path to retrace.
+fn build_diamond(cfg: CbtConfig, world_cfg: WorldConfig) -> CbtWorld {
+    let mut b = NetworkBuilder::new();
+    let r0 = b.router("R0");
+    let r1 = b.router("R1");
+    let r2 = b.router("R2");
+    let r3 = b.router("R3");
+    b.link(r0, r1, 1);
+    b.link(r0, r2, 1);
+    b.link(r1, r3, 1);
+    b.link(r2, r3, 1);
+    b.link(r1, r2, 1);
+    let s0 = b.lan("S0");
+    b.attach(s0, r0);
+    let a = b.host("A", s0);
+    let s1 = b.lan("S1");
+    b.attach(s1, r1);
+    let bb = b.host("B", s1);
+    let net = b.build();
+    let cores = vec![net.router_addr(r3), net.router_addr(r2)];
+
+    let mut cw = CbtWorld::build(net, cfg, world_cfg);
+    cw.host(a).join_at(SimTime::from_secs(1), G1, cores.clone());
+    cw.host(bb).join_at(SimTime::from_secs(2), G1, cores);
+    cw.host(a).send_at(SimTime::from_secs(14), G1, b"a->b data".to_vec(), 32);
+    cw.host(bb).send_at(SimTime::from_secs(22), G1, b"b->a data".to_vec(), 32);
+    cw
+}
+
+/// Two routers share the member LAN (lowest-addressed one wins D-DR),
+/// both uplinked to the core; a member+sender M sits behind the core.
+/// Crashing the D-DR mid-tree exercises takeover without duplicate
+/// delivery.
+fn build_dual_dr(cfg: CbtConfig, world_cfg: WorldConfig) -> CbtWorld {
+    let mut b = NetworkBuilder::new();
+    let r_low = b.router("Rlow"); // created first → lowest address → D-DR
+    let r_high = b.router("Rhigh");
+    let r_core = b.router("Rcore");
+    let s0 = b.lan("S0");
+    b.attach(s0, r_low);
+    b.attach(s0, r_high);
+    let h = b.host("H", s0);
+    b.link(r_low, r_core, 1);
+    b.link(r_high, r_core, 1);
+    let s1 = b.lan("S1");
+    b.attach(s1, r_core);
+    let m = b.host("M", s1);
+    let net = b.build();
+    let core = net.router_addr(r_core);
+
+    let mut cw = CbtWorld::build(net, cfg, world_cfg);
+    cw.host(m).join_at(SimTime::from_secs(1), G1, vec![core]);
+    cw.host(h).join_at(SimTime::from_secs(2), G1, vec![core]);
+    cw.host(m).send_at(SimTime::from_secs(8), G1, b"m->h one".to_vec(), 32);
+    cw.host(m).send_at(SimTime::from_secs(20), G1, b"m->h two".to_vec(), 32);
+    cw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_name_resolves_and_builds() {
+        for name in Scenario::names() {
+            let scn = Scenario::by_name(name).expect(name);
+            assert_eq!(scn.name, *name);
+            let cw = scn.build(1, 0, &Schedule::none(), false);
+            assert!(!cw.net.routers.is_empty());
+            assert!(!cw.net.hosts.is_empty());
+        }
+        assert!(Scenario::by_name("no-such").is_none());
+    }
+}

@@ -80,6 +80,7 @@
 pub mod config;
 pub mod engine;
 pub mod events;
+pub mod explore;
 pub mod fib;
 pub mod forward;
 pub mod join;
@@ -92,7 +93,7 @@ pub mod teardown;
 pub mod timers;
 
 pub use config::CbtConfig;
-pub use engine::{CbtRouter, RouteLookup, SharedRib};
+pub use engine::{CbtRouter, ProtocolPhase, RouteLookup, SharedRib};
 pub use events::{RouterAction, RouterStats};
 pub use fib::{Fib, FibEntry, MAX_CHILDREN};
 pub use parallelism::Parallelism;

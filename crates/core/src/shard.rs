@@ -357,6 +357,17 @@ impl ShardedRouter {
         self.shard_for(group).has_pending_join(group)
     }
 
+    /// Per-group protocol phase at `now`, asked of the owning shard.
+    pub fn protocol_phase(&self, group: GroupId, now: SimTime) -> crate::engine::ProtocolPhase {
+        self.shard_for(group).protocol_phase(group, now)
+    }
+
+    /// Any transient per-group state (pending join/quit, re-attach) on
+    /// the owning shard? See [`crate::engine::CbtRouter::has_transient_state`].
+    pub fn has_transient_state(&self, group: GroupId) -> bool {
+        self.shard_for(group).has_transient_state(group)
+    }
+
     /// Cores known for `group` (owning shard's knowledge).
     pub fn cores_for(&self, group: GroupId) -> Option<Vec<Addr>> {
         self.shard_for(group).cores_for(group)

@@ -4,6 +4,7 @@
 
 pub mod dataplane;
 pub mod delay;
+pub mod explore;
 pub mod groupscale;
 pub mod latency;
 pub mod multicore;

@@ -35,6 +35,19 @@ fn main() {
             }
         }
     }
+    // `--depth N` caps the fault-schedule length of the `explore`
+    // search (ignored by every other experiment).
+    let mut depth: Option<usize> = None;
+    if let Some(i) = args.iter().position(|a| a == "--depth") {
+        let value = args.get(i + 1).map(String::as_str).unwrap_or("");
+        match value.parse::<usize>() {
+            Ok(n) if n >= 1 => depth = Some(n),
+            _ => {
+                eprintln!("--depth expects a positive integer, got '{value}'");
+                std::process::exit(2);
+            }
+        }
+    }
     let mut skip_next = false;
     let which = args
         .iter()
@@ -43,7 +56,7 @@ fn main() {
                 skip_next = false;
                 return false;
             }
-            if *a == "--jobs" {
+            if *a == "--jobs" || *a == "--depth" {
                 skip_next = true;
                 return false;
             }
@@ -121,6 +134,16 @@ fn main() {
                 shardscale::run(&if q { shardscale::Params::quick() } else { Default::default() })
             }),
         ),
+        (
+            "explore",
+            Box::new(move |q| {
+                let mut p = if q { explore::Params::quick() } else { Default::default() };
+                if let Some(d) = depth {
+                    p.depth = d;
+                }
+                explore::run(&p)
+            }),
+        ),
     ];
 
     match which.as_str() {
@@ -142,6 +165,7 @@ fn main() {
             let mut timer_scaling = serde_json::Value::Null;
             let mut dataplane_rows = serde_json::Value::Null;
             let mut shard_scaling = serde_json::Value::Null;
+            let mut explore_cov = serde_json::Value::Null;
             for (name, run) in &runners {
                 let t0 = std::time::Instant::now();
                 let report = run(quick);
@@ -160,12 +184,15 @@ fn main() {
                 if *name == "shardscale" {
                     shard_scaling = report.json.clone();
                 }
+                if *name == "explore" {
+                    explore_cov = report.json.clone();
+                }
                 timings.push(serde_json::json!({
                     "experiment": *name,
                     "wall_ms": wall_ms,
                 }));
             }
-            write_bench(timings, timer_scaling, dataplane_rows, shard_scaling, quick);
+            write_bench(timings, timer_scaling, dataplane_rows, shard_scaling, explore_cov, quick);
         }
         name => match runners.iter().find(|(n, _)| *n == name) {
             Some((_, run)) => {
@@ -189,6 +216,7 @@ fn write_bench(
     timer_scaling: serde_json::Value,
     dataplane: serde_json::Value,
     shard_scaling: serde_json::Value,
+    explore: serde_json::Value,
     quick: bool,
 ) {
     let dir = PathBuf::from("target");
@@ -205,6 +233,7 @@ fn write_bench(
         "timer_scaling": timer_scaling,
         "dataplane": dataplane,
         "shard_scaling": shard_scaling,
+        "explore": explore,
     });
     let path = dir.join("BENCH_eval.json");
     if let Ok(s) = serde_json::to_string_pretty(&payload) {

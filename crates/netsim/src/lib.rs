@@ -34,7 +34,7 @@ pub mod trace;
 pub mod world;
 
 pub use bytes::Bytes;
-pub use fault::FaultPlan;
+pub use fault::{FaultClass, FaultPlan};
 pub use node::{Entity, Outbox, SimNode, Transmit};
 pub use pcap::Capture;
 pub use queue::EventQueue;

@@ -19,7 +19,7 @@
 //!   instead of cloning `LanSpec`s and re-resolving `iface_on_lan` per
 //!   transmission.
 
-use crate::fault::{FaultInjector, FaultPlan};
+use crate::fault::{FaultClass, FaultInjector, FaultPlan};
 use crate::node::{Entity, Outbox, SimNode};
 use crate::queue::EventQueue;
 use crate::time::{SimDuration, SimTime};
@@ -29,7 +29,7 @@ use cbt_routing::FailureSet;
 use cbt_topology::{Attachment, HostId, IfIndex, LanId, LinkId, NetworkSpec, RouterId};
 
 /// World construction parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct WorldConfig {
     /// Propagation + processing delay across a point-to-point link.
     pub link_latency: SimDuration,
@@ -69,6 +69,11 @@ enum Event {
 struct Slot {
     node: Option<Box<dyn SimNode>>,
     wake_generation: u64,
+    /// The instant of this slot's currently queued wake event, if any.
+    /// Kept so an unchanged wakeup is NOT re-pushed: re-pushing would
+    /// re-key the event by insertion order and same-instant tie-breaks
+    /// would start depending on unrelated traffic.
+    scheduled_wake: Option<SimTime>,
 }
 
 /// One attachment on a LAN, resolved at construction: who receives, on
@@ -119,7 +124,7 @@ impl World {
     pub fn new(spec: NetworkSpec, cfg: WorldConfig) -> Self {
         let num_routers = spec.routers.len();
         let slots = (0..num_routers + spec.hosts.len())
-            .map(|_| Slot { node: None, wake_generation: 0 })
+            .map(|_| Slot { node: None, wake_generation: 0, scheduled_wake: None })
             .collect();
 
         let iface_plans = spec
@@ -186,7 +191,7 @@ impl World {
             lan_plans,
             iface_plans,
             host_plans,
-            injector: FaultInjector::new(cfg.fault, cfg.seed),
+            injector: FaultInjector::new(cfg.fault.clone(), cfg.seed),
             trace: if cfg.record_trace { Trace::recording() } else { Trace::counters_only() },
             capture: cfg.capture_pcap.then(crate::pcap::Capture::new),
             cfg,
@@ -220,10 +225,12 @@ impl World {
     }
 
     /// Replaces the fault plan mid-run (e.g. to end a chaos phase and
-    /// observe recovery). The injector is re-seeded deterministically
-    /// from the original seed.
+    /// observe recovery). The injector keeps its RNG streams, sequence
+    /// counters and statistics — only the plan changes, so cumulative
+    /// [`World::fault_stats`] stay truthful across the swap and
+    /// targeted per-sequence drops keep their frame of reference.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
-        self.injector = FaultInjector::new(plan, self.cfg.seed.wrapping_add(0x9e3779b9));
+        self.injector.set_plan(plan);
     }
 
     /// Current failure state (shared with routing recomputation done by
@@ -337,6 +344,9 @@ impl World {
                 if self.slots[i].wake_generation != generation {
                     return true; // stale wake
                 }
+                // The live generation's queued event is consumed either
+                // way; forget it so the next reschedule pushes afresh.
+                self.slots[i].scheduled_wake = None;
                 if self.entity_down(who) {
                     return true;
                 }
@@ -445,18 +455,13 @@ impl World {
         if self.failures.lan_down(lan) {
             return;
         }
-        self.trace.record_tx(
-            self.now,
-            from,
-            iface,
-            Medium::Lan(lan),
-            PacketKind::classify(&frame),
-            frame.len(),
-        );
+        let kind = PacketKind::classify(&frame);
+        self.trace.record_tx(self.now, from, iface, Medium::Lan(lan), kind, frame.len());
         if let Some(cap) = &mut self.capture {
             cap.record(self.now, frame.clone());
         }
-        let Some(frame) = self.injector.apply(frame) else { return };
+        let class = if kind.is_control() { FaultClass::Control } else { FaultClass::Data };
+        let Some(frame) = self.injector.apply(class, frame) else { return };
         let arrive_at = self.now + self.cfg.lan_latency;
         for rx in &self.lan_plans[lan.0 as usize] {
             if rx.entity == from {
@@ -497,21 +502,16 @@ impl World {
     ) {
         // Record the attempt (bytes hit the wire) even when the link or
         // peer is down and nothing arrives.
-        self.trace.record_tx(
-            self.now,
-            from,
-            iface,
-            Medium::Link(link),
-            PacketKind::classify(&frame),
-            frame.len(),
-        );
+        let kind = PacketKind::classify(&frame);
+        self.trace.record_tx(self.now, from, iface, Medium::Link(link), kind, frame.len());
         if self.failures.link_down(link) || self.failures.router_down(peer) {
             return;
         }
         if let Some(cap) = &mut self.capture {
             cap.record(self.now, frame.clone());
         }
-        let Some(frame) = self.injector.apply(frame) else { return };
+        let class = if kind.is_control() { FaultClass::Control } else { FaultClass::Data };
+        let Some(frame) = self.injector.apply(class, frame) else { return };
         let Some(peer_iface) = peer_iface else { return };
         self.queue.push(
             self.now + self.cfg.link_latency,
@@ -528,13 +528,22 @@ impl World {
         let i = self.idx(entity);
         let now = self.now;
         let Some(slot) = self.slots.get_mut(i) else { return };
+        let next = slot.node.as_ref().and_then(|n| n.next_wakeup()).map(|at| at.max(now));
+        // An unchanged wake instant keeps its queued event (and its
+        // generation). Re-pushing would re-key the event by insertion
+        // sequence, so the pop order of *simultaneous* wakes would
+        // depend on which nodes happened to receive unrelated frames
+        // in between — data load would reorder same-instant control
+        // timers and shift the fault injector's per-class sequence
+        // numbering, breaking targeted-drop replay.
+        if next.is_some() && next == slot.scheduled_wake {
+            return;
+        }
         slot.wake_generation += 1;
         let generation = slot.wake_generation;
-        if let Some(node) = &slot.node {
-            if let Some(at) = node.next_wakeup() {
-                let at = at.max(now);
-                self.queue.push(at, Event::Wake { who: entity, generation });
-            }
+        slot.scheduled_wake = next;
+        if let Some(at) = next {
+            self.queue.push(at, Event::Wake { who: entity, generation });
         }
     }
 }
@@ -741,7 +750,7 @@ mod tests {
             let (spec, r0, r1, h) = two_routers_one_lan();
             let src = spec.routers[r0.0 as usize].ifaces[0].addr;
             let cfg = WorldConfig {
-                fault: FaultPlan { drop_chance: 0.5, corrupt_chance: 0.2 },
+                fault: FaultPlan { drop_chance: 0.5, corrupt_chance: 0.2, ..FaultPlan::default() },
                 seed: 99,
                 ..Default::default()
             };

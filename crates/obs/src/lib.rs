@@ -159,6 +159,96 @@ impl AtomicDropCounters {
     }
 }
 
+/// Which tree invariant a post-run check found violated. Closed
+/// taxonomy mirroring the exploration harness' checker: every verdict
+/// line in a counterexample names exactly one of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum InvariantKind {
+    /// A parent chain revisited a router: the FIB encodes a forwarding
+    /// loop (§6.3 is supposed to break these).
+    ForwardingLoop = 0,
+    /// A router names a parent that does not list it as a child (or
+    /// vice versa) at quiescence.
+    ParentChildAsymmetry = 1,
+    /// A member host's LAN has no attached on-tree router with an
+    /// acyclic path to a core.
+    MemberDetached = 2,
+    /// Hard state (FIB entry, pending join/quit) lingering for a group
+    /// with no members anywhere after teardown settled.
+    OrphanedState = 3,
+    /// Observability counters contradict the injected faults (e.g.
+    /// checksum-failure drops with zero corrupted frames).
+    ObsInconsistent = 4,
+}
+
+impl InvariantKind {
+    /// Number of variants (array sizing).
+    pub const COUNT: usize = 5;
+
+    /// Every variant, in counter-index order.
+    pub const ALL: [InvariantKind; InvariantKind::COUNT] = [
+        InvariantKind::ForwardingLoop,
+        InvariantKind::ParentChildAsymmetry,
+        InvariantKind::MemberDetached,
+        InvariantKind::OrphanedState,
+        InvariantKind::ObsInconsistent,
+    ];
+
+    /// Stable name used by both exporters and the counterexample
+    /// format.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            InvariantKind::ForwardingLoop => "ForwardingLoop",
+            InvariantKind::ParentChildAsymmetry => "ParentChildAsymmetry",
+            InvariantKind::MemberDetached => "MemberDetached",
+            InvariantKind::OrphanedState => "OrphanedState",
+            InvariantKind::ObsInconsistent => "ObsInconsistent",
+        }
+    }
+
+    /// Inverse of [`InvariantKind::as_str`].
+    pub fn from_str_opt(s: &str) -> Option<InvariantKind> {
+        InvariantKind::ALL.iter().copied().find(|k| k.as_str() == s)
+    }
+}
+
+/// Fixed-size invariant-violation counters, one per
+/// [`InvariantKind`]. Bumped by the checker, not the forward path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InvariantCounters([u64; InvariantKind::COUNT]);
+
+impl InvariantCounters {
+    pub const fn new() -> Self {
+        InvariantCounters([0; InvariantKind::COUNT])
+    }
+
+    #[inline]
+    pub fn bump(&mut self, kind: InvariantKind) {
+        self.0[kind as usize] += 1;
+    }
+
+    #[inline]
+    pub fn get(&self, kind: InvariantKind) -> u64 {
+        self.0[kind as usize]
+    }
+
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+
+    pub fn merge(&mut self, other: &InvariantCounters) {
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a += b;
+        }
+    }
+
+    /// `(kind, count)` pairs in taxonomy order, zeros included.
+    pub fn iter(&self) -> impl Iterator<Item = (InvariantKind, u64)> + '_ {
+        InvariantKind::ALL.iter().map(move |&k| (k, self.get(k)))
+    }
+}
+
 /// CBT control-message classes, for per-group protocol accounting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[repr(usize)]
@@ -356,6 +446,9 @@ pub struct RouterObs {
     pub join_rtt_us: Histogram,
     /// Timer-wheel wakeup lag (fire time minus deadline), µs.
     pub timer_lag_us: Histogram,
+    /// Tree-invariant violations attributed to this router by the
+    /// post-run checker (zero in a healthy run).
+    pub invariants: InvariantCounters,
 }
 
 impl RouterObs {
@@ -392,7 +485,13 @@ impl RouterObs {
             groups: self.groups.clone(),
             join_rtt_us: self.join_rtt_us.clone(),
             timer_lag_us: self.timer_lag_us.clone(),
+            invariants: self.invariants,
         }
+    }
+
+    /// Counts an invariant violation attributed to this router.
+    pub fn invariant_violated(&mut self, kind: InvariantKind) {
+        self.invariants.bump(kind);
     }
 }
 
@@ -409,6 +508,7 @@ pub struct ObsSnapshot {
     pub groups: BTreeMap<u32, ProtocolCounters>,
     pub join_rtt_us: Histogram,
     pub timer_lag_us: Histogram,
+    pub invariants: InvariantCounters,
 }
 
 /// Formats a group address u32 as a dotted quad.
@@ -480,6 +580,7 @@ impl ObsSnapshot {
         }
         self.join_rtt_us.merge(&other.join_rtt_us);
         self.timer_lag_us.merge(&other.timer_lag_us);
+        self.invariants.merge(&other.invariants);
     }
 
     /// JSON export. All six drop reasons are always present (zeros
@@ -513,7 +614,14 @@ impl ObsSnapshot {
         json_histogram(&mut out, &self.join_rtt_us);
         out.push_str(",\"timer_lag_us\":");
         json_histogram(&mut out, &self.timer_lag_us);
-        out.push('}');
+        out.push_str(",\"invariants\":{");
+        for (i, (k, n)) in self.invariants.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", k.as_str(), n);
+        }
+        out.push_str("}}");
         out
     }
 
@@ -559,6 +667,14 @@ impl ObsSnapshot {
             self.timer_lag_us.quantile(0.99),
             self.timer_lag_us.max()
         );
+        if self.invariants.total() > 0 {
+            let _ = writeln!(out, "  invariant violations:");
+            for (k, n) in self.invariants.iter() {
+                if n > 0 {
+                    let _ = writeln!(out, "    {:<22} {}", k.as_str(), n);
+                }
+            }
+        }
         out
     }
 }
@@ -704,6 +820,10 @@ mod tests {
             o.join_rtt_us.record(rng.next());
             o.timer_lag_us.record(rng.next() % 1_000_000);
         }
+        for _ in 0..(rng.next() % 8) {
+            let k = InvariantKind::ALL[(rng.next() % InvariantKind::COUNT as u64) as usize];
+            o.invariant_violated(k);
+        }
         o.snapshot("agg")
     }
 
@@ -781,6 +901,29 @@ mod tests {
         let o = RouterObs::new();
         let j = o.snapshot("r\"1\"\n").to_json();
         assert!(j.contains("\"router\":\"r\\\"1\\\"\\n\""), "{j}");
+    }
+
+    #[test]
+    fn invariant_counters_roundtrip_and_export() {
+        let mut o = RouterObs::new();
+        o.invariant_violated(InvariantKind::ForwardingLoop);
+        o.invariant_violated(InvariantKind::ForwardingLoop);
+        o.invariant_violated(InvariantKind::OrphanedState);
+        assert_eq!(o.invariants.get(InvariantKind::ForwardingLoop), 2);
+        assert_eq!(o.invariants.total(), 3);
+        let mut fleet = o.snapshot("A");
+        fleet.merge(&o.snapshot("B"));
+        assert_eq!(fleet.invariants.get(InvariantKind::ForwardingLoop), 4);
+        let j = fleet.to_json();
+        for k in InvariantKind::ALL {
+            assert!(j.contains(&format!("\"{}\":", k.as_str())), "missing {} in {j}", k.as_str());
+        }
+        assert!(fleet.to_text().contains("ForwardingLoop"));
+        assert_eq!(
+            InvariantKind::from_str_opt("MemberDetached"),
+            Some(InvariantKind::MemberDetached)
+        );
+        assert_eq!(InvariantKind::from_str_opt("nope"), None);
     }
 
     #[test]

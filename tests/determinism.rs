@@ -23,7 +23,7 @@ fn build_with(seed: u64, cfg: CbtConfig) -> CbtWorld {
         net,
         cfg,
         WorldConfig {
-            fault: FaultPlan { drop_chance: 0.08, corrupt_chance: 0.05 },
+            fault: FaultPlan { drop_chance: 0.08, corrupt_chance: 0.05, ..FaultPlan::default() },
             seed,
             ..Default::default()
         },
@@ -113,6 +113,67 @@ fn timer_wheel_matches_scan_with_aggregated_echoes() {
         let scan = run_cfg(seed, CbtConfig { timer_wheel: false, ..base });
         assert_eq!(wheel.1, scan.1, "seed {seed}: per-kind counters diverge");
         assert_eq!(wheel.2, scan.2, "seed {seed}: event-stream hash diverges");
+    }
+}
+
+/// Order-sensitive digest of the *control-plane* substream only.
+fn control_stream_hash(cw: &CbtWorld) -> u64 {
+    let mut h = DefaultHasher::new();
+    for e in cw.world.trace().entries().iter().filter(|e| e.kind.is_control()) {
+        format!("{:?} {:?} {:?} {:?} {:?} {}", e.at, e.from, e.iface, e.medium, e.kind, e.bytes)
+            .hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Control-plane fault replay must be immune to data traffic: drop and
+/// corruption decisions come from per-class RNG streams with per-class
+/// sequence numbers, so adding data transmissions to a run must not
+/// shift a single control-plane fault decision. Both the probabilistic
+/// plan and a targeted control-seq drop list are pinned — under the
+/// old single-stream injector every data frame advanced the shared RNG
+/// and the control stream diverged immediately.
+#[test]
+fn data_traffic_cannot_perturb_control_fault_replay() {
+    let plans: [FaultPlan; 2] = [
+        FaultPlan { drop_chance: 0.10, corrupt_chance: 0.05, ..FaultPlan::default() },
+        FaultPlan::none().with_control_drops(vec![3, 7, 20]),
+    ];
+    for plan in plans {
+        let run = |extra_data: bool| {
+            let graph = generate::waxman(generate::WaxmanParams { n: 20, ..Default::default() }, 4);
+            let net = NetworkSpec::from_graph_with_stub_lans(&graph);
+            let core_addr = net.router_addr(RouterId(0));
+            let group = GroupId::numbered(1);
+            let mut cw = CbtWorld::build(
+                net,
+                CbtConfig::fast(),
+                WorldConfig { fault: plan.clone(), seed: 11, ..Default::default() },
+            );
+            for i in (2..20u32).step_by(3) {
+                cw.host(HostId(i)).join_at(SimTime::from_secs(1), group, vec![core_addr]);
+            }
+            if extra_data {
+                for k in 0..12u64 {
+                    cw.host(HostId(2)).send_at(
+                        SimTime::from_micros(8_000_000 + 700_000 * k),
+                        group,
+                        format!("load{k}").into_bytes(),
+                        64,
+                    );
+                }
+            }
+            cw.world.start();
+            cw.world.run_until(SimTime::from_secs(30));
+            (control_stream_hash(&cw), cw.world.trace().data_frames())
+        };
+        let quiet = run(false);
+        let loaded = run(true);
+        assert!(loaded.1 > quiet.1, "the loaded run really carried extra data frames");
+        assert_eq!(
+            quiet.0, loaded.0,
+            "control-plane event stream shifted under data load (plan {plan:?})"
+        );
     }
 }
 

@@ -1,7 +1,13 @@
 //! D-DR failover on a multi-access LAN (§2.3): the querier role — and
 //! with it CBT DR duty — moves when the current D-DR dies, and the
 //! survivor takes over serving new membership.
+//!
+//! End states are validated by the shared tree-invariant checker
+//! (`cbt::explore`): DR-specific assertions stay, but attachment,
+//! FIB symmetry, and loop freedom come from the common suite (down
+//! routers are skipped, so a permanently dead D-DR is fine).
 
+use cbt::explore::{assert_tree_invariants, await_quiescence};
 use cbt::{CbtConfig, CbtWorld};
 use cbt_netsim::{SimDuration, SimTime, WorldConfig};
 use cbt_topology::{HostId, NetworkBuilder, NetworkSpec, RouterId};
@@ -38,6 +44,8 @@ fn lowest_addressed_router_is_initial_dr() {
     assert_eq!(cw.router(r_low).engine().stats().joins_originated, 1);
     assert!(!cw.router(r_high).engine().is_on_tree(group));
     assert_eq!(cw.router(r_high).engine().stats().joins_originated, 0);
+    assert!(await_quiescence(&mut cw, &[group], SimDuration::from_secs(30)));
+    assert_tree_invariants(&cw, &[group]);
 }
 
 /// Kill the D-DR: the surviving router stops hearing its queries,
@@ -74,6 +82,10 @@ fn surviving_router_takes_over_after_dr_death() {
     // And the takeover carries data: the core forwards down to Rhigh.
     let children = cw.router(r_core).engine().children_of(group);
     assert_eq!(children.len(), 1, "exactly one live branch: {children:?}");
+    // The post-takeover tree is fully consistent (Rlow stays dead and
+    // is excluded; the checker proves the survivors' tree is clean).
+    assert!(await_quiescence(&mut cw, &[group], SimDuration::from_secs(30)));
+    assert_tree_invariants(&cw, &[group]);
 }
 
 /// With both LAN routers alive, only ONE of them ever forwards a given
@@ -115,4 +127,6 @@ fn dual_router_lan_no_duplicate_delivery() {
     cw.world.run_until(SimTime::from_secs(6));
     let got = cw.host(h).received();
     assert_eq!(got.len(), 5, "five packets, one copy each: {got:?}");
+    assert!(await_quiescence(&mut cw, &[group], SimDuration::from_secs(30)));
+    assert_tree_invariants(&cw, &[group]);
 }

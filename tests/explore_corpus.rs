@@ -1,0 +1,160 @@
+//! Golden counterexample corpus: every `tests/corpus/*.cex` file is a
+//! `cbt-cex v1` record (scenario, seed, shard count, fault schedule
+//! and verdict) that must replay **byte-identically** — parse →
+//! re-render must reproduce the file, and re-executing the run must
+//! reproduce the recorded verdict, both under the recorded shard count
+//! and under `CBT_SHARDS=2`-style sharding. The corpus pins the replay
+//! contract of the exploration harness: if a scenario script, the
+//! fault-injector sequence numbering, or the engine's healing behavior
+//! drifts, these fail before the search itself ever runs.
+//!
+//! Regenerate after an *intentional* contract change with
+//! `cargo test --test explore_corpus regenerate_corpus -- --ignored`.
+
+use cbt::explore::{Counterexample, Fault, Schedule};
+use cbt_netsim::{SimDuration, SimTime};
+use cbt_topology::{LanId, LinkId, RouterId};
+use std::fs;
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+fn secs(s: u64) -> SimTime {
+    SimTime::from_secs(s)
+}
+
+fn dur(s: u64) -> SimDuration {
+    SimDuration::from_secs(s)
+}
+
+/// The golden schedules, one per protocol situation worth pinning:
+/// core crash (§6.1 re-attachment), an early join-phase control drop
+/// (§2.5 retransmit), a LAN outage across a §2.7 teardown,
+/// alternate-core fallback (§6.1), a partition during a pending join,
+/// D-DR takeover (§2.3), and one depth-2 interleaving.
+fn golden() -> Vec<(&'static str, u64, Schedule)> {
+    vec![
+        (
+            "chain",
+            0,
+            Schedule::single(Fault::Crash { router: RouterId(1), at: secs(8), down: dur(12) }),
+        ),
+        ("chain", 0, Schedule::single(Fault::DropControl { seq: 3 })),
+        (
+            "chain",
+            0,
+            Schedule::single(Fault::CutLan {
+                lan: LanId(2),
+                at: SimTime::from_micros(23_500_000),
+                down: dur(12),
+            }),
+        ),
+        (
+            "chain",
+            0,
+            Schedule::single(Fault::DropControl { seq: 7 }).and(Fault::Crash {
+                router: RouterId(2),
+                at: secs(12),
+                down: dur(12),
+            }),
+        ),
+        (
+            "diamond",
+            0,
+            Schedule::single(Fault::Crash { router: RouterId(3), at: secs(6), down: dur(12) }),
+        ),
+        (
+            "diamond",
+            0,
+            Schedule::single(Fault::CutLink {
+                link: LinkId(0),
+                at: SimTime::from_micros(1_200_000),
+                down: dur(12),
+            }),
+        ),
+        (
+            "dual-dr",
+            0,
+            Schedule::single(Fault::Crash { router: RouterId(0), at: secs(6), down: dur(12) }),
+        ),
+        ("dual-dr", 0, Schedule::single(Fault::DropControl { seq: 5 })),
+    ]
+}
+
+/// Rewrites `tests/corpus/` from [`golden`], recording the verdict each
+/// schedule *currently* produces. Run only after deliberate changes to
+/// the scenarios, the fault numbering, or the engine's recovery story.
+#[test]
+#[ignore = "regenerates the golden corpus; run explicitly after intentional contract changes"]
+fn regenerate_corpus() {
+    let dir = corpus_dir();
+    fs::create_dir_all(&dir).unwrap();
+    for entry in fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "cex") {
+            fs::remove_file(path).unwrap();
+        }
+    }
+    for (i, (scenario, seed, schedule)) in golden().into_iter().enumerate() {
+        let mut cex = Counterexample {
+            scenario: scenario.into(),
+            seed,
+            shards: 1,
+            schedule,
+            verdict: Vec::new(),
+        };
+        cex.verdict = cex.replay().verdict_lines();
+        fs::write(dir.join(cex.file_name(i)), cex.to_string()).unwrap();
+    }
+}
+
+fn load_corpus() -> Vec<(String, Counterexample)> {
+    let dir = corpus_dir();
+    let mut entries: Vec<_> = fs::read_dir(&dir)
+        .expect("tests/corpus exists (regenerate_corpus creates it)")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "cex"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "golden corpus is empty — run regenerate_corpus");
+    entries
+        .into_iter()
+        .map(|p| {
+            let name = p.file_name().unwrap().to_string_lossy().into_owned();
+            let text = fs::read_to_string(&p).unwrap();
+            let cex = Counterexample::parse(&text)
+                .unwrap_or_else(|e| panic!("{name}: unparseable corpus entry: {e}"));
+            assert_eq!(cex.to_string(), text, "{name}: parse → render is not byte-identical");
+            (name, cex)
+        })
+        .collect()
+}
+
+/// Every corpus entry replays to its recorded verdict under the shard
+/// count it was recorded with.
+#[test]
+fn corpus_replays_byte_identically() {
+    for (name, cex) in load_corpus() {
+        let run = cex.replay();
+        assert!(run.quiesced, "{name}: fleet failed to quiesce on replay");
+        assert_eq!(run.verdict_lines(), cex.verdict, "{name}: verdict drifted on replay");
+    }
+}
+
+/// Sharding must be observationally irrelevant: the same corpus under
+/// a 2-shard engine (the `CBT_SHARDS=2` configuration) produces the
+/// **identical** verdict for every entry.
+#[test]
+fn corpus_verdicts_identical_under_two_shards() {
+    for (name, cex) in load_corpus() {
+        let run = cex.replay_with_shards(2);
+        assert!(run.quiesced, "{name}: fleet failed to quiesce under 2 shards");
+        assert_eq!(
+            run.verdict_lines(),
+            cex.verdict,
+            "{name}: sharded replay diverged from the recorded verdict"
+        );
+    }
+}

@@ -1,9 +1,14 @@
 //! Fault injection: the protocol must converge through packet loss and
 //! corruption — that is what the §9 retransmission timers exist for —
 //! and identical seeds must replay identically even under faults.
+//!
+//! Convergence is asserted through the shared tree-invariant checker
+//! (`cbt::explore`): not just "every member's router is on-tree" but
+//! full parent/child symmetry, rootedness, and loop freedom.
 
+use cbt::explore::{assert_tree_invariants, await_quiescence};
 use cbt::{CbtConfig, CbtWorld};
-use cbt_netsim::{FaultPlan, SimTime, WorldConfig};
+use cbt_netsim::{FaultPlan, SimDuration, SimTime, WorldConfig};
 use cbt_topology::{generate, HostId, NetworkSpec, NodeId, RouterId};
 use cbt_wire::GroupId;
 
@@ -21,6 +26,20 @@ fn build(seed: u64, fault: FaultPlan) -> (CbtWorld, Vec<NodeId>, GroupId) {
     (cw, members, group)
 }
 
+/// Post-storm convergence check: heal, let the fleet quiesce, then run
+/// the full invariant suite (member attachment, FIB symmetry, loop
+/// freedom, obs consistency) instead of a hand-rolled `is_on_tree`
+/// sweep.
+fn assert_converged(cw: &mut CbtWorld, group: GroupId) {
+    cw.world.set_fault_plan(FaultPlan::none());
+    cw.world.run_until(SimTime::from_secs(100)); // recovery phase
+    assert!(
+        await_quiescence(cw, &[group], SimDuration::from_secs(60)),
+        "fleet failed to quiesce after the faults stopped"
+    );
+    assert_tree_invariants(cw, &[group]);
+}
+
 /// 10% loss for a whole minute of chaos, then the network heals: every
 /// member must be attached once the storm passes. (During the storm,
 /// transient detach/re-attach cycles are *correct* §6.1 behaviour —
@@ -29,19 +48,12 @@ fn build(seed: u64, fault: FaultPlan) -> (CbtWorld, Vec<NodeId>, GroupId) {
 #[test]
 fn joins_converge_through_packet_loss() {
     for seed in 0..5u64 {
-        let (mut cw, members, group) = build(seed, FaultPlan::drops(0.10));
+        let (mut cw, _members, group) = build(seed, FaultPlan::drops(0.10));
         cw.world.start();
         cw.world.run_until(SimTime::from_secs(60)); // chaos phase
         let (_, _, dropped) = cw.world.fault_stats();
-        assert!(dropped > 0, "the storm really dropped packets");
-        cw.world.set_fault_plan(FaultPlan::none());
-        cw.world.run_until(SimTime::from_secs(100)); // recovery phase
-        for m in &members {
-            assert!(
-                cw.router(RouterId(m.0)).engine().is_on_tree(group),
-                "seed {seed}: member {m} not attached after the loss storm"
-            );
-        }
+        assert!(dropped > 0, "seed {seed}: the storm really dropped packets");
+        assert_converged(&mut cw, group);
     }
 }
 
@@ -49,27 +61,22 @@ fn joins_converge_through_packet_loss() {
 /// protocol must neither crash nor accept a mangled message.
 #[test]
 fn corruption_is_no_worse_than_loss() {
-    let (mut cw, members, group) = build(7, FaultPlan::corruption(0.10));
+    let (mut cw, _members, group) = build(7, FaultPlan::corruption(0.10));
     cw.world.start();
     cw.world.run_until(SimTime::from_secs(60)); // chaos phase
     let (_, corrupted, _) = cw.world.fault_stats();
     assert!(corrupted > 0, "the fault injector corrupted something");
-    cw.world.set_fault_plan(FaultPlan::none());
-    cw.world.run_until(SimTime::from_secs(100)); // recovery phase
-    for m in &members {
-        assert!(
-            cw.router(RouterId(m.0)).engine().is_on_tree(group),
-            "member {m} not attached after the corruption storm"
-        );
-    }
+    assert_converged(&mut cw, group);
 }
 
 /// Same seed ⇒ bit-identical run, faults included.
 #[test]
 fn faulty_runs_replay_deterministically() {
     let run = |seed: u64| {
-        let (mut cw, members, group) =
-            build(seed, FaultPlan { drop_chance: 0.15, corrupt_chance: 0.1 });
+        let (mut cw, members, group) = build(
+            seed,
+            FaultPlan { drop_chance: 0.15, corrupt_chance: 0.1, ..FaultPlan::default() },
+        );
         // A data transmission mid-churn for extra coverage.
         cw.host(HostId(members[0].0)).send_at(SimTime::from_secs(12), group, b"probe".to_vec(), 64);
         cw.world.start();
@@ -96,12 +103,9 @@ fn keepalives_survive_mild_loss() {
     let mut failures = 0;
     for m in &members {
         failures += cw.router(RouterId(m.0)).engine().stats().parent_failures;
-        assert!(
-            cw.router(RouterId(m.0)).engine().is_on_tree(group),
-            "member {m} is off the tree under 5% loss"
-        );
     }
     // A rare false failure is tolerable (the router re-attaches — that
     // is §6.1 working as designed), but wholesale flapping is a bug.
     assert!(failures <= 3, "excessive parent-failure flapping: {failures}");
+    assert_converged(&mut cw, group);
 }

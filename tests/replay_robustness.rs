@@ -87,7 +87,7 @@ fn repeated_quits_are_reacked_harmlessly() {
     let mut cw = CbtWorld::build(
         net,
         CbtConfig::fast(),
-        WorldConfig { fault: cbt_netsim::FaultPlan::drops(0.4), seed: 1, ..Default::default() },
+        WorldConfig { fault: cbt_netsim::FaultPlan::drops(0.4), seed: 4, ..Default::default() },
     );
     cw.host(a).join_at(SimTime::from_secs(1), group, vec![core]);
     cw.host(a).leave_at(SimTime::from_secs(8), group);

@@ -2,7 +2,11 @@
 //! protocol state. A core re-learns its role from the core list in the
 //! next join; a non-core transit router is pulled back in when a
 //! downstream join crosses it or its own subnets need service.
+//!
+//! Recovered end states are validated by the shared tree-invariant
+//! checker (`cbt::explore`) on top of the §6.2-specific assertions.
 
+use cbt::explore::{assert_tree_invariants, await_quiescence};
 use cbt::{CbtConfig, CbtWorld};
 use cbt_netsim::{SimDuration, SimTime, WorldConfig};
 use cbt_topology::{HostId, NetworkBuilder, NetworkSpec, RouterId};
@@ -67,6 +71,9 @@ fn core_restart_relearns_role_from_next_join() {
         cw.router(r0).engine().is_on_tree(group),
         "pre-restart branch re-attached after the outage"
     );
+    // Full recovery means a fully consistent tree, not just "R0 is on".
+    assert!(await_quiescence(&mut cw, &[group], SimDuration::from_secs(60)));
+    assert_tree_invariants(&cw, &[group]);
 }
 
 /// Non-core restart (§6.2): the router rejoins only when "a downstream
@@ -107,4 +114,6 @@ fn transit_router_restart_pulled_back_by_downstream_join() {
         cw.host(a).received().iter().any(|d| d.payload == b"post-restart"),
         "delivery across the restarted router"
     );
+    assert!(await_quiescence(&mut cw, &[group], SimDuration::from_secs(60)));
+    assert_tree_invariants(&cw, &[group]);
 }
