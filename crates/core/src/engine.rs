@@ -47,9 +47,13 @@ impl SharedRib {
         (rib, maker)
     }
 
-    /// Recomputes the shared RIB for a new failure state.
+    /// Converges the shared RIB onto a new failure state. This is
+    /// incremental: only cached shortest-path trees actually affected
+    /// by the delta are repaired, and manual `set_override` entries
+    /// survive unless they reference a failed element.
     pub fn recompute(net: &NetworkSpec, rib: &Arc<RwLock<Rib>>, failures: &FailureSet) {
-        *rib.write() = Rib::compute(net, failures);
+        let _ = net;
+        rib.write().apply_failures(failures);
     }
 }
 

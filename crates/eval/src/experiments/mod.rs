@@ -8,6 +8,7 @@ pub mod explore;
 pub mod groupscale;
 pub mod latency;
 pub mod multicore;
+pub mod netscale;
 pub mod overhead;
 pub mod placement;
 pub mod shardscale;

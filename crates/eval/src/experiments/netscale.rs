@@ -1,0 +1,759 @@
+//! Impl-4 — internet-scale routing: incremental SPF + on-demand core
+//! trees over an arena-backed (CSR) graph, driven to 100k routers and
+//! a million member-sessions.
+//!
+//! The packet-level simulator tops out around the `NetworkBuilder`
+//! address-plan cap (65 536 routers), so this experiment runs at the
+//! graph level — exactly the layer the '93 paper's own evaluation used
+//! — on a GT-ITM-style transit-stub topology:
+//!
+//! 1. **generate** a transit-stub graph (and, for the generation
+//!    benchmark, a same-size grid-sampled Waxman graph) with wall
+//!    times recorded;
+//! 2. **build** the flat CSR arena and warm one shortest-path tree per
+//!    group core — the on-demand RIB's steady state;
+//! 3. **drive** a Poisson join/leave membership workload (diurnal
+//!    curve, locality hotspots, flash crowd) and re-measure the '93
+//!    axes — state, tree cost, delay ratio, traffic concentration —
+//!    against flood-and-prune and shortest-path-tree baselines at the
+//!    membership peak;
+//! 4. **flap** random links and compare the incremental repair cost
+//!    (nodes touched, wall time) against full recomputes, verifying at
+//!    the end that the repaired trees are *identical* to from-scratch
+//!    SPF.
+
+use crate::membership::{FlashCrowd, MembershipEvent, MembershipParams, MembershipStream};
+use crate::report::Report;
+use cbt_baselines::{flood_and_prune, source_tree};
+use cbt_metrics::{linkload, table::f, Table};
+use cbt_obs::SpfStats;
+use cbt_topology::csr::{CsrGraph, SpfScratch, SpfTree};
+use cbt_topology::generate::{self, TransitStubParams, WaxmanParams};
+use cbt_topology::NodeId;
+use serde_json::json;
+use std::collections::HashMap;
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Transit-stub topology shape.
+    pub topo: TransitStubParams,
+    /// Number of multicast groups (cores spread over transit nodes).
+    pub groups: usize,
+    /// Background member-session arrivals over the horizon.
+    pub arrivals: usize,
+    /// Mean membership holding time (seconds).
+    pub hold_s: f64,
+    /// Simulated horizon (seconds); also the diurnal day length.
+    pub horizon_s: f64,
+    /// Flash-crowd joins on top of the background churn.
+    pub flash_joins: usize,
+    /// Senders per group for the baseline comparisons.
+    pub senders_per_group: usize,
+    /// Link flaps in the incremental-SPF benchmark.
+    pub flaps: usize,
+    /// Members given a full SPF for the delay-ratio sample.
+    pub delay_sources: usize,
+    /// Membership snapshots across the horizon.
+    pub samples: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            // 8 × 16 × (1 + 6·130) = 99 968 routers.
+            topo: TransitStubParams {
+                transit_domains: 8,
+                transit_size: 16,
+                stubs_per_transit_node: 6,
+                stub_size: 130,
+            },
+            groups: 32,
+            arrivals: 1_000_000,
+            hold_s: 4.0 * 3600.0,
+            horizon_s: 86_400.0,
+            flash_joins: 50_000,
+            senders_per_group: 4,
+            flaps: 64,
+            delay_sources: 48,
+            samples: 6,
+            seed: 9393,
+        }
+    }
+}
+
+impl Params {
+    /// ~10k-router preset for the CI smoke run.
+    pub fn quick() -> Self {
+        Params {
+            // 4 × 8 × (1 + 4·77) = 9 888 routers.
+            topo: TransitStubParams {
+                transit_domains: 4,
+                transit_size: 8,
+                stubs_per_transit_node: 4,
+                stub_size: 77,
+            },
+            groups: 16,
+            arrivals: 100_000,
+            hold_s: 1200.0,
+            horizon_s: 7200.0,
+            flash_joins: 10_000,
+            senders_per_group: 2,
+            flaps: 16,
+            delay_sources: 12,
+            samples: 4,
+            seed: 9393,
+        }
+    }
+
+    /// Tiny preset for the in-crate unit tests (runs in debug builds).
+    #[cfg(test)]
+    fn tiny() -> Self {
+        Params {
+            topo: TransitStubParams {
+                transit_domains: 2,
+                transit_size: 4,
+                stubs_per_transit_node: 3,
+                stub_size: 12,
+            },
+            groups: 4,
+            arrivals: 3000,
+            hold_s: 600.0,
+            horizon_s: 3600.0,
+            flash_joins: 500,
+            senders_per_group: 2,
+            flaps: 8,
+            delay_sources: 4,
+            samples: 2,
+            seed: 9393,
+        }
+    }
+}
+
+/// xorshift64* for flap/target selection.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// Union-of-member-paths walk over a warm core tree: stamps every
+/// on-tree node, summing node count and edge weight without
+/// allocating per query.
+struct TreeWalk {
+    mark: Vec<u32>,
+    stamp: u32,
+}
+
+/// What one group's tree walk found.
+struct Span {
+    /// Routers on the tree (state entries for this group).
+    nodes: u64,
+    /// Total edge weight of the union tree.
+    cost: u64,
+    /// Tree edges as (child, parent) pairs.
+    edges: Vec<(u32, u32)>,
+}
+
+impl TreeWalk {
+    fn new(n: usize) -> Self {
+        TreeWalk { mark: vec![u32::MAX; n], stamp: 0 }
+    }
+
+    fn span(&mut self, tree: &SpfTree, members: &[u32]) -> Span {
+        self.stamp = self.stamp.wrapping_add(1);
+        let mut span = Span { nodes: 0, cost: 0, edges: Vec::new() };
+        for &m in members {
+            if tree.dist(m).is_none() {
+                continue;
+            }
+            let mut x = m;
+            while self.mark[x as usize] != self.stamp {
+                self.mark[x as usize] = self.stamp;
+                span.nodes += 1;
+                match tree.toward_root(x) {
+                    Some(p) => {
+                        let w = tree.dist(x).expect("on tree") - tree.dist(p).expect("parent");
+                        span.cost += w;
+                        span.edges.push((x, p));
+                        x = p;
+                    }
+                    None => break, // reached the core
+                }
+            }
+        }
+        span
+    }
+}
+
+/// One membership snapshot's cheap metrics.
+#[derive(Debug, Clone)]
+struct Sample {
+    t_s: f64,
+    concurrent: u64,
+    cbt_state: u64,
+    cbt_cost: u64,
+}
+
+/// Runs the experiment.
+pub fn run(p: &Params) -> Report {
+    let mut report = Report::new(
+        "Impl-4",
+        "internet-scale routing: incremental SPF + on-demand core trees at 100k routers",
+    );
+    let n = p.topo.total_nodes();
+    let transit = p.topo.transit_nodes();
+    let groups = p.groups.min(transit);
+    let mut stats = SpfStats::new();
+
+    // --- Phase 1: topology generation (wall-timed). ---
+    let t0 = std::time::Instant::now();
+    let g = generate::transit_stub(p.topo, p.seed);
+    let ts_gen_ms = t0.elapsed().as_secs_f64() * 1e3;
+    // Same-size Waxman via the grid sampler, β tuned for an
+    // internet-like mean degree of ~8 (the O(n²) sampler this replaced
+    // would take minutes at 100k nodes).
+    let beta =
+        (8.0 / (n as f64 * 0.25 * 2.0 * std::f64::consts::PI)).sqrt() / std::f64::consts::SQRT_2;
+    let t0 = std::time::Instant::now();
+    let wax = generate::waxman(WaxmanParams { n, alpha: 0.25, beta }, p.seed);
+    let wax_gen_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let wax_edges = wax.edge_count();
+    drop(wax);
+
+    // --- Phase 2: CSR arena + one warm tree per group core. ---
+    let edge_list: Vec<(u32, u32, u32)> = g.edges().map(|(a, b, w)| (a.0, b.0, w)).collect();
+    let t0 = std::time::Instant::now();
+    let (csr, slot_pairs) = CsrGraph::from_edges(n, &edge_list);
+    let csr_build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let cores: Vec<u32> = (0..groups).map(|gi| ((gi * transit) / groups) as u32).collect();
+    let mut scratch = SpfScratch::new();
+    let t0 = std::time::Instant::now();
+    let mut trees: Vec<SpfTree> = cores
+        .iter()
+        .map(|&c| {
+            let t = SpfTree::full(&csr, c, &mut scratch);
+            stats.record_full(t.reached());
+            t
+        })
+        .collect();
+    let warm_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let tree_bytes: usize = trees.iter().map(|t| t.mem_bytes()).sum();
+
+    // --- Phase 3: membership workload + per-sample state/cost axes. ---
+    let pool: Vec<u32> = (transit as u32..n as u32).collect();
+    let mp = MembershipParams {
+        groups,
+        horizon_s: p.horizon_s,
+        arrivals: p.arrivals,
+        hold_s: p.hold_s,
+        diurnal_depth: 0.6,
+        day_s: p.horizon_s,
+        hotspot_frac: 0.5,
+        flash: Some(FlashCrowd {
+            group: (groups as u32) / 2,
+            at_s: 0.62 * p.horizon_s,
+            joins: p.flash_joins,
+            window_s: p.horizon_s / 72.0,
+            hold_s: p.hold_s / 16.0,
+        }),
+    };
+    let t0 = std::time::Instant::now();
+    let mut counts: Vec<HashMap<u32, u32>> = vec![HashMap::new(); groups];
+    let mut concurrent = 0u64;
+    let mut total_joins = 0u64;
+    let mut walker = TreeWalk::new(n);
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut peak_members: Vec<Vec<u32>> = vec![Vec::new(); groups];
+    let mut peak_concurrent = 0u64;
+    let sample_gap_us = (p.horizon_s * 1e6) as u64 / p.samples as u64;
+    let mut next_sample = sample_gap_us;
+    let take_sample = |t_us: u64,
+                       counts: &Vec<HashMap<u32, u32>>,
+                       concurrent: u64,
+                       walker: &mut TreeWalk,
+                       samples: &mut Vec<Sample>,
+                       peak_members: &mut Vec<Vec<u32>>,
+                       peak_concurrent: &mut u64| {
+        let mut state = 0u64;
+        let mut cost = 0u64;
+        let mut members: Vec<Vec<u32>> = Vec::with_capacity(groups);
+        for (gi, c) in counts.iter().enumerate() {
+            let mut m: Vec<u32> = c.keys().copied().collect();
+            m.sort_unstable();
+            let span = walker.span(&trees[gi], &m);
+            state += span.nodes;
+            cost += span.cost;
+            members.push(m);
+        }
+        samples.push(Sample {
+            t_s: t_us as f64 / 1e6,
+            concurrent,
+            cbt_state: state,
+            cbt_cost: cost,
+        });
+        if concurrent > *peak_concurrent {
+            *peak_concurrent = concurrent;
+            *peak_members = members;
+        }
+    };
+    for ev in MembershipStream::new(&mp, pool, p.seed) {
+        let t_us = ev.time_us();
+        while t_us >= next_sample {
+            take_sample(
+                next_sample,
+                &counts,
+                concurrent,
+                &mut walker,
+                &mut samples,
+                &mut peak_members,
+                &mut peak_concurrent,
+            );
+            next_sample += sample_gap_us;
+        }
+        match ev {
+            MembershipEvent::Join { group, router, .. } => {
+                *counts[group as usize].entry(router).or_default() += 1;
+                concurrent += 1;
+                total_joins += 1;
+            }
+            MembershipEvent::Leave { group, router, .. } => {
+                let gmap = &mut counts[group as usize];
+                if let Some(c) = gmap.get_mut(&router) {
+                    *c -= 1;
+                    if *c == 0 {
+                        gmap.remove(&router);
+                    }
+                    concurrent -= 1;
+                }
+            }
+        }
+    }
+    while samples.len() < p.samples {
+        take_sample(
+            next_sample,
+            &counts,
+            concurrent,
+            &mut walker,
+            &mut samples,
+            &mut peak_members,
+            &mut peak_concurrent,
+        );
+        next_sample += sample_gap_us;
+    }
+    let membership_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // --- Phase 4: the four '93 axes at the membership peak. ---
+    let t0 = std::time::Instant::now();
+    let mut cbt_state = 0u64;
+    let mut cbt_cost = 0u64;
+    let mut fp_state = 0u64;
+    let mut fp_msgs = 0u64;
+    let mut spt_state = 0u64;
+    let mut spt_cost_total = 0u64;
+    let mut spt_trees_count = 0u64;
+    let mut cbt_loads: std::collections::BTreeMap<(NodeId, NodeId), u64> = Default::default();
+    let mut spt_loads: std::collections::BTreeMap<(NodeId, NodeId), u64> = Default::default();
+    for (gi, members) in peak_members.iter().enumerate() {
+        let span = walker.span(&trees[gi], members);
+        cbt_state += span.nodes;
+        cbt_cost += span.cost;
+        for &(a, b) in &span.edges {
+            let key = if a < b { (NodeId(a), NodeId(b)) } else { (NodeId(b), NodeId(a)) };
+            *cbt_loads.entry(key).or_default() += p.senders_per_group as u64;
+        }
+        // Senders: spread evenly over the sorted member list.
+        let k = p.senders_per_group.min(members.len());
+        let senders: Vec<u32> = (0..k).map(|i| members[(i * members.len()) / k.max(1)]).collect();
+        let member_ids: Vec<NodeId> = members.iter().map(|&m| NodeId(m)).collect();
+        for &src in &senders {
+            let fp = flood_and_prune(&g, NodeId(src), &member_ids);
+            fp_state += fp.total_state_entries() as u64;
+            fp_msgs += fp.total_messages();
+            let st = source_tree(&g, NodeId(src), &member_ids);
+            spt_state += st.edges().count() as u64 + 1;
+            spt_cost_total += st.total_weight();
+            spt_trees_count += 1;
+            for (a, b, _) in st.edges() {
+                let key = if a.0 < b.0 { (a, b) } else { (b, a) };
+                *spt_loads.entry(key).or_default() += 1;
+            }
+        }
+    }
+    let cbt_conc = linkload::load_stats(&cbt_loads);
+    let spt_conc = linkload::load_stats(&spt_loads);
+    // Delay ratio: actual shared-tree path (up to the lowest common
+    // ancestor on the core tree, then down) vs the unicast shortest
+    // path, over sampled member pairs.
+    let mut rng = XorShift(p.seed ^ 0xdead_beef);
+    let mut delay_sum = 0.0f64;
+    let mut delay_max = 0.0f64;
+    let mut delay_n = 0u64;
+    let mut src_scratch = SpfScratch::new();
+    for i in 0..p.delay_sources {
+        let gi = i % groups;
+        let members = &peak_members[gi];
+        if members.len() < 2 {
+            continue;
+        }
+        let src = members[(i / groups * 7919) % members.len()];
+        let sp = SpfTree::full(&csr, src, &mut src_scratch);
+        stats.record_full(sp.reached());
+        // Mark src's path to the core with its distance-to-core.
+        let tree = &trees[gi];
+        let mut up: HashMap<u32, u64> = HashMap::new();
+        let mut x = src;
+        if tree.dist(x).is_none() {
+            continue;
+        }
+        loop {
+            up.insert(x, tree.dist(x).expect("on tree"));
+            match tree.toward_root(x) {
+                Some(parent) => x = parent,
+                None => break,
+            }
+        }
+        for _ in 0..32.min(members.len()) {
+            let b = members[rng.below(members.len())];
+            let (Some(direct), Some(db)) = (sp.dist(b), tree.dist(b)) else { continue };
+            if direct == 0 {
+                continue;
+            }
+            // Walk b upward to the first node on src's path: the LCA.
+            let mut m = b;
+            while !up.contains_key(&m) {
+                match tree.toward_root(m) {
+                    Some(parent) => m = parent,
+                    None => break,
+                }
+            }
+            if !up.contains_key(&m) {
+                continue;
+            }
+            let dm = tree.dist(m).expect("lca on tree");
+            // Tree path s→b goes up to the LCA, then down:
+            // (d(src,core) − d(lca,core)) + (d(b,core) − d(lca,core)).
+            let tree_delay = (up[&src] - dm) + (db - dm);
+            let ratio = tree_delay as f64 / direct as f64;
+            delay_sum += ratio;
+            if ratio > delay_max {
+                delay_max = ratio;
+            }
+            delay_n += 1;
+        }
+    }
+    let delay_mean = if delay_n == 0 { 0.0 } else { delay_sum / delay_n as f64 };
+    let axes_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // --- Phase 5: link-flap benchmark — incremental vs full SPF. ---
+    // Full-recompute wall: rebuild every warm tree once.
+    let t0 = std::time::Instant::now();
+    let full_settled: u64 = trees.iter_mut().map(|t| t.recompute_full(&csr, &mut scratch)).sum();
+    let full_rebuild_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let arena_bytes = csr.mem_bytes();
+    let (touched_total, inc_wall_ms) = flap_bench(
+        csr,
+        &mut trees,
+        &edge_list,
+        &slot_pairs,
+        p.flaps,
+        p.seed,
+        &mut scratch,
+        &mut stats,
+    );
+    let full_equiv_nodes = 2 * p.flaps as u64 * full_settled;
+    let touched_ratio = full_equiv_nodes as f64 / touched_total.max(1) as f64;
+    let full_equiv_ms = 2.0 * p.flaps as f64 * full_rebuild_ms;
+    let wall_ratio = full_equiv_ms / inc_wall_ms.max(1e-9);
+
+    // --- Report. ---
+    let mut scale = Table::new([
+        "routers",
+        "edges",
+        "ts gen ms",
+        "waxman gen ms",
+        "csr ms",
+        "warm ms",
+        "arena MB",
+    ]);
+    scale.row([
+        n.to_string(),
+        edge_list.len().to_string(),
+        f(ts_gen_ms),
+        f(wax_gen_ms),
+        f(csr_build_ms),
+        f(warm_ms),
+        f((arena_bytes + tree_bytes) as f64 / 1e6),
+    ]);
+    report.table(
+        format!(
+            "scale: transit-stub {}×{} transit, {}×{} stubs; {} groups; same-size Waxman \
+             (grid-sampled, {} edges) generated for the generation benchmark",
+            p.topo.transit_domains,
+            p.topo.transit_size,
+            p.topo.stubs_per_transit_node,
+            p.topo.stub_size,
+            groups,
+            wax_edges
+        ),
+        scale,
+    );
+
+    let mut mtable = Table::new(["t (s)", "concurrent", "cbt state", "cbt tree cost"]);
+    for s in &samples {
+        mtable.row([
+            f(s.t_s),
+            s.concurrent.to_string(),
+            s.cbt_state.to_string(),
+            s.cbt_cost.to_string(),
+        ]);
+    }
+    report.table(
+        format!(
+            "membership over the horizon ({} join-sessions, diurnal + hotspots + flash crowd; \
+             peak {} concurrent)",
+            total_joins, peak_concurrent
+        ),
+        mtable,
+    );
+
+    let mut axes = Table::new(["axis", "cbt", "flood-prune", "spt"]);
+    axes.row([
+        "state entries".into(),
+        cbt_state.to_string(),
+        fp_state.to_string(),
+        spt_state.to_string(),
+    ]);
+    axes.row([
+        "tree cost".into(),
+        cbt_cost.to_string(),
+        "-".into(),
+        f(spt_cost_total as f64 / spt_trees_count.max(1) as f64),
+    ]);
+    axes.row(["delay ratio (mean)".into(), f(delay_mean), "1.0".into(), "1.0".into()]);
+    axes.row([
+        "max link load".into(),
+        cbt_conc.max_link.to_string(),
+        "-".into(),
+        spt_conc.max_link.to_string(),
+    ]);
+    report.table(
+        format!(
+            "the '93 axes at the membership peak ({} senders/group; spt tree cost is the \
+             per-source mean)",
+            p.senders_per_group
+        ),
+        axes,
+    );
+
+    let mut flap = Table::new([
+        "flaps",
+        "touched/flap",
+        "full nodes/flap",
+        "touched ratio",
+        "inc ms",
+        "full-equiv ms",
+        "wall ratio",
+    ]);
+    flap.row([
+        p.flaps.to_string(),
+        f(touched_total as f64 / p.flaps.max(1) as f64),
+        (2 * full_settled).to_string(),
+        f(touched_ratio),
+        f(inc_wall_ms),
+        f(full_equiv_ms),
+        f(wall_ratio),
+    ]);
+    report.table(
+        "incremental SPF vs full recompute over random link flaps (fail + restore each)",
+        flap,
+    );
+
+    let mut fig = cbt_metrics::BarChart::new(
+        "Figure Impl-4: state entries at the membership peak".to_string(),
+    )
+    .unit(" entries");
+    fig.bar("cbt".to_string(), cbt_state as f64);
+    fig.bar("flood-prune".to_string(), fp_state as f64);
+    fig.bar("spt".to_string(), spt_state as f64);
+    report.chart(fig);
+
+    report.json = json!({
+        "params": {
+            "routers": n,
+            "groups": groups,
+            "arrivals": p.arrivals,
+            "flash_joins": p.flash_joins,
+            "senders_per_group": p.senders_per_group,
+            "flaps": p.flaps,
+            "seed": p.seed,
+        },
+        "generation": {
+            "transit_stub_ms": ts_gen_ms,
+            "waxman_ms": wax_gen_ms,
+            "waxman_edges": wax_edges,
+            "csr_build_ms": csr_build_ms,
+            "warm_trees_ms": warm_ms,
+            "arena_bytes": arena_bytes,
+            "tree_bytes": tree_bytes,
+        },
+        "membership": {
+            "total_joins": total_joins,
+            "peak_concurrent": peak_concurrent,
+            "stream_ms": membership_ms,
+            "samples": samples.iter().map(|s| json!({
+                "t_s": s.t_s,
+                "concurrent": s.concurrent,
+                "cbt_state": s.cbt_state,
+                "cbt_cost": s.cbt_cost,
+            })).collect::<Vec<_>>(),
+        },
+        "axes": {
+            "wall_ms": axes_ms,
+            "cbt_state": cbt_state,
+            "flood_prune_state": fp_state,
+            "flood_prune_messages": fp_msgs,
+            "spt_state": spt_state,
+            "cbt_tree_cost": cbt_cost,
+            "spt_tree_cost_mean": spt_cost_total as f64 / spt_trees_count.max(1) as f64,
+            "delay_ratio_mean": delay_mean,
+            "delay_ratio_max": delay_max,
+            "delay_pairs": delay_n,
+            "cbt_max_link": cbt_conc.max_link,
+            "spt_max_link": spt_conc.max_link,
+            "cbt_total_load": cbt_conc.total,
+            "spt_total_load": spt_conc.total,
+        },
+        "flaps": {
+            "count": p.flaps,
+            "touched_total": touched_total,
+            "full_equiv_nodes": full_equiv_nodes,
+            "touched_ratio": touched_ratio,
+            "incremental_wall_ms": inc_wall_ms,
+            "full_equiv_wall_ms": full_equiv_ms,
+            "wall_ratio": wall_ratio,
+        },
+        "spf": stats.to_json(),
+    });
+    report.finding(format!(
+        "At {} routers / {} member-sessions the arena-backed graph routes without per-query \
+         allocation and a link flap repairs all {} cached core trees touching {:.0}× fewer \
+         nodes than full SPF ({:.1} vs {} nodes per flap), with the repaired trees verified \
+         bit-identical to from-scratch recomputes; the '93 axes hold at scale: CBT state \
+         ({}) ≪ flood-prune state ({}), mean delay ratio {:.2}, max-link concentration \
+         {} vs {} for per-source trees.",
+        n,
+        total_joins,
+        groups,
+        touched_ratio,
+        touched_total as f64 / p.flaps.max(1) as f64,
+        2 * full_settled,
+        cbt_state,
+        fp_state,
+        delay_mean,
+        cbt_conc.max_link,
+        spt_conc.max_link,
+    ));
+    report
+}
+
+/// Fails and restores `flaps` random links, repairing every warm tree
+/// incrementally, and finishes by asserting the repaired trees are
+/// identical to from-scratch SPF. Returns (nodes touched, wall ms).
+#[allow(clippy::too_many_arguments)]
+fn flap_bench(
+    mut csr: CsrGraph,
+    trees: &mut [SpfTree],
+    edge_list: &[(u32, u32, u32)],
+    slot_pairs: &[[u32; 2]],
+    flaps: usize,
+    seed: u64,
+    scratch: &mut SpfScratch,
+    stats: &mut SpfStats,
+) -> (u64, f64) {
+    let mut rng = XorShift(seed ^ 0x5bd1_e995);
+    let mut touched = 0u64;
+    let mut wall_ms = 0.0f64;
+    for _ in 0..flaps {
+        let e = rng.below(edge_list.len());
+        let (a, b, _) = edge_list[e];
+        let pair = [(a, b)];
+        let t0 = std::time::Instant::now();
+        for s in slot_pairs[e] {
+            csr.set_slot_live(s, false);
+        }
+        for t in trees.iter_mut() {
+            let k = t.repair_removals(&csr, &pair, &[], scratch);
+            stats.record_repair(k);
+            touched += k;
+        }
+        for s in slot_pairs[e] {
+            csr.set_slot_live(s, true);
+        }
+        for t in trees.iter_mut() {
+            let k = t.repair_additions(&csr, &pair, &[], scratch);
+            stats.record_repair(k);
+            touched += k;
+        }
+        wall_ms += t0.elapsed().as_secs_f64() * 1e3;
+    }
+    // Exactness: after the whole flap schedule every repaired tree must
+    // equal a from-scratch recompute on the (fully restored) graph.
+    for t in trees.iter() {
+        let fresh = SpfTree::full(&csr, t.root(), scratch);
+        for x in 0..csr.node_count() as u32 {
+            assert_eq!(t.dist(x), fresh.dist(x), "incremental == full: dist of {x}");
+            assert_eq!(t.toward_root(x), fresh.toward_root(x), "incremental == full: pred of {x}");
+        }
+    }
+    (touched, wall_ms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_run_covers_every_axis_and_verifies_incremental_spf() {
+        let r = run(&Params::tiny());
+        let j = &r.json;
+        assert!(j["generation"]["transit_stub_ms"].as_f64().unwrap() >= 0.0);
+        assert!(j["generation"]["waxman_ms"].as_f64().unwrap() >= 0.0);
+        assert!(j["membership"]["peak_concurrent"].as_u64().unwrap() > 0);
+        assert!(j["membership"]["samples"].as_array().unwrap().len() >= 2);
+        let axes = &j["axes"];
+        assert!(axes["cbt_state"].as_u64().unwrap() > 0);
+        assert!(
+            axes["cbt_state"].as_u64().unwrap() < axes["flood_prune_state"].as_u64().unwrap(),
+            "explicit-join state must undercut flood-prune state"
+        );
+        assert!(axes["delay_ratio_mean"].as_f64().unwrap() >= 1.0 - 1e-9);
+        assert!(axes["cbt_max_link"].as_u64().unwrap() > 0);
+        // run() itself asserts incremental == full after the flaps; here
+        // we only pin that the repairs were meaningfully cheaper even at
+        // toy scale.
+        assert!(j["flaps"]["touched_ratio"].as_f64().unwrap() > 3.0);
+    }
+
+    #[test]
+    fn quick_preset_meets_the_50x_incremental_bar() {
+        // The CI smoke assert, kept in-tree so a plain `cargo test`
+        // catches a regression before CI does. ~10k routers.
+        let r = run(&Params::quick());
+        let ratio = r.json["flaps"]["touched_ratio"].as_f64().unwrap();
+        assert!(ratio >= 50.0, "incremental repair only {ratio:.1}× cheaper than full SPF");
+    }
+}

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod membership;
 pub mod parallel;
 pub mod report;
 pub mod simrun;

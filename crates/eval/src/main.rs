@@ -135,6 +135,12 @@ fn main() {
             }),
         ),
         (
+            "netscale",
+            Box::new(|q| {
+                netscale::run(&if q { netscale::Params::quick() } else { Default::default() })
+            }),
+        ),
+        (
             "explore",
             Box::new(move |q| {
                 let mut p = if q { explore::Params::quick() } else { Default::default() };
@@ -165,6 +171,7 @@ fn main() {
             let mut timer_scaling = serde_json::Value::Null;
             let mut dataplane_rows = serde_json::Value::Null;
             let mut shard_scaling = serde_json::Value::Null;
+            let mut netscale_rows = serde_json::Value::Null;
             let mut explore_cov = serde_json::Value::Null;
             for (name, run) in &runners {
                 let t0 = std::time::Instant::now();
@@ -184,6 +191,9 @@ fn main() {
                 if *name == "shardscale" {
                     shard_scaling = report.json.clone();
                 }
+                if *name == "netscale" {
+                    netscale_rows = report.json.clone();
+                }
                 if *name == "explore" {
                     explore_cov = report.json.clone();
                 }
@@ -192,7 +202,15 @@ fn main() {
                     "wall_ms": wall_ms,
                 }));
             }
-            write_bench(timings, timer_scaling, dataplane_rows, shard_scaling, explore_cov, quick);
+            write_bench(
+                timings,
+                timer_scaling,
+                dataplane_rows,
+                shard_scaling,
+                netscale_rows,
+                explore_cov,
+                quick,
+            );
         }
         name => match runners.iter().find(|(n, _)| *n == name) {
             Some((_, run)) => {
@@ -211,11 +229,13 @@ fn main() {
 /// Consolidated wall-clock timings for an `all` run — the evaluation
 /// suite's own benchmark record (timings vary run to run; the
 /// experiment JSONs next to it do not).
+#[allow(clippy::too_many_arguments)]
 fn write_bench(
     timings: Vec<serde_json::Value>,
     timer_scaling: serde_json::Value,
     dataplane: serde_json::Value,
     shard_scaling: serde_json::Value,
+    netscale: serde_json::Value,
     explore: serde_json::Value,
     quick: bool,
 ) {
@@ -233,6 +253,7 @@ fn write_bench(
         "timer_scaling": timer_scaling,
         "dataplane": dataplane,
         "shard_scaling": shard_scaling,
+        "netscale": netscale,
         "explore": explore,
     });
     let path = dir.join("BENCH_eval.json");

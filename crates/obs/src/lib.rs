@@ -679,9 +679,126 @@ impl ObsSnapshot {
     }
 }
 
+/// Counters for the scalable unicast routing layer: on-demand SPF
+/// cache behaviour and the incremental-repair economics (how many
+/// nodes each repair touched vs. what a full recompute would settle).
+///
+/// Standalone and mergeable like every other counter set here; the
+/// RIB owns one and experiments export it next to [`ObsSnapshot`]s.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpfStats {
+    /// Full single-destination SPF runs (cache misses + invalidations).
+    pub full_runs: u64,
+    /// Nodes settled across all full runs.
+    pub nodes_settled_full: u64,
+    /// Incremental repair invocations (one per cached tree per phase).
+    pub repairs: u64,
+    /// Nodes touched across all incremental repairs.
+    pub nodes_touched_incremental: u64,
+    /// Failure-delta batches applied in place.
+    pub apply_batches: u64,
+    /// On-demand tree cache hits.
+    pub cache_hits: u64,
+    /// On-demand tree cache misses.
+    pub cache_misses: u64,
+    /// LRU evictions from the tree cache.
+    pub cache_evictions: u64,
+    /// Distribution of nodes touched per incremental repair.
+    pub touched_per_repair: Histogram,
+}
+
+impl SpfStats {
+    /// Fresh zeroed stats.
+    pub fn new() -> Self {
+        SpfStats::default()
+    }
+
+    /// Records one full SPF run settling `settled` nodes.
+    pub fn record_full(&mut self, settled: u64) {
+        self.full_runs += 1;
+        self.nodes_settled_full += settled;
+    }
+
+    /// Records one incremental repair touching `touched` nodes.
+    pub fn record_repair(&mut self, touched: u64) {
+        self.repairs += 1;
+        self.nodes_touched_incremental += touched;
+        self.touched_per_repair.record(touched);
+    }
+
+    /// Folds another stats block into this one.
+    pub fn merge(&mut self, other: &SpfStats) {
+        self.full_runs += other.full_runs;
+        self.nodes_settled_full += other.nodes_settled_full;
+        self.repairs += other.repairs;
+        self.nodes_touched_incremental += other.nodes_touched_incremental;
+        self.apply_batches += other.apply_batches;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_evictions += other.cache_evictions;
+        self.touched_per_repair.merge(&other.touched_per_repair);
+    }
+
+    /// JSON object fragment (experiments embed this under `"spf"`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        let _ = write!(
+            out,
+            "{{\"full_runs\":{},\"nodes_settled_full\":{},\"repairs\":{},\
+             \"nodes_touched_incremental\":{},\"apply_batches\":{},\
+             \"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{},\
+             \"touched_per_repair\":",
+            self.full_runs,
+            self.nodes_settled_full,
+            self.repairs,
+            self.nodes_touched_incremental,
+            self.apply_batches,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_evictions,
+        );
+        json_histogram(&mut out, &self.touched_per_repair);
+        out.push('}');
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn spf_stats_record_merge_and_json() {
+        let mut a = SpfStats::new();
+        a.record_full(100);
+        a.record_repair(3);
+        a.record_repair(5);
+        a.apply_batches = 1;
+        a.cache_hits = 7;
+        a.cache_misses = 2;
+        assert_eq!(a.full_runs, 1);
+        assert_eq!(a.repairs, 2);
+        assert_eq!(a.nodes_touched_incremental, 8);
+        let mut b = SpfStats::new();
+        b.record_repair(10);
+        b.cache_evictions = 4;
+        b.merge(&a);
+        assert_eq!(b.repairs, 3);
+        assert_eq!(b.nodes_touched_incremental, 18);
+        assert_eq!(b.cache_hits, 7);
+        assert_eq!(b.cache_evictions, 4);
+        assert_eq!(b.touched_per_repair.count(), 3);
+        let json = b.to_json();
+        for key in [
+            "\"full_runs\":1",
+            "\"repairs\":3",
+            "\"nodes_touched_incremental\":18",
+            "\"cache_evictions\":4",
+            "\"touched_per_repair\":{\"count\":3",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
 
     #[test]
     fn drop_counters_roundtrip() {

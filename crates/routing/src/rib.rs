@@ -1,11 +1,25 @@
 //! Per-router next-hop tables (the Routing Information Base).
+//!
+//! Scalable architecture (replacing the all-pairs table): the router
+//! graph lives in an arena-backed CSR ([`cbt_topology::CsrGraph`])
+//! with in-place failure masks, and per-destination shortest-path
+//! trees are computed **on demand** into an LRU-bounded cache — CBT
+//! only ever asks for routes toward cores and members, a tiny
+//! fraction of all n² pairs. Failure deltas are applied
+//! **incrementally**: masked edges/nodes detach only the affected
+//! subtrees of each cached tree and the frontier is re-run, instead
+//! of recomputing the world. Every repair is exact (bit-identical to
+//! a from-scratch SPF), so replay determinism is preserved no matter
+//! when trees were computed, evicted, or repaired; an invalidation
+//! generation counts applied failure batches for observability.
 
 use crate::failure::FailureSet;
-use cbt_topology::{
-    Attachment, Graph, IfIndex, LanId, NetworkSpec, NodeId, RouterId, ShortestPaths,
-};
+use cbt_obs::SpfStats;
+use cbt_topology::csr::{CsrGraph, SpfScratch, SpfTree};
+use cbt_topology::{Attachment, IfIndex, LanId, NetworkSpec, RouterId};
 use cbt_wire::Addr;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// One resolved forwarding decision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,32 +35,323 @@ pub struct Hop {
     pub dist: u64,
 }
 
+/// Default bound on cached per-destination trees. CBT workloads route
+/// toward cores and member LAN routers, so even internet-scale
+/// experiments sit far below this; at 1024 trees × a 100k-node graph
+/// the cache is still only ~2.5 GB short of all-pairs' ~240 GB.
+const DEFAULT_CACHE_CAP: usize = 1024;
+
+/// One cached per-destination shortest-path tree.
+#[derive(Debug)]
+struct CacheEntry {
+    tree: SpfTree,
+    last_used: u64,
+}
+
+/// The on-demand tree cache plus the scratch/stat state that rides
+/// along under the same lock.
+#[derive(Debug, Default)]
+struct SpfCache {
+    /// Destination router id → slot in `entries`.
+    index: HashMap<u32, usize>,
+    entries: Vec<CacheEntry>,
+    tick: u64,
+    cap: usize,
+    scratch: SpfScratch,
+    stats: SpfStats,
+}
+
+impl SpfCache {
+    /// Evicts least-recently-used entries until at most `cap` remain.
+    fn evict_to_cap(&mut self) {
+        while self.entries.len() > self.cap.max(1) {
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("cache non-empty");
+            let root = self.entries[victim].tree.root();
+            self.index.remove(&root);
+            self.entries.swap_remove(victim);
+            if victim < self.entries.len() {
+                let moved = self.entries[victim].tree.root();
+                self.index.insert(moved, victim);
+            }
+            self.stats.cache_evictions += 1;
+        }
+    }
+}
+
 /// A converged routing table for every router in a network.
 ///
-/// `Rib::compute` runs SPF per destination over the failure-filtered
-/// router graph. Per-router overrides can then be layered on to model
-/// the transiently inconsistent tables of the §6.3 loop scenario.
-#[derive(Debug, Clone)]
+/// `Rib::compute` builds the failure-masked CSR router graph; SPF
+/// trees materialise lazily per destination. Per-router overrides can
+/// be layered on to model the transiently inconsistent tables of the
+/// §6.3 loop scenario.
+#[derive(Debug)]
 pub struct Rib {
-    /// `trees[d]` = shortest-path structure rooted at router `d`.
-    trees: Vec<ShortestPaths>,
+    /// Arena CSR of the router graph, failure state masked in place.
+    graph: CsrGraph,
+    /// Per-link endpoints and directed slot pairs (index = LinkId).
+    link_ends: Vec<(u32, u32)>,
+    link_slots: Vec<[u32; 2]>,
+    /// Per-LAN clique pairs: endpoints plus their slot pair.
+    lan_pairs: Vec<Vec<(u32, u32, [u32; 2])>>,
+    /// The failure set currently masked into `graph`.
+    applied: FailureSet,
+    /// Bumped once per applied failure delta batch.
+    generation: u64,
     /// Manual next-hop overrides: (from, dst_router) → forced next router.
     overrides: HashMap<(RouterId, RouterId), RouterId>,
-    /// Cached filtered graph (used to resolve hop distances).
-    graph: Graph,
+    /// Lazily-built per-destination trees (interior mutability: route
+    /// lookups are `&self` and shared across engine shards).
+    cache: Mutex<SpfCache>,
 }
 
 impl Rib {
-    /// Computes converged tables for `net` with `failures` applied.
+    /// Builds the masked router graph for `net` with `failures`
+    /// applied. Trees are computed on first use per destination.
     pub fn compute(net: &NetworkSpec, failures: &FailureSet) -> Self {
-        let graph = filtered_graph(net, failures);
-        let trees = graph.nodes().map(|n| ShortestPaths::dijkstra(&graph, n)).collect();
-        Rib { trees, overrides: HashMap::new(), graph }
+        let n = net.routers.len();
+        let mut edges: Vec<(u32, u32, u32)> = Vec::new();
+        let mut link_ends = Vec::with_capacity(net.links.len());
+        for l in &net.links {
+            edges.push((l.a.0, l.b.0, l.cost));
+            link_ends.push((l.a.0, l.b.0));
+        }
+        let mut lan_members: Vec<Vec<(u32, u32)>> = Vec::with_capacity(net.lans.len());
+        for lan in &net.lans {
+            let mut pairs = Vec::new();
+            for (i, &a) in lan.routers.iter().enumerate() {
+                for &b in &lan.routers[i + 1..] {
+                    pairs.push((a.0, b.0));
+                    edges.push((a.0, b.0, 1));
+                }
+            }
+            lan_members.push(pairs);
+        }
+        let (graph, slot_pairs) = CsrGraph::from_edges(n, &edges);
+        let link_slots: Vec<[u32; 2]> = slot_pairs[..link_ends.len()].to_vec();
+        let mut cursor = link_ends.len();
+        let lan_pairs: Vec<Vec<(u32, u32, [u32; 2])>> = lan_members
+            .into_iter()
+            .map(|pairs| {
+                pairs
+                    .into_iter()
+                    .map(|(a, b)| {
+                        let s = slot_pairs[cursor];
+                        cursor += 1;
+                        (a, b, s)
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut rib = Rib {
+            graph,
+            link_ends,
+            link_slots,
+            lan_pairs,
+            applied: FailureSet::none(),
+            generation: 0,
+            overrides: HashMap::new(),
+            cache: Mutex::new(SpfCache { cap: DEFAULT_CACHE_CAP, ..SpfCache::default() }),
+        };
+        rib.mask_all(failures);
+        rib.applied = failures.clone();
+        rib
     }
 
     /// Convenience: converged tables with nothing failed.
     pub fn converged(net: &NetworkSpec) -> Self {
         Self::compute(net, &FailureSet::none())
+    }
+
+    /// Masks `failures` into the CSR graph (fresh-build path only —
+    /// there are no cached trees to repair yet).
+    fn mask_all(&mut self, failures: &FailureSet) {
+        for l in failures.failed_links() {
+            if let Some(&slots) = self.link_slots.get(l.0 as usize) {
+                for s in slots {
+                    self.graph.set_slot_live(s, false);
+                }
+            }
+        }
+        for lan in failures.failed_lans() {
+            if let Some(pairs) = self.lan_pairs.get(lan.0 as usize) {
+                for &(_, _, slots) in pairs {
+                    for s in slots {
+                        self.graph.set_slot_live(s, false);
+                    }
+                }
+            }
+        }
+        for r in failures.failed_routers() {
+            if (r.0 as usize) < self.graph.node_count() {
+                self.graph.set_node_up(r.0, false);
+            }
+        }
+    }
+
+    /// Applies a new failure state **incrementally**: the delta
+    /// against the currently-applied set is masked in place and every
+    /// cached tree is patched (removals first, then restorations —
+    /// the order matters, since an improvement through a restored
+    /// element must not be visible while detached subtrees reattach).
+    /// Overrides that reference failed elements are cleared; the
+    /// invalidation generation is bumped.
+    pub fn apply_failures(&mut self, target: &FailureSet) {
+        // Diff the target against the applied set. Removals are masked
+        // immediately; additions are only *collected* here and unmasked
+        // after the removal repairs — a subtree reattaching during the
+        // removal phase must not route through a restored element whose
+        // improvements haven't been propagated yet.
+        let mut removed_pairs: Vec<(u32, u32)> = Vec::new();
+        let mut downed: Vec<u32> = Vec::new();
+        let mut added_pairs: Vec<(u32, u32)> = Vec::new();
+        let mut added_slots: Vec<u32> = Vec::new();
+        let mut restored: Vec<u32> = Vec::new();
+        for (j, &slots) in self.link_slots.iter().enumerate() {
+            let id = cbt_topology::LinkId(j as u32);
+            let (was, now) = (self.applied.link_down(id), target.link_down(id));
+            if was == now {
+                continue;
+            }
+            let ends = self.link_ends[j];
+            if now {
+                for s in slots {
+                    self.graph.set_slot_live(s, false);
+                }
+                removed_pairs.push(ends);
+            } else {
+                added_slots.extend(slots);
+                added_pairs.push(ends);
+            }
+        }
+        for (k, pairs) in self.lan_pairs.iter().enumerate() {
+            let id = LanId(k as u32);
+            let (was, now) = (self.applied.lan_down(id), target.lan_down(id));
+            if was == now {
+                continue;
+            }
+            for &(a, b, slots) in pairs {
+                if now {
+                    for s in slots {
+                        self.graph.set_slot_live(s, false);
+                    }
+                    removed_pairs.push((a, b));
+                } else {
+                    added_slots.extend(slots);
+                    added_pairs.push((a, b));
+                }
+            }
+        }
+        for r in 0..self.graph.node_count() as u32 {
+            let id = RouterId(r);
+            let (was, now) = (self.applied.router_down(id), target.router_down(id));
+            if was == now {
+                continue;
+            }
+            if now {
+                self.graph.set_node_up(r, false);
+                downed.push(r);
+            } else {
+                restored.push(r);
+            }
+        }
+        // Phase 1: repair every cached tree for the removals.
+        let cache = self.cache.get_mut().expect("rib cache poisoned");
+        if !removed_pairs.is_empty() || !downed.is_empty() {
+            for e in &mut cache.entries {
+                let touched = e.tree.repair_removals(
+                    &self.graph,
+                    &removed_pairs,
+                    &downed,
+                    &mut cache.scratch,
+                );
+                cache.stats.record_repair(touched);
+            }
+        }
+        // Phase 2: unmask the restorations, then propagate improvements.
+        if !added_pairs.is_empty() || !restored.is_empty() {
+            for &s in &added_slots {
+                self.graph.set_slot_live(s, true);
+            }
+            for &r in &restored {
+                self.graph.set_node_up(r, true);
+            }
+            for e in &mut cache.entries {
+                let touched = e.tree.repair_additions(
+                    &self.graph,
+                    &added_pairs,
+                    &restored,
+                    &mut cache.scratch,
+                );
+                cache.stats.record_repair(touched);
+            }
+        }
+        cache.stats.apply_batches += 1;
+        self.generation += 1;
+        self.applied = target.clone();
+        // Drop overrides that reference failed elements: either
+        // endpoint router down, or no usable adjacency from → via
+        // remains (the overridden link/LAN failed).
+        let graph = &self.graph;
+        self.overrides.retain(|&(from, dst), &mut via| {
+            graph.is_node_up(from.0)
+                && graph.is_node_up(dst.0)
+                && graph.is_node_up(via.0)
+                && graph.live_neighbors(from.0).any(|(v, _)| v == via.0)
+        });
+    }
+
+    /// The number of failure batches applied since construction — the
+    /// invalidation generation replay tooling records alongside
+    /// failure events.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Bounds the number of cached per-destination trees (≥ 1),
+    /// evicting least-recently-used trees immediately if over.
+    /// Results are unaffected — an evicted tree recomputes
+    /// identically — only memory/time trade off.
+    pub fn set_cache_capacity(&mut self, cap: usize) {
+        let cache = self.cache.get_mut().expect("rib cache poisoned");
+        cache.cap = cap.max(1);
+        cache.evict_to_cap();
+    }
+
+    /// Snapshot of the SPF counters (cache behaviour, repair economics).
+    pub fn spf_stats(&self) -> SpfStats {
+        self.cache.lock().expect("rib cache poisoned").stats.clone()
+    }
+
+    /// Runs `f` against the (cached or freshly computed) tree rooted
+    /// at `dst`, updating LRU state.
+    fn with_tree<R>(&self, dst: u32, f: impl FnOnce(&SpfTree) -> R) -> Option<R> {
+        if dst as usize >= self.graph.node_count() {
+            return None;
+        }
+        let mut cache = self.cache.lock().expect("rib cache poisoned");
+        cache.tick += 1;
+        let tick = cache.tick;
+        if let Some(&i) = cache.index.get(&dst) {
+            cache.stats.cache_hits += 1;
+            cache.entries[i].last_used = tick;
+            return Some(f(&cache.entries[i].tree));
+        }
+        cache.stats.cache_misses += 1;
+        let tree = SpfTree::full(&self.graph, dst, &mut cache.scratch);
+        cache.stats.record_full(tree.reached());
+        cache.entries.push(CacheEntry { tree, last_used: tick });
+        let slot = cache.entries.len() - 1;
+        cache.index.insert(dst, slot);
+        cache.evict_to_cap();
+        // The fresh entry may have moved during eviction; look it up.
+        let i = *cache.index.get(&dst).expect("fresh entry never evicted first");
+        Some(f(&cache.entries[i].tree))
     }
 
     /// Forces `from`'s next hop toward `dst` to be `via`, regardless of
@@ -71,12 +376,12 @@ impl Rib {
         if let Some(&via) = self.overrides.get(&(from, dst)) {
             return Some(via);
         }
-        self.trees.get(dst.0 as usize)?.toward_root(NodeId(from.0)).map(|n| RouterId(n.0))
+        self.with_tree(dst.0, |t| t.toward_root(from.0).map(RouterId))?
     }
 
     /// Distance (in routing metric) from `from` to router `dst`.
     pub fn dist(&self, from: RouterId, dst: RouterId) -> Option<u64> {
-        self.trees.get(dst.0 as usize)?.dist(NodeId(from.0))
+        self.with_tree(dst.0, |t| t.dist(from.0))?
     }
 
     /// Resolves `from`'s route toward `dst_addr` to a concrete [`Hop`]:
@@ -101,11 +406,6 @@ impl Rib {
         let dist = self.dist(from, dst_router)?;
         let (iface, addr) = resolve_adjacency(net, from, next)?;
         Some(Hop { iface, router: next, addr, dist })
-    }
-
-    /// The filtered router graph the tables were computed from.
-    pub fn graph(&self) -> &Graph {
-        &self.graph
     }
 }
 
@@ -137,34 +437,6 @@ fn resolve_adjacency(net: &NetworkSpec, from: RouterId, next: RouterId) -> Optio
 
 fn lan_iface(net: &NetworkSpec, router: RouterId, lan: LanId) -> Option<(IfIndex, Addr)> {
     net.routers[router.0 as usize].iface_on_lan(lan).map(|(i, s)| (i, s.addr))
-}
-
-/// Builds the router graph with failed routers/links/LANs removed.
-fn filtered_graph(net: &NetworkSpec, failures: &FailureSet) -> Graph {
-    let mut g = Graph::with_nodes(net.routers.len());
-    let up = |r: RouterId| !failures.router_down(r);
-    for (j, l) in net.links.iter().enumerate() {
-        if failures.link_down(cbt_topology::LinkId(j as u32)) || !up(l.a) || !up(l.b) {
-            continue;
-        }
-        g.add_edge(NodeId(l.a.0), NodeId(l.b.0), l.cost);
-    }
-    for (k, lan) in net.lans.iter().enumerate() {
-        if failures.lan_down(LanId(k as u32)) {
-            continue;
-        }
-        for (i, &a) in lan.routers.iter().enumerate() {
-            if !up(a) {
-                continue;
-            }
-            for &b in &lan.routers[i + 1..] {
-                if up(b) {
-                    g.add_edge(NodeId(a.0), NodeId(b.0), 1);
-                }
-            }
-        }
-    }
-    g
 }
 
 #[cfg(test)]
@@ -285,5 +557,109 @@ mod tests {
         let f = figure1();
         let rib = Rib::converged(&f.net);
         assert!(rib.route(&f.net, f.router(1), Addr::from_octets(203, 0, 113, 1)).is_none());
+    }
+
+    /// Every (from, dst) next hop and distance of `a` must equal `b`'s.
+    fn assert_tables_equal(net: &NetworkSpec, a: &Rib, b: &Rib, label: &str) {
+        for from in 0..net.routers.len() as u32 {
+            for dst in 0..net.routers.len() as u32 {
+                let (from, dst) = (RouterId(from), RouterId(dst));
+                assert_eq!(
+                    a.next_router(from, dst),
+                    b.next_router(from, dst),
+                    "{label} {from:?}→{dst:?}"
+                );
+                assert_eq!(a.dist(from, dst), b.dist(from, dst), "{label} dist {from:?}→{dst:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_apply_equals_from_scratch() {
+        let f = figure1();
+        let mut inc = Rib::converged(&f.net);
+        // Warm a few trees so repairs actually run.
+        for dst in 0..f.net.routers.len() as u32 {
+            let _ = inc.dist(RouterId(0), RouterId(dst));
+        }
+        let mut failures = FailureSet::none();
+        failures.fail_link(cbt_topology::LinkId(0));
+        failures.fail_router(f.router(7));
+        inc.apply_failures(&failures);
+        assert_eq!(inc.generation(), 1);
+        let scratch = Rib::compute(&f.net, &failures);
+        assert_tables_equal(&f.net, &inc, &scratch, "after failures");
+        // Heal everything and fail a LAN in the same batch.
+        let mut failures2 = FailureSet::none();
+        failures2.fail_lan(f.subnet(4));
+        inc.apply_failures(&failures2);
+        assert_eq!(inc.generation(), 2);
+        let scratch2 = Rib::compute(&f.net, &failures2);
+        assert_tables_equal(&f.net, &inc, &scratch2, "after heal + LAN fail");
+        let stats = inc.spf_stats();
+        assert!(stats.repairs > 0, "incremental repairs must have run");
+        assert_eq!(stats.apply_batches, 2);
+    }
+
+    #[test]
+    fn apply_failures_clears_stale_overrides() {
+        // R0 —l0— R1 —l1— R2, plus spare path R0 —l2— R3 —l3— R2.
+        let mut b = NetworkBuilder::new();
+        let r0 = b.router("R0");
+        let r1 = b.router("R1");
+        let r2 = b.router("R2");
+        let r3 = b.router("R3");
+        let l0 = b.link(r0, r1, 1);
+        b.link(r1, r2, 1);
+        b.link(r0, r3, 1);
+        b.link(r3, r2, 1);
+        let net = b.build();
+        let mut rib = Rib::converged(&net);
+        rib.set_override(r0, r2, r1); // rides link l0
+        rib.set_override(r3, r2, r2); // independent of l0
+        let mut failures = FailureSet::none();
+        failures.fail_link(l0);
+        rib.apply_failures(&failures);
+        assert_eq!(
+            rib.next_router(r0, r2),
+            Some(r3),
+            "override referencing the failed link was cleared"
+        );
+        assert_eq!(rib.next_router(r3, r2), Some(r2), "unrelated override survives");
+        // A downed via-router also invalidates.
+        let mut rib = Rib::converged(&net);
+        rib.set_override(r0, r2, r1);
+        let mut failures = FailureSet::none();
+        failures.fail_router(r1);
+        rib.apply_failures(&failures);
+        assert_eq!(rib.next_router(r0, r2), Some(r3), "override through downed router cleared");
+    }
+
+    #[test]
+    fn lru_cache_bounds_memory_without_changing_results() {
+        let f = figure1();
+        let mut rib = Rib::converged(&f.net);
+        rib.set_cache_capacity(2);
+        let reference = Rib::converged(&f.net);
+        // Sweep all destinations twice: plenty of evictions, same answers.
+        for _ in 0..2 {
+            assert_tables_equal(&f.net, &rib, &reference, "bounded cache");
+        }
+        let stats = rib.spf_stats();
+        assert!(stats.cache_evictions > 0, "cap 2 must evict during a full sweep");
+        assert!(stats.full_runs > f.net.routers.len() as u64, "evicted trees recompute on demand");
+    }
+
+    #[test]
+    fn trees_are_computed_on_demand_not_eagerly() {
+        let f = figure1();
+        let rib = Rib::converged(&f.net);
+        assert_eq!(rib.spf_stats().full_runs, 0, "construction computes nothing");
+        let _ = rib.next_router(f.router(1), f.router(4));
+        let s = rib.spf_stats();
+        assert_eq!(s.full_runs, 1, "one destination asked for, one tree built");
+        assert_eq!(s.cache_misses, 1);
+        let _ = rib.dist(f.router(2), f.router(4));
+        assert_eq!(rib.spf_stats().cache_hits, 1, "second lookup reuses the tree");
     }
 }

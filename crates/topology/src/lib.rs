@@ -18,16 +18,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod csr;
 pub mod figures;
 pub mod generate;
 pub mod graph;
 pub mod network;
 pub mod shortest;
 
+pub use csr::{CsrGraph, SpfScratch, SpfTree, INF_DIST, NO_NODE};
 pub use figures::{figure1, figure5_loop, Figure1};
+pub use generate::{transit_stub, waxman, TransitStubParams, WaxmanParams};
 pub use graph::{EdgeWeight, Graph, NodeId};
 pub use network::{
     Attachment, HostId, HostSpec, IfIndex, LanId, LanSpec, LinkId, LinkSpec, NetworkBuilder,
     NetworkSpec, RouterId, RouterSpec,
 };
-pub use shortest::{AllPairs, ShortestPaths};
+pub use shortest::{AllPairs, DijkstraScratch, ShortestPaths};

@@ -12,6 +12,21 @@ use std::collections::BinaryHeap;
 /// Distance type; `u64` so summed path weights cannot overflow.
 pub type Dist = u64;
 
+/// Reusable Dijkstra scratch: the binary heap's allocation survives
+/// across runs, so bulk computations (all-pairs tables, per-member
+/// sweeps) stop paying a heap allocation per source.
+#[derive(Debug, Default)]
+pub struct DijkstraScratch {
+    heap: BinaryHeap<Reverse<(Dist, u32)>>,
+}
+
+impl DijkstraScratch {
+    /// A fresh scratch.
+    pub fn new() -> Self {
+        DijkstraScratch::default()
+    }
+}
+
 /// Single-source shortest paths from one root.
 #[derive(Debug, Clone)]
 pub struct ShortestPaths {
@@ -30,10 +45,16 @@ impl ShortestPaths {
     /// distance), so the final predecessor is the minimum over all
     /// equal-distance candidates.
     pub fn dijkstra(g: &Graph, root: NodeId) -> Self {
+        Self::dijkstra_with(g, root, &mut DijkstraScratch::new())
+    }
+
+    /// [`ShortestPaths::dijkstra`] reusing a caller-owned scratch heap.
+    pub fn dijkstra_with(g: &Graph, root: NodeId, scratch: &mut DijkstraScratch) -> Self {
         let n = g.node_count();
         let mut dist: Vec<Option<Dist>> = vec![None; n];
         let mut pred: Vec<Option<NodeId>> = vec![None; n];
-        let mut heap: BinaryHeap<Reverse<(Dist, u32)>> = BinaryHeap::new();
+        let heap = &mut scratch.heap;
+        heap.clear();
         dist[root.idx()] = Some(0);
         heap.push(Reverse((0, root.0)));
         while let Some(Reverse((d, node))) = heap.pop() {
@@ -117,7 +138,10 @@ pub struct AllPairs {
 impl AllPairs {
     /// Runs Dijkstra from every node.
     pub fn compute(g: &Graph) -> Self {
-        AllPairs { trees: g.nodes().map(|r| ShortestPaths::dijkstra(g, r)).collect() }
+        let mut scratch = DijkstraScratch::new();
+        AllPairs {
+            trees: g.nodes().map(|r| ShortestPaths::dijkstra_with(g, r, &mut scratch)).collect(),
+        }
     }
 
     /// Distance between two nodes, if connected.
